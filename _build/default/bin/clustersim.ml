@@ -1,0 +1,93 @@
+(* clustersim — run your own file-service scenario.
+
+   A parameterized driver around the experiment fixture: choose client
+   count, transfer scheme, operation count and seed; get client latency
+   and the server's CPU breakdown. *)
+
+open Cmdliner
+
+let scheme_conv =
+  let parse = function
+    | "dx" -> Ok Dfs.Clerk.Dx
+    | "hy" | "hybrid" -> Ok Dfs.Clerk.Hybrid1
+    | "rpc" -> Ok Dfs.Clerk.Rpc_baseline
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (dx|hy|rpc)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (String.lowercase_ascii (Dfs.Clerk.scheme_to_string s))
+  in
+  Arg.conv (parse, print)
+
+let run clients scheme ops seed =
+  let fixture = Experiments.Fixture.create ~clients ~seed () in
+  let latencies = Metrics.Summary.create () in
+  Experiments.Fixture.run fixture (fun () ->
+      Experiments.Fixture.reset_accounting fixture;
+      let t_start = Experiments.Fixture.now fixture in
+      let finished = ref 0 in
+      let all_done = Sim.Ivar.create () in
+      for c = 0 to clients - 1 do
+        let clerk = Experiments.Fixture.clerk fixture c in
+        Dfs.Clerk.set_scheme clerk scheme;
+        let prng = Sim.Prng.split fixture.Experiments.Fixture.prng in
+        Cluster.Node.spawn (Dfs.Clerk.node clerk) (fun () ->
+            let sample = Workload.Mix.sampler () in
+            for _ = 1 to ops do
+              let event =
+                Workload.Trace.event_for fixture.Experiments.Fixture.tree prng
+                  (sample prng)
+              in
+              let _, us =
+                Experiments.Fixture.time fixture (fun () ->
+                    Dfs.Clerk.remote_fetch clerk event.Workload.Trace.op)
+              in
+              Metrics.Summary.add latencies us
+            done;
+            incr finished;
+            if !finished = clients then Sim.Ivar.fill all_done ())
+      done;
+      Sim.Ivar.read all_done;
+      Sim.Proc.wait (Sim.Time.ms 10);
+      let makespan =
+        Sim.Time.diff (Experiments.Fixture.now fixture) t_start
+      in
+      let cpu = Experiments.Fixture.server_cpu fixture in
+      Printf.printf "scheme      : %s\n" (Dfs.Clerk.scheme_to_string scheme);
+      Printf.printf "clients     : %d x %d ops\n" clients ops;
+      Printf.printf "makespan    : %.1f ms of cluster time\n"
+        (Sim.Time.to_ms makespan);
+      Printf.printf "latency     : mean %.0f us, min %.0f, max %.0f\n"
+        (Metrics.Summary.mean latencies)
+        (Metrics.Summary.min latencies)
+        (Metrics.Summary.max latencies);
+      Printf.printf "server CPU  : %.1f ms (utilization %.2f)\n"
+        (Sim.Time.to_ms (Cluster.Cpu.busy_time cpu))
+        (Cluster.Cpu.utilization cpu ~window:makespan);
+      List.iter
+        (fun (category, us) ->
+          Printf.printf "  %-22s %10.0f us\n" category us)
+        (Metrics.Account.to_list (Cluster.Cpu.account cpu)))
+
+let main =
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Client machines.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Dfs.Clerk.Dx
+      & info [ "scheme" ] ~docv:"dx|hy|rpc" ~doc:"Transfer scheme.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 200
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per client (Table 1a mix).")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "clustersim" ~version:"1.0.0"
+       ~doc:"Run a parameterized file-service scenario on the simulated cluster")
+    Term.(const run $ clients $ scheme $ ops $ seed)
+
+let () = exit (Cmd.eval main)

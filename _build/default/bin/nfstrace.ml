@@ -1,0 +1,132 @@
+(* nfstrace — generate and inspect synthetic NFS traces.
+
+   A small operator tool around the workload library: summarize a
+   trace's operation mix, dump individual events, or compute its
+   control/data traffic split. *)
+
+open Cmdliner
+
+let make_trace ~scale ~seed =
+  let prng = Sim.Prng.create seed in
+  let tree = Workload.File_tree.build prng in
+  (tree, Workload.Trace.generate ~scale tree prng)
+
+let scale_arg =
+  let doc = "Scale divisor against the paper's 28.86M calls." in
+  Arg.(value & opt int 1000 & info [ "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (same seed, same trace)." in
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let summary scale seed =
+  let _, events = make_trace ~scale ~seed in
+  let table =
+    Metrics.Table.create
+      ~title:(Printf.sprintf "Trace summary (%d events)" (Array.length events))
+      [
+        ("Activity", Metrics.Table.Left);
+        ("Calls", Metrics.Table.Right);
+        ("%", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (label, count) ->
+      Metrics.Table.add_row table
+        [
+          label;
+          string_of_int count;
+          Printf.sprintf "%.1f"
+            (100. *. float_of_int count /. float_of_int (Array.length events));
+        ])
+    (Workload.Trace.counts_by_label events);
+  Metrics.Table.print table
+
+let describe_op (op : Dfs.Nfs_ops.op) =
+  match op with
+  | Dfs.Nfs_ops.Null -> "null"
+  | Dfs.Nfs_ops.Statfs -> "statfs"
+  | Dfs.Nfs_ops.Get_attr { fh } -> Printf.sprintf "getattr fh=%d" fh
+  | Dfs.Nfs_ops.Lookup { dir; name } -> Printf.sprintf "lookup dir=%d %S" dir name
+  | Dfs.Nfs_ops.Read_link { fh } -> Printf.sprintf "readlink fh=%d" fh
+  | Dfs.Nfs_ops.Read { fh; off; count } ->
+      Printf.sprintf "read fh=%d off=%d count=%d" fh off count
+  | Dfs.Nfs_ops.Read_dir { fh; count } ->
+      Printf.sprintf "readdir fh=%d count=%d" fh count
+  | Dfs.Nfs_ops.Write { fh; off; data } ->
+      Printf.sprintf "write fh=%d off=%d count=%d" fh off (Bytes.length data)
+  | Dfs.Nfs_ops.Set_attr { fh; mode; size } ->
+      Printf.sprintf "setattr fh=%d mode=%o size=%d" fh mode size
+  | Dfs.Nfs_ops.Create { dir; name } -> Printf.sprintf "create dir=%d %S" dir name
+  | Dfs.Nfs_ops.Remove { dir; name } -> Printf.sprintf "remove dir=%d %S" dir name
+  | Dfs.Nfs_ops.Rename { from_dir; from_name; to_dir; to_name } ->
+      Printf.sprintf "rename %d/%S -> %d/%S" from_dir from_name to_dir to_name
+  | Dfs.Nfs_ops.Mkdir { dir; name } -> Printf.sprintf "mkdir dir=%d %S" dir name
+  | Dfs.Nfs_ops.Rmdir { dir; name } -> Printf.sprintf "rmdir dir=%d %S" dir name
+
+let dump scale seed count =
+  let _, events = make_trace ~scale ~seed in
+  Array.iteri
+    (fun i (e : Workload.Trace.event) ->
+      if i < count then
+        Printf.printf "%6d  %-26s %s\n" i e.Workload.Trace.label
+          (describe_op e.Workload.Trace.op))
+    events
+
+let traffic scale seed =
+  let tree, events = make_trace ~scale ~seed in
+  let rows = Workload.Traffic.of_trace (Workload.File_tree.store tree) events in
+  let table =
+    Metrics.Table.create ~title:"Traffic split (per the paper's Table 1b rules)"
+      [
+        ("Activity", Metrics.Table.Left);
+        ("Control (KB)", Metrics.Table.Right);
+        ("Data (KB)", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Workload.Traffic.row) ->
+      Metrics.Table.add_row table
+        [
+          r.Workload.Traffic.label;
+          Printf.sprintf "%.1f" (float_of_int r.Workload.Traffic.control /. 1024.);
+          Printf.sprintf "%.1f" (float_of_int r.Workload.Traffic.data /. 1024.);
+        ])
+    rows;
+  let total = Workload.Traffic.totals rows in
+  Metrics.Table.add_separator table;
+  Metrics.Table.add_row table
+    [
+      "Total";
+      Printf.sprintf "%.1f" (float_of_int total.Workload.Traffic.control /. 1024.);
+      Printf.sprintf "%.1f" (float_of_int total.Workload.Traffic.data /. 1024.);
+    ];
+  Metrics.Table.print table;
+  Printf.printf "overall control/data ratio: %.3f\n"
+    (Workload.Traffic.ratio total)
+
+let summary_cmd =
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Operation mix of a generated trace.")
+    Term.(const summary $ scale_arg $ seed_arg)
+
+let dump_cmd =
+  let count_arg =
+    Arg.(value & opt int 25 & info [ "count" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print the first events of a generated trace.")
+    Term.(const dump $ scale_arg $ seed_arg $ count_arg)
+
+let traffic_cmd =
+  Cmd.v
+    (Cmd.info "traffic" ~doc:"Control/data traffic split of a trace.")
+    Term.(const traffic $ scale_arg $ seed_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "nfstrace" ~version:"1.0.0"
+       ~doc:"Generate and inspect synthetic NFS traces (Table 1a mix)")
+    [ summary_cmd; dump_cmd; traffic_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,105 @@
+(* repro — regenerate every table and figure of the paper.
+
+   One subcommand per experiment; `repro all` runs the lot in the
+   paper's order. *)
+
+open Cmdliner
+
+let print_result render run () = print_string (render (run ()))
+
+let experiments =
+  [
+    ( "table1a",
+      "Table 1a: summary of NFS RPC activity",
+      fun () -> print_string (Experiments.Table1a.render (Experiments.Table1a.run ())) );
+    ( "table1b",
+      "Table 1b: control vs data traffic breakdown",
+      fun () -> print_string (Experiments.Table1b.render (Experiments.Table1b.run ())) );
+    ( "table2",
+      "Table 2: remote memory operation performance",
+      print_result Experiments.Table2.render Experiments.Table2.run );
+    ( "table3",
+      "Table 3: name server performance",
+      print_result Experiments.Table3.render Experiments.Table3.run );
+    ( "fig2",
+      "Figure 2: client latency, HY vs DX",
+      fun () -> print_string (Experiments.Fig2.render (Experiments.Fig2.run ())) );
+    ( "fig3",
+      "Figure 3: server CPU breakdown, HY vs DX",
+      fun () -> print_string (Experiments.Fig3.render (Experiments.Fig3.run ())) );
+    ( "headline",
+      "The 50% server-load reduction headline",
+      fun () ->
+        print_string (Experiments.Headline.render (Experiments.Headline.run ())) );
+    ( "scale",
+      "Ablation A: scalability with client count",
+      fun () ->
+        print_string
+          (Experiments.Scalability.render (Experiments.Scalability.run ())) );
+    ( "blocksize",
+      "Ablation B: latency vs transfer size",
+      fun () ->
+        print_string (Experiments.Blocksize.render (Experiments.Blocksize.run ())) );
+    ( "probes",
+      "Ablation C: probing vs control transfer in name lookup",
+      fun () ->
+        print_string
+          (Experiments.Probe_policy.render (Experiments.Probe_policy.run ())) );
+    ( "coherence",
+      "Ablation D: CAS vs RPC token coherence",
+      fun () ->
+        print_string
+          (Experiments.Coherence_bench.render (Experiments.Coherence_bench.run ()))
+    );
+    ( "security",
+      "Ablation E: the cost of link encryption",
+      fun () ->
+        print_string (Experiments.Security.render (Experiments.Security.run ()))
+    );
+    ( "svm",
+      "Ablation F: SVM vs remote memory (false sharing)",
+      fun () ->
+        print_string (Experiments.Svm_bench.render (Experiments.Svm_bench.run ()))
+    );
+    ( "amsg",
+      "Ablation G: remote reads vs active messages vs RPC",
+      fun () ->
+        print_string (Experiments.Amsg_bench.render (Experiments.Amsg_bench.run ()))
+    );
+    ( "technology",
+      "Ablation H: the trade-off across technology generations",
+      fun () ->
+        print_string (Experiments.Technology.render (Experiments.Technology.run ()))
+    );
+    ( "burst",
+      "Ablation I: block-transfer burst size",
+      fun () -> print_string (Experiments.Burst.render (Experiments.Burst.run ())) );
+  ]
+
+let command_of (name, doc, body) =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun () -> body ()) $ const ())
+
+let all_cmd =
+  let doc = "Run every experiment in the paper's order." in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (name, _, body) ->
+              Printf.printf "==== %s ====\n%!" name;
+              body ();
+              print_newline ())
+            experiments)
+      $ const ())
+
+let main =
+  let doc =
+    "Reproduce the tables and figures of 'Separating Data and Control \
+     Transfer in Distributed Operating Systems' (ASPLOS 1994)"
+  in
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    (all_cmd :: List.map command_of experiments)
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/config_service.ml: Array Bytes Cluster List Names Option Printf Replica Rmem Sim

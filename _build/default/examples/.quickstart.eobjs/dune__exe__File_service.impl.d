@@ -1,0 +1,1 @@
+examples/file_service.ml: Bytes Cluster Dfs Experiments List Printf Sim

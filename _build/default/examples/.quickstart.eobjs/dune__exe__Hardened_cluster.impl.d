@@ -1,0 +1,1 @@
+examples/hardened_cluster.ml: Array Bytes Cluster Int32 List Names Printf Rmem Sim

@@ -1,0 +1,1 @@
+examples/hardened_cluster.mli:

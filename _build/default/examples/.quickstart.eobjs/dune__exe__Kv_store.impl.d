@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Bytes Cluster Dfs Int32 List Metrics Names Printf Rmem Sim String

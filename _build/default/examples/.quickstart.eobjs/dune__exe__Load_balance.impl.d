@@ -1,0 +1,1 @@
+examples/load_balance.ml: Array Atm Bytes Cluster Int32 Names Printf Rmem Sim

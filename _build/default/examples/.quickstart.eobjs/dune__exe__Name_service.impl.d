@@ -1,0 +1,1 @@
+examples/name_service.ml: Array Cluster List Names Printf Rmem Sim

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Array Bytes Cluster Int32 List Names Printf Rmem Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cluster Format Names Printf Rmem Sim

@@ -1,0 +1,84 @@
+(* A cluster configuration service with no server (§3.2).
+
+   Four machines each hold a full replica of the cluster's
+   configuration in an exported segment.  Setting a key is a handful of
+   one-way remote writes; reading one is a local memory access on every
+   machine; a member that was down during an update repairs itself by
+   anti-entropy (one remote block read of a peer's replica).  At no
+   point does any machine run service code on another's behalf.
+
+     dune exec examples/config_service.exe *)
+
+let printf = Printf.printf
+
+let members = 4
+
+let () =
+  let testbed = Cluster.Testbed.create ~nodes:members () in
+  let engine = Cluster.Testbed.engine testbed in
+  let rmems =
+    Array.init members (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Cluster.Testbed.run testbed (fun () ->
+      let names = Array.map Names.Clerk.create rmems in
+      Array.iter Names.Clerk.serve_lookup_requests names;
+      let replicas = Array.map Replica.create names in
+      Array.iter
+        (fun r ->
+          for j = 0 to members - 1 do
+            Replica.join r
+              ~peer:(Cluster.Node.addr (Cluster.Testbed.node testbed j))
+          done)
+        replicas;
+      printf "%d members, no server\n" (Replica.members replicas.(0));
+
+      (* Node 0 publishes the initial configuration. *)
+      List.iter
+        (fun (k, v) -> Replica.set replicas.(0) k (Bytes.of_string v))
+        [
+          ("scheduler/policy", "least-loaded");
+          ("cache/block-size", "8192");
+          ("net/burst-cells", "8");
+        ];
+      Sim.Proc.wait (Sim.Time.ms 2);
+      printf "node3 reads locally: scheduler/policy = %S\n"
+        (Bytes.to_string
+           (Option.get (Replica.get replicas.(3) "scheduler/policy")));
+
+      (* Node 2 misses an update while down, then repairs itself. *)
+      let node2 = Cluster.Testbed.node testbed 2 in
+      Cluster.Node.set_down node2 true;
+      Replica.set replicas.(1) "scheduler/policy" (Bytes.of_string "random");
+      Sim.Proc.wait (Sim.Time.ms 2);
+      Cluster.Node.set_down node2 false;
+      printf "node2 (was down) still sees:    %S\n"
+        (Bytes.to_string
+           (Option.get (Replica.get replicas.(2) "scheduler/policy")));
+      Replica.anti_entropy_with replicas.(2)
+        ~peer:(Cluster.Node.addr (Cluster.Testbed.node testbed 1));
+      printf "node2 after anti-entropy:       %S (%d entries repaired)\n"
+        (Bytes.to_string
+           (Option.get (Replica.get replicas.(2) "scheduler/policy")))
+        (Replica.repairs replicas.(2));
+
+      (* Concurrent writers converge deterministically. *)
+      Replica.set replicas.(0) "flags/debug" (Bytes.of_string "off");
+      Replica.set replicas.(3) "flags/debug" (Bytes.of_string "on");
+      Sim.Proc.wait (Sim.Time.ms 2);
+      Array.iteri
+        (fun i r ->
+          Replica.anti_entropy_with r
+            ~peer:
+              (Cluster.Node.addr
+                 (Cluster.Testbed.node testbed ((i + 1) mod members))))
+        replicas;
+      printf "after a race, everyone agrees: flags/debug = %S on all %d nodes\n"
+        (Bytes.to_string (Option.get (Replica.get replicas.(0) "flags/debug")))
+        members;
+      Array.iter
+        (fun r ->
+          assert (
+            Replica.get r "flags/debug" = Replica.get replicas.(0) "flags/debug"))
+        replicas);
+  printf "done at %s\n" (Sim.Time.to_string (Sim.Engine.now engine))

@@ -1,0 +1,90 @@
+(* Active Messages [von Eicken et al. 1992] — the second related-work
+   comparator of §6.
+
+   An active message carries the identifier of a handler that the
+   receiver runs *at interrupt level*, integrating the message into the
+   computation stream: no scheduling, no blocked server thread, but —
+   unlike the remote-memory model — computation does run on the
+   destination processor for every message.  The paper contrasts this
+   "interrupt driven messages" style with its own separation of data
+   from control. *)
+
+let frame_tag = 0x28
+let header_bytes = 8
+(* [tag 1][handler 1][len 2][pad 4] *)
+
+type handler = src:Atm.Addr.t -> bytes -> unit
+
+type t = {
+  node : Cluster.Node.t;
+  handlers : (int, handler) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable handler_cpu : Sim.Time.t; (* receiver CPU spent in upcalls *)
+}
+
+let attach node =
+  let t =
+    {
+      node;
+      handlers = Hashtbl.create 8;
+      sent = 0;
+      delivered = 0;
+      handler_cpu = Sim.Time.zero;
+    }
+  in
+  Cluster.Node.set_handler node ~tag:frame_tag (fun ~src payload ->
+      let r = Atm.Codec.reader payload in
+      let (_ : int) = Atm.Codec.get_u8 r in
+      let id = Atm.Codec.get_u8 r in
+      let len = Atm.Codec.get_u16 r in
+      Atm.Codec.skip r 4;
+      let args = Atm.Codec.get_bytes r len in
+      let c = Cluster.Node.costs node in
+      (* Interrupt-level reception: drain the frame... *)
+      Cluster.Cpu.use (Cluster.Node.cpu node)
+        ~category:Cluster.Cpu.cat_data_reception
+        (Sim.Time.add c.Cluster.Costs.rx_interrupt
+           (Cluster.Costs.frame_copy_cost c
+              ~payload_bytes:(Bytes.length payload)));
+      (* ...then run the handler upcall right here.  The handler charges
+         its own computation (category: procedure). *)
+      match Hashtbl.find_opt t.handlers id with
+      | Some handler ->
+          let before = Cluster.Cpu.busy_time (Cluster.Node.cpu node) in
+          handler ~src args;
+          t.delivered <- t.delivered + 1;
+          t.handler_cpu <-
+            Sim.Time.add t.handler_cpu
+              (Sim.Time.diff
+                 (Cluster.Cpu.busy_time (Cluster.Node.cpu node))
+                 before)
+      | None ->
+          failwith (Printf.sprintf "Amsg: no handler %d registered" id));
+  t
+
+let register t ~id handler =
+  if id < 0 || id > 255 then invalid_arg "Amsg.register: id out of range";
+  if Hashtbl.mem t.handlers id then invalid_arg "Amsg.register: id in use";
+  Hashtbl.replace t.handlers id handler
+
+let send t ~dst ~handler args =
+  let len = Bytes.length args in
+  if len > 0xFFFF then invalid_arg "Amsg.send: message too large";
+  let c = Cluster.Node.costs t.node in
+  let w = Atm.Codec.writer ~capacity:(header_bytes + len) () in
+  Atm.Codec.put_u8 w frame_tag;
+  Atm.Codec.put_u8 w handler;
+  Atm.Codec.put_u16 w len;
+  Atm.Codec.put_padding w 4;
+  Atm.Codec.put_bytes w args;
+  Cluster.Cpu.use (Cluster.Node.cpu t.node) ~category:Cluster.Cpu.cat_client
+    (Sim.Time.add c.Cluster.Costs.trap
+       (Cluster.Costs.frame_copy_cost c ~payload_bytes:(header_bytes + len)));
+  t.sent <- t.sent + 1;
+  Cluster.Node.transmit t.node ~dst (Atm.Codec.contents w)
+
+let sent t = t.sent
+let delivered t = t.delivered
+let handler_cpu t = t.handler_cpu
+let node t = t.node

@@ -1,0 +1,1 @@
+lib/atm/addr.ml: Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/atm/codec.ml: Bytes Int32 Int64 Stdlib String

@@ -1,0 +1,1 @@
+lib/atm/config.ml: Aal Sim

@@ -1,0 +1,1 @@
+lib/atm/frame.ml: Addr Bytes Format

@@ -1,0 +1,1 @@
+lib/atm/frame.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/atm/link.ml: Aal Config Frame Sim

@@ -1,0 +1,1 @@
+lib/atm/network.ml: Addr Array Config Link Nic Printf Sim Switch

@@ -1,0 +1,1 @@
+lib/atm/network.mli: Addr Config Nic Sim Switch

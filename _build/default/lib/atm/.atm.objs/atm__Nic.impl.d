@@ -1,0 +1,1 @@
+lib/atm/nic.ml: Aal Addr Config Frame Link Sim

@@ -1,0 +1,1 @@
+lib/atm/nic.mli: Addr Config Frame Link

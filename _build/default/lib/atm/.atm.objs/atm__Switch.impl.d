@@ -1,0 +1,1 @@
+lib/atm/switch.ml: Addr Config Frame Hashtbl Link Nic Printf Sim

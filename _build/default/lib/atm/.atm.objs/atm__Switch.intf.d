@@ -1,0 +1,1 @@
+lib/atm/switch.mli: Addr Config Link Nic Sim

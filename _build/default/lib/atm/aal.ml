@@ -1,0 +1,26 @@
+(* ATM adaptation-layer arithmetic.
+
+   An ATM cell carries 53 bytes on the wire: a 5-byte header and a 48-byte
+   payload.  Frames no larger than one payload travel in a single cell (the
+   remote-memory layer formats its single-cell requests this way, with the
+   8-byte request header inside the payload leaving 40 data bytes, exactly
+   as the paper reports).  Larger frames are segmented AAL5-style with an
+   8-byte trailer in the final cell. *)
+
+let cell_payload_bytes = 48
+let cell_wire_bytes = 53
+let cell_header_bytes = cell_wire_bytes - cell_payload_bytes
+let aal5_trailer_bytes = 8
+
+let cells_of_len len =
+  if len < 0 then invalid_arg "Aal.cells_of_len: negative length";
+  if len = 0 then 1
+  else if len <= cell_payload_bytes then 1
+  else
+    let padded = len + aal5_trailer_bytes in
+    (padded + cell_payload_bytes - 1) / cell_payload_bytes
+
+let wire_bytes_of_len len = cells_of_len len * cell_wire_bytes
+
+let words_of_len len = (len + 3) / 4
+(* 32-bit words touched by programmed I/O to move [len] payload bytes. *)

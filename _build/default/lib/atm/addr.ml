@@ -1,0 +1,14 @@
+(* Node addresses on the cluster network. *)
+
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Addr.of_int: negative address";
+  i
+
+let to_int a = a
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf a = Format.fprintf ppf "node%d" a
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,43 @@
+(** Binary codec for wire payloads. Multi-byte integers are
+    little-endian; readers raise {!Truncated} on short input. *)
+
+exception Truncated
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : ?capacity:int -> unit -> writer
+val put_u8 : writer -> int -> unit
+val put_u16 : writer -> int -> unit
+val put_u32 : writer -> int -> unit
+val put_i32 : writer -> int32 -> unit
+val put_u64 : writer -> int -> unit
+val put_bytes : writer -> bytes -> unit
+
+val put_string : writer -> string -> unit
+(** Length-prefixed (u16). *)
+
+val put_padding : writer -> int -> unit
+val length : writer -> int
+val contents : writer -> bytes
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?pos:int -> bytes -> reader
+val remaining : reader -> int
+val get_u8 : reader -> int
+val get_u16 : reader -> int
+val get_u32 : reader -> int
+val get_i32 : reader -> int32
+val get_u64 : reader -> int
+val get_bytes : reader -> int -> bytes
+val get_string : reader -> string
+val skip : reader -> int -> unit
+
+val rest : reader -> bytes
+(** Everything not yet consumed. *)
+
+val position : reader -> int

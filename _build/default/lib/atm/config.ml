@@ -1,0 +1,29 @@
+(* Network configuration.
+
+   Defaults model the paper's testbed: FORE TCA-100 interfaces on a
+   140 Mb/s ATM fabric, hosts connected back-to-back (switchless). *)
+
+type t = {
+  bandwidth_mbps : float;  (* link rate in megabits per second *)
+  propagation : Sim.Time.t;  (* per-link propagation delay *)
+  switch_latency : Sim.Time.t;  (* fixed per-cell switch traversal *)
+  fifo_capacity_cells : int;  (* NIC receive-FIFO depth *)
+}
+
+let fore_tca100 =
+  {
+    bandwidth_mbps = 140.0;
+    propagation = Sim.Time.ns 500;
+    switch_latency = Sim.Time.us 2;
+    fifo_capacity_cells = 2048;
+  }
+
+let default = fore_tca100
+
+let cell_wire_time t =
+  let bits = float_of_int (Aal.cell_wire_bytes * 8) in
+  Sim.Time.of_us_float (bits /. t.bandwidth_mbps)
+
+let frame_wire_time t len =
+  let cells = Aal.cells_of_len len in
+  Sim.Time.scale (cell_wire_time t) (float_of_int cells)

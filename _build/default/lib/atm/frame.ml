@@ -1,0 +1,17 @@
+(* Network frames: the unit handed to and received from a NIC.
+
+   A frame's payload is segmented into ATM cells for transmission; see
+   {!Aal} for the cell arithmetic. *)
+
+type t = { src : Addr.t; dst : Addr.t; payload : bytes }
+
+let make ~src ~dst payload = { src; dst; payload }
+
+let src t = t.src
+let dst t = t.dst
+let payload t = t.payload
+let length t = Bytes.length t.payload
+
+let pp ppf t =
+  Format.fprintf ppf "frame(%a -> %a, %d bytes)" Addr.pp t.src Addr.pp t.dst
+    (length t)

@@ -1,0 +1,12 @@
+(** Network frames: the unit handed to and received from a NIC. *)
+
+type t
+
+val make : src:Addr.t -> dst:Addr.t -> bytes -> t
+val src : t -> Addr.t
+val dst : t -> Addr.t
+val payload : t -> bytes
+val length : t -> int
+(** Payload length in bytes. *)
+
+val pp : Format.formatter -> t -> unit

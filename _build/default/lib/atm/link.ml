@@ -1,0 +1,63 @@
+(* Unidirectional point-to-point links.
+
+   A link serializes frames at wire rate: a frame occupies the wire for
+   [cells x cell_time], in FIFO order, and is delivered [propagation]
+   later.  Within the cluster, loss is treated as catastrophic (the
+   paper's reliability assumption), so exceeding the queue bound raises
+   rather than silently dropping. *)
+
+exception Overflow of string
+
+type t = {
+  name : string;
+  engine : Sim.Engine.t;
+  config : Config.t;
+  deliver : Frame.t -> unit;
+  mutable next_free : Sim.Time.t;
+  mutable queued : int; (* frames accepted but not yet delivered *)
+  mutable frames_sent : int;
+  mutable cells_sent : int;
+  mutable wire_bytes : int;
+  mutable busy_time : Sim.Time.t;
+}
+
+let create ?(name = "link") engine config ~deliver =
+  {
+    name;
+    engine;
+    config;
+    deliver;
+    next_free = Sim.Time.zero;
+    queued = 0;
+    frames_sent = 0;
+    cells_sent = 0;
+    wire_bytes = 0;
+    busy_time = Sim.Time.zero;
+  }
+
+let send t frame =
+  if t.queued >= t.config.Config.fifo_capacity_cells then
+    raise (Overflow t.name);
+  let len = Frame.length frame in
+  let cells = Aal.cells_of_len len in
+  let tx_time = Config.frame_wire_time t.config len in
+  let now = Sim.Engine.now t.engine in
+  let start = Sim.Time.max now t.next_free in
+  t.next_free <- Sim.Time.add start tx_time;
+  t.queued <- t.queued + 1;
+  t.frames_sent <- t.frames_sent + 1;
+  t.cells_sent <- t.cells_sent + cells;
+  t.wire_bytes <- t.wire_bytes + Aal.wire_bytes_of_len len;
+  t.busy_time <- Sim.Time.add t.busy_time tx_time;
+  let arrival =
+    Sim.Time.add t.next_free t.config.Config.propagation
+  in
+  Sim.Engine.schedule_at t.engine arrival (fun () ->
+      t.queued <- t.queued - 1;
+      t.deliver frame)
+
+let frames_sent t = t.frames_sent
+let cells_sent t = t.cells_sent
+let wire_bytes t = t.wire_bytes
+let busy_time t = t.busy_time
+let name t = t.name

@@ -1,0 +1,27 @@
+(** Unidirectional point-to-point links with wire-rate serialization.
+
+    Frames occupy the wire in FIFO order for as long as their cells take
+    to serialize, then arrive at the far end one propagation delay later.
+    Loss inside the cluster is catastrophic under the paper's reliability
+    assumption, so queue overflow raises {!Overflow} instead of dropping. *)
+
+exception Overflow of string
+
+type t
+
+val create :
+  ?name:string -> Sim.Engine.t -> Config.t -> deliver:(Frame.t -> unit) -> t
+(** [deliver] is invoked at the receiving end at arrival time. *)
+
+val send : t -> Frame.t -> unit
+(** Queue a frame for transmission. Never blocks the caller; the frame is
+    delivered when its last cell would have arrived. *)
+
+val name : t -> string
+
+(** {1 Statistics} *)
+
+val frames_sent : t -> int
+val cells_sent : t -> int
+val wire_bytes : t -> int
+val busy_time : t -> Sim.Time.t

@@ -1,0 +1,75 @@
+(* Topology construction.
+
+   [Back_to_back] wires every pair of nodes with dedicated links (the
+   paper's two-node switchless testbed generalized to a full mesh);
+   [Star] puts an output-queued switch in the middle, the deployment the
+   paper anticipates for larger clusters. *)
+
+type topology = Back_to_back | Star
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  topology : topology;
+  nics : Nic.t array;
+  switch : Switch.t option;
+}
+
+let build_mesh engine config nics =
+  let n = Array.length nics in
+  (* links.(i).(j) carries traffic from node i to node j. *)
+  let links = Array.make_matrix n n None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let dst_nic = nics.(j) in
+        let link =
+          Link.create
+            ~name:(Printf.sprintf "mesh:%d->%d" i j)
+            engine config
+            ~deliver:(fun frame -> Nic.deliver dst_nic frame)
+        in
+        links.(i).(j) <- Some link
+      end
+    done
+  done;
+  Array.iteri
+    (fun i nic ->
+      Nic.set_route nic (fun dst ->
+          match links.(i).(Addr.to_int dst) with
+          | Some link -> link
+          | None -> failwith "Network: no route"))
+    nics
+
+let build_star engine config nics =
+  let switch = Switch.create engine config in
+  Array.iter (fun nic -> Switch.attach_port switch nic) nics;
+  Array.iter
+    (fun nic ->
+      let uplink = Switch.uplink_for switch (Nic.addr nic) in
+      Nic.set_route nic (fun _dst -> uplink))
+    nics;
+  switch
+
+let create ?(config = Config.default) ?(topology = Back_to_back) engine ~nodes =
+  if nodes < 2 then invalid_arg "Network.create: need at least two nodes";
+  let nics =
+    Array.init nodes (fun i -> Nic.create config (Addr.of_int i))
+  in
+  let switch =
+    match topology with
+    | Back_to_back ->
+        build_mesh engine config nics;
+        None
+    | Star -> Some (build_star engine config nics)
+  in
+  { engine; config; topology; nics; switch }
+
+let nic t addr = t.nics.(Addr.to_int addr)
+let nic_of_int t i = t.nics.(i)
+let size t = Array.length t.nics
+let config t = t.config
+let engine t = t.engine
+let addrs t = Array.to_list (Array.map Nic.addr t.nics)
+let switch t = t.switch
+let topology t = t.topology

@@ -1,0 +1,20 @@
+(** Topology construction: back-to-back mesh (the paper's switchless
+    testbed) or a switched star (the anticipated larger deployment). *)
+
+type topology = Back_to_back | Star
+
+type t
+
+val create :
+  ?config:Config.t -> ?topology:topology -> Sim.Engine.t -> nodes:int -> t
+(** Build a network of [nodes] NICs addressed [0 .. nodes-1].
+    Raises [Invalid_argument] for fewer than two nodes. *)
+
+val nic : t -> Addr.t -> Nic.t
+val nic_of_int : t -> int -> Nic.t
+val size : t -> int
+val config : t -> Config.t
+val engine : t -> Sim.Engine.t
+val addrs : t -> Addr.t list
+val switch : t -> Switch.t option
+val topology : t -> topology

@@ -1,0 +1,77 @@
+(* Host-network interfaces, modeled after the FORE TCA-100.
+
+   The real interface exposes two FIFOs accessed a word at a time with no
+   DMA.  The CPU cost of those word copies is charged by the kernel
+   emulation layer (which knows whose CPU pays); the NIC itself models the
+   wire side: outbound frames are routed onto a link, inbound frames queue
+   in a bounded receive FIFO until the host drains them. *)
+
+exception Rx_overflow of Addr.t
+
+type t = {
+  addr : Addr.t;
+  config : Config.t;
+  mutable route : Addr.t -> Link.t;
+  rx : Frame.t Sim.Mailbox.t;
+  mutable rx_cells_pending : int;
+  mutable frames_tx : int;
+  mutable frames_rx : int;
+  mutable bytes_tx : int;
+  mutable bytes_rx : int;
+  mutable cells_tx : int;
+  mutable cells_rx : int;
+}
+
+let no_route _ = failwith "Nic: route not installed"
+
+let create config addr =
+  {
+    addr;
+    config;
+    route = no_route;
+    rx = Sim.Mailbox.create ();
+    rx_cells_pending = 0;
+    frames_tx = 0;
+    frames_rx = 0;
+    bytes_tx = 0;
+    bytes_rx = 0;
+    cells_tx = 0;
+    cells_rx = 0;
+  }
+
+let addr t = t.addr
+let set_route t route = t.route <- route
+
+let transmit t ~dst payload =
+  if Addr.equal dst t.addr then
+    invalid_arg "Nic.transmit: destination is self";
+  let frame = Frame.make ~src:t.addr ~dst payload in
+  let len = Frame.length frame in
+  t.frames_tx <- t.frames_tx + 1;
+  t.bytes_tx <- t.bytes_tx + len;
+  t.cells_tx <- t.cells_tx + Aal.cells_of_len len;
+  Link.send (t.route dst) frame
+
+let deliver t frame =
+  let cells = Aal.cells_of_len (Frame.length frame) in
+  if t.rx_cells_pending + cells > t.config.Config.fifo_capacity_cells then
+    raise (Rx_overflow t.addr);
+  t.rx_cells_pending <- t.rx_cells_pending + cells;
+  t.frames_rx <- t.frames_rx + 1;
+  t.bytes_rx <- t.bytes_rx + Frame.length frame;
+  t.cells_rx <- t.cells_rx + cells;
+  Sim.Mailbox.send t.rx frame
+
+let receive t =
+  let frame = Sim.Mailbox.recv t.rx in
+  t.rx_cells_pending <- t.rx_cells_pending - Aal.cells_of_len (Frame.length frame);
+  frame
+
+let pending_frames t = Sim.Mailbox.length t.rx
+
+let frames_tx t = t.frames_tx
+let frames_rx t = t.frames_rx
+let bytes_tx t = t.bytes_tx
+let bytes_rx t = t.bytes_rx
+let cells_tx t = t.cells_tx
+let cells_rx t = t.cells_rx

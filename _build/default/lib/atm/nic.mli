@@ -1,0 +1,40 @@
+(** Host-network interfaces, modeled after the FORE TCA-100
+    (word-at-a-time FIFOs, no DMA).
+
+    The CPU cost of programmed-I/O word copies is charged by the kernel
+    emulation layer; the NIC models the wire side and the bounded receive
+    FIFO. *)
+
+exception Rx_overflow of Addr.t
+(** The receive FIFO bound was exceeded — catastrophic under the paper's
+    in-cluster reliability assumption. *)
+
+type t
+
+val create : Config.t -> Addr.t -> t
+val addr : t -> Addr.t
+
+val set_route : t -> (Addr.t -> Link.t) -> unit
+(** Install the outbound routing function (done by {!Network}). *)
+
+val transmit : t -> dst:Addr.t -> bytes -> unit
+(** Route a payload onto the appropriate link. Does not block; wire-rate
+    serialization happens inside the link. *)
+
+val deliver : t -> Frame.t -> unit
+(** Called by links at frame arrival; queues into the receive FIFO. *)
+
+val receive : t -> Frame.t
+(** Drain the oldest received frame, blocking the calling process while
+    the FIFO is empty. *)
+
+val pending_frames : t -> int
+
+(** {1 Statistics} *)
+
+val frames_tx : t -> int
+val frames_rx : t -> int
+val bytes_tx : t -> int
+val bytes_rx : t -> int
+val cells_tx : t -> int
+val cells_rx : t -> int

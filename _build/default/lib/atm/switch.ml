@@ -1,0 +1,43 @@
+(* An output-queued ATM switch for star topologies.
+
+   Each port has an uplink (node to switch) and a downlink (switch to
+   node).  A frame arriving on an uplink is forwarded to the destination
+   port's downlink after a fixed switching latency; contention appears as
+   queueing on the shared downlink. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  downlinks : (int, Link.t) Hashtbl.t;
+  mutable frames_switched : int;
+}
+
+let create engine config =
+  { engine; config; downlinks = Hashtbl.create 8; frames_switched = 0 }
+
+let attach_port t nic =
+  let addr = Nic.addr nic in
+  let down =
+    Link.create
+      ~name:(Printf.sprintf "down:%s" (Addr.to_string addr))
+      t.engine t.config
+      ~deliver:(fun frame -> Nic.deliver nic frame)
+  in
+  Hashtbl.replace t.downlinks (Addr.to_int addr) down
+
+let forward t frame =
+  let dst = Addr.to_int (Frame.dst frame) in
+  match Hashtbl.find_opt t.downlinks dst with
+  | None -> failwith "Switch.forward: unknown destination port"
+  | Some down ->
+      t.frames_switched <- t.frames_switched + 1;
+      Sim.Engine.schedule ~after:t.config.Config.switch_latency t.engine
+        (fun () -> Link.send down frame)
+
+let uplink_for t nic_addr =
+  Link.create
+    ~name:(Printf.sprintf "up:%s" (Addr.to_string nic_addr))
+    t.engine t.config
+    ~deliver:(fun frame -> forward t frame)
+
+let frames_switched t = t.frames_switched

@@ -1,0 +1,17 @@
+(** An output-queued ATM switch for star topologies.
+
+    Frames arriving on a port's uplink are forwarded onto the destination
+    port's downlink after a fixed switching latency; contention appears
+    as queueing on the shared downlink. *)
+
+type t
+
+val create : Sim.Engine.t -> Config.t -> t
+
+val attach_port : t -> Nic.t -> unit
+(** Create the downlink that delivers to this NIC. *)
+
+val uplink_for : t -> Addr.t -> Link.t
+(** Create the uplink a node uses to reach the switch. *)
+
+val frames_switched : t -> int

@@ -1,0 +1,1 @@
+lib/cluster/address_space.ml: Bytes Hashtbl Int32 Option Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/address_space.mli:

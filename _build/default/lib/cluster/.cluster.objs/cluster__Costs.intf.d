@@ -1,0 +1,1 @@
+lib/cluster/costs.mli: Sim

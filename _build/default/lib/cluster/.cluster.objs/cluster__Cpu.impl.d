@@ -1,0 +1,1 @@
+lib/cluster/cpu.ml: Metrics Sim

@@ -1,0 +1,1 @@
+lib/cluster/cpu.mli: Metrics Sim

@@ -1,0 +1,1 @@
+lib/cluster/kernel.ml: Costs Cpu Node

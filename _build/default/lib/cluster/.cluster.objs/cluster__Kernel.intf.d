@@ -1,0 +1,1 @@
+lib/cluster/kernel.mli: Node

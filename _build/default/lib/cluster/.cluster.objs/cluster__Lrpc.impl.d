@@ -1,0 +1,1 @@
+lib/cluster/lrpc.ml: Costs Cpu Node

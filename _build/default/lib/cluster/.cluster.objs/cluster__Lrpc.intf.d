@@ -1,0 +1,1 @@
+lib/cluster/lrpc.mli: Node

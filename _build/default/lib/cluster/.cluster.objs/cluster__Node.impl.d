@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Address_space Atm Bytes Char Costs Cpu Hashtbl Printf Sim

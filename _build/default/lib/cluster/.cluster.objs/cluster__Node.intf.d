@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Address_space Atm Costs Cpu Sim

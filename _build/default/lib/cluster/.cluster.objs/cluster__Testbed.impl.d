@@ -1,0 +1,1 @@
+lib/cluster/testbed.ml: Array Atm Costs Node Sim

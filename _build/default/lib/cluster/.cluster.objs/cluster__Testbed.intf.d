@@ -1,0 +1,1 @@
+lib/cluster/testbed.mli: Atm Costs Node Sim

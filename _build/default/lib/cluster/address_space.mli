@@ -1,0 +1,41 @@
+(** Per-process virtual address spaces: sparse, demand-zero, paged byte
+    stores. Remote-memory operations move real bytes between these.
+
+    Pinning mirrors the paper's application-controlled pinning of the
+    pages backing exported segments. *)
+
+exception Fault of { asid : int; addr : int }
+(** Raised on negative addresses or lengths. *)
+
+type t
+
+val default_page_size : int
+(** 4096, the MIPS R3000 page size. *)
+
+val create : ?page_size:int -> asid:int -> unit -> t
+val asid : t -> int
+val page_size : t -> int
+
+(** {1 Data access} *)
+
+val read : t -> addr:int -> len:int -> bytes
+val write : t -> addr:int -> bytes -> unit
+
+val read_word : t -> addr:int -> int32
+val write_word : t -> addr:int -> int32 -> unit
+
+val cas_word : t -> addr:int -> old_value:int32 -> new_value:int32 -> bool
+(** Atomic compare-and-swap of a 32-bit word; returns success. *)
+
+(** {1 Pinning} *)
+
+val pin : t -> addr:int -> len:int -> int
+(** Pin the pages covering the range; returns how many pages that is.
+    Pins nest (a pin count per page). *)
+
+val unpin : t -> addr:int -> len:int -> unit
+(** Raises [Invalid_argument] if some covered page is not pinned. *)
+
+val is_pinned : t -> addr:int -> len:int -> bool
+val pinned_pages : t -> int
+val resident_pages : t -> int

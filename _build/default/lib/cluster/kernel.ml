@@ -1,0 +1,15 @@
+(* Generic kernel-path helpers: syscall entry, thread dispatch. *)
+
+let syscall node ?(category = Cpu.cat_emulation) ~name:_ body =
+  Cpu.use (Node.cpu node) ~category (Node.costs node).Costs.syscall;
+  body ()
+
+let dispatch_thread node ?(category = Cpu.cat_control_transfer) body =
+  (* Schedule a thread: pay the context switch on this CPU, then run the
+     thread body as its own process. *)
+  Node.spawn node (fun () ->
+      Cpu.use (Node.cpu node) ~category (Node.costs node).Costs.context_switch;
+      body ())
+
+let context_switch node ?(category = Cpu.cat_control_transfer) () =
+  Cpu.use (Node.cpu node) ~category (Node.costs node).Costs.context_switch

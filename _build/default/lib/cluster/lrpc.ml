@@ -1,0 +1,13 @@
+(* Same-machine, cross-address-space procedure call.
+
+   The paper's structure keeps control transfer local: clients talk to a
+   server clerk on their own machine through a lightweight RPC in the
+   style of LRPC [Bershad et al. 1990].  We model it as one CPU charge in
+   each direction around the callee's execution. *)
+
+let call node ?(category = Cpu.cat_client) f arg =
+  let half = (Node.costs node).Costs.lrpc_half in
+  Cpu.use (Node.cpu node) ~category half;
+  let result = f arg in
+  Cpu.use (Node.cpu node) ~category half;
+  result

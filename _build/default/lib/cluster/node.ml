@@ -1,0 +1,92 @@
+(* A cluster workstation: CPU, NIC, address spaces, and the inbound
+   protocol demultiplexer.
+
+   Protocols (remote memory, RPC) claim tag bytes; the node runs one
+   receive-dispatcher process that reads each frame's leading tag byte
+   and hands the frame to the owning protocol.  By convention a handler
+   performs only bounded, interrupt-level work inline (charging the CPU
+   as it goes) and spawns processes for anything longer, so the
+   dispatcher is never blocked behind a long service. *)
+
+type handler = src:Atm.Addr.t -> bytes -> unit
+
+type t = {
+  addr : Atm.Addr.t;
+  engine : Sim.Engine.t;
+  costs : Costs.t;
+  cpu : Cpu.t;
+  nic : Atm.Nic.t;
+  spaces : (int, Address_space.t) Hashtbl.t;
+  mutable next_asid : int;
+  handlers : (int, handler) Hashtbl.t;
+  prng : Sim.Prng.t;
+  mutable started : bool;
+  mutable down : bool;
+}
+
+let create engine ~costs ~nic ~prng =
+  {
+    addr = Atm.Nic.addr nic;
+    engine;
+    costs;
+    cpu = Cpu.create ~name:(Atm.Addr.to_string (Atm.Nic.addr nic)) ();
+    nic;
+    spaces = Hashtbl.create 8;
+    next_asid = 1;
+    handlers = Hashtbl.create 8;
+    prng;
+    started = false;
+    down = false;
+  }
+
+let addr t = t.addr
+let engine t = t.engine
+let costs t = t.costs
+let cpu t = t.cpu
+let nic t = t.nic
+let prng t = t.prng
+
+let spawn t body = Sim.Proc.spawn t.engine body
+
+let new_address_space t =
+  let asid = t.next_asid in
+  t.next_asid <- asid + 1;
+  let space = Address_space.create ~asid () in
+  Hashtbl.replace t.spaces asid space;
+  space
+
+let address_space t asid = Hashtbl.find_opt t.spaces asid
+
+let set_handler t ~tag handler =
+  if tag < 0 || tag > 255 then invalid_arg "Node.set_handler: tag out of range";
+  if Hashtbl.mem t.handlers tag then
+    invalid_arg "Node.set_handler: tag already claimed";
+  Hashtbl.replace t.handlers tag handler
+
+let transmit t ~dst payload = Atm.Nic.transmit t.nic ~dst payload
+
+let set_down t down = t.down <- down
+let is_down t = t.down
+
+let dispatch t frame =
+  let payload = Atm.Frame.payload frame in
+  if Bytes.length payload = 0 then failwith "Node.dispatch: empty frame";
+  let tag = Char.code (Bytes.get payload 0) in
+  match Hashtbl.find_opt t.handlers tag with
+  | Some handler -> handler ~src:(Atm.Frame.src frame) payload
+  | None ->
+      failwith
+        (Printf.sprintf "%s: no protocol handler for tag 0x%02x"
+           (Atm.Addr.to_string t.addr) tag)
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    spawn t (fun () ->
+        while true do
+          let frame = Atm.Nic.receive t.nic in
+          (* A crashed node absorbs frames without reacting; the paper's
+             failure-detection story is timeouts at the peers. *)
+          if not t.down then dispatch t frame
+        done)
+  end

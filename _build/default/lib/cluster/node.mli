@@ -1,0 +1,45 @@
+(** A cluster workstation: CPU, NIC, address spaces, and the inbound
+    protocol demultiplexer.
+
+    Protocols claim tag bytes (the first byte of every frame payload);
+    the node's receive-dispatcher process routes each inbound frame to
+    the owning protocol's handler. Handlers do bounded interrupt-level
+    work inline and spawn processes for longer service. *)
+
+type t
+
+type handler = src:Atm.Addr.t -> bytes -> unit
+
+val create :
+  Sim.Engine.t -> costs:Costs.t -> nic:Atm.Nic.t -> prng:Sim.Prng.t -> t
+
+val addr : t -> Atm.Addr.t
+val engine : t -> Sim.Engine.t
+val costs : t -> Costs.t
+val cpu : t -> Cpu.t
+val nic : t -> Atm.Nic.t
+val prng : t -> Sim.Prng.t
+
+val spawn : t -> (unit -> unit) -> unit
+(** Start a process on this node (scheduling only; does not consume CPU). *)
+
+val new_address_space : t -> Address_space.t
+val address_space : t -> int -> Address_space.t option
+
+val set_handler : t -> tag:int -> handler -> unit
+(** Claim a protocol tag byte. Raises [Invalid_argument] if already
+    claimed or out of [0..255]. *)
+
+val transmit : t -> dst:Atm.Addr.t -> bytes -> unit
+(** Hand a payload (whose first byte must be a claimed-by-someone tag on
+    the receiving side) to the NIC. *)
+
+val start : t -> unit
+(** Start the receive dispatcher. Idempotent. *)
+
+val set_down : t -> bool -> unit
+(** Crash (or revive) the node: while down, inbound frames are absorbed
+    without any reaction, so peers observe the failure only through
+    timeouts — the paper's failure-detection model. *)
+
+val is_down : t -> bool

@@ -1,0 +1,1 @@
+lib/core/crypto.ml: Atm Bytes Char Int64 Sim

@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Atm Format Generation Rights

@@ -1,0 +1,1 @@
+lib/core/descriptor.mli: Atm Format Generation Rights

@@ -1,0 +1,1 @@
+lib/core/generation.ml: Format Int

@@ -1,0 +1,1 @@
+lib/core/heartbeat.ml: Cluster Descriptor Int32 Remote_memory Segment Sim Status

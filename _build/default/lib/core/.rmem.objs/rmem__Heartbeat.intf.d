@@ -1,0 +1,1 @@
+lib/core/heartbeat.mli: Descriptor Remote_memory Segment Sim

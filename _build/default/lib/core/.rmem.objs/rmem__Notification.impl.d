@@ -1,0 +1,1 @@
+lib/core/notification.ml: Atm Cluster Queue Sim

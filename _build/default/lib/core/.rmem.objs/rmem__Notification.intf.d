@@ -1,0 +1,1 @@
+lib/core/notification.mli: Atm Cluster

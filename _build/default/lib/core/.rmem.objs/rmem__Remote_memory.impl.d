@@ -1,0 +1,1 @@
+lib/core/remote_memory.ml: Atm Bytes Cluster Crypto Descriptor Generation Hashtbl Int32 List Metrics Notification Option Rights Segment Sim Status Stdlib Wire

@@ -1,0 +1,1 @@
+lib/core/remote_memory.mli: Atm Cluster Crypto Descriptor Generation Metrics Notification Rights Segment Sim Status

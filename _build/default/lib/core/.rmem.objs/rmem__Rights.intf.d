@@ -1,0 +1,1 @@
+lib/core/rights.mli: Format

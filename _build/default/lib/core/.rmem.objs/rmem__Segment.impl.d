@@ -1,0 +1,1 @@
+lib/core/segment.ml: Atm Cluster Generation Hashtbl Notification Rights

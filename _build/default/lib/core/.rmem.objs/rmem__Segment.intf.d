@@ -1,0 +1,1 @@
+lib/core/segment.mli: Atm Cluster Generation Notification Rights

@@ -1,0 +1,1 @@
+lib/core/status.ml: Format Printexc Printf

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Atm Bytes Generation List Printf Status

@@ -1,0 +1,26 @@
+(** Imported segment descriptors: the importing kernel's handle on a
+    remote segment. Stale descriptors fail locally at the source. *)
+
+type t
+
+val create :
+  remote:Atm.Addr.t ->
+  segment_id:int ->
+  generation:Generation.t ->
+  size:int ->
+  rights:Rights.t ->
+  t
+
+val remote : t -> Atm.Addr.t
+val segment_id : t -> int
+val generation : t -> Generation.t
+val size : t -> int
+val rights : t -> Rights.t
+
+val is_stale : t -> bool
+val mark_stale : t -> unit
+
+val refresh : t -> generation:Generation.t -> unit
+(** Re-validate with a fresh generation (after a re-import). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* The control-transfer half of the model.
+
+   Data arrival never implicitly activates the destination process; when
+   a request does ask for notification (and the segment's policy allows
+   it), a record becomes readable on the segment's notification file
+   descriptor.  A process can block reading the descriptor ("select"/
+   "read" style) or install a signal handler for an upcall.  Delivery to
+   user level costs the measured 260 microseconds (Table 2). *)
+
+type kind = Write_arrived | Read_served | Cas_applied
+
+type record = { src : Atm.Addr.t; kind : kind; off : int; count : int }
+
+type t = {
+  node : Cluster.Node.t;
+  queue : record Queue.t;
+  waiters : (record -> unit) Queue.t;
+  mutable signal_handler : (record -> unit) option;
+  mutable posted : int;
+  mutable delivered : int;
+}
+
+let create node =
+  {
+    node;
+    queue = Queue.create ();
+    waiters = Queue.create ();
+    signal_handler = None;
+    posted = 0;
+    delivered = 0;
+  }
+
+let kind_to_string = function
+  | Write_arrived -> "write"
+  | Read_served -> "read"
+  | Cas_applied -> "cas"
+
+let post t record =
+  t.posted <- t.posted + 1;
+  (* Delivery runs as its own kernel activity on the destination node:
+     it charges the notification cost to "control transfer" and only
+     then lets user level see the record. *)
+  Cluster.Node.spawn t.node (fun () ->
+      Cluster.Cpu.use
+        (Cluster.Node.cpu t.node)
+        ~category:Cluster.Cpu.cat_control_transfer
+        (Cluster.Node.costs t.node).Cluster.Costs.notification;
+      t.delivered <- t.delivered + 1;
+      if not (Queue.is_empty t.waiters) then begin
+        let resume = Queue.pop t.waiters in
+        resume record
+      end
+      else
+        match t.signal_handler with
+        | Some handler -> handler record
+        | None -> Queue.push record t.queue)
+
+let wait t =
+  if not (Queue.is_empty t.queue) then Queue.pop t.queue
+  else Sim.Proc.suspend (fun resume -> Queue.push resume t.waiters)
+
+let try_read t =
+  if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+
+let set_signal_handler t handler = t.signal_handler <- handler
+
+let pending t = Queue.length t.queue
+let posted t = t.posted
+let delivered t = t.delivered

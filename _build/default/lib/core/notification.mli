@@ -1,0 +1,36 @@
+(** The control-transfer half of the model.
+
+    Data arrival never implicitly activates the destination process.
+    When a request asks for notification (and the segment's policy
+    allows), a record becomes readable on the segment's notification
+    file descriptor; a process may block reading it or install a signal
+    handler for an upcall. Delivery to user level costs the measured
+    260 us (Table 2), charged to the destination CPU as control
+    transfer. *)
+
+type kind = Write_arrived | Read_served | Cas_applied
+
+type record = { src : Atm.Addr.t; kind : kind; off : int; count : int }
+
+type t
+
+val create : Cluster.Node.t -> t
+
+val post : t -> record -> unit
+(** Called by the kernel emulation on request arrival. Non-blocking for
+    the caller; delivery happens as its own activity on the node's CPU. *)
+
+val wait : t -> record
+(** Block the current process until a record is deliverable
+    ("read" on the descriptor). *)
+
+val try_read : t -> record option
+(** Non-blocking poll ("select"). *)
+
+val set_signal_handler : t -> (record -> unit) option -> unit
+(** Install (or clear) an upcall run at delivery when no reader waits. *)
+
+val pending : t -> int
+val posted : t -> int
+val delivered : t -> int
+val kind_to_string : kind -> string

@@ -1,0 +1,650 @@
+(* The remote network memory facade: the paper's primary contribution.
+
+   One [t] per node plays both roles of the protocol: it issues
+   meta-instructions (WRITE / READ / CAS) against imported descriptors,
+   and it services incoming requests against locally exported segments.
+   All the kernel emulation costs of the paper's trap-and-emulate
+   implementation are charged here, against the owning node's CPU.
+
+   Data transfer carries no implicit control transfer: a remote WRITE
+   deposits bytes and returns; the destination process learns about it
+   only if the notify machinery is engaged (see {!Notification}). *)
+
+type buffer = { space : Cluster.Address_space.t; base : int; len : int }
+
+let buffer ~space ~base ~len =
+  if base < 0 || len <= 0 then invalid_arg "Remote_memory.buffer";
+  { space; base; len }
+
+type pending =
+  | Pending_read of {
+      buf : buffer;
+      doff : int;
+      count : int;
+      notify : bool;
+      mutable received : int;
+      completion : Status.t Sim.Ivar.t;
+    }
+  | Pending_cas of {
+      result : (buffer * int) option; (* deposit a success word here *)
+      notify : bool;
+      old_value : int32;
+      completion : (Status.t * int32) Sim.Ivar.t;
+    }
+
+type t = {
+  node : Cluster.Node.t;
+  mutable rx_request_category : string;
+  mutable tx_reply_category : string;
+  mutable client_category : string;
+  exported : (int, Segment.t) Hashtbl.t;
+  mutable next_segment_id : int;
+  mutable next_generation : Generation.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_reqid : int;
+  completion_fd : Notification.t;
+  ops : Metrics.Account.t;
+  data_bytes : Metrics.Account.t;
+  errors : Metrics.Account.t;
+  mutable delivery_probe : (Notification.kind -> count:int -> unit) option;
+  mutable crypto : Crypto.t option; (* link encryption, section 3.5 *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cost arithmetic.                                                    *)
+
+let costs t = Cluster.Node.costs t.node
+let cpu t = Cluster.Node.cpu t.node
+
+let words_per_data_cell = 12
+(* 8-byte header + 40 data bytes = 48 bytes = 12 words per cell. *)
+
+(* Formatting and copying [len] data bytes into the transmit FIFO:
+   per-cell setup plus twelve word accesses per cell (header included) —
+   the paper-faithful 40-data-bytes-per-cell arithmetic. *)
+let tx_data_cost c len =
+  let cells = Wire.data_cells len in
+  Sim.Time.add
+    (Sim.Time.scale c.Cluster.Costs.io_cell_overhead (float_of_int cells))
+    (Sim.Time.scale c.Cluster.Costs.io_word
+       (float_of_int (words_per_data_cell * cells)))
+
+(* Draining the same cells out of the receive FIFO: word copies only. *)
+let rx_data_cost c len =
+  let cells = Wire.data_cells len in
+  Sim.Time.scale c.Cluster.Costs.io_word
+    (float_of_int (words_per_data_cell * cells))
+
+let tx_ctrl_cost c payload_bytes = Cluster.Costs.cell_copy_cost c ~payload_bytes
+
+let rx_ctrl_cost c payload_bytes =
+  Sim.Time.scale c.Cluster.Costs.io_word
+    (float_of_int (Atm.Aal.words_of_len payload_bytes))
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+(* Tied after the handlers are defined; see the bottom of the file. *)
+let handle_message : (t -> src:Atm.Addr.t -> Wire.message -> unit) ref =
+  ref (fun _ ~src:_ _ -> assert false)
+
+let attach node =
+  let t =
+    {
+      node;
+      rx_request_category = Cluster.Cpu.cat_emulation;
+      tx_reply_category = Cluster.Cpu.cat_emulation;
+      client_category = Cluster.Cpu.cat_emulation;
+      exported = Hashtbl.create 16;
+      next_segment_id = 1;
+      next_generation = Generation.initial;
+      pending = Hashtbl.create 16;
+      next_reqid = 1;
+      completion_fd = Notification.create node;
+      ops = Metrics.Account.create ~name:"rmem ops" ();
+      data_bytes = Metrics.Account.create ~name:"rmem bytes" ();
+      errors = Metrics.Account.create ~name:"rmem errors" ();
+      delivery_probe = None;
+      crypto = None;
+    }
+  in
+  List.iter
+    (fun tag ->
+      Cluster.Node.set_handler node ~tag (fun ~src payload ->
+          !handle_message t ~src (Wire.decode payload)))
+    Wire.tags;
+  t
+
+let node t = t.node
+let completion_fd t = t.completion_fd
+let ops t = t.ops
+let data_bytes t = t.data_bytes
+let errors t = t.errors
+
+let set_categories t ?rx_request ?tx_reply ?client () =
+  Option.iter (fun c -> t.rx_request_category <- c) rx_request;
+  Option.iter (fun c -> t.tx_reply_category <- c) tx_reply;
+  Option.iter (fun c -> t.client_category <- c) client
+
+let set_server_role t =
+  (* Outgoing writes a server issues (e.g. Hybrid-1 result writes into a
+     clerk's reply segment) are its data-reply work too. *)
+  set_categories t ~rx_request:Cluster.Cpu.cat_data_reception
+    ~tx_reply:Cluster.Cpu.cat_data_reply ~client:Cluster.Cpu.cat_data_reply ()
+
+let set_delivery_probe t probe = t.delivery_probe <- probe
+
+let set_crypto t crypto = t.crypto <- crypto
+
+(* Apply link encryption on the way out / in, charging its cost. *)
+let crypto_out t data =
+  match t.crypto with
+  | None -> data
+  | Some crypto ->
+      Cluster.Cpu.use (cpu t) ~category:t.client_category
+        (Crypto.cost crypto ~bytes:(Bytes.length data));
+      Crypto.transform crypto data
+
+let crypto_in t ~category data =
+  match t.crypto with
+  | None -> data
+  | Some crypto ->
+      Cluster.Cpu.use (cpu t) ~category
+        (Crypto.cost crypto ~bytes:(Bytes.length data));
+      Crypto.transform crypto data
+
+(* ------------------------------------------------------------------ *)
+(* Segment export / revoke / import.                                   *)
+
+let alloc_segment_id t =
+  let rec probe attempts candidate =
+    if attempts > 256 then failwith "Remote_memory: out of segment ids"
+    else if Hashtbl.mem t.exported candidate then
+      probe (attempts + 1) ((candidate + 1) land 0xFF)
+    else candidate
+  in
+  let id = probe 0 (t.next_segment_id land 0xFF) in
+  t.next_segment_id <- (id + 1) land 0xFF;
+  id
+
+let export t ~space ~base ~len ?id ?(policy = Segment.Conditional)
+    ?(rights = Rights.read_only) ~name () =
+  let c = costs t in
+  let id =
+    match id with
+    | None -> alloc_segment_id t
+    | Some id ->
+        if Hashtbl.mem t.exported id then
+          invalid_arg "Remote_memory.export: id in use";
+        id
+  in
+  let generation = t.next_generation in
+  t.next_generation <- Generation.next generation;
+  let pages = Cluster.Address_space.pin space ~addr:base ~len in
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add c.Cluster.Costs.segment_export_kernel
+       (Sim.Time.scale c.Cluster.Costs.page_pin (float_of_int pages)));
+  let notification = Notification.create t.node in
+  let segment =
+    Segment.create ~id ~name ~space ~base ~len ~generation
+      ~default_rights:rights ~notification ~policy
+  in
+  Hashtbl.replace t.exported id segment;
+  Metrics.Account.add t.ops ~category:"export" 1.;
+  segment
+
+let revoke t segment =
+  let c = costs t in
+  Segment.mark_revoked segment;
+  Hashtbl.remove t.exported (Segment.id segment);
+  Cluster.Address_space.unpin (Segment.space segment)
+    ~addr:(Segment.base segment) ~len:(Segment.length segment);
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    c.Cluster.Costs.segment_revoke_kernel;
+  Metrics.Account.add t.ops ~category:"revoke" 1.
+
+let lookup_export t id = Hashtbl.find_opt t.exported id
+
+let import t ~remote ~segment_id ~generation ~size
+    ?(rights = Rights.read_only) () =
+  let c = costs t in
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    c.Cluster.Costs.kernel_table_install;
+  Metrics.Account.add t.ops ~category:"import" 1.;
+  Descriptor.create ~remote ~segment_id ~generation ~size ~rights
+
+let buffer_of_segment segment =
+  {
+    space = Segment.space segment;
+    base = Segment.base segment;
+    len = Segment.length segment;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Local (issue-side) validation.                                      *)
+
+let check_local desc op ~off ~count =
+  if Descriptor.is_stale desc then
+    raise (Status.Remote_error Status.Stale_generation);
+  if not (Rights.allows (Descriptor.rights desc) op) then
+    raise (Status.Remote_error Status.Protection);
+  if off < 0 || count < 0 || off + count > Descriptor.size desc then
+    raise (Status.Remote_error Status.Bounds)
+
+let alloc_reqid t =
+  let rec probe attempts candidate =
+    if attempts > 0x10000 then failwith "Remote_memory: out of request ids"
+    else
+      let candidate = if candidate = 0 then 1 else candidate in
+      if Hashtbl.mem t.pending candidate then
+        probe (attempts + 1) ((candidate + 1) land 0xFFFF)
+      else candidate
+  in
+  let id = probe 0 (t.next_reqid land 0xFFFF) in
+  t.next_reqid <- (id + 1) land 0xFFFF;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Meta-instructions: issue side.                                      *)
+
+let burst_data_bytes c = c.Cluster.Costs.burst_cells * Wire.data_bytes_per_cell
+
+let write t desc ~off ?(notify = false) ?(swab = false) data =
+  let c = costs t in
+  let count = Bytes.length data in
+  check_local desc Rights.Write_op ~off ~count;
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check);
+  Metrics.Account.add t.ops ~category:"write" 1.;
+  Metrics.Account.add t.data_bytes ~category:"write" (float_of_int count);
+  let burst = burst_data_bytes c in
+  let dst = Descriptor.remote desc in
+  let seg = Descriptor.segment_id desc in
+  let gen = Descriptor.generation desc in
+  let send_chunk ~off ~notify chunk =
+    Cluster.Cpu.use (cpu t) ~category:t.client_category
+      (tx_data_cost c (Bytes.length chunk));
+    let chunk = crypto_out t chunk in
+    Cluster.Node.transmit t.node ~dst
+      (Wire.encode (Wire.Write { seg; gen; off; notify; swab; data = chunk }))
+  in
+  if count = 0 then
+    (* A zero-length write still sends its header cell — useful as a
+       doorbell when combined with the notify bit. *)
+    send_chunk ~off ~notify Bytes.empty
+  else begin
+    let rec send pos =
+      if pos < count then begin
+        let chunk_len = Stdlib.min burst (count - pos) in
+        let last = pos + chunk_len >= count in
+        send_chunk ~off:(off + pos) ~notify:(notify && last)
+          (Bytes.sub data pos chunk_len);
+        send (pos + chunk_len)
+      end
+    in
+    send 0
+  end
+
+let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
+    ?(swab = false) () =
+  let c = costs t in
+  check_local desc Rights.Read_op ~off:soff ~count;
+  if doff < 0 || doff + count > dst.len then
+    raise (Status.Remote_error Status.Bounds);
+  let completion = Sim.Ivar.create () in
+  let reqid = alloc_reqid t in
+  Hashtbl.replace t.pending reqid
+    (Pending_read { buf = dst; doff; count; notify; received = 0; completion });
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
+       (tx_ctrl_cost c 14));
+  Metrics.Account.add t.ops ~category:"read" 1.;
+  Metrics.Account.add t.data_bytes ~category:"read" (float_of_int count);
+  Cluster.Node.transmit t.node ~dst:(Descriptor.remote desc)
+    (Wire.encode
+       (Wire.Read
+          {
+            seg = Descriptor.segment_id desc;
+            gen = Descriptor.generation desc;
+            soff;
+            count;
+            reqid;
+            notify;
+            swab;
+          }));
+  (reqid, completion)
+
+let read t desc ~soff ~count ~dst ~doff ?notify ?swab () =
+  snd (read_async t desc ~soff ~count ~dst ~doff ?notify ?swab ())
+
+let read_wait ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
+  let reqid, completion =
+    read_async t desc ~soff ~count ~dst ~doff ?notify ?swab ()
+  in
+  (match timeout with
+  | None -> ()
+  | Some span ->
+      Sim.Proc.spawn (Cluster.Node.engine t.node) (fun () ->
+          Sim.Proc.wait span;
+          if not (Sim.Ivar.is_full completion) then begin
+            Hashtbl.remove t.pending reqid;
+            Metrics.Account.add t.errors ~category:"timeout" 1.;
+            Sim.Ivar.fill completion Status.Timed_out
+          end));
+  Status.check (Sim.Ivar.read completion)
+
+let cas_async t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
+  let c = costs t in
+  check_local desc Rights.Cas_op ~off:doff ~count:4;
+  (match result with
+  | Some (buf, off) ->
+      if off < 0 || off + 4 > buf.len then
+        raise (Status.Remote_error Status.Bounds)
+  | None -> ());
+  let completion = Sim.Ivar.create () in
+  let reqid = alloc_reqid t in
+  Hashtbl.replace t.pending reqid
+    (Pending_cas { result; notify; old_value; completion });
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
+       (tx_ctrl_cost c 18));
+  Metrics.Account.add t.ops ~category:"cas" 1.;
+  Cluster.Node.transmit t.node ~dst:(Descriptor.remote desc)
+    (Wire.encode
+       (Wire.Cas
+          {
+            seg = Descriptor.segment_id desc;
+            gen = Descriptor.generation desc;
+            doff;
+            old_value;
+            new_value;
+            reqid;
+            notify;
+          }));
+  completion
+
+(* Writes are unacknowledged; links are FIFO.  A fence is therefore one
+   minimal read round trip: when it returns, every WRITE this node
+   previously issued toward the same segment has been deposited. *)
+let fence ?timeout t desc =
+  let space = Cluster.Node.new_address_space t.node in
+  let dst = buffer ~space ~base:0 ~len:4 in
+  read_wait ?timeout t desc ~soff:0 ~count:4 ~dst ~doff:0 ()
+
+let cas_wait ?timeout t desc ~doff ~old_value ~new_value ?result ?notify () =
+  let completion =
+    cas_async t desc ~doff ~old_value ~new_value ?result ?notify ()
+  in
+  (match timeout with
+  | None -> ()
+  | Some span ->
+      Sim.Proc.spawn (Cluster.Node.engine t.node) (fun () ->
+          Sim.Proc.wait span;
+          if not (Sim.Ivar.is_full completion) then begin
+            Metrics.Account.add t.errors ~category:"timeout" 1.;
+            Sim.Ivar.fill completion (Status.Timed_out, 0l)
+          end));
+  let status, witness = Sim.Ivar.read completion in
+  Status.check status;
+  (Int32.equal witness old_value, witness)
+
+(* ------------------------------------------------------------------ *)
+(* Service side: incoming requests.                                    *)
+
+let record_error t status =
+  Metrics.Account.add t.errors ~category:(Status.to_string status) 1.
+
+let validate_segment t ~src ~seg ~gen ~off ~count op =
+  match Hashtbl.find_opt t.exported seg with
+  | None -> Error Status.Bad_segment
+  | Some segment ->
+      if Segment.is_revoked segment then Error Status.Bad_segment
+      else if not (Generation.equal gen (Segment.generation segment)) then
+        Error Status.Stale_generation
+      else if not (Rights.allows (Segment.rights_for segment ~importer:src) op)
+      then Error Status.Protection
+      else if not (Segment.contains segment ~off ~count) then
+        Error Status.Bounds
+      else if
+        not
+          (Cluster.Address_space.is_pinned (Segment.space segment)
+             ~addr:(Segment.base segment + off)
+             ~len:(Stdlib.max 1 count))
+      then Error Status.Unpinned
+      else Ok segment
+
+let handle_write t ~src (w : Wire.write_req) =
+  let c = costs t in
+  let count = Bytes.length w.data in
+  Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_data_cost c count))
+       c.Cluster.Costs.vm_deliver);
+  match
+    validate_segment t ~src ~seg:w.seg ~gen:w.gen ~off:w.off ~count
+      Rights.Write_op
+  with
+  | Error status -> record_error t status
+  | Ok segment ->
+      if Segment.write_inhibited segment then
+        record_error t Status.Write_inhibited
+      else begin
+        let data = crypto_in t ~category:t.rx_request_category w.data in
+        let data = if w.swab then Wire.swap_words data else data in
+        Cluster.Address_space.write (Segment.space segment)
+          ~addr:(Segment.base segment + w.off)
+          data;
+        Metrics.Account.add t.data_bytes ~category:"write served"
+          (float_of_int count);
+        (match t.delivery_probe with
+        | Some probe -> probe Notification.Write_arrived ~count
+        | None -> ());
+        if Segment.should_notify segment ~requested:w.notify then
+          Notification.post
+            (Segment.notification segment)
+            {
+              Notification.src;
+              kind = Notification.Write_arrived;
+              off = w.off;
+              count;
+            }
+      end
+
+let handle_read t ~src (r : Wire.read_req) =
+  let c = costs t in
+  Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 14))
+       c.Cluster.Costs.descriptor_check);
+  let reply message =
+    Cluster.Node.transmit t.node ~dst:src (Wire.encode message)
+  in
+  match
+    validate_segment t ~src ~seg:r.seg ~gen:r.gen ~off:r.soff ~count:r.count
+      Rights.Read_op
+  with
+  | Error status ->
+      record_error t status;
+      Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 8);
+      reply
+        (Wire.Read_reply
+           {
+             status;
+             reqid = r.reqid;
+             chunk_off = 0;
+             swab = r.swab;
+             data = Bytes.empty;
+           })
+  | Ok segment ->
+      Metrics.Account.add t.data_bytes ~category:"read served"
+        (float_of_int r.count);
+      (if Segment.should_notify segment ~requested:false then
+         (* An Always-notify segment also reports served reads. *)
+         Notification.post
+           (Segment.notification segment)
+           {
+             Notification.src;
+             kind = Notification.Read_served;
+             off = r.soff;
+             count = r.count;
+           });
+      let burst = burst_data_bytes c in
+      let send_chunk ~pos ~chunk_len =
+        let data =
+          Cluster.Address_space.read (Segment.space segment)
+            ~addr:(Segment.base segment + r.soff + pos)
+            ~len:chunk_len
+        in
+        Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category
+          (Sim.Time.add c.Cluster.Costs.vm_read (tx_data_cost c chunk_len));
+        let data =
+          match t.crypto with
+          | None -> data
+          | Some crypto ->
+              Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category
+                (Crypto.cost crypto ~bytes:chunk_len);
+              Crypto.transform crypto data
+        in
+        reply
+          (Wire.Read_reply
+             {
+               status = Status.Ok;
+               reqid = r.reqid;
+               chunk_off = pos;
+               swab = r.swab;
+               data;
+             })
+      in
+      if r.count = 0 then send_chunk ~pos:0 ~chunk_len:0
+      else begin
+        let rec send pos =
+          if pos < r.count then begin
+            let chunk_len = Stdlib.min burst (r.count - pos) in
+            send_chunk ~pos ~chunk_len;
+            send (pos + chunk_len)
+          end
+        in
+        send 0
+      end
+
+let handle_cas t ~src (r : Wire.cas_req) =
+  let c = costs t in
+  Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 18))
+       (Sim.Time.add c.Cluster.Costs.descriptor_check
+          c.Cluster.Costs.cas_execute));
+  let status, witness =
+    match
+      validate_segment t ~src ~seg:r.seg ~gen:r.gen ~off:r.doff ~count:4
+        Rights.Cas_op
+    with
+    | Error status ->
+        record_error t status;
+        (status, 0l)
+    | Ok segment ->
+        let addr = Segment.base segment + r.doff in
+        let witness =
+          Cluster.Address_space.read_word (Segment.space segment) ~addr
+        in
+        let (_ : bool) =
+          Cluster.Address_space.cas_word (Segment.space segment) ~addr
+            ~old_value:r.old_value ~new_value:r.new_value
+        in
+        (if Segment.should_notify segment ~requested:r.notify then
+           Notification.post
+             (Segment.notification segment)
+             {
+               Notification.src;
+               kind = Notification.Cas_applied;
+               off = r.doff;
+               count = 4;
+             });
+        (Status.Ok, witness)
+  in
+  Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 8);
+  Cluster.Node.transmit t.node ~dst:src
+    (Wire.encode (Wire.Cas_reply { status; reqid = r.reqid; witness }))
+
+(* ------------------------------------------------------------------ *)
+(* Reply handling at the requester.                                    *)
+
+let handle_read_reply t ~src (r : Wire.read_reply) =
+  let c = costs t in
+  let count = Bytes.length r.data in
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_data_cost c count))
+       (Sim.Time.add c.Cluster.Costs.reply_match c.Cluster.Costs.vm_deliver));
+  match Hashtbl.find_opt t.pending r.reqid with
+  | None -> () (* late reply after a timeout: dropped *)
+  | Some (Pending_cas _) -> record_error t Status.Bad_segment
+  | Some (Pending_read p) ->
+      if r.status <> Status.Ok then begin
+        Hashtbl.remove t.pending r.reqid;
+        record_error t r.status;
+        Sim.Ivar.fill p.completion r.status
+      end
+      else begin
+        let data = crypto_in t ~category:t.client_category r.data in
+        let data = if r.swab then Wire.swap_words data else data in
+        Cluster.Address_space.write p.buf.space
+          ~addr:(p.buf.base + p.doff + r.chunk_off)
+          data;
+        p.received <- p.received + count;
+        if p.received >= p.count then begin
+          Hashtbl.remove t.pending r.reqid;
+          if p.notify then
+            Notification.post t.completion_fd
+              {
+                Notification.src;
+                kind = Notification.Read_served;
+                off = p.doff;
+                count = p.count;
+              };
+          Sim.Ivar.fill p.completion Status.Ok
+        end
+      end
+
+let handle_cas_reply t ~src (r : Wire.cas_reply) =
+  let c = costs t in
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 8))
+       c.Cluster.Costs.reply_match);
+  match Hashtbl.find_opt t.pending r.reqid with
+  | None -> ()
+  | Some (Pending_read _) -> record_error t Status.Bad_segment
+  | Some (Pending_cas p) ->
+      Hashtbl.remove t.pending r.reqid;
+      if r.status <> Status.Ok then record_error t r.status;
+      (match p.result with
+      | Some (buf, off) when r.status = Status.Ok ->
+          (* Deposit the paper's success/failure word locally. *)
+          Cluster.Cpu.use (cpu t) ~category:t.client_category
+            c.Cluster.Costs.vm_deliver;
+          let success = Int32.equal r.witness p.old_value in
+          Cluster.Address_space.write_word buf.space ~addr:(buf.base + off)
+            (if success then 1l else 0l)
+      | Some _ | None -> ());
+      if p.notify then
+        Notification.post t.completion_fd
+          {
+            Notification.src;
+            kind = Notification.Cas_applied;
+            off = 0;
+            count = 4;
+          };
+      Sim.Ivar.fill p.completion (r.status, r.witness)
+
+let () =
+  handle_message :=
+    fun t ~src message ->
+      match message with
+      | Wire.Write w -> handle_write t ~src w
+      | Wire.Read r -> handle_read t ~src r
+      | Wire.Cas r -> handle_cas t ~src r
+      | Wire.Read_reply r -> handle_read_reply t ~src r
+      | Wire.Cas_reply r -> handle_cas_reply t ~src r

@@ -1,0 +1,177 @@
+(** The remote network memory model — the paper's primary contribution.
+
+    One value of type {!t} per node plays both protocol roles: it issues
+    the WRITE / READ / CAS meta-instructions against imported
+    descriptors, and it services incoming requests against locally
+    exported segments, charging all trap-and-emulate kernel costs to the
+    owning node's CPU.
+
+    Data transfer carries no implicit control transfer: a remote WRITE
+    deposits bytes and returns; the destination learns of it only
+    through the optional notification machinery. *)
+
+type t
+
+val attach : Cluster.Node.t -> t
+(** Install the remote-memory kernel emulation on a node (claims the
+    protocol's frame tags). One call per node. *)
+
+val node : t -> Cluster.Node.t
+
+(** {1 Local buffers} *)
+
+type buffer
+(** A region of a local address space usable as a READ destination or a
+    CAS result slot. *)
+
+val buffer : space:Cluster.Address_space.t -> base:int -> len:int -> buffer
+val buffer_of_segment : Segment.t -> buffer
+
+(** {1 Export / import} *)
+
+val export :
+  t ->
+  space:Cluster.Address_space.t ->
+  base:int ->
+  len:int ->
+  ?id:int ->
+  ?policy:Segment.notify_policy ->
+  ?rights:Rights.t ->
+  name:string ->
+  unit ->
+  Segment.t
+(** Export a memory range: pins its pages, assigns the node's next
+    generation number, and makes it remotely accessible under a fresh
+    (or caller-chosen well-known) segment id with the given default
+    rights. Charges the kernel export path. *)
+
+val revoke : t -> Segment.t -> unit
+(** Make a segment unavailable; in-flight requests fail with
+    [Bad_segment] or [Stale_generation]. Unpins its pages. *)
+
+val lookup_export : t -> int -> Segment.t option
+
+val import :
+  t ->
+  remote:Atm.Addr.t ->
+  segment_id:int ->
+  generation:Generation.t ->
+  size:int ->
+  ?rights:Rights.t ->
+  unit ->
+  Descriptor.t
+(** Install a descriptor for a remote segment in the kernel table
+    (the information normally comes from the name service). *)
+
+(** {1 Meta-instructions}
+
+    All three check the descriptor locally first (staleness, rights,
+    bounds) and raise {!Status.Remote_error} on failure, mirroring the
+    paper's local failure of operations on stale segments. *)
+
+val write :
+  t -> Descriptor.t -> off:int -> ?notify:bool -> ?swab:bool -> bytes -> unit
+(** Non-blocking remote write. Returns once the data is accepted by the
+    network (all sender-side CPU work done); delivery is not
+    acknowledged. Large writes are segmented into bursts; [notify]
+    applies to the final cell group. [swab] sets the §3.6 heterogeneity
+    bit: the receiving side byte-swaps the data words during the FIFO
+    copy. *)
+
+val read :
+  t ->
+  Descriptor.t ->
+  soff:int ->
+  count:int ->
+  dst:buffer ->
+  doff:int ->
+  ?notify:bool ->
+  ?swab:bool ->
+  unit ->
+  Status.t Sim.Ivar.t
+(** Non-blocking remote read: data is deposited into [dst] as reply
+    bursts arrive; the returned ivar fills with the final status. With
+    [notify], completion also posts on {!completion_fd}. With [swab],
+    the reply data words are byte-swapped before deposit. *)
+
+val read_wait :
+  ?timeout:Sim.Time.t ->
+  t ->
+  Descriptor.t ->
+  soff:int ->
+  count:int ->
+  dst:buffer ->
+  doff:int ->
+  ?notify:bool ->
+  ?swab:bool ->
+  unit ->
+  unit
+(** Blocking wrapper: raises {!Status.Remote_error} on failure and
+    {!Status.Timeout} if [timeout] passes first (late replies are then
+    dropped). *)
+
+val fence : ?timeout:Sim.Time.t -> t -> Descriptor.t -> unit
+(** Block until every WRITE this node previously issued against the
+    descriptor's segment has been deposited: one minimal read round
+    trip, sound because links deliver in FIFO order. Raises like
+    {!read_wait}. *)
+
+val cas_async :
+  t ->
+  Descriptor.t ->
+  doff:int ->
+  old_value:int32 ->
+  new_value:int32 ->
+  ?result:buffer * int ->
+  ?notify:bool ->
+  unit ->
+  (Status.t * int32) Sim.Ivar.t
+(** Remote compare-and-swap; the ivar fills with (status, witness).
+    When [result] is given, a success/failure word is deposited there,
+    as in the paper's CAS signature. *)
+
+val cas_wait :
+  ?timeout:Sim.Time.t ->
+  t ->
+  Descriptor.t ->
+  doff:int ->
+  old_value:int32 ->
+  new_value:int32 ->
+  ?result:buffer * int ->
+  ?notify:bool ->
+  unit ->
+  bool * int32
+(** Blocking wrapper: returns (succeeded, witness). *)
+
+(** {1 Notification and roles} *)
+
+val completion_fd : t -> Notification.t
+(** Where READ/CAS completions with the notify bit are posted on the
+    requesting node. (WRITE notifications post on the destination
+    segment's own descriptor.) *)
+
+val set_categories :
+  t -> ?rx_request:string -> ?tx_reply:string -> ?client:string -> unit -> unit
+(** Rebind the CPU-accounting categories used by the emulation. *)
+
+val set_server_role : t -> unit
+(** Account request service as "data reception" and replies as
+    "data reply" — the Figure 3 breakdown for a server node. *)
+
+val set_crypto : t -> Crypto.t option -> unit
+(** Enable link encryption (§3.5): data payloads are transformed and the
+    per-word cost charged on both send and receive. Both endpoints must
+    enable the same key, or receivers observe ciphertext — exactly the
+    property encryption is for. *)
+
+val set_delivery_probe :
+  t -> (Notification.kind -> count:int -> unit) option -> unit
+(** Instrumentation hook invoked at the instant an inbound write's data
+    has been deposited (before any notification cost). Used by the
+    calibration experiments to time one-way delivery. *)
+
+(** {1 Statistics} *)
+
+val ops : t -> Metrics.Account.t
+val data_bytes : t -> Metrics.Account.t
+val errors : t -> Metrics.Account.t

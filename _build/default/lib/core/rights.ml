@@ -1,0 +1,37 @@
+(* Access rights on a remote memory segment. *)
+
+type t = { read : bool; write : bool; cas : bool }
+
+type op = Read_op | Write_op | Cas_op
+
+let all = { read = true; write = true; cas = true }
+let read_only = { read = true; write = false; cas = false }
+let write_only = { read = false; write = true; cas = false }
+let none = { read = false; write = false; cas = false }
+
+let make ?(read = false) ?(write = false) ?(cas = false) () =
+  { read; write; cas }
+
+let allows t = function
+  | Read_op -> t.read
+  | Write_op -> t.write
+  | Cas_op -> t.cas
+
+let union a b =
+  { read = a.read || b.read; write = a.write || b.write; cas = a.cas || b.cas }
+
+let equal a b = a.read = b.read && a.write = b.write && a.cas = b.cas
+
+let to_code t =
+  (if t.read then 1 else 0)
+  lor (if t.write then 2 else 0)
+  lor (if t.cas then 4 else 0)
+
+let of_code c =
+  { read = c land 1 <> 0; write = c land 2 <> 0; cas = c land 4 <> 0 }
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c"
+    (if t.read then 'r' else '-')
+    (if t.write then 'w' else '-')
+    (if t.cas then 'c' else '-')

@@ -1,0 +1,23 @@
+(** Access rights on a remote memory segment.
+
+    Exporters grant and revoke these selectively per importing node. *)
+
+type t = { read : bool; write : bool; cas : bool }
+
+type op = Read_op | Write_op | Cas_op
+
+val all : t
+val read_only : t
+val write_only : t
+val none : t
+val make : ?read:bool -> ?write:bool -> ?cas:bool -> unit -> t
+
+val allows : t -> op -> bool
+val union : t -> t -> t
+val equal : t -> t -> bool
+
+val to_code : t -> int
+(** 3-bit wire encoding. *)
+
+val of_code : int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+(* Wire format of the remote-memory protocol.
+
+   Every frame starts with a tag byte that both identifies the operation
+   and carries the notify bit (so the demultiplexer and the paper's
+   "8-byte header, 40 data bytes per cell" arithmetic line up):
+
+     tag = 0x10 | (op << 1) | notify
+
+   A WRITE frame is exactly [8-byte header][data]: tag, segment id,
+   export generation and offset, with the byte count implicit in the
+   frame length.  One cell therefore carries 40 data bytes, matching the
+   paper.  Block transfers are sequences of such frames in bursts. *)
+
+type write_req = {
+  seg : int;
+  gen : Generation.t;
+  off : int;
+  notify : bool;
+  swab : bool;
+  data : bytes;
+}
+
+type read_req = {
+  seg : int;
+  gen : Generation.t;
+  soff : int;
+  count : int;
+  reqid : int;
+  notify : bool;
+  swab : bool;
+}
+
+type read_reply = {
+  status : Status.t;
+  reqid : int;
+  chunk_off : int;
+  swab : bool;
+  data : bytes;
+}
+
+type cas_req = {
+  seg : int;
+  gen : Generation.t;
+  doff : int;
+  old_value : int32;
+  new_value : int32;
+  reqid : int;
+  notify : bool;
+}
+
+type cas_reply = { status : Status.t; reqid : int; witness : int32 }
+
+type message =
+  | Write of write_req
+  | Read of read_req
+  | Read_reply of read_reply
+  | Cas of cas_req
+  | Cas_reply of cas_reply
+
+let tag_base = 0x10
+let tag_base_swab = 0x30
+(* The second tag range is the paper's §3.6 heterogeneity hook: "this
+   scheme requires a bit in each incoming request to decide whether to
+   swap or not".  Requests in the 0x30 range ask the receiving side to
+   byte-swap the data words during the FIFO copy. *)
+
+let op_write = 1
+let op_read = 2
+let op_read_reply = 3
+let op_cas = 4
+let op_cas_reply = 5
+
+let tag ~op ~notify ~swab =
+  (if swab then tag_base_swab else tag_base)
+  lor (op lsl 1)
+  lor (if notify then 1 else 0)
+
+let tags =
+  List.init 16 (fun i -> tag_base lor i)
+  @ List.init 16 (fun i -> tag_base_swab lor i)
+
+(* Swap the byte order of each aligned 32-bit word; a trailing partial
+   word is left alone (word-structured data is the point of the bit). *)
+let swap_words data =
+  let out = Bytes.copy data in
+  let words = Bytes.length data / 4 in
+  for w = 0 to words - 1 do
+    let base = w * 4 in
+    for b = 0 to 3 do
+      Bytes.set out (base + b) (Bytes.get data (base + 3 - b))
+    done
+  done;
+  out
+
+let header_bytes = 8
+let data_bytes_per_cell = Atm.Aal.cell_payload_bytes - header_bytes (* 40 *)
+
+let data_cells len =
+  if len <= 0 then 1
+  else (len + data_bytes_per_cell - 1) / data_bytes_per_cell
+
+let encode message =
+  let w = Atm.Codec.writer ~capacity:64 () in
+  (match message with
+  | Write { seg; gen; off; notify; swab; data } ->
+      Atm.Codec.put_u8 w (tag ~op:op_write ~notify ~swab);
+      Atm.Codec.put_u8 w seg;
+      Atm.Codec.put_u16 w (Generation.to_int gen);
+      Atm.Codec.put_u32 w off;
+      Atm.Codec.put_bytes w data
+  | Read { seg; gen; soff; count; reqid; notify; swab } ->
+      Atm.Codec.put_u8 w (tag ~op:op_read ~notify ~swab);
+      Atm.Codec.put_u8 w seg;
+      Atm.Codec.put_u16 w (Generation.to_int gen);
+      Atm.Codec.put_u32 w soff;
+      Atm.Codec.put_u32 w count;
+      Atm.Codec.put_u16 w reqid
+  | Read_reply { status; reqid; chunk_off; swab; data } ->
+      Atm.Codec.put_u8 w (tag ~op:op_read_reply ~notify:false ~swab);
+      Atm.Codec.put_u8 w (Status.to_code status);
+      Atm.Codec.put_u16 w reqid;
+      Atm.Codec.put_u32 w chunk_off;
+      Atm.Codec.put_bytes w data
+  | Cas { seg; gen; doff; old_value; new_value; reqid; notify } ->
+      Atm.Codec.put_u8 w (tag ~op:op_cas ~notify ~swab:false);
+      Atm.Codec.put_u8 w seg;
+      Atm.Codec.put_u16 w (Generation.to_int gen);
+      Atm.Codec.put_u32 w doff;
+      Atm.Codec.put_i32 w old_value;
+      Atm.Codec.put_i32 w new_value;
+      Atm.Codec.put_u16 w reqid
+  | Cas_reply { status; reqid; witness } ->
+      Atm.Codec.put_u8 w (tag ~op:op_cas_reply ~notify:false ~swab:false);
+      Atm.Codec.put_u8 w (Status.to_code status);
+      Atm.Codec.put_u16 w reqid;
+      Atm.Codec.put_i32 w witness);
+  Atm.Codec.contents w
+
+exception Bad_message of string
+
+let decode payload =
+  let r = Atm.Codec.reader payload in
+  let tag = Atm.Codec.get_u8 r in
+  if tag land 0xF0 <> tag_base && tag land 0xF0 <> tag_base_swab then
+    raise (Bad_message (Printf.sprintf "tag 0x%02x" tag));
+  let swab = tag land 0xF0 = tag_base_swab in
+  let op = (tag lsr 1) land 0x7 in
+  let notify = tag land 1 = 1 in
+  if op = op_write then
+    let seg = Atm.Codec.get_u8 r in
+    let gen = Generation.of_int (Atm.Codec.get_u16 r) in
+    let off = Atm.Codec.get_u32 r in
+    Write { seg; gen; off; notify; swab; data = Atm.Codec.rest r }
+  else if op = op_read then
+    let seg = Atm.Codec.get_u8 r in
+    let gen = Generation.of_int (Atm.Codec.get_u16 r) in
+    let soff = Atm.Codec.get_u32 r in
+    let count = Atm.Codec.get_u32 r in
+    let reqid = Atm.Codec.get_u16 r in
+    Read { seg; gen; soff; count; reqid; notify; swab }
+  else if op = op_read_reply then
+    let status = Status.of_code (Atm.Codec.get_u8 r) in
+    let reqid = Atm.Codec.get_u16 r in
+    let chunk_off = Atm.Codec.get_u32 r in
+    Read_reply { status; reqid; chunk_off; swab; data = Atm.Codec.rest r }
+  else if op = op_cas then
+    let seg = Atm.Codec.get_u8 r in
+    let gen = Generation.of_int (Atm.Codec.get_u16 r) in
+    let doff = Atm.Codec.get_u32 r in
+    let old_value = Atm.Codec.get_i32 r in
+    let new_value = Atm.Codec.get_i32 r in
+    let reqid = Atm.Codec.get_u16 r in
+    Cas { seg; gen; doff; old_value; new_value; reqid; notify }
+  else if op = op_cas_reply then
+    let status = Status.of_code (Atm.Codec.get_u8 r) in
+    let reqid = Atm.Codec.get_u16 r in
+    let witness = Atm.Codec.get_i32 r in
+    Cas_reply { status; reqid; witness }
+  else raise (Bad_message (Printf.sprintf "op %d" op))

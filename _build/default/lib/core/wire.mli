@@ -1,0 +1,74 @@
+(** Wire format of the remote-memory protocol.
+
+    Every frame begins with a tag byte encoding the operation and the
+    notify bit. A WRITE frame is exactly an 8-byte header followed by
+    data, so one ATM cell carries 40 data bytes — the paper's figure. *)
+
+type write_req = {
+  seg : int;
+  gen : Generation.t;
+  off : int;
+  notify : bool;
+  swab : bool;  (** byte-swap the data words at the receiver (§3.6) *)
+  data : bytes;
+}
+
+type read_req = {
+  seg : int;
+  gen : Generation.t;
+  soff : int;
+  count : int;
+  reqid : int;
+  notify : bool;
+  swab : bool;
+}
+
+type read_reply = {
+  status : Status.t;
+  reqid : int;
+  chunk_off : int;
+  swab : bool;
+  data : bytes;
+}
+
+type cas_req = {
+  seg : int;
+  gen : Generation.t;
+  doff : int;
+  old_value : int32;
+  new_value : int32;
+  reqid : int;
+  notify : bool;
+}
+
+type cas_reply = { status : Status.t; reqid : int; witness : int32 }
+
+type message =
+  | Write of write_req
+  | Read of read_req
+  | Read_reply of read_reply
+  | Cas of cas_req
+  | Cas_reply of cas_reply
+
+exception Bad_message of string
+
+val tags : int list
+(** All protocol tag bytes to claim from the node demultiplexer. *)
+
+val header_bytes : int
+(** 8 — the request header carried in every cell group. *)
+
+val data_bytes_per_cell : int
+(** 40 — data bytes alongside the header in one 48-byte cell payload. *)
+
+val data_cells : int -> int
+(** Cells needed to carry [len] data bytes at 40 per cell (min 1). *)
+
+val encode : message -> bytes
+val decode : bytes -> message
+(** Raises {!Bad_message} or [Atm.Codec.Truncated] on malformed input. *)
+
+val swap_words : bytes -> bytes
+(** Byte-swap each aligned 32-bit word (a trailing partial word is left
+    alone) — the §3.6 heterogeneity conversion, applied by the receiving
+    side when a request's swab bit is set. *)

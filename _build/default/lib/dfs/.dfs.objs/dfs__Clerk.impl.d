@@ -1,0 +1,1 @@
+lib/dfs/clerk.ml: Atm Buffer Bytes Cluster File_store Int32 Layout Metrics Names Nfs_ops Option Rmem Rpc_codec Rpckit Sim Slot_cache Stdlib

@@ -1,0 +1,1 @@
+lib/dfs/clerk.mli: Atm Cluster Metrics Names Nfs_ops Rpckit

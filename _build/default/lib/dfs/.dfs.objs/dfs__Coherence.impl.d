@@ -1,0 +1,1 @@
+lib/dfs/coherence.ml: Atm Bytes Cluster Hashtbl Int32 Names Printf Rmem Rpckit Sim

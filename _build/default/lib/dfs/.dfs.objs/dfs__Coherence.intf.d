@@ -1,0 +1,1 @@
+lib/dfs/coherence.mli: Atm Names Rpckit Sim

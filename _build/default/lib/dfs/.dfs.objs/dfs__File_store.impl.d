@@ -1,0 +1,1 @@
+lib/dfs/file_store.ml: Atm Bytes Hashtbl List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/dfs/file_store.mli:

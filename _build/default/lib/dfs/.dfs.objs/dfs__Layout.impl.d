@@ -1,0 +1,1 @@
+lib/dfs/layout.ml: Atm File_store Printf Slot_cache

@@ -1,0 +1,1 @@
+lib/dfs/nfs_ops.ml: Atm Bytes Cluster File_store Int32 Printf Sim String

@@ -1,0 +1,1 @@
+lib/dfs/nfs_ops.mli: Cluster File_store Sim

@@ -1,0 +1,1 @@
+lib/dfs/rpc_codec.ml: Bytes File_store Int32 Nfs_ops Printf Rpckit

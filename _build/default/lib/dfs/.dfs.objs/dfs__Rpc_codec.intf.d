@@ -1,0 +1,1 @@
+lib/dfs/rpc_codec.mli: Nfs_ops Rpckit

@@ -1,0 +1,1 @@
+lib/dfs/rpc_service.ml: Cluster File_store Nfs_ops Rpc_codec Rpckit Server

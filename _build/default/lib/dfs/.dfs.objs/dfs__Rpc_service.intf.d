@@ -1,0 +1,1 @@
+lib/dfs/rpc_service.mli: File_store Rpckit

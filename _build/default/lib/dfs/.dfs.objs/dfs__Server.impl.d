@@ -1,0 +1,1 @@
+lib/dfs/server.ml: Atm Bytes Cluster File_store Hashtbl Int32 Layout List Names Nfs_ops Rmem Slot_cache Stdlib

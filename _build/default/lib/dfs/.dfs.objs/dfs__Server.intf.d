@@ -1,0 +1,1 @@
+lib/dfs/server.mli: Atm Cluster File_store Names Nfs_ops Rmem Slot_cache

@@ -1,0 +1,1 @@
+lib/dfs/slot_cache.mli: Cluster

@@ -1,0 +1,459 @@
+(* The file service's server clerk, running on each client machine.
+
+   Clients talk to the clerk through local RPC only; the clerk satisfies
+   what it can from its local caches and otherwise goes to the server by
+   one of three transfer schemes:
+
+   - [Dx]   — pure data transfer: remote READs of the server's cache
+              slots (whose offsets the clerk computes itself), remote
+              WRITE pushes for file writes.  No server procedure runs.
+   - [Hybrid1] — one remote WRITE of the request with notification,
+              answered by remote WRITEs of the result (the paper's
+              RPC-like comparison point).
+   - [Rpc_baseline] — classic RPC through the {!Rpckit} stack.
+
+   A DX miss in the server's cache transfers control (falls back to
+   Hybrid-1), exactly as §5.2 prescribes. *)
+
+type scheme = Dx | Hybrid1 | Rpc_baseline
+
+let scheme_to_string = function
+  | Dx -> "DX"
+  | Hybrid1 -> "HY"
+  | Rpc_baseline -> "RPC"
+
+type t = {
+  rmem : Rmem.Remote_memory.t;
+  node : Cluster.Node.t;
+  names : Names.Clerk.t;
+  server : Atm.Addr.t;
+  mutable scheme : scheme;
+  space : Cluster.Address_space.t;
+  (* local cache areas *)
+  l_attr : Slot_cache.t;
+  l_name : Slot_cache.t;
+  l_link : Slot_cache.t;
+  l_dir : Slot_cache.t;
+  l_file : Slot_cache.t;
+  (* imported server segments *)
+  d_stat : Rmem.Descriptor.t;
+  d_attr : Rmem.Descriptor.t;
+  d_name : Rmem.Descriptor.t;
+  d_link : Rmem.Descriptor.t;
+  d_dir : Rmem.Descriptor.t;
+  d_file : Rmem.Descriptor.t;
+  d_req : Rmem.Descriptor.t;
+  reply_base : int;
+  probe_base : int;
+  rpc : Rpckit.Transport.t option;
+  stats : Metrics.Account.t;
+}
+
+let reply_base = Layout.request_base
+let probe_base = reply_base + Layout.reply_slot_bytes + 4096
+
+let costs t = Cluster.Node.costs t.node
+let cpu t = Cluster.Node.cpu t.node
+
+let charge t cost = Cluster.Cpu.use (cpu t) ~category:"dfs clerk" cost
+
+let create ?(scheme = Dx) ?rpc ?(export_local_cache = false) ~names ~server () =
+  let rmem = Names.Clerk.rmem names in
+  let node = Rmem.Remote_memory.node rmem in
+  let space = Cluster.Node.new_address_space node in
+  let cache base config = Slot_cache.create ~space ~base config in
+  let import name = Names.Api.import ~hint:server names name in
+  let t =
+    {
+      rmem;
+      node;
+      names;
+      server;
+      scheme;
+      space;
+      l_attr = cache Layout.attr_base Layout.attr_cache;
+      l_name = cache Layout.name_base Layout.name_cache;
+      l_link = cache Layout.link_base Layout.link_cache;
+      l_dir = cache Layout.dir_base Layout.dir_cache;
+      l_file = cache Layout.file_base Layout.file_cache;
+      d_stat = import Layout.statfs_name;
+      d_attr = import Layout.attr_name;
+      d_name = import Layout.name_name;
+      d_link = import Layout.link_name;
+      d_dir = import Layout.dir_name;
+      d_file = import Layout.file_name;
+      d_req = import Layout.request_name;
+      reply_base;
+      probe_base;
+      rpc;
+      stats = Metrics.Account.create ~name:"dfs clerk" ();
+    }
+  in
+  (* Export the reply segment the server's Hybrid-1 path writes into. *)
+  let (_ : Rmem.Segment.t) =
+    Names.Api.export names ~space ~base:reply_base
+      ~len:Layout.reply_slot_bytes
+      ~rights:(Rmem.Rights.make ~write:true ())
+      ~name:(Layout.reply_name_for (Cluster.Node.addr node))
+      ()
+  in
+  (* Optionally export the local file cache so the server can eagerly
+     push updated blocks into it (§3.2: "it is possible for the server
+     to eagerly update data on its client-side clerk"). *)
+  if export_local_cache then begin
+    let (_ : Rmem.Segment.t) =
+      Names.Api.export names ~space ~base:Layout.file_base
+        ~len:(Slot_cache.segment_bytes Layout.file_cache)
+        ~rights:(Rmem.Rights.make ~write:true ())
+        ~name:(Layout.lcache_name_for (Cluster.Node.addr node))
+        ()
+    in
+    ()
+  end;
+  t
+
+let node t = t.node
+let set_scheme t scheme = t.scheme <- scheme
+let scheme t = t.scheme
+let stats t = t.stats
+
+let name_key name = Names.Record.fnv_hash name
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid-1: request write with notification, reply spin.              *)
+
+let hybrid_fetch t op =
+  Metrics.Account.add t.stats ~category:"hybrid requests" 1.;
+  Cluster.Address_space.write_word t.space ~addr:t.reply_base
+    Layout.reply_pending;
+  let encoded = Nfs_ops.encode_op op in
+  let request = Bytes.create (4 + Bytes.length encoded) in
+  Bytes.set_int32_le request 0 (Int32.of_int (Bytes.length encoded));
+  Bytes.blit encoded 0 request 4 (Bytes.length encoded);
+  let my_slot =
+    Atm.Addr.to_int (Cluster.Node.addr t.node) * Layout.request_slot_bytes
+  in
+  Rmem.Remote_memory.write t.rmem t.d_req ~off:my_slot ~notify:true request;
+  let deadline =
+    Sim.Time.add (Sim.Engine.now (Cluster.Node.engine t.node)) (Sim.Time.ms 100)
+  in
+  let rec spin () =
+    let flag = Cluster.Address_space.read_word t.space ~addr:t.reply_base in
+    if Int32.equal flag Layout.reply_ready then begin
+      let len =
+        Int32.to_int
+          (Cluster.Address_space.read_word t.space ~addr:(t.reply_base + 4))
+      in
+      Nfs_ops.decode_result
+        (Cluster.Address_space.read t.space ~addr:(t.reply_base + 8) ~len)
+    end
+    else if Sim.Time.(Sim.Engine.now (Cluster.Node.engine t.node) > deadline)
+    then raise Rmem.Status.Timeout
+    else begin
+      Sim.Proc.wait (Sim.Time.us 5);
+      spin ()
+    end
+  in
+  spin ()
+
+(* ------------------------------------------------------------------ *)
+(* DX: pure data transfer against the server's cache slots.            *)
+
+let probe_buffer t = Rmem.Remote_memory.buffer ~space:t.space ~base:t.probe_base ~len:16384
+
+(* Fetch the head of a server cache slot and validate it; [len] is how
+   many payload bytes we need. *)
+let dx_fetch_slot t desc config ~key1 ~key2 ~len =
+  let off = Slot_cache.offset_of_key_cfg config ~key1 ~key2 in
+  let fetch = Slot_cache.header_bytes + len in
+  Rmem.Remote_memory.read_wait t.rmem desc ~soff:off ~count:fetch
+    ~dst:(probe_buffer t) ~doff:0 ();
+  Metrics.Account.add t.stats ~category:"dx reads" 1.;
+  let slot = Cluster.Address_space.read t.space ~addr:t.probe_base ~len:fetch in
+  (* Validate flag and keys; accept a stored length of at least [len]
+     even though we fetched only a prefix of the payload. *)
+  if Bytes.length slot < Slot_cache.header_bytes then None
+  else if not (Int32.equal (Bytes.get_int32_le slot 0) 1l) then None
+  else if
+    not
+      (Int32.to_int (Bytes.get_int32_le slot 4) = key1
+      && Int32.to_int (Bytes.get_int32_le slot 8) = key2)
+  then None
+  else begin
+    let stored = Int32.to_int (Bytes.get_int32_le slot 12) in
+    let usable = Stdlib.min stored len in
+    Some (Bytes.sub slot Slot_cache.header_bytes usable)
+  end
+
+let synthesized_attr ~fh ~size =
+  {
+    File_store.inode = fh;
+    kind = File_store.Regular;
+    mode = 0o644;
+    nlink = 1;
+    uid = 0;
+    gid = 0;
+    size;
+    atime = 0;
+    mtime = 0;
+    ctime = 0;
+  }
+
+let dx_fetch t op =
+  Metrics.Account.add t.stats ~category:"dx ops" 1.;
+  (* A couple of compares and a hash to locate the remote slot; the
+     paper argues this is tens of nanoseconds-to-microseconds and
+     neglects it; we charge a token microsecond. *)
+  charge t (Sim.Time.us 1);
+  let miss () =
+    Metrics.Account.add t.stats ~category:"dx misses -> control" 1.;
+    Some (hybrid_fetch t op)
+  in
+  let result =
+    match op with
+    | Nfs_ops.Null ->
+        (* Liveness probe: read a known word of the statfs area. *)
+        Rmem.Remote_memory.read_wait t.rmem t.d_stat ~soff:0 ~count:4
+          ~dst:(probe_buffer t) ~doff:0 ();
+        Some Nfs_ops.R_null
+    | Nfs_ops.Statfs -> (
+        Rmem.Remote_memory.read_wait t.rmem t.d_stat ~soff:0 ~count:20
+          ~dst:(probe_buffer t) ~doff:0 ();
+        let b = Cluster.Address_space.read t.space ~addr:t.probe_base ~len:20 in
+        if not (Int32.equal (Bytes.get_int32_le b 0) 1l) then miss ()
+        else
+          let field i = Int32.to_int (Bytes.get_int32_le b (i * 4)) in
+          Some
+            (Nfs_ops.R_statfs
+               {
+                 File_store.total_blocks = field 1;
+                 free_blocks = field 2;
+                 files = field 3;
+                 block_size = field 4;
+               }))
+    | Nfs_ops.Get_attr { fh } -> (
+        match
+          dx_fetch_slot t t.d_attr Layout.attr_cache ~key1:fh ~key2:0
+            ~len:File_store.attr_bytes
+        with
+        | Some payload -> Some (Nfs_ops.R_attr (Nfs_ops.decode_attr payload))
+        | None -> miss ())
+    | Nfs_ops.Lookup { dir; name } -> (
+        match
+          dx_fetch_slot t t.d_name Layout.name_cache ~key1:dir
+            ~key2:(name_key name)
+            ~len:(4 + File_store.attr_bytes)
+        with
+        | Some payload ->
+            let fh = Int32.to_int (Bytes.get_int32_le payload 0) in
+            Some
+              (Nfs_ops.R_lookup
+                 {
+                   fh;
+                   attr =
+                     Nfs_ops.decode_attr
+                       (Bytes.sub payload 4 File_store.attr_bytes);
+                 })
+        | None -> miss ())
+    | Nfs_ops.Read_link { fh } -> (
+        match
+          dx_fetch_slot t t.d_link Layout.link_cache ~key1:fh ~key2:0
+            ~len:Layout.link_cache.Slot_cache.payload_bytes
+        with
+        | Some payload -> Some (Nfs_ops.R_link (Bytes.to_string payload))
+        | None -> miss ())
+    | Nfs_ops.Read { fh; off; count } -> (
+        (* One slot read per touched block, assembled client-side. *)
+        let out = Bytes.create count in
+        let rec gather pos =
+          if pos >= count then Some (Nfs_ops.R_data out)
+          else begin
+            let abs = off + pos in
+            let block = abs / File_store.block_bytes in
+            let boff = abs mod File_store.block_bytes in
+            let span =
+              Stdlib.min (count - pos) (File_store.block_bytes - boff)
+            in
+            match
+              dx_fetch_slot t t.d_file Layout.file_cache ~key1:fh ~key2:block
+                ~len:(boff + span)
+            with
+            | Some payload when Bytes.length payload >= boff + span ->
+                Bytes.blit payload boff out pos span;
+                gather (pos + span)
+            | Some _ | None -> None
+          end
+        in
+        match gather 0 with Some r -> Some r | None -> miss ())
+    | Nfs_ops.Read_dir { fh; count } -> (
+        (* One slot read per 4 KB chunk of the packed listing; a short
+           chunk ends it. *)
+        let buffer = Buffer.create count in
+        let rec gather chunk =
+          if Buffer.length buffer >= count then
+            Some (Nfs_ops.R_entries (Bytes.sub (Buffer.to_bytes buffer) 0 count))
+          else
+            let want =
+              Stdlib.min Layout.dir_chunk_bytes (count - Buffer.length buffer)
+            in
+            match
+              dx_fetch_slot t t.d_dir Layout.dir_cache ~key1:fh ~key2:chunk
+                ~len:want
+            with
+            | Some payload ->
+                Buffer.add_bytes buffer payload;
+                if Bytes.length payload < want then
+                  (* The listing ended inside this chunk. *)
+                  Some (Nfs_ops.R_entries (Buffer.to_bytes buffer))
+                else gather (chunk + 1)
+            | None ->
+                if chunk = 0 then None
+                else
+                  (* Later chunks simply do not exist: the listing is
+                     shorter than asked for. *)
+                  Some (Nfs_ops.R_entries (Buffer.to_bytes buffer))
+        in
+        match gather 0 with Some r -> Some r | None -> miss ())
+    | Nfs_ops.Write { fh; off; data } ->
+        let block = off / File_store.block_bytes in
+        let boff = off mod File_store.block_bytes in
+        if boff <> 0 || Bytes.length data > File_store.block_bytes then
+          invalid_arg "Dfs clerk: unaligned write push";
+        let slot_off =
+          Slot_cache.offset_of_key_cfg Layout.file_cache ~key1:fh ~key2:block
+        in
+        (* Push the block into the server's file cache: body first, then
+           the header with the valid flag. *)
+        Rmem.Remote_memory.write t.rmem t.d_file
+          ~off:(slot_off + Slot_cache.header_bytes)
+          data;
+        let header = Bytes.create Slot_cache.header_bytes in
+        Bytes.set_int32_le header 0 1l;
+        Bytes.set_int32_le header 4 (Int32.of_int fh);
+        Bytes.set_int32_le header 8 (Int32.of_int block);
+        Bytes.set_int32_le header 12 (Int32.of_int (Bytes.length data));
+        Rmem.Remote_memory.write t.rmem t.d_file ~off:slot_off header;
+        Metrics.Account.add t.stats ~category:"dx writes" 1.;
+        Some
+          (Nfs_ops.R_write
+             (synthesized_attr ~fh ~size:(off + Bytes.length data)))
+    | Nfs_ops.Set_attr _ | Nfs_ops.Create _ | Nfs_ops.Remove _
+    | Nfs_ops.Rename _ | Nfs_ops.Mkdir _ | Nfs_ops.Rmdir _ ->
+        (* Namespace and attribute mutations need the server's namespace
+           procedures: control transfer by design (the paper's "Other"
+           activity, 0.4% of the mix). *)
+        Metrics.Account.add t.stats ~category:"dx mutations -> control" 1.;
+        Some (hybrid_fetch t op)
+  in
+  match result with
+  | Some r -> r
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* RPC baseline.                                                       *)
+
+let rpc_fetch t op =
+  match t.rpc with
+  | None -> failwith "Dfs clerk: no RPC transport configured"
+  | Some transport ->
+      Metrics.Account.add t.stats ~category:"rpc calls" 1.;
+      let reply =
+        Rpckit.Client.call transport ~dst:t.server ~prog:Rpc_codec.prog
+          ~proc:(Rpc_codec.proc_of_op op) ~label:(Nfs_ops.label op)
+          (Rpc_codec.marshal_op op)
+      in
+      Rpc_codec.unmarshal_result reply
+
+(* ------------------------------------------------------------------ *)
+(* The remote path, scheme-dispatched; and the full client path.       *)
+
+let remote_fetch t op =
+  match t.scheme with
+  | Dx -> dx_fetch t op
+  | Hybrid1 -> hybrid_fetch t op
+  | Rpc_baseline -> rpc_fetch t op
+
+(* Local cache consultation. *)
+let local_lookup t op =
+  charge t (costs t).Cluster.Costs.hash_lookup;
+  match op with
+  | Nfs_ops.Get_attr { fh } ->
+      Option.map
+        (fun p -> Nfs_ops.R_attr (Nfs_ops.decode_attr p))
+        (Slot_cache.lookup_local t.l_attr ~key1:fh ~key2:0)
+  | Nfs_ops.Lookup { dir; name } ->
+      Option.map
+        (fun p ->
+          Nfs_ops.R_lookup
+            {
+              fh = Int32.to_int (Bytes.get_int32_le p 0);
+              attr = Nfs_ops.decode_attr (Bytes.sub p 4 File_store.attr_bytes);
+            })
+        (Slot_cache.lookup_local t.l_name ~key1:dir ~key2:(name_key name))
+  | Nfs_ops.Read_link { fh } ->
+      Option.map
+        (fun p -> Nfs_ops.R_link (Bytes.to_string p))
+        (Slot_cache.lookup_local t.l_link ~key1:fh ~key2:0)
+  | Nfs_ops.Read { fh; off; count } ->
+      let block = off / File_store.block_bytes in
+      let boff = off mod File_store.block_bytes in
+      Option.bind (Slot_cache.lookup_local t.l_file ~key1:fh ~key2:block)
+        (fun p ->
+          if Bytes.length p >= boff + count then
+            Some (Nfs_ops.R_data (Bytes.sub p boff count))
+          else None)
+  | Nfs_ops.Read_dir { fh; count } ->
+      Option.map
+        (fun p ->
+          Nfs_ops.R_entries (Bytes.sub p 0 (Stdlib.min count (Bytes.length p))))
+        (Slot_cache.lookup_local t.l_dir ~key1:fh ~key2:0)
+  | Nfs_ops.Null | Nfs_ops.Statfs | Nfs_ops.Write _ | Nfs_ops.Set_attr _
+  | Nfs_ops.Create _ | Nfs_ops.Remove _ | Nfs_ops.Rename _ | Nfs_ops.Mkdir _
+  | Nfs_ops.Rmdir _ ->
+      None
+
+let install_local t op result =
+  match (op, result) with
+  | Nfs_ops.Get_attr { fh }, Nfs_ops.R_attr a ->
+      Slot_cache.install t.l_attr ~key1:fh ~key2:0 (Nfs_ops.encode_attr a)
+  | Nfs_ops.Lookup { dir; name }, Nfs_ops.R_lookup { fh; attr } ->
+      let p = Bytes.create (4 + File_store.attr_bytes) in
+      Bytes.set_int32_le p 0 (Int32.of_int fh);
+      Bytes.blit (Nfs_ops.encode_attr attr) 0 p 4 File_store.attr_bytes;
+      Slot_cache.install t.l_name ~key1:dir ~key2:(name_key name) p
+  | Nfs_ops.Read_link { fh }, Nfs_ops.R_link target ->
+      Slot_cache.install t.l_link ~key1:fh ~key2:0 (Bytes.of_string target)
+  | Nfs_ops.Read { fh; off; _ }, Nfs_ops.R_data data
+    when off mod File_store.block_bytes = 0
+         && Bytes.length data = File_store.block_bytes ->
+      Slot_cache.install t.l_file ~key1:fh
+        ~key2:(off / File_store.block_bytes)
+        data
+  | Nfs_ops.Write { fh; off; data }, Nfs_ops.R_write _
+    when off mod File_store.block_bytes = 0
+         && Bytes.length data = File_store.block_bytes ->
+      Slot_cache.install t.l_file ~key1:fh
+        ~key2:(off / File_store.block_bytes)
+        data
+  | Nfs_ops.Remove { dir; name }, _ | Nfs_ops.Rmdir { dir; name }, _ ->
+      Slot_cache.invalidate t.l_name ~key1:dir ~key2:(name_key name)
+  | Nfs_ops.Rename { from_dir; from_name; _ }, _ ->
+      Slot_cache.invalidate t.l_name ~key1:from_dir ~key2:(name_key from_name)
+  | Nfs_ops.Set_attr { fh; _ }, Nfs_ops.R_attr a ->
+      Slot_cache.install t.l_attr ~key1:fh ~key2:0 (Nfs_ops.encode_attr a)
+  | _ -> ()
+
+(* The full client-visible operation: local RPC into the clerk, local
+   caches, then the remote path on a miss. *)
+let perform t op =
+  Cluster.Lrpc.call t.node
+    (fun () ->
+      match local_lookup t op with
+      | Some result ->
+          Metrics.Account.add t.stats ~category:"local hits" 1.;
+          result
+      | None ->
+          let result = remote_fetch t op in
+          install_local t op result;
+          result)
+    ()

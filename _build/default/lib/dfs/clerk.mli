@@ -1,0 +1,44 @@
+(** The file service's server clerk, one per client machine.
+
+    Clients reach the clerk through local RPC only; misses go to the
+    server by one of three transfer schemes: pure data transfer ([Dx]),
+    the paper's RPC-like hybrid ([Hybrid1]), or classic RPC
+    ([Rpc_baseline]). A DX miss in the server cache transfers control
+    (falls back to Hybrid-1), as §5.2 prescribes. *)
+
+type scheme = Dx | Hybrid1 | Rpc_baseline
+
+type t
+
+val scheme_to_string : scheme -> string
+
+val create :
+  ?scheme:scheme ->
+  ?rpc:Rpckit.Transport.t ->
+  ?export_local_cache:bool ->
+  names:Names.Clerk.t ->
+  server:Atm.Addr.t ->
+  unit ->
+  t
+(** Import the server's service segments through the name service and
+    export this clerk's Hybrid-1 reply segment. Run within a process.
+    [rpc] is required only for the [Rpc_baseline] scheme.
+    [export_local_cache] additionally exports the clerk's local file
+    cache so the server can eagerly push updates into it (§3.2). *)
+
+val node : t -> Cluster.Node.t
+val scheme : t -> scheme
+val set_scheme : t -> scheme -> unit
+val stats : t -> Metrics.Account.t
+
+val perform : t -> Nfs_ops.op -> Nfs_ops.result
+(** The full client path: local RPC into the clerk, local caches, then
+    the remote path on a miss (installing the result locally). *)
+
+val remote_fetch : t -> Nfs_ops.op -> Nfs_ops.result
+(** The miss path only (no local caches, no client-clerk local RPC) —
+    what Figures 2 and 3 measure. *)
+
+val hybrid_fetch : t -> Nfs_ops.op -> Nfs_ops.result
+val dx_fetch : t -> Nfs_ops.op -> Nfs_ops.result
+val rpc_fetch : t -> Nfs_ops.op -> Nfs_ops.result

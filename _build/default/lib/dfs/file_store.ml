@@ -1,0 +1,285 @@
+(* The server's local file system: the substrate under the distributed
+   file service.
+
+   A straightforward in-memory inode store: regular files (8 KB blocks),
+   directories, symbolic links; NFS-flavoured attributes.  File handles
+   are inode numbers dressed up as 32-byte NFS handles on the wire. *)
+
+exception No_such_file of int
+exception Not_a_directory of int
+exception Not_a_symlink of int
+exception Not_a_file of int
+exception Name_exists of string
+
+let block_bytes = 8192
+
+type kind = Regular | Directory | Symlink
+
+type attr = {
+  inode : int;
+  kind : kind;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  atime : int;
+  mtime : int;
+  ctime : int;
+}
+
+type node = {
+  mutable attr : attr;
+  mutable blocks : (int, bytes) Hashtbl.t; (* block # -> data, Regular *)
+  mutable entries : (string * int) list; (* Directory, insertion order *)
+  mutable target : string; (* Symlink *)
+}
+
+type t = {
+  nodes : (int, node) Hashtbl.t;
+  mutable next_inode : int;
+  mutable clock : int; (* logical time for {a,m,c}time *)
+  root : int;
+}
+
+let attr_bytes = 68
+(* the NFS fattr size; what GetAttr moves *)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let make_attr t ~inode ~kind ~mode ~size =
+  let now = tick t in
+  { inode; kind; mode; nlink = 1; uid = 0; gid = 0; size; atime = now;
+    mtime = now; ctime = now }
+
+let fresh_node t ~kind ~mode ~size =
+  let inode = t.next_inode in
+  t.next_inode <- inode + 1;
+  let node =
+    {
+      attr = make_attr t ~inode ~kind ~mode ~size;
+      blocks = Hashtbl.create 4;
+      entries = [];
+      target = "";
+    }
+  in
+  Hashtbl.replace t.nodes inode node;
+  (inode, node)
+
+let create () =
+  let t = { nodes = Hashtbl.create 256; next_inode = 2; clock = 0; root = 1 } in
+  let root =
+    {
+      attr =
+        {
+          inode = 1;
+          kind = Directory;
+          mode = 0o755;
+          nlink = 2;
+          uid = 0;
+          gid = 0;
+          size = 0;
+          atime = 0;
+          mtime = 0;
+          ctime = 0;
+        };
+      blocks = Hashtbl.create 1;
+      entries = [];
+      target = "";
+    }
+  in
+  Hashtbl.replace t.nodes 1 root;
+  t
+
+let root t = t.root
+
+let node t inode =
+  match Hashtbl.find_opt t.nodes inode with
+  | Some n -> n
+  | None -> raise (No_such_file inode)
+
+let getattr t inode = (node t inode).attr
+
+let directory t inode =
+  let n = node t inode in
+  if n.attr.kind <> Directory then raise (Not_a_directory inode);
+  n
+
+let add_entry t ~dir ~name ~inode =
+  let d = directory t dir in
+  if List.mem_assoc name d.entries then raise (Name_exists name);
+  d.entries <- d.entries @ [ (name, inode) ];
+  d.attr <- { d.attr with size = d.attr.size + 1; mtime = tick t }
+
+let create_file t ~dir ~name ?(mode = 0o644) () =
+  let inode, _ = fresh_node t ~kind:Regular ~mode ~size:0 in
+  add_entry t ~dir ~name ~inode;
+  inode
+
+let mkdir t ~dir ~name ?(mode = 0o755) () =
+  let inode, _ = fresh_node t ~kind:Directory ~mode ~size:0 in
+  add_entry t ~dir ~name ~inode;
+  inode
+
+let symlink t ~dir ~name ~target =
+  let inode, n = fresh_node t ~kind:Symlink ~mode:0o777 ~size:(String.length target) in
+  n.target <- target;
+  add_entry t ~dir ~name ~inode;
+  inode
+
+let lookup t ~dir ~name =
+  let d = directory t dir in
+  match List.assoc_opt name d.entries with
+  | Some inode -> inode
+  | None -> raise (No_such_file dir)
+
+exception Not_empty of int
+
+let remove t ~dir ~name =
+  let d = directory t dir in
+  let inode = lookup t ~dir ~name in
+  let n = node t inode in
+  if n.attr.kind = Directory then raise (Not_a_file inode);
+  d.entries <- List.remove_assoc name d.entries;
+  d.attr <- { d.attr with size = d.attr.size - 1; mtime = tick t };
+  if n.attr.nlink <= 1 then Hashtbl.remove t.nodes inode
+  else n.attr <- { n.attr with nlink = n.attr.nlink - 1 }
+
+let rmdir t ~dir ~name =
+  let d = directory t dir in
+  let inode = lookup t ~dir ~name in
+  let n = directory t inode in
+  if n.entries <> [] then raise (Not_empty inode);
+  d.entries <- List.remove_assoc name d.entries;
+  d.attr <- { d.attr with size = d.attr.size - 1; mtime = tick t };
+  Hashtbl.remove t.nodes inode
+
+let rename t ~from_dir ~from_name ~to_dir ~to_name =
+  let src = directory t from_dir in
+  let inode = lookup t ~dir:from_dir ~name:from_name in
+  let dst = directory t to_dir in
+  if List.mem_assoc to_name dst.entries then raise (Name_exists to_name);
+  src.entries <- List.remove_assoc from_name src.entries;
+  src.attr <- { src.attr with size = src.attr.size - 1; mtime = tick t };
+  dst.entries <- dst.entries @ [ (to_name, inode) ];
+  dst.attr <- { dst.attr with size = dst.attr.size + 1; mtime = tick t }
+
+let set_attr t inode ?mode ?size () =
+  let n = node t inode in
+  (match mode with
+  | Some mode -> n.attr <- { n.attr with mode; ctime = tick t }
+  | None -> ());
+  match size with
+  | Some size ->
+      if n.attr.kind <> Regular then raise (Not_a_file inode);
+      if size < n.attr.size then begin
+        (* Truncate: drop whole blocks past the new end and zero the
+           tail of the boundary block. *)
+        let keep_blocks = (size + block_bytes - 1) / block_bytes in
+        Hashtbl.iter
+          (fun blk _ -> if blk >= keep_blocks then Hashtbl.remove n.blocks blk)
+          (Hashtbl.copy n.blocks);
+        let boundary = size mod block_bytes in
+        if boundary > 0 then
+          Option.iter
+            (fun b -> Bytes.fill b boundary (block_bytes - boundary) '\000')
+            (Hashtbl.find_opt n.blocks (size / block_bytes))
+      end;
+      n.attr <- { n.attr with size; mtime = tick t; ctime = t.clock }
+  | None -> ()
+
+let readlink t inode =
+  let n = node t inode in
+  if n.attr.kind <> Symlink then raise (Not_a_symlink inode);
+  n.target
+
+let readdir t inode = (directory t inode).entries
+
+let regular t inode =
+  let n = node t inode in
+  if n.attr.kind <> Regular then raise (Not_a_file inode);
+  n
+
+let read t inode ~off ~count =
+  let n = regular t inode in
+  if off < 0 || count < 0 then invalid_arg "File_store.read";
+  let available = Stdlib.max 0 (n.attr.size - off) in
+  let count = Stdlib.min count available in
+  let out = Bytes.make count '\000' in
+  let rec copy pos =
+    if pos < count then begin
+      let abs = off + pos in
+      let blk = abs / block_bytes and boff = abs mod block_bytes in
+      let span = Stdlib.min (count - pos) (block_bytes - boff) in
+      (match Hashtbl.find_opt n.blocks blk with
+      | Some data -> Bytes.blit data boff out pos span
+      | None -> () (* hole: zeros *));
+      copy (pos + span)
+    end
+  in
+  copy 0;
+  out
+
+let write t inode ~off data =
+  let n = regular t inode in
+  let count = Bytes.length data in
+  if off < 0 then invalid_arg "File_store.write";
+  let rec copy pos =
+    if pos < count then begin
+      let abs = off + pos in
+      let blk = abs / block_bytes and boff = abs mod block_bytes in
+      let span = Stdlib.min (count - pos) (block_bytes - boff) in
+      let block =
+        match Hashtbl.find_opt n.blocks blk with
+        | Some b -> b
+        | None ->
+            let b = Bytes.make block_bytes '\000' in
+            Hashtbl.replace n.blocks blk b;
+            b
+      in
+      Bytes.blit data pos block boff span;
+      copy (pos + span)
+    end
+  in
+  copy 0;
+  n.attr <-
+    {
+      n.attr with
+      size = Stdlib.max n.attr.size (off + count);
+      mtime = tick t;
+    }
+
+type statfs = {
+  total_blocks : int;
+  free_blocks : int;
+  files : int;
+  block_size : int;
+}
+
+let statfs t =
+  let used =
+    Hashtbl.fold (fun _ n acc -> acc + Hashtbl.length n.blocks) t.nodes 0
+  in
+  {
+    total_blocks = 1 lsl 20;
+    free_blocks = (1 lsl 20) - used;
+    files = Hashtbl.length t.nodes;
+    block_size = block_bytes;
+  }
+
+let file_count t = Hashtbl.length t.nodes
+
+(* Serialize directory entries the way READDIR returns them: a packed
+   sequence of [inode 4][name len 2][name][pad to 4]. *)
+let encode_entries entries =
+  let w = Atm.Codec.writer ~capacity:512 () in
+  List.iter
+    (fun (name, inode) ->
+      Atm.Codec.put_u32 w inode;
+      Atm.Codec.put_string w name;
+      let misalign = Atm.Codec.length w land 3 in
+      if misalign <> 0 then Atm.Codec.put_padding w (4 - misalign))
+    entries;
+  Atm.Codec.contents w

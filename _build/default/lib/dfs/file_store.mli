@@ -1,0 +1,83 @@
+(** The server's local file system substrate: an in-memory inode store
+    with regular files (8 KB blocks), directories and symbolic links,
+    carrying NFS-flavoured attributes. *)
+
+exception No_such_file of int
+exception Not_a_directory of int
+exception Not_a_symlink of int
+exception Not_a_file of int
+exception Name_exists of string
+
+val block_bytes : int
+(** 8192. *)
+
+val attr_bytes : int
+(** 68 — the NFS fattr wire size. *)
+
+type kind = Regular | Directory | Symlink
+
+type attr = {
+  inode : int;
+  kind : kind;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  atime : int;
+  mtime : int;
+  ctime : int;
+}
+
+type t
+
+val create : unit -> t
+val root : t -> int
+
+(** {1 Namespace} *)
+
+val create_file : t -> dir:int -> name:string -> ?mode:int -> unit -> int
+val mkdir : t -> dir:int -> name:string -> ?mode:int -> unit -> int
+val symlink : t -> dir:int -> name:string -> target:string -> int
+val lookup : t -> dir:int -> name:string -> int
+(** Raises {!No_such_file} when absent. *)
+
+exception Not_empty of int
+
+val remove : t -> dir:int -> name:string -> unit
+(** Unlink a file or symlink (not a directory). *)
+
+val rmdir : t -> dir:int -> name:string -> unit
+(** Remove an empty directory; raises {!Not_empty} otherwise. *)
+
+val rename :
+  t -> from_dir:int -> from_name:string -> to_dir:int -> to_name:string -> unit
+(** Raises {!Name_exists} if the target name is taken. *)
+
+val set_attr : t -> int -> ?mode:int -> ?size:int -> unit -> unit
+(** Change mode and/or size (truncate zeros the dropped tail). *)
+
+val readdir : t -> int -> (string * int) list
+val readlink : t -> int -> string
+
+(** {1 Data and metadata} *)
+
+val getattr : t -> int -> attr
+val read : t -> int -> off:int -> count:int -> bytes
+(** Short reads at EOF; holes read as zeros. *)
+
+val write : t -> int -> off:int -> bytes -> unit
+(** Extends the file as needed. *)
+
+type statfs = {
+  total_blocks : int;
+  free_blocks : int;
+  files : int;
+  block_size : int;
+}
+
+val statfs : t -> statfs
+val file_count : t -> int
+
+val encode_entries : (string * int) list -> bytes
+(** Pack directory entries as READDIR returns them. *)

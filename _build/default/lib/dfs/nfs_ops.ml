@@ -1,0 +1,372 @@
+(* The file-service operation vocabulary (the NFS-like interface of
+   Table 1a), with wire encodings and the control/data traffic
+   classification behind Table 1b.
+
+   The classification follows the paper's definition: *data* is what a
+   direct protected memory-to-memory primitive would have to move
+   (results flowing into the requester's memory; file contents flowing
+   to the server); everything else — file handles, transaction ids,
+   offsets, counts, names used only to locate data, marshaling padding —
+   is *control*, the overhead imposed by the RPC style. *)
+
+type op =
+  | Null
+  | Get_attr of { fh : int }
+  | Lookup of { dir : int; name : string }
+  | Read_link of { fh : int }
+  | Read of { fh : int; off : int; count : int }
+  | Read_dir of { fh : int; count : int }
+  | Statfs
+  | Write of { fh : int; off : int; data : bytes }
+  (* Namespace and attribute mutations: the activity behind Table 1a's
+     "Other" row. *)
+  | Set_attr of { fh : int; mode : int; size : int }
+  | Create of { dir : int; name : string }
+  | Remove of { dir : int; name : string }
+  | Rename of { from_dir : int; from_name : string; to_dir : int; to_name : string }
+  | Mkdir of { dir : int; name : string }
+  | Rmdir of { dir : int; name : string }
+
+type result =
+  | R_null
+  | R_attr of File_store.attr
+  | R_lookup of { fh : int; attr : File_store.attr }
+  | R_link of string
+  | R_data of bytes
+  | R_entries of bytes
+  | R_statfs of File_store.statfs
+  | R_write of File_store.attr
+  | R_error of int
+
+(* The paper's activity names, verbatim (Table 1a row labels). *)
+let label = function
+  | Get_attr _ -> "Get File Attribute"
+  | Lookup _ -> "Lookup File Name"
+  | Read _ -> "Read File Data"
+  | Null -> "Null Ping Call"
+  | Read_link _ -> "Read Symbolic Link"
+  | Read_dir _ -> "Read Directory Contents"
+  | Statfs -> "Read File System Stats."
+  | Write _ -> "Write File Data"
+  | Set_attr _ | Create _ | Remove _ | Rename _ | Mkdir _ | Rmdir _ -> "Other"
+
+let all_labels =
+  [
+    "Get File Attribute";
+    "Lookup File Name";
+    "Read File Data";
+    "Null Ping Call";
+    "Read Symbolic Link";
+    "Read Directory Contents";
+    "Read File System Stats.";
+    "Write File Data";
+    "Other";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Attribute encoding: the 68-byte NFS fattr.                          *)
+
+let kind_to_int = function
+  | File_store.Regular -> 1
+  | File_store.Directory -> 2
+  | File_store.Symlink -> 5
+
+let kind_of_int = function
+  | 1 -> File_store.Regular
+  | 2 -> File_store.Directory
+  | 5 -> File_store.Symlink
+  | k -> invalid_arg (Printf.sprintf "Nfs_ops.kind_of_int: %d" k)
+
+let encode_attr (a : File_store.attr) =
+  let b = Bytes.make File_store.attr_bytes '\000' in
+  let put i v = Bytes.set_int32_le b (i * 4) (Int32.of_int v) in
+  put 0 (kind_to_int a.kind);
+  put 1 a.mode;
+  put 2 a.nlink;
+  put 3 a.uid;
+  put 4 a.gid;
+  put 5 a.size;
+  put 6 File_store.block_bytes;
+  put 7 0 (* rdev *);
+  put 8 ((a.size + File_store.block_bytes - 1) / File_store.block_bytes);
+  put 9 0 (* fsid *);
+  put 10 a.inode;
+  put 11 a.atime;
+  put 12 0;
+  put 13 a.mtime;
+  put 14 0;
+  put 15 a.ctime;
+  put 16 0;
+  b
+
+let decode_attr b =
+  let get i = Int32.to_int (Bytes.get_int32_le b (i * 4)) in
+  {
+    File_store.inode = get 10;
+    kind = kind_of_int (get 0);
+    mode = get 1;
+    nlink = get 2;
+    uid = get 3;
+    gid = get 4;
+    size = get 5;
+    atime = get 11;
+    mtime = get 13;
+    ctime = get 15;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Traffic classification (Table 1b).                                  *)
+
+let fh_bytes = 32
+(* NFS file handles are opaque 32-byte values. *)
+
+let xid_bytes = 4
+
+type traffic = { control : int; data : int }
+
+let add a b = { control = a.control + b.control; data = a.data + b.data }
+
+let request_traffic op =
+  let base = { control = xid_bytes; data = 0 } in
+  let extra =
+    match op with
+    | Null -> { control = 0; data = 0 }
+    | Get_attr _ -> { control = fh_bytes; data = 0 }
+    | Lookup { name; _ } ->
+        (* The name locates data; pure data transfer would not send it
+           (the clerk hashes it locally), so it is control traffic. *)
+        { control = fh_bytes + 4 + String.length name; data = 0 }
+    | Read_link _ -> { control = fh_bytes; data = 0 }
+    | Read _ -> { control = fh_bytes + 8; data = 0 }
+    | Read_dir _ -> { control = fh_bytes + 8; data = 0 }
+    | Statfs -> { control = fh_bytes; data = 0 }
+    | Write { data; _ } ->
+        { control = fh_bytes + 8; data = Bytes.length data }
+    | Set_attr _ ->
+        (* The new attribute values are data a direct primitive would
+           still have to move. *)
+        { control = fh_bytes; data = 8 }
+    | Create { name; _ } | Remove { name; _ } | Mkdir { name; _ }
+    | Rmdir { name; _ } ->
+        { control = fh_bytes + 4 + String.length name; data = 0 }
+    | Rename { from_name; to_name; _ } ->
+        {
+          control =
+            (2 * fh_bytes) + 8 + String.length from_name + String.length to_name;
+          data = 0;
+        }
+  in
+  add base extra
+
+let reply_traffic result =
+  let base = { control = xid_bytes + 4 (* status *); data = 0 } in
+  let extra =
+    match result with
+    | R_null -> { control = 0; data = 0 }
+    | R_attr _ -> { control = 0; data = File_store.attr_bytes }
+    | R_lookup _ ->
+        (* The new handle plus attributes are the metadata the client
+           asked for. *)
+        { control = 0; data = fh_bytes + File_store.attr_bytes }
+    | R_link target -> { control = 4; data = String.length target }
+    | R_data data ->
+        { control = 4; data = File_store.attr_bytes + Bytes.length data }
+    | R_entries entries -> { control = 4; data = Bytes.length entries }
+    | R_statfs _ -> { control = 0; data = 20 }
+    | R_write _ -> { control = 0; data = File_store.attr_bytes }
+    | R_error _ -> { control = 0; data = 0 }
+  in
+  add base extra
+
+(* ------------------------------------------------------------------ *)
+(* Compact binary encoding, used for Hybrid-1 request segments and for
+   the RPC baseline's bodies.                                          *)
+
+let op_code = function
+  | Null -> 0
+  | Get_attr _ -> 1
+  | Lookup _ -> 2
+  | Read_link _ -> 3
+  | Read _ -> 4
+  | Read_dir _ -> 5
+  | Statfs -> 6
+  | Write _ -> 7
+  | Set_attr _ -> 8
+  | Create _ -> 9
+  | Remove _ -> 10
+  | Rename _ -> 11
+  | Mkdir _ -> 12
+  | Rmdir _ -> 13
+
+let encode_op op =
+  let w = Atm.Codec.writer ~capacity:64 () in
+  Atm.Codec.put_u8 w (op_code op);
+  (match op with
+  | Null | Statfs -> ()
+  | Get_attr { fh } | Read_link { fh } -> Atm.Codec.put_u32 w fh
+  | Lookup { dir; name } ->
+      Atm.Codec.put_u32 w dir;
+      Atm.Codec.put_string w name
+  | Read { fh; off; count } ->
+      Atm.Codec.put_u32 w fh;
+      Atm.Codec.put_u32 w off;
+      Atm.Codec.put_u32 w count
+  | Read_dir { fh; count } ->
+      Atm.Codec.put_u32 w fh;
+      Atm.Codec.put_u32 w count
+  | Write { fh; off; data } ->
+      Atm.Codec.put_u32 w fh;
+      Atm.Codec.put_u32 w off;
+      Atm.Codec.put_u32 w (Bytes.length data);
+      Atm.Codec.put_bytes w data
+  | Set_attr { fh; mode; size } ->
+      Atm.Codec.put_u32 w fh;
+      Atm.Codec.put_u32 w mode;
+      Atm.Codec.put_u32 w size
+  | Create { dir; name } | Remove { dir; name } | Mkdir { dir; name }
+  | Rmdir { dir; name } ->
+      Atm.Codec.put_u32 w dir;
+      Atm.Codec.put_string w name
+  | Rename { from_dir; from_name; to_dir; to_name } ->
+      Atm.Codec.put_u32 w from_dir;
+      Atm.Codec.put_string w from_name;
+      Atm.Codec.put_u32 w to_dir;
+      Atm.Codec.put_string w to_name);
+  Atm.Codec.contents w
+
+let decode_op payload =
+  let r = Atm.Codec.reader payload in
+  match Atm.Codec.get_u8 r with
+  | 0 -> Null
+  | 1 -> Get_attr { fh = Atm.Codec.get_u32 r }
+  | 2 ->
+      let dir = Atm.Codec.get_u32 r in
+      Lookup { dir; name = Atm.Codec.get_string r }
+  | 3 -> Read_link { fh = Atm.Codec.get_u32 r }
+  | 4 ->
+      let fh = Atm.Codec.get_u32 r in
+      let off = Atm.Codec.get_u32 r in
+      Read { fh; off; count = Atm.Codec.get_u32 r }
+  | 5 ->
+      let fh = Atm.Codec.get_u32 r in
+      Read_dir { fh; count = Atm.Codec.get_u32 r }
+  | 6 -> Statfs
+  | 7 ->
+      let fh = Atm.Codec.get_u32 r in
+      let off = Atm.Codec.get_u32 r in
+      let len = Atm.Codec.get_u32 r in
+      Write { fh; off; data = Atm.Codec.get_bytes r len }
+  | 8 ->
+      let fh = Atm.Codec.get_u32 r in
+      let mode = Atm.Codec.get_u32 r in
+      Set_attr { fh; mode; size = Atm.Codec.get_u32 r }
+  | 9 ->
+      let dir = Atm.Codec.get_u32 r in
+      Create { dir; name = Atm.Codec.get_string r }
+  | 10 ->
+      let dir = Atm.Codec.get_u32 r in
+      Remove { dir; name = Atm.Codec.get_string r }
+  | 11 ->
+      let from_dir = Atm.Codec.get_u32 r in
+      let from_name = Atm.Codec.get_string r in
+      let to_dir = Atm.Codec.get_u32 r in
+      Rename { from_dir; from_name; to_dir; to_name = Atm.Codec.get_string r }
+  | 12 ->
+      let dir = Atm.Codec.get_u32 r in
+      Mkdir { dir; name = Atm.Codec.get_string r }
+  | 13 ->
+      let dir = Atm.Codec.get_u32 r in
+      Rmdir { dir; name = Atm.Codec.get_string r }
+  | c -> invalid_arg (Printf.sprintf "Nfs_ops.decode_op: %d" c)
+
+let result_code = function
+  | R_null -> 0
+  | R_attr _ -> 1
+  | R_lookup _ -> 2
+  | R_link _ -> 3
+  | R_data _ -> 4
+  | R_entries _ -> 5
+  | R_statfs _ -> 6
+  | R_write _ -> 7
+  | R_error _ -> 8
+
+let encode_result result =
+  let w = Atm.Codec.writer ~capacity:128 () in
+  Atm.Codec.put_u8 w (result_code result);
+  (match result with
+  | R_null -> ()
+  | R_attr a | R_write a -> Atm.Codec.put_bytes w (encode_attr a)
+  | R_lookup { fh; attr } ->
+      Atm.Codec.put_u32 w fh;
+      Atm.Codec.put_bytes w (encode_attr attr)
+  | R_link target -> Atm.Codec.put_string w target
+  | R_data data ->
+      Atm.Codec.put_u32 w (Bytes.length data);
+      Atm.Codec.put_bytes w data
+  | R_entries entries ->
+      Atm.Codec.put_u32 w (Bytes.length entries);
+      Atm.Codec.put_bytes w entries
+  | R_statfs s ->
+      Atm.Codec.put_u32 w s.File_store.total_blocks;
+      Atm.Codec.put_u32 w s.File_store.free_blocks;
+      Atm.Codec.put_u32 w s.File_store.files;
+      Atm.Codec.put_u32 w s.File_store.block_size
+  | R_error code -> Atm.Codec.put_u32 w code);
+  Atm.Codec.contents w
+
+let decode_result payload =
+  let r = Atm.Codec.reader payload in
+  match Atm.Codec.get_u8 r with
+  | 0 -> R_null
+  | 1 -> R_attr (decode_attr (Atm.Codec.get_bytes r File_store.attr_bytes))
+  | 2 ->
+      let fh = Atm.Codec.get_u32 r in
+      R_lookup
+        { fh; attr = decode_attr (Atm.Codec.get_bytes r File_store.attr_bytes) }
+  | 3 -> R_link (Atm.Codec.get_string r)
+  | 4 ->
+      let len = Atm.Codec.get_u32 r in
+      R_data (Atm.Codec.get_bytes r len)
+  | 5 ->
+      let len = Atm.Codec.get_u32 r in
+      R_entries (Atm.Codec.get_bytes r len)
+  | 6 ->
+      let total_blocks = Atm.Codec.get_u32 r in
+      let free_blocks = Atm.Codec.get_u32 r in
+      let files = Atm.Codec.get_u32 r in
+      R_statfs
+        {
+          File_store.total_blocks;
+          free_blocks;
+          files;
+          block_size = Atm.Codec.get_u32 r;
+        }
+  | 7 -> R_write (decode_attr (Atm.Codec.get_bytes r File_store.attr_bytes))
+  | 8 -> R_error (Atm.Codec.get_u32 r)
+  | c -> invalid_arg (Printf.sprintf "Nfs_ops.decode_result: %d" c)
+
+(* ------------------------------------------------------------------ *)
+(* Server procedure cost of an operation (the warm-cache Ultrix NFS
+   measurements the paper uses for the Hybrid-1 comparison).           *)
+
+let procedure_cost (c : Cluster.Costs.t) op =
+  match op with
+  | Null -> c.proc_null
+  | Get_attr _ -> c.proc_getattr
+  | Lookup _ -> c.proc_lookup
+  | Read_link _ -> c.proc_readlink
+  | Statfs -> c.proc_statfs
+  (* Namespace mutations cost about what a lookup plus an attribute
+     update does on the Ultrix server. *)
+  | Set_attr _ -> c.proc_getattr
+  | Create _ | Remove _ | Mkdir _ | Rmdir _ -> c.proc_lookup
+  | Rename _ -> Sim.Time.add c.proc_lookup c.proc_lookup
+  | Read { count; _ } ->
+      Cluster.Costs.proc_cost c ~base:c.proc_read_base ~per_kb:c.proc_read_per_kb
+        ~bytes:count
+  | Read_dir { count; _ } ->
+      Cluster.Costs.proc_cost c ~base:c.proc_readdir_base
+        ~per_kb:c.proc_readdir_per_kb ~bytes:count
+  | Write { data; _ } ->
+      Cluster.Costs.proc_cost c ~base:c.proc_write_base
+        ~per_kb:c.proc_write_per_kb ~bytes:(Bytes.length data)

@@ -1,0 +1,75 @@
+(** The file-service operation vocabulary (the NFS-like interface of
+    Table 1a): op/result types, wire encodings, the control/data traffic
+    classification behind Table 1b, and the per-op server procedure
+    costs used by the Hybrid-1 comparison. *)
+
+type op =
+  | Null
+  | Get_attr of { fh : int }
+  | Lookup of { dir : int; name : string }
+  | Read_link of { fh : int }
+  | Read of { fh : int; off : int; count : int }
+  | Read_dir of { fh : int; count : int }
+  | Statfs
+  | Write of { fh : int; off : int; data : bytes }
+  | Set_attr of { fh : int; mode : int; size : int }
+      (** namespace/attribute mutations — Table 1a's "Other" activity *)
+  | Create of { dir : int; name : string }
+  | Remove of { dir : int; name : string }
+  | Rename of {
+      from_dir : int;
+      from_name : string;
+      to_dir : int;
+      to_name : string;
+    }
+  | Mkdir of { dir : int; name : string }
+  | Rmdir of { dir : int; name : string }
+
+type result =
+  | R_null
+  | R_attr of File_store.attr
+  | R_lookup of { fh : int; attr : File_store.attr }
+  | R_link of string
+  | R_data of bytes
+  | R_entries of bytes
+  | R_statfs of File_store.statfs
+  | R_write of File_store.attr
+  | R_error of int
+
+val label : op -> string
+(** The paper's Table 1a activity name for this operation. *)
+
+val all_labels : string list
+(** Table 1a row order, including "Other". *)
+
+(** {1 Attribute encoding (the 68-byte NFS fattr)} *)
+
+val encode_attr : File_store.attr -> bytes
+val decode_attr : bytes -> File_store.attr
+
+(** {1 Traffic classification (Table 1b)}
+
+    Data is what a direct memory-to-memory primitive would have to move;
+    handles, xids, offsets, names-used-to-locate and padding are control. *)
+
+type traffic = { control : int; data : int }
+
+val fh_bytes : int
+(** 32 — opaque NFS file handle. *)
+
+val request_traffic : op -> traffic
+val reply_traffic : result -> traffic
+
+(** {1 Compact binary encoding (Hybrid-1 request segments, RPC bodies)} *)
+
+val encode_op : op -> bytes
+val decode_op : bytes -> op
+val encode_result : result -> bytes
+val decode_result : bytes -> result
+val result_code : result -> int
+
+(** {1 Costs} *)
+
+val procedure_cost : Cluster.Costs.t -> op -> Sim.Time.t
+(** The server CPU cost of executing this operation with warm caches —
+    the paper's measured Ultrix NFS procedure times. *)

@@ -1,0 +1,179 @@
+(* XDR marshaling of file-service operations for the RPC baseline,
+   with Table 1b's control/data field classification. *)
+
+let fh_pad fh =
+  (* Dress an inode number up as an opaque 32-byte NFS handle. *)
+  let b = Bytes.make Nfs_ops.fh_bytes '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int fh);
+  b
+
+let fh_of_bytes b = Int32.to_int (Bytes.get_int32_le b 0)
+
+let prog = 0x1001
+(* the file service's RPC program number *)
+
+let proc_of_op = function
+  | Nfs_ops.Null -> 0
+  | Nfs_ops.Get_attr _ -> 1
+  | Nfs_ops.Lookup _ -> 4
+  | Nfs_ops.Read_link _ -> 5
+  | Nfs_ops.Read _ -> 6
+  | Nfs_ops.Write _ -> 8
+  | Nfs_ops.Read_dir _ -> 16
+  | Nfs_ops.Statfs -> 17
+  | Nfs_ops.Set_attr _ -> 2
+  | Nfs_ops.Create _ -> 9
+  | Nfs_ops.Remove _ -> 10
+  | Nfs_ops.Rename _ -> 11
+  | Nfs_ops.Mkdir _ -> 14
+  | Nfs_ops.Rmdir _ -> 15
+
+let marshal_op op =
+  let x = Rpckit.Xdr.create () in
+  (match op with
+  | Nfs_ops.Null | Nfs_ops.Statfs -> ()
+  | Nfs_ops.Get_attr { fh } | Nfs_ops.Read_link { fh } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad fh)
+  | Nfs_ops.Lookup { dir; name } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad dir);
+      Rpckit.Xdr.string x name
+  | Nfs_ops.Read { fh; off; count } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad fh);
+      Rpckit.Xdr.int x off;
+      Rpckit.Xdr.int x count
+  | Nfs_ops.Read_dir { fh; count } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad fh);
+      Rpckit.Xdr.int x count
+  | Nfs_ops.Write { fh; off; data } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad fh);
+      Rpckit.Xdr.int x off;
+      Rpckit.Xdr.opaque ~cls:`Data x data
+  | Nfs_ops.Set_attr { fh; mode; size } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad fh);
+      Rpckit.Xdr.int ~cls:`Data x mode;
+      Rpckit.Xdr.int ~cls:`Data x size
+  | Nfs_ops.Create { dir; name }
+  | Nfs_ops.Remove { dir; name }
+  | Nfs_ops.Mkdir { dir; name }
+  | Nfs_ops.Rmdir { dir; name } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad dir);
+      Rpckit.Xdr.string x name
+  | Nfs_ops.Rename { from_dir; from_name; to_dir; to_name } ->
+      Rpckit.Xdr.fixed_opaque x (fh_pad from_dir);
+      Rpckit.Xdr.string x from_name;
+      Rpckit.Xdr.fixed_opaque x (fh_pad to_dir);
+      Rpckit.Xdr.string x to_name);
+  x
+
+let unmarshal_op ~proc r =
+  match proc with
+  | 0 -> Nfs_ops.Null
+  | 1 -> Nfs_ops.Get_attr { fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) }
+  | 4 ->
+      let dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Lookup { dir; name = Rpckit.Xdr.read_string r }
+  | 5 -> Nfs_ops.Read_link { fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) }
+  | 6 ->
+      let fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      let off = Rpckit.Xdr.read_int r in
+      Nfs_ops.Read { fh; off; count = Rpckit.Xdr.read_int r }
+  | 8 ->
+      let fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      let off = Rpckit.Xdr.read_int r in
+      Nfs_ops.Write { fh; off; data = Rpckit.Xdr.read_opaque r }
+  | 16 ->
+      let fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Read_dir { fh; count = Rpckit.Xdr.read_int r }
+  | 17 -> Nfs_ops.Statfs
+  | 2 ->
+      let fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      let mode = Rpckit.Xdr.read_int r in
+      Nfs_ops.Set_attr { fh; mode; size = Rpckit.Xdr.read_int r }
+  | 9 ->
+      let dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Create { dir; name = Rpckit.Xdr.read_string r }
+  | 10 ->
+      let dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Remove { dir; name = Rpckit.Xdr.read_string r }
+  | 11 ->
+      let from_dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      let from_name = Rpckit.Xdr.read_string r in
+      let to_dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Rename { from_dir; from_name; to_dir; to_name = Rpckit.Xdr.read_string r }
+  | 14 ->
+      let dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Mkdir { dir; name = Rpckit.Xdr.read_string r }
+  | 15 ->
+      let dir = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.Rmdir { dir; name = Rpckit.Xdr.read_string r }
+  | p -> invalid_arg (Printf.sprintf "Rpc_codec.unmarshal_op: proc %d" p)
+
+let dummy_attr =
+  {
+    File_store.inode = 0;
+    kind = File_store.Regular;
+    mode = 0;
+    nlink = 0;
+    uid = 0;
+    gid = 0;
+    size = 0;
+    atime = 0;
+    mtime = 0;
+    ctime = 0;
+  }
+
+let marshal_result result =
+  let x = Rpckit.Xdr.create () in
+  Rpckit.Xdr.int x (Nfs_ops.result_code result);
+  (match result with
+  | Nfs_ops.R_null -> ()
+  | Nfs_ops.R_attr a | Nfs_ops.R_write a ->
+      Rpckit.Xdr.fixed_opaque ~cls:`Data x (Nfs_ops.encode_attr a)
+  | Nfs_ops.R_lookup { fh; attr } ->
+      Rpckit.Xdr.fixed_opaque ~cls:`Data x (fh_pad fh);
+      Rpckit.Xdr.fixed_opaque ~cls:`Data x (Nfs_ops.encode_attr attr)
+  | Nfs_ops.R_link target -> Rpckit.Xdr.string ~cls:`Data x target
+  | Nfs_ops.R_data data ->
+      Rpckit.Xdr.fixed_opaque ~cls:`Data x (Nfs_ops.encode_attr dummy_attr);
+      Rpckit.Xdr.opaque ~cls:`Data x data
+  | Nfs_ops.R_entries entries -> Rpckit.Xdr.opaque ~cls:`Data x entries
+  | Nfs_ops.R_statfs s ->
+      Rpckit.Xdr.int ~cls:`Data x s.File_store.total_blocks;
+      Rpckit.Xdr.int ~cls:`Data x s.File_store.free_blocks;
+      Rpckit.Xdr.int ~cls:`Data x s.File_store.files;
+      Rpckit.Xdr.int ~cls:`Data x s.File_store.block_size;
+      Rpckit.Xdr.int ~cls:`Data x 0
+  | Nfs_ops.R_error code -> Rpckit.Xdr.int x code);
+  x
+
+let unmarshal_result r =
+  match Rpckit.Xdr.read_int r with
+  | 0 -> Nfs_ops.R_null
+  | 1 ->
+      Nfs_ops.R_attr
+        (Nfs_ops.decode_attr (Rpckit.Xdr.read_fixed_opaque r File_store.attr_bytes))
+  | 2 ->
+      let fh = fh_of_bytes (Rpckit.Xdr.read_fixed_opaque r Nfs_ops.fh_bytes) in
+      Nfs_ops.R_lookup
+        {
+          fh;
+          attr =
+            Nfs_ops.decode_attr (Rpckit.Xdr.read_fixed_opaque r File_store.attr_bytes);
+        }
+  | 3 -> Nfs_ops.R_link (Rpckit.Xdr.read_string r)
+  | 4 ->
+      let (_ : bytes) = Rpckit.Xdr.read_fixed_opaque r File_store.attr_bytes in
+      Nfs_ops.R_data (Rpckit.Xdr.read_opaque r)
+  | 5 -> Nfs_ops.R_entries (Rpckit.Xdr.read_opaque r)
+  | 6 ->
+      let total_blocks = Rpckit.Xdr.read_int r in
+      let free_blocks = Rpckit.Xdr.read_int r in
+      let files = Rpckit.Xdr.read_int r in
+      let block_size = Rpckit.Xdr.read_int r in
+      let (_ : int) = Rpckit.Xdr.read_int r in
+      Nfs_ops.R_statfs { File_store.total_blocks; free_blocks; files; block_size }
+  | 7 ->
+      Nfs_ops.R_write
+        (Nfs_ops.decode_attr (Rpckit.Xdr.read_fixed_opaque r File_store.attr_bytes))
+  | 8 -> Nfs_ops.R_error (Rpckit.Xdr.read_int r)
+  | c -> invalid_arg (Printf.sprintf "Rpc_codec.unmarshal_result: %d" c)

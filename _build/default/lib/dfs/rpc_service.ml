@@ -1,0 +1,23 @@
+(* The RPC-baseline file service: the same operations as {!Server}, but
+   reached through the classic RPC stack — the structure the paper's
+   Table 1 systems use. *)
+
+type t = { server : Rpckit.Server.t; store : File_store.t }
+
+let start transport ~store ?(threads = 2) () =
+  let node = Rpckit.Transport.node transport in
+  let costs = Cluster.Node.costs node in
+  let cpu = Cluster.Node.cpu node in
+  let handler ~src:_ ~proc reader =
+    let op = Rpc_codec.unmarshal_op ~proc reader in
+    Cluster.Cpu.use cpu ~category:Cluster.Cpu.cat_procedure
+      (Nfs_ops.procedure_cost costs op);
+    Rpc_codec.marshal_result (Server.execute store op)
+  in
+  let server =
+    Rpckit.Server.create transport ~prog:Rpc_codec.prog ~threads ~handler ()
+  in
+  { server; store }
+
+let served t = Rpckit.Server.served t.server
+let rpc_server t = t.server

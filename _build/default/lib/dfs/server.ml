@@ -1,0 +1,354 @@
+(* The distributed file service's server.
+
+   The server exports its cache areas (attributes, name-lookup results,
+   symlink targets, directory contents, file blocks) plus a statfs
+   hint region and a Hybrid-1 request segment.  DX clerks read and
+   write the caches directly with remote memory operations — the server
+   CPU is involved only in emulating those accesses.  Hybrid-1 requests
+   arrive as writes-with-notification; a service procedure then runs and
+   remote-writes the result into the requesting clerk's reply segment. *)
+
+type t = {
+  rmem : Rmem.Remote_memory.t;
+  node : Cluster.Node.t;
+  clerk : Names.Clerk.t; (* name-service clerk on the server machine *)
+  store : File_store.t;
+  space : Cluster.Address_space.t;
+  attr_cache : Slot_cache.t;
+  name_cache : Slot_cache.t;
+  link_cache : Slot_cache.t;
+  dir_cache : Slot_cache.t;
+  file_cache : Slot_cache.t;
+  request_segment : Rmem.Segment.t;
+  reply_descriptors : (int, Rmem.Descriptor.t) Hashtbl.t;
+  push_targets : (int, Rmem.Descriptor.t) Hashtbl.t;
+  mutable hybrid_served : int;
+  mutable blocks_pushed : int;
+}
+
+let costs t = Cluster.Node.costs t.node
+let cpu t = Cluster.Node.cpu t.node
+
+let name_key name = Names.Record.fnv_hash name
+
+(* Execute an operation against the local file store. *)
+let execute store op =
+  try
+    match op with
+    | Nfs_ops.Null -> Nfs_ops.R_null
+    | Nfs_ops.Get_attr { fh } -> Nfs_ops.R_attr (File_store.getattr store fh)
+    | Nfs_ops.Lookup { dir; name } ->
+        let fh = File_store.lookup store ~dir ~name in
+        Nfs_ops.R_lookup { fh; attr = File_store.getattr store fh }
+    | Nfs_ops.Read_link { fh } -> Nfs_ops.R_link (File_store.readlink store fh)
+    | Nfs_ops.Read { fh; off; count } ->
+        Nfs_ops.R_data (File_store.read store fh ~off ~count)
+    | Nfs_ops.Read_dir { fh; count } ->
+        let packed = File_store.encode_entries (File_store.readdir store fh) in
+        let count = Stdlib.min count (Bytes.length packed) in
+        Nfs_ops.R_entries (Bytes.sub packed 0 count)
+    | Nfs_ops.Statfs -> Nfs_ops.R_statfs (File_store.statfs store)
+    | Nfs_ops.Write { fh; off; data } ->
+        File_store.write store fh ~off data;
+        Nfs_ops.R_write (File_store.getattr store fh)
+    | Nfs_ops.Set_attr { fh; mode; size } ->
+        File_store.set_attr store fh ~mode ~size ();
+        Nfs_ops.R_attr (File_store.getattr store fh)
+    | Nfs_ops.Create { dir; name } ->
+        let fh = File_store.create_file store ~dir ~name () in
+        Nfs_ops.R_lookup { fh; attr = File_store.getattr store fh }
+    | Nfs_ops.Mkdir { dir; name } ->
+        let fh = File_store.mkdir store ~dir ~name () in
+        Nfs_ops.R_lookup { fh; attr = File_store.getattr store fh }
+    | Nfs_ops.Remove { dir; name } ->
+        File_store.remove store ~dir ~name;
+        Nfs_ops.R_null
+    | Nfs_ops.Rmdir { dir; name } ->
+        File_store.rmdir store ~dir ~name;
+        Nfs_ops.R_null
+    | Nfs_ops.Rename { from_dir; from_name; to_dir; to_name } ->
+        File_store.rename store ~from_dir ~from_name ~to_dir ~to_name;
+        Nfs_ops.R_null
+  with
+  | File_store.No_such_file _ -> Nfs_ops.R_error 2
+  | File_store.Not_a_directory _ -> Nfs_ops.R_error 20
+  | File_store.Not_a_symlink _ | File_store.Not_a_file _ -> Nfs_ops.R_error 22
+  | File_store.Name_exists _ -> Nfs_ops.R_error 17
+  | File_store.Not_empty _ -> Nfs_ops.R_error 66
+
+(* ------------------------------------------------------------------ *)
+(* Cache maintenance (server side, local memory operations).           *)
+
+let publish_statfs t =
+  let s = File_store.statfs t.store in
+  let b = Bytes.make Layout.statfs_bytes '\000' in
+  Bytes.set_int32_le b 0 1l (* valid *);
+  Bytes.set_int32_le b 4 (Int32.of_int s.File_store.total_blocks);
+  Bytes.set_int32_le b 8 (Int32.of_int s.File_store.free_blocks);
+  Bytes.set_int32_le b 12 (Int32.of_int s.File_store.files);
+  Bytes.set_int32_le b 16 (Int32.of_int s.File_store.block_size);
+  Cluster.Address_space.write t.space ~addr:Layout.statfs_base b
+
+let cache_attr t fh =
+  let attr = File_store.getattr t.store fh in
+  Slot_cache.install t.attr_cache ~key1:fh ~key2:0 (Nfs_ops.encode_attr attr)
+
+let cache_name t ~dir ~name =
+  let fh = File_store.lookup t.store ~dir ~name in
+  let attr = File_store.getattr t.store fh in
+  let payload = Bytes.create (4 + File_store.attr_bytes) in
+  Bytes.set_int32_le payload 0 (Int32.of_int fh);
+  Bytes.blit (Nfs_ops.encode_attr attr) 0 payload 4 File_store.attr_bytes;
+  Slot_cache.install t.name_cache ~key1:dir ~key2:(name_key name) payload
+
+let cache_link t fh =
+  let target = File_store.readlink t.store fh in
+  Slot_cache.install t.link_cache ~key1:fh ~key2:0
+    (Bytes.of_string target)
+
+let cache_dir t fh =
+  let packed = File_store.encode_entries (File_store.readdir t.store fh) in
+  let total = Bytes.length packed in
+  let chunk = Layout.dir_chunk_bytes in
+  let rec go i =
+    let off = i * chunk in
+    if off < total || (total = 0 && i = 0) then begin
+      let len = Stdlib.min chunk (total - off) in
+      Slot_cache.install t.dir_cache ~key1:fh ~key2:i (Bytes.sub packed off len);
+      go (i + 1)
+    end
+  in
+  go 0
+
+let cache_file_block t fh ~block =
+  let data =
+    File_store.read t.store fh ~off:(block * File_store.block_bytes)
+      ~count:File_store.block_bytes
+  in
+  let data =
+    if Bytes.length data < File_store.block_bytes then begin
+      let b = Bytes.make File_store.block_bytes '\000' in
+      Bytes.blit data 0 b 0 (Bytes.length data);
+      b
+    end
+    else data
+  in
+  Slot_cache.install t.file_cache ~key1:fh ~key2:block data
+
+(* Walk the whole store and warm every cache area: the experiments'
+   100%-server-cache-hit regime. *)
+let warm_all_caches t =
+  let rec walk dir =
+    List.iter
+      (fun (name, fh) ->
+        cache_name t ~dir ~name;
+        cache_attr t fh;
+        match (File_store.getattr t.store fh).File_store.kind with
+        | File_store.Regular ->
+            let size = (File_store.getattr t.store fh).File_store.size in
+            let blocks =
+              Stdlib.max 1
+                ((size + File_store.block_bytes - 1) / File_store.block_bytes)
+            in
+            for block = 0 to blocks - 1 do
+              cache_file_block t fh ~block
+            done
+        | File_store.Symlink -> cache_link t fh
+        | File_store.Directory ->
+            cache_dir t fh;
+            walk fh)
+      (File_store.readdir t.store dir)
+  in
+  cache_attr t (File_store.root t.store);
+  cache_dir t (File_store.root t.store);
+  walk (File_store.root t.store);
+  publish_statfs t
+
+(* Eager push (§3.2): the server updates the local caches of subscribed
+   clerks with one-way remote writes — no clerk is scheduled or woken,
+   it simply finds fresher data on its next local lookup. *)
+let enable_eager_push t ~client =
+  let key = Atm.Addr.to_int client in
+  if not (Hashtbl.mem t.push_targets key) then begin
+    let desc =
+      Names.Api.import ~hint:client t.clerk (Layout.lcache_name_for client)
+    in
+    Hashtbl.replace t.push_targets key desc
+  end
+
+let push_block t ~fh ~block =
+  match Slot_cache.lookup_local t.file_cache ~key1:fh ~key2:block with
+  | None -> ()
+  | Some data ->
+      let slot_off =
+        Slot_cache.offset_of_key_cfg Layout.file_cache ~key1:fh ~key2:block
+      in
+      let image = Slot_cache.encode_slot t.file_cache ~key1:fh ~key2:block data in
+      let header = Bytes.sub image 0 Slot_cache.header_bytes in
+      let payload =
+        Bytes.sub image Slot_cache.header_bytes
+          (Bytes.length image - Slot_cache.header_bytes)
+      in
+      Hashtbl.iter
+        (fun _ desc ->
+          (* Body first, header (with the valid flag) second. *)
+          Rmem.Remote_memory.write t.rmem desc
+            ~off:(slot_off + Slot_cache.header_bytes)
+            payload;
+          Rmem.Remote_memory.write t.rmem desc ~off:slot_off header;
+          t.blocks_pushed <- t.blocks_pushed + 1)
+        t.push_targets
+
+(* Apply clerk-pushed file blocks back to the store (write-back).  A
+   pushed slot is newer than the store when its contents differ; applied
+   blocks are then eagerly pushed to subscribed clerks. *)
+let writeback t ~fh ~block =
+  match Slot_cache.lookup_local t.file_cache ~key1:fh ~key2:block with
+  | None -> ()
+  | Some data ->
+      let off = block * File_store.block_bytes in
+      let current = File_store.read t.store fh ~off ~count:(Bytes.length data) in
+      if not (Bytes.equal current data) then begin
+        File_store.write t.store fh ~off data;
+        push_block t ~fh ~block
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid-1 service.                                                   *)
+
+let reply_descriptor t ~client =
+  let key = Atm.Addr.to_int client in
+  match Hashtbl.find_opt t.reply_descriptors key with
+  | Some desc -> desc
+  | None ->
+      let desc =
+        Names.Api.import ~hint:client t.clerk (Layout.reply_name_for client)
+      in
+      Hashtbl.replace t.reply_descriptors key desc;
+      desc
+
+(* Keep the exported cache areas coherent with namespace mutations the
+   service procedures perform, so later DX probes never see stale
+   metadata. *)
+let refresh_caches_for t op result =
+  match (op, result) with
+  | Nfs_ops.Write { fh; _ }, Nfs_ops.R_write _ | Nfs_ops.Set_attr { fh; _ }, _
+    ->
+      cache_attr t fh
+  | ( (Nfs_ops.Create { dir; name } | Nfs_ops.Mkdir { dir; name }),
+      Nfs_ops.R_lookup { fh; _ } ) ->
+      cache_name t ~dir ~name;
+      cache_attr t fh;
+      cache_attr t dir;
+      cache_dir t dir;
+      publish_statfs t
+  | (Nfs_ops.Remove { dir; name } | Nfs_ops.Rmdir { dir; name }), Nfs_ops.R_null
+    ->
+      Slot_cache.invalidate t.name_cache ~key1:dir ~key2:(name_key name);
+      cache_attr t dir;
+      cache_dir t dir;
+      publish_statfs t
+  | Nfs_ops.Rename { from_dir; from_name; to_dir; to_name }, Nfs_ops.R_null ->
+      Slot_cache.invalidate t.name_cache ~key1:from_dir
+        ~key2:(name_key from_name);
+      cache_name t ~dir:to_dir ~name:to_name;
+      cache_dir t from_dir;
+      cache_dir t to_dir
+  | _ -> ()
+
+let serve_hybrid_request t ~(record : Rmem.Notification.record) =
+  let client = record.Rmem.Notification.src in
+  let slot_base =
+    Layout.request_base
+    + (Atm.Addr.to_int client * Layout.request_slot_bytes)
+  in
+  let len =
+    Int32.to_int (Cluster.Address_space.read_word t.space ~addr:slot_base)
+  in
+  let op =
+    Nfs_ops.decode_op
+      (Cluster.Address_space.read t.space ~addr:(slot_base + 4) ~len)
+  in
+  (* The service procedure itself. *)
+  Cluster.Cpu.use (cpu t) ~category:Cluster.Cpu.cat_procedure
+    (Nfs_ops.procedure_cost (costs t) op);
+  let result = execute t.store op in
+  refresh_caches_for t op result;
+  let payload = Nfs_ops.encode_result result in
+  let desc = reply_descriptor t ~client in
+  (* Body first, then the flag+len words, so the spinning clerk never
+     sees a ready flag over incomplete data. *)
+  Rmem.Remote_memory.write t.rmem desc ~off:8 payload;
+  let header = Bytes.create 8 in
+  Bytes.set_int32_le header 0 Layout.reply_ready;
+  Bytes.set_int32_le header 4 (Int32.of_int (Bytes.length payload));
+  Rmem.Remote_memory.write t.rmem desc ~off:0 header;
+  t.hybrid_served <- t.hybrid_served + 1
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+let create ~rmem ~clerk ~store () =
+  let node = Rmem.Remote_memory.node rmem in
+  let space = Cluster.Node.new_address_space node in
+  let cache base config = Slot_cache.create ~space ~base config in
+  let rights = Rmem.Rights.make ~read:true ~write:true ~cas:true () in
+  let export ~base ~len ~name ?policy () =
+    ignore
+      (Names.Api.export clerk ~space ~base ~len ~rights ?policy ~name ()
+        : Rmem.Segment.t)
+  in
+  export ~base:Layout.statfs_base ~len:Layout.statfs_bytes
+    ~name:Layout.statfs_name ();
+  export ~base:Layout.attr_base
+    ~len:(Slot_cache.segment_bytes Layout.attr_cache)
+    ~name:Layout.attr_name ();
+  export ~base:Layout.name_base
+    ~len:(Slot_cache.segment_bytes Layout.name_cache)
+    ~name:Layout.name_name ();
+  export ~base:Layout.link_base
+    ~len:(Slot_cache.segment_bytes Layout.link_cache)
+    ~name:Layout.link_name ();
+  export ~base:Layout.dir_base
+    ~len:(Slot_cache.segment_bytes Layout.dir_cache)
+    ~name:Layout.dir_name ();
+  export ~base:Layout.file_base
+    ~len:(Slot_cache.segment_bytes Layout.file_cache)
+    ~name:Layout.file_name ();
+  let request_segment =
+    Names.Api.export clerk ~space ~base:Layout.request_base
+      ~len:Layout.request_bytes ~rights:Rmem.Rights.write_only
+      ~policy:Rmem.Segment.Conditional ~name:Layout.request_name ()
+  in
+  let t =
+    {
+      rmem;
+      node;
+      clerk;
+      store;
+      space;
+      attr_cache = cache Layout.attr_base Layout.attr_cache;
+      name_cache = cache Layout.name_base Layout.name_cache;
+      link_cache = cache Layout.link_base Layout.link_cache;
+      dir_cache = cache Layout.dir_base Layout.dir_cache;
+      file_cache = cache Layout.file_base Layout.file_cache;
+      request_segment;
+      reply_descriptors = Hashtbl.create 8;
+      push_targets = Hashtbl.create 8;
+      hybrid_served = 0;
+      blocks_pushed = 0;
+    }
+  in
+  Rmem.Remote_memory.set_server_role rmem;
+  Rmem.Notification.set_signal_handler
+    (Rmem.Segment.notification request_segment)
+    (Some (fun record -> serve_hybrid_request t ~record));
+  t
+
+let node t = t.node
+let store t = t.store
+let space t = t.space
+let hybrid_served t = t.hybrid_served
+let blocks_pushed t = t.blocks_pushed
+let file_cache t = t.file_cache
+let rmem t = t.rmem

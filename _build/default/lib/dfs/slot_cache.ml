@@ -1,0 +1,117 @@
+(* The cache organization shared by server and clerks (§5.1).
+
+   Each cache area is a direct-mapped table of fixed-size slots living
+   inside a segment, so a clerk can compute the exact slot offset of
+   (key1, key2) in the *server's* cache and fetch it with one remote
+   READ — the paper's "server clerks understand the organization of the
+   server's data structures".
+
+   A slot is [flag 4][key1 4][key2 4][len 4][payload ...].  The owner
+   writes the body first and the flag word last; a reader validates the
+   flag and compares the keys, which is the paper's miss-detection
+   recipe ("a flag word ... the atomicity of remote access guarantees
+   this; a comparison of the block number shows if there was a miss"). *)
+
+let header_bytes = 16
+let flag_invalid = 0l
+let flag_valid = 1l
+
+type config = { slots : int; payload_bytes : int }
+
+type t = {
+  space : Cluster.Address_space.t;
+  base : int;
+  config : config;
+}
+
+let slot_bytes config = header_bytes + config.payload_bytes
+
+let segment_bytes config = config.slots * slot_bytes config
+
+let create ~space ~base config =
+  if config.slots <= 0 || config.slots land (config.slots - 1) <> 0 then
+    invalid_arg "Slot_cache.create: slots must be a positive power of two";
+  if config.payload_bytes <= 0 || config.payload_bytes land 3 <> 0 then
+    invalid_arg "Slot_cache.create: payload must be a positive word multiple";
+  { space; base; config }
+
+let config t = t.config
+
+let mix k1 k2 =
+  (* A small integer hash both ends compute identically. *)
+  let h = (k1 * 0x9E3779B1) lxor (k2 * 0x85EBCA77) in
+  (h lxor (h lsr 13)) land max_int
+
+(* Pure addressing from a config alone: what a clerk uses to compute
+   slot offsets inside the *server's* cache segment. *)
+let slot_of_key_cfg config ~key1 ~key2 = mix key1 key2 land (config.slots - 1)
+
+let offset_of_slot_cfg config slot = slot * slot_bytes config
+
+let offset_of_key_cfg config ~key1 ~key2 =
+  offset_of_slot_cfg config (slot_of_key_cfg config ~key1 ~key2)
+
+let slot_of_key t ~key1 ~key2 = slot_of_key_cfg t.config ~key1 ~key2
+
+let offset_of_slot t slot = offset_of_slot_cfg t.config slot
+
+let offset_of_key t ~key1 ~key2 = offset_of_key_cfg t.config ~key1 ~key2
+
+(* Local (owner-side) operations. *)
+
+let install t ~key1 ~key2 payload =
+  let len = Bytes.length payload in
+  if len > t.config.payload_bytes then
+    invalid_arg "Slot_cache.install: payload too large";
+  let addr = t.base + offset_of_key t ~key1 ~key2 in
+  Cluster.Address_space.write_word t.space ~addr flag_invalid;
+  Cluster.Address_space.write_word t.space ~addr:(addr + 4)
+    (Int32.of_int key1);
+  Cluster.Address_space.write_word t.space ~addr:(addr + 8)
+    (Int32.of_int key2);
+  Cluster.Address_space.write_word t.space ~addr:(addr + 12)
+    (Int32.of_int len);
+  Cluster.Address_space.write t.space ~addr:(addr + header_bytes) payload;
+  Cluster.Address_space.write_word t.space ~addr flag_valid
+
+let invalidate t ~key1 ~key2 =
+  let addr = t.base + offset_of_key t ~key1 ~key2 in
+  Cluster.Address_space.write_word t.space ~addr flag_invalid
+
+(* Decode a fetched (or local) slot image, validating flag and keys. *)
+let decode_slot slot ~key1 ~key2 =
+  if Bytes.length slot < header_bytes then None
+  else if not (Int32.equal (Bytes.get_int32_le slot 0) flag_valid) then None
+  else if
+    not
+      (Int32.to_int (Bytes.get_int32_le slot 4) = key1
+      && Int32.to_int (Bytes.get_int32_le slot 8) = key2)
+  then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_le slot 12) in
+    if len < 0 || len > Bytes.length slot - header_bytes then None
+    else Some (Bytes.sub slot header_bytes len)
+  end
+
+let lookup_local t ~key1 ~key2 =
+  let addr = t.base + offset_of_key t ~key1 ~key2 in
+  let slot =
+    Cluster.Address_space.read t.space ~addr ~len:(slot_bytes t.config)
+  in
+  decode_slot slot ~key1 ~key2
+
+(* Build a slot image for pushing into a remote cache: the payload with
+   its header, flag already valid.  The pusher writes the body (header
+   excluded) first and the 16-byte header second, so a concurrent remote
+   reader never sees a valid flag over torn contents. *)
+let encode_slot t ~key1 ~key2 payload =
+  let len = Bytes.length payload in
+  if len > t.config.payload_bytes then
+    invalid_arg "Slot_cache.encode_slot: payload too large";
+  let b = Bytes.make (header_bytes + len) '\000' in
+  Bytes.set_int32_le b 0 flag_valid;
+  Bytes.set_int32_le b 4 (Int32.of_int key1);
+  Bytes.set_int32_le b 8 (Int32.of_int key2);
+  Bytes.set_int32_le b 12 (Int32.of_int len);
+  Bytes.blit payload 0 b header_bytes len;
+  b

@@ -1,0 +1,1 @@
+lib/experiments/amsg_bench.ml: Amsg Array Bytes Cluster Int32 List Metrics Names Option Printf Rmem Rpckit Sim String

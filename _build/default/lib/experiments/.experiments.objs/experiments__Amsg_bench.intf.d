@@ -1,0 +1,1 @@
+lib/experiments/amsg_bench.mli:

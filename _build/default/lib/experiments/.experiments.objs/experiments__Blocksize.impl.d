@@ -1,0 +1,1 @@
+lib/experiments/blocksize.ml: Bytes Dfs Fixture List Metrics Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/blocksize.mli: Fixture

@@ -1,0 +1,1 @@
+lib/experiments/burst.ml: Bytes Cluster List Metrics Option Printf Rmem Sim

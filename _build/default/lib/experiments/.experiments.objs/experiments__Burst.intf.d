@@ -1,0 +1,1 @@
+lib/experiments/burst.mli:

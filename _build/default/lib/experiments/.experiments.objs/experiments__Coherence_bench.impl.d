@@ -1,0 +1,1 @@
+lib/experiments/coherence_bench.ml: Array Cluster Dfs List Metrics Names Printf Rmem Rpckit Sim

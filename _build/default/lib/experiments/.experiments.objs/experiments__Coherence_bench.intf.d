@@ -1,0 +1,1 @@
+lib/experiments/coherence_bench.mli:

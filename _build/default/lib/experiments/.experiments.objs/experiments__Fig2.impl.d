@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Buffer Dfs Fixture List Metrics Printf

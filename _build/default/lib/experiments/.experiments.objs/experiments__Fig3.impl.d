@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Buffer Cluster Dfs Fixture List Metrics Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/fixture.ml: Array Bytes Char Cluster Dfs Names Printf Rmem Rpckit Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fixture.mli: Atm Cluster Dfs Names Rmem Rpckit Sim Workload

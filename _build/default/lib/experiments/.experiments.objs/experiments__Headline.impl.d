@@ -1,0 +1,1 @@
+lib/experiments/headline.ml: Array Buffer Cluster Dfs Fixture List Metrics Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/experiments/probe_policy.ml: Buffer Cluster List Metrics Names Printf Rmem Sim

@@ -1,0 +1,1 @@
+lib/experiments/probe_policy.mli:

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Cluster Dfs Fixture List Metrics Printf Sim Workload

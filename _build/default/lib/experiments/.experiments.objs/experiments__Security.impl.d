@@ -1,0 +1,1 @@
+lib/experiments/security.ml: Bytes Cluster List Metrics Printf Rmem Sim

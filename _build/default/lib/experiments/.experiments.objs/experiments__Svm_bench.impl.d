@@ -1,0 +1,1 @@
+lib/experiments/svm_bench.ml: Array Atm Bytes Char Cluster List Metrics Option Printf Rmem Rpckit Sim Svm

@@ -1,0 +1,1 @@
+lib/experiments/svm_bench.mli:

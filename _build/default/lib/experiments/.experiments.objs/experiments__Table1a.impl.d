@@ -1,0 +1,1 @@
+lib/experiments/table1a.ml: Array List Metrics Option Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/table1b.ml: Buffer Float List Metrics Printf Sim String Workload

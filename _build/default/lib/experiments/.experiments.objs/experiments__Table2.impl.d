@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Bytes Cluster List Metrics Printf Rmem Sim

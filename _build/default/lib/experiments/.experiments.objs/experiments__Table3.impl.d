@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Cluster List Metrics Names Printf Rmem Sim

@@ -1,0 +1,1 @@
+lib/experiments/technology.ml: Atm Cluster Dfs Fixture List Metrics Printf

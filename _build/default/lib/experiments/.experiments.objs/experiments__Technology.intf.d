@@ -1,0 +1,1 @@
+lib/experiments/technology.mli:

@@ -1,0 +1,22 @@
+(** Figure 3: server CPU per operation decomposed into data reception /
+    control transfer / procedure invocation / data reply, HY vs DX. *)
+
+type breakdown = {
+  reception_us : float;
+  control_us : float;
+  procedure_us : float;
+  reply_us : float;
+}
+
+val total : breakdown -> float
+
+type row = { op : string; hy : breakdown; dx : breakdown }
+
+type result = row list
+
+val run : ?fixture:Fixture.t -> unit -> result
+
+val average_load_ratio : result -> float
+(** Mean DX/HY server-load ratio over the ops (paper: < 0.5). *)
+
+val render : result -> string

@@ -1,0 +1,54 @@
+(** Shared experimental setup: a simulated cluster with the name
+    service, the file server (node 0), one DFS clerk per client node,
+    warmed caches, and bootstrap paths pre-exercised. *)
+
+type t = {
+  testbed : Cluster.Testbed.t;
+  engine : Sim.Engine.t;
+  rmems : Rmem.Remote_memory.t array;
+  names : Names.Clerk.t array;
+  transports : Rpckit.Transport.t array;
+  tree : Workload.File_tree.t;
+  store : Dfs.File_store.t;
+  server : Dfs.Server.t;
+  rpc_service : Dfs.Rpc_service.t;
+  clerks : Dfs.Clerk.t array;  (** index c = clerk on node c+1 *)
+  prng : Sim.Prng.t;
+  bench_file : int;
+  bench_dir : int;
+  bench_link : int;
+}
+
+val create :
+  ?clients:int ->
+  ?seed:int ->
+  ?tree_dirs:int ->
+  ?files_per_dir:int ->
+  ?costs:Cluster.Costs.t ->
+  ?net_config:Atm.Config.t ->
+  unit ->
+  t
+
+val server_addr : t -> Atm.Addr.t
+val server_node : t -> Cluster.Node.t
+val server_cpu : t -> Cluster.Cpu.t
+val clerk : t -> int -> Dfs.Clerk.t
+
+val run : t -> (unit -> 'a) -> 'a
+(** Run a body as a simulation process to quiescence. *)
+
+val now : t -> Sim.Time.t
+
+val time : t -> (unit -> 'a) -> 'a * float
+(** Result and elapsed simulated microseconds. *)
+
+val reset_accounting : t -> unit
+(** Zero every node's CPU accounts (between measurement phases). *)
+
+val recache_bench : t -> unit
+(** Restore the benchmark objects' server cache slots (the paper's
+    100%-hit regime) — run before each figure measurement, since write
+    pushes and collisions degrade the direct-mapped slots. *)
+
+val figure_ops : t -> (string * Dfs.Nfs_ops.op) list
+(** The twelve operations of Figures 2 and 3, in the paper's order. *)

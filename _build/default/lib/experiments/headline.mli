@@ -1,0 +1,17 @@
+(** The paper's headline: ~50% server-load reduction when the Table 1a
+    mix moves from Hybrid-1 to pure data transfer. *)
+
+type result = {
+  events : int;
+  hy_server_us : float;
+  dx_server_us : float;
+  hy_breakdown : (string * float) list;
+  dx_breakdown : (string * float) list;
+}
+
+val run : ?fixture:Fixture.t -> ?scale:int -> unit -> result
+
+val reduction : result -> float
+(** 1 - DX/HY server CPU (paper: ~0.5). *)
+
+val render : result -> string

@@ -1,0 +1,116 @@
+(* Ablation C: probing versus control transfer in the name server
+   (§4.2).  The paper reasons that with their costs, remote probing
+   beats transferring control unless seven or more hash collisions must
+   be chased.  We build collision chains of increasing length and
+   measure the uncached lookup under both policies, locating the
+   crossover. *)
+
+type point = {
+  chain : int; (* probes needed to reach the name *)
+  probing_us : float;
+  control_us : float;
+}
+
+type result = { points : point list; crossover : int option }
+
+(* Find [n] distinct names that all hash to the same registry slot. *)
+let colliding_names ~slots ~target n =
+  let rec collect acc i =
+    if List.length acc >= n then List.rev acc
+    else begin
+      let name = Printf.sprintf "col%06d" i in
+      if Names.Record.fnv_hash name land (slots - 1) = target then
+        collect (name :: acc) (i + 1)
+      else collect acc (i + 1)
+    end
+  in
+  collect [] 0
+
+let max_chain = 12
+
+let run () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let engine = Cluster.Testbed.engine testbed in
+  let n0 = Cluster.Testbed.node testbed 0 in
+  let n1 = Cluster.Testbed.node testbed 1 in
+  let r0 = Rmem.Remote_memory.attach n0 in
+  let r1 = Rmem.Remote_memory.attach n1 in
+  let points = ref [] in
+  Cluster.Testbed.run testbed (fun () ->
+      let c0 = Names.Clerk.create r0 in
+      let c1 = Names.Clerk.create r1 in
+      Names.Clerk.serve_lookup_requests c0;
+      Names.Clerk.serve_lookup_requests c1;
+      let slots = Names.Registry.slots (Names.Clerk.registry c1) in
+      let names = colliding_names ~slots ~target:17 (max_chain + 1) in
+      let space1 = Cluster.Node.new_address_space n1 in
+      (* Export the chain in order: name k needs k probes to reach. *)
+      List.iteri
+        (fun i name ->
+          ignore
+            (Names.Api.export c1 ~space:space1 ~base:(i * 4096) ~len:64 ~name ()
+              : Rmem.Segment.t))
+        names;
+      (* Warm bootstrap descriptors. *)
+      let hint = Cluster.Node.addr n1 in
+      let (_ : Rmem.Descriptor.t) =
+        Names.Api.import ~hint c0 (List.hd names)
+      in
+      let (_ : Rmem.Descriptor.t) =
+        Names.Api.import_with_control_transfer ~hint c0 (List.hd names)
+      in
+      let time body =
+        let t0 = Sim.Engine.now engine in
+        let (_ : Rmem.Descriptor.t) = body () in
+        Sim.Time.to_us (Sim.Time.diff (Sim.Engine.now engine) t0)
+      in
+      List.iteri
+        (fun chain name ->
+          Names.Clerk.set_probe_policy c0 Names.Clerk.Probe_until_found;
+          let probing_us =
+            time (fun () -> Names.Api.import ~force:true ~hint c0 name)
+          in
+          let control_us =
+            time (fun () ->
+                Names.Api.import_with_control_transfer ~hint c0 name)
+          in
+          points := { chain; probing_us; control_us } :: !points)
+        names);
+  let points = List.rev !points in
+  let crossover =
+    List.find_map
+      (fun p -> if p.probing_us > p.control_us then Some p.chain else None)
+      points
+  in
+  { points; crossover }
+
+let render result =
+  let table =
+    Metrics.Table.create
+      ~title:
+        "Ablation C: remote probing vs control transfer in name lookup (us)"
+      [
+        ("Collisions", Metrics.Table.Right);
+        ("Probing", Metrics.Table.Right);
+        ("Control transfer", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Metrics.Table.add_row table
+        [
+          string_of_int p.chain;
+          Printf.sprintf "%.0f" p.probing_us;
+          Printf.sprintf "%.0f" p.control_us;
+        ])
+    result.points;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Metrics.Table.render table);
+  (match result.crossover with
+  | Some chain ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "control transfer wins from %d collisions (paper: ~7)\n" chain)
+  | None ->
+      Buffer.add_string buf "probing won at every measured chain length\n");
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Ablation C: remote probing vs control transfer for name lookups
+    across hash-collision chain lengths; the paper expects the
+    crossover near seven collisions. *)
+
+type point = { chain : int; probing_us : float; control_us : float }
+
+type result = { points : point list; crossover : int option }
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,91 @@
+(* Ablation A: scalability with client count (the paper's §3 argument —
+   lower server involvement per request supports more clients).
+
+   N clients concurrently replay mixed operations; we report makespan,
+   mean client-seen latency and server CPU utilization per scheme. *)
+
+type point = {
+  clients : int;
+  scheme : Dfs.Clerk.scheme;
+  mean_latency_us : float;
+  makespan_us : float;
+  server_utilization : float;
+}
+
+type result = point list
+
+let ops_per_client = 150
+
+let measure fixture scheme ~clients =
+  Fixture.run fixture (fun () ->
+      Fixture.reset_accounting fixture;
+      let latencies = Metrics.Summary.create () in
+      let done_count = ref 0 in
+      let all_done = Sim.Ivar.create () in
+      let t0 = Fixture.now fixture in
+      for c = 0 to clients - 1 do
+        let clerk = Fixture.clerk fixture c in
+        Dfs.Clerk.set_scheme clerk scheme;
+        let prng = Sim.Prng.split fixture.Fixture.prng in
+        Cluster.Node.spawn (Dfs.Clerk.node clerk) (fun () ->
+            let sample = Workload.Mix.sampler () in
+            for _ = 1 to ops_per_client do
+              let event =
+                Workload.Trace.event_for fixture.Fixture.tree prng (sample prng)
+              in
+              let _, elapsed =
+                Fixture.time fixture (fun () ->
+                    Dfs.Clerk.remote_fetch clerk event.Workload.Trace.op)
+              in
+              Metrics.Summary.add latencies elapsed
+            done;
+            incr done_count;
+            if !done_count = clients then Sim.Ivar.fill all_done ())
+      done;
+      Sim.Ivar.read all_done;
+      let makespan = Sim.Time.diff (Fixture.now fixture) t0 in
+      Sim.Proc.wait (Sim.Time.ms 10);
+      let busy = Cluster.Cpu.busy_time (Fixture.server_cpu fixture) in
+      {
+        clients;
+        scheme;
+        mean_latency_us = Metrics.Summary.mean latencies;
+        makespan_us = Sim.Time.to_us makespan;
+        server_utilization = Sim.Time.to_us busy /. Sim.Time.to_us makespan;
+      })
+
+let run ?(client_counts = [ 1; 2; 4; 8 ]) () =
+  List.concat_map
+    (fun clients ->
+      let fixture = Fixture.create ~clients () in
+      [
+        measure fixture Dfs.Clerk.Hybrid1 ~clients;
+        measure fixture Dfs.Clerk.Dx ~clients;
+      ])
+    client_counts
+
+let render points =
+  let table =
+    Metrics.Table.create
+      ~title:
+        "Ablation A: scalability with client count (Table 1a mix, warm caches)"
+      [
+        ("Clients", Metrics.Table.Right);
+        ("Scheme", Metrics.Table.Left);
+        ("Mean latency (us)", Metrics.Table.Right);
+        ("Makespan (ms)", Metrics.Table.Right);
+        ("Server CPU util", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Metrics.Table.add_row table
+        [
+          string_of_int p.clients;
+          Dfs.Clerk.scheme_to_string p.scheme;
+          Printf.sprintf "%.0f" p.mean_latency_us;
+          Printf.sprintf "%.1f" (p.makespan_us /. 1000.);
+          Printf.sprintf "%.2f" p.server_utilization;
+        ])
+    points;
+  Metrics.Table.render table

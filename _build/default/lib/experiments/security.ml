@@ -1,0 +1,100 @@
+(* Ablation E: the cost of security (§3.5).
+
+   In untrusted environments every remote read and write must be
+   encrypted.  The paper's position: software encryption of the
+   emulated data path "will not provide adequate performance", but
+   AN1-style hardware that transforms data as it streams through the
+   controller keeps the model viable.  We run the Table-2 micro
+   operations under no encryption, hardware encryption and software
+   encryption. *)
+
+type row = {
+  mode : string;
+  write_us : float;
+  read_us : float;
+  throughput_mbps : float;
+}
+
+type result = row list
+
+let measure crypto =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let engine = Cluster.Testbed.engine testbed in
+  let n0 = Cluster.Testbed.node testbed 0 in
+  let n1 = Cluster.Testbed.node testbed 1 in
+  let r0 = Rmem.Remote_memory.attach n0 in
+  let r1 = Rmem.Remote_memory.attach n1 in
+  Rmem.Remote_memory.set_crypto r0 crypto;
+  Rmem.Remote_memory.set_crypto r1 crypto;
+  let space0 = Cluster.Node.new_address_space n0 in
+  let space1 = Cluster.Node.new_address_space n1 in
+  let out = ref None in
+  Cluster.Testbed.run testbed (fun () ->
+      let segment =
+        Rmem.Remote_memory.export r1 ~space:space1 ~base:0 ~len:65536
+          ~rights:Rmem.Rights.all ~name:"secure" ()
+      in
+      let desc =
+        Rmem.Remote_memory.import r0 ~remote:(Cluster.Node.addr n1)
+          ~segment_id:(Rmem.Segment.id segment)
+          ~generation:(Rmem.Segment.generation segment)
+          ~size:65536 ~rights:Rmem.Rights.all ()
+      in
+      let buf = Rmem.Remote_memory.buffer ~space:space0 ~base:0 ~len:65536 in
+      let now () = Sim.Engine.now engine in
+      (* Write latency via the delivery probe. *)
+      let arrival = Sim.Ivar.create () in
+      Rmem.Remote_memory.set_delivery_probe r1
+        (Some (fun _ ~count:_ -> ignore (Sim.Ivar.try_fill arrival (now ()) : bool)));
+      let t0 = now () in
+      Rmem.Remote_memory.write r0 desc ~off:0 (Bytes.make 40 'x');
+      let write_us = Sim.Time.to_us (Sim.Time.diff (Sim.Ivar.read arrival) t0) in
+      Rmem.Remote_memory.set_delivery_probe r1 None;
+      (* Read latency. *)
+      let t0 = now () in
+      Rmem.Remote_memory.read_wait r0 desc ~soff:0 ~count:40 ~dst:buf ~doff:0 ();
+      let read_us = Sim.Time.to_us (Sim.Time.diff (now ()) t0) in
+      (* Streamed block-write throughput (sender-limited). *)
+      let blocks = 32 in
+      let block = Bytes.make 4096 'y' in
+      let t0 = now () in
+      for i = 0 to blocks - 1 do
+        Rmem.Remote_memory.write r0 desc ~off:(4096 * (i land 7)) block
+      done;
+      let elapsed = Sim.Time.to_us (Sim.Time.diff (now ()) t0) in
+      let throughput_mbps = float_of_int (blocks * 4096 * 8) /. elapsed in
+      out := Some (write_us, read_us, throughput_mbps));
+  match !out with
+  | Some (write_us, read_us, throughput_mbps) ->
+      { mode = ""; write_us; read_us; throughput_mbps }
+  | None -> assert false
+
+let run () =
+  [
+    { (measure None) with mode = "no encryption" };
+    { (measure (Some Rmem.Crypto.hardware_an1)) with mode = "AN1 hardware" };
+    { (measure (Some Rmem.Crypto.software_des)) with mode = "software DES" };
+  ]
+
+let render rows =
+  let table =
+    Metrics.Table.create
+      ~title:"Ablation E: the cost of link encryption (section 3.5)"
+      [
+        ("Mode", Metrics.Table.Left);
+        ("Write (us)", Metrics.Table.Right);
+        ("Read (us)", Metrics.Table.Right);
+        ("Throughput (Mb/s)", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun row ->
+      Metrics.Table.add_row table
+        [
+          row.mode;
+          Printf.sprintf "%.1f" row.write_us;
+          Printf.sprintf "%.1f" row.read_us;
+          Printf.sprintf "%.1f" row.throughput_mbps;
+        ])
+    rows;
+  Metrics.Table.render table

@@ -1,0 +1,15 @@
+(** Table 1a: summary of NFS RPC activity — the paper's measured op mix
+    next to our scaled synthetic trace. *)
+
+type row = {
+  label : string;
+  paper_calls : int;
+  paper_pct : float;
+  trace_calls : int;
+  trace_pct : float;
+}
+
+type result = { rows : row list; trace_total : int; scale : int }
+
+val run : ?scale:int -> ?seed:int -> unit -> result
+val render : result -> string

@@ -1,0 +1,10 @@
+(** Table 2: performance of the remote memory operations (latencies,
+    block throughput, notification overhead) against the paper's
+    measurements. *)
+
+type row = { name : string; paper : float; measured : float; unit_ : string }
+
+type result = row list
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,1 @@
+lib/metrics/account.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/metrics/bar_chart.ml: Array Buffer Float Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/metrics/bar_chart.mli:

@@ -1,0 +1,49 @@
+(* Per-category accumulation of a quantity (CPU time, bytes, calls).
+
+   This is the bookkeeping behind Figure 3's server-CPU breakdown and
+   Table 1b's control/data traffic split: every consumption is attributed
+   to a named category, and experiments read the per-category totals. *)
+
+type t = {
+  name : string;
+  totals : (string, float ref) Hashtbl.t;
+  mutable order : string list; (* categories in first-seen order *)
+}
+
+let create ?(name = "account") () =
+  { name; totals = Hashtbl.create 16; order = [] }
+
+let name t = t.name
+
+let cell t category =
+  match Hashtbl.find_opt t.totals category with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      Hashtbl.add t.totals category r;
+      t.order <- category :: t.order;
+      r
+
+let add t ~category x =
+  let r = cell t category in
+  r := !r +. x
+
+let total_of t category =
+  match Hashtbl.find_opt t.totals category with Some r -> !r | None -> 0.
+
+let grand_total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.totals 0.
+
+let categories t = List.rev t.order
+
+let to_list t = List.map (fun c -> (c, total_of t c)) (categories t)
+
+let reset t =
+  Hashtbl.reset t.totals;
+  t.order <- []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:@," t.name;
+  List.iter
+    (fun (c, v) -> Format.fprintf ppf "  %-24s %12.3f@," c v)
+    (to_list t);
+  Format.fprintf ppf "  %-24s %12.3f@]" "total" (grand_total t)

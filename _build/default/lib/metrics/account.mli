@@ -1,0 +1,22 @@
+(** Per-category accumulation of a quantity (CPU seconds, bytes, calls).
+
+    The bookkeeping behind Figure 3's server-CPU breakdown and Table 1b's
+    control/data split: consumptions are attributed to named categories
+    and read back as per-category totals, in first-seen order. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+
+val add : t -> category:string -> float -> unit
+val total_of : t -> string -> float
+(** 0 for a category never charged. *)
+
+val grand_total : t -> float
+val categories : t -> string list
+(** In first-seen order. *)
+
+val to_list : t -> (string * float) list
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

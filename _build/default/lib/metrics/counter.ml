@@ -1,0 +1,9 @@
+(* Named monotonic counters. *)
+
+type t = { name : string; mutable value : int }
+
+let create ?(name = "counter") () = { name; value = 0 }
+let name t = t.name
+let incr ?(by = 1) t = t.value <- t.value + by
+let value t = t.value
+let reset t = t.value <- 0

@@ -1,0 +1,9 @@
+(** Named monotonic counters. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val incr : ?by:int -> t -> unit
+val value : t -> int
+val reset : t -> unit

@@ -1,0 +1,20 @@
+(** Geometric-bucket histograms with approximate percentiles, suited to
+    latency distributions spanning microseconds to seconds. *)
+
+type t
+
+val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** [least] is the smallest resolvable value (default 0.1), [growth] the
+    geometric bucket ratio (default 1.15, i.e. ~15% relative error). *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val summary : t -> Summary.t
+(** Exact streaming summary of everything added. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]]: upper edge of the bucket
+    containing the p-th percentile (approximate by bucket resolution). *)
+
+val median : t -> float

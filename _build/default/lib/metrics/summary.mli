@@ -1,0 +1,23 @@
+(** Streaming summary statistics over a sequence of floats
+    (count, total, mean, sample variance, min, max) using Welford's
+    numerically stable update. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val merge : t -> t -> t
+(** Exact summary of the concatenation of two streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+(* Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+type t = {
+  title : string option;
+  columns : (string * align) list;
+  mutable rows : string list list; (* reverse order *)
+  mutable separators : int list; (* row indices after which to draw a rule *)
+}
+
+let create ?title columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { title; columns; rows = []; separators = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let add_separator t = t.separators <- List.length t.rows :: t.separators
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let _, align = List.nth t.columns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad align (List.nth widths i) cell);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line headers;
+  rule ();
+  List.iteri
+    (fun i row ->
+      line row;
+      if List.mem (i + 1) t.separators && i + 1 < List.length rows then rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

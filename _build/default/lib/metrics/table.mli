@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** Column headers with their cell alignment. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count mismatches the columns. *)
+
+val add_separator : t -> unit
+(** Draw a horizontal rule after the last added row (e.g. before totals). *)
+
+val render : t -> string
+val print : t -> unit

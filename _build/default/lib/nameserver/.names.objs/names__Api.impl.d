@@ -1,0 +1,1 @@
+lib/nameserver/api.ml: Atm Clerk Cluster Fun Record Rmem

@@ -1,0 +1,1 @@
+lib/nameserver/api.mli: Atm Clerk Cluster Rmem

@@ -1,0 +1,1 @@
+lib/nameserver/bootstrap.ml: Rmem

@@ -1,0 +1,1 @@
+lib/nameserver/clerk.ml: Atm Bootstrap Bytes Cluster Hashtbl Int32 List Metrics Record Registry Rmem Sim String

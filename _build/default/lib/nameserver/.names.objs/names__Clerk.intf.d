@@ -1,0 +1,1 @@
+lib/nameserver/clerk.mli: Atm Cluster Metrics Record Registry Rmem Sim

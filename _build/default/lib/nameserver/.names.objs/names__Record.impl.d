@@ -1,0 +1,1 @@
+lib/nameserver/record.ml: Bytes Char Int32 Rmem String

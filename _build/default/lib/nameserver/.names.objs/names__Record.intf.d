@@ -1,0 +1,1 @@
+lib/nameserver/record.mli: Rmem

@@ -1,0 +1,1 @@
+lib/nameserver/registry.ml: Bytes Cluster Record String

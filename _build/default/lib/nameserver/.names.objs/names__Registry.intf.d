@@ -1,0 +1,1 @@
+lib/nameserver/registry.mli: Cluster Record

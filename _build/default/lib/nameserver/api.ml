@@ -1,0 +1,71 @@
+(* The user-facing kernel interface to the name service.
+
+   Each call mirrors the paper's structure exactly: the user makes a
+   kernel call, which the kernel turns into a *local* RPC to the clerk
+   on the same machine.  No cross-machine control transfer occurs on
+   these paths (the clerk itself uses remote reads); the only exception
+   is the explicit [import_with_control_transfer] variant. *)
+
+let export clerk ~space ~base ~len ?(rights = Rmem.Rights.read_only) ?policy
+    ~name () =
+  let node = Clerk.node clerk in
+  Cluster.Kernel.syscall node ~name:"export_segment" (fun () ->
+      let segment =
+        Rmem.Remote_memory.export (Clerk.rmem clerk) ~space ~base ~len ?policy
+          ~rights ~name ()
+      in
+      let record =
+        Record.make ~name
+          ~node:(Atm.Addr.to_int (Cluster.Node.addr node))
+          ~segment_id:(Rmem.Segment.id segment)
+          ~generation:(Rmem.Segment.generation segment)
+          ~size:len ~rights
+      in
+      Cluster.Lrpc.call node (fun () -> Clerk.add_name clerk record) ();
+      segment)
+
+let import_record clerk record ~name =
+  let desc =
+    Rmem.Remote_memory.import (Clerk.rmem clerk)
+      ~remote:(Atm.Addr.of_int record.Record.node)
+      ~segment_id:record.Record.segment_id
+      ~generation:record.Record.generation ~size:record.Record.size
+      ~rights:record.Record.rights ()
+  in
+  Clerk.register_descriptor clerk ~name desc;
+  desc
+
+let import ?force ?hint clerk name =
+  let node = Clerk.node clerk in
+  Cluster.Kernel.syscall node ~name:"import_segment" (fun () ->
+      let record =
+        Cluster.Lrpc.call node (fun () -> Clerk.lookup ?force ?hint clerk name) ()
+      in
+      import_record clerk record ~name)
+
+let import_with_control_transfer ~hint clerk name =
+  (* Force the clerk onto the control-transfer path for this one lookup:
+     the Table 3 "LOOKUP with notification" row. *)
+  let node = Clerk.node clerk in
+  Cluster.Kernel.syscall node ~name:"import_segment" (fun () ->
+      let record =
+        Cluster.Lrpc.call node
+          (fun () ->
+            let saved = Clerk.Probe_until_found in
+            ignore saved;
+            Clerk.set_probe_policy clerk Clerk.Control_immediately;
+            Fun.protect
+              ~finally:(fun () ->
+                Clerk.set_probe_policy clerk Clerk.Probe_until_found)
+              (fun () -> Clerk.lookup ~force:true ~hint clerk name))
+          ()
+      in
+      import_record clerk record ~name)
+
+let revoke clerk segment =
+  let node = Clerk.node clerk in
+  Cluster.Kernel.syscall node ~name:"revoke_segment" (fun () ->
+      Cluster.Lrpc.call node
+        (fun () -> Clerk.delete_name clerk (Rmem.Segment.name segment))
+        ();
+      Rmem.Remote_memory.revoke (Clerk.rmem clerk) segment)

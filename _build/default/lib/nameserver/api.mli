@@ -1,0 +1,32 @@
+(** The user-facing kernel interface to the name service.
+
+    Every call is: user → kernel call → local RPC to the same-machine
+    clerk, matching the paper's structure. Cross-machine traffic is pure
+    data transfer inside the clerk, except for the explicit
+    control-transfer import variant (Table 3's last row). *)
+
+val export :
+  Clerk.t ->
+  space:Cluster.Address_space.t ->
+  base:int ->
+  len:int ->
+  ?rights:Rmem.Rights.t ->
+  ?policy:Rmem.Segment.notify_policy ->
+  name:string ->
+  unit ->
+  Rmem.Segment.t
+(** Export a segment and register its name (ADDNAME). *)
+
+val import :
+  ?force:bool -> ?hint:Atm.Addr.t -> Clerk.t -> string -> Rmem.Descriptor.t
+(** Import by name (LOOKUPNAME): clerk cache, local registry, then
+    remote probing of [hint]. Installs and returns a kernel descriptor.
+    Raises {!Clerk.Name_not_found}. *)
+
+val import_with_control_transfer :
+  hint:Atm.Addr.t -> Clerk.t -> string -> Rmem.Descriptor.t
+(** The lookup-with-notification variant: remote WRITE of the arguments
+    with notify, remote WRITE of the result back, requester spinning. *)
+
+val revoke : Clerk.t -> Rmem.Segment.t -> unit
+(** DELETENAME then kernel revocation. *)

@@ -1,0 +1,39 @@
+(* Well-known constants that let the name service bootstrap itself.
+
+   Every clerk is the first exporter on its node and always exports the
+   same three segments in the same order, so their ids *and* generation
+   numbers are cluster-wide constants — this is what "certain well-known
+   segment names have been reserved on each machine" amounts to. *)
+
+let registry_segment_id = 0
+let request_segment_id = 1
+let scratch_segment_id = 2
+
+let registry_generation = Rmem.Generation.of_int 1
+let request_generation = Rmem.Generation.of_int 2
+let scratch_generation = Rmem.Generation.of_int 3
+
+let default_slots = 256
+(* registry slots per clerk *)
+
+let max_nodes = 32
+(* bound on cluster size implied by the request table layout *)
+
+let request_slot_bytes = 48
+(* [name 32][reply node 4][reply offset 4][pad 8]; the useful 40 bytes
+   ride in a single ATM cell. *)
+
+let scratch_slots = 16
+let scratch_slot_bytes = 72
+(* [flag 4][record 64][pad 4]; flag: 0 pending / 1 found / 2 absent. *)
+
+let reply_pending = 0l
+let reply_found = 1l
+let reply_absent = 2l
+
+(* Clerk address-space layout. *)
+let registry_base = 0
+let request_base = 0x10000
+let scratch_base = 0x20000
+let probe_buffer_base = 0x30000
+let probe_buffer_bytes = 4096

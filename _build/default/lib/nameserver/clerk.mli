@@ -1,0 +1,60 @@
+(** The name-service clerk: one per machine, no central server.
+
+    Clerks communicate only through remote memory. Each clerk's registry
+    is an open-addressed hash table inside its well-known exported
+    segment; importers probe it with remote READs, falling back to a
+    control-transfer lookup (remote WRITE with notification, answered by
+    a remote WRITE of the result) according to the probe policy —
+    exactly the three options §4.2 of the paper weighs. *)
+
+type t
+
+exception Name_not_found of string
+
+type probe_policy =
+  | Probe_until_found  (** keep probing remotely (the paper's choice) *)
+  | Probe_then_control of int  (** probe [n] times, then transfer control *)
+  | Control_immediately
+
+val create : ?slots:int -> ?probe_policy:probe_policy -> Rmem.Remote_memory.t -> t
+(** Create the clerk on a node. Must be the node's first exporter (the
+    well-known generation contract); call from within a process. *)
+
+val node : t -> Cluster.Node.t
+val rmem : t -> Rmem.Remote_memory.t
+val registry : t -> Registry.t
+val set_probe_policy : t -> probe_policy -> unit
+
+(** {1 Service procedures (reached via local RPC from the kernel)} *)
+
+val add_name : t -> Record.t -> unit
+(** ADDNAME: insert into the local registry (local memory ops only). *)
+
+val delete_name : t -> string -> unit
+(** DELETENAME: invalidate the local slot; remote clerks discover the
+    deletion on refresh or through generation mismatch. *)
+
+val lookup : ?force:bool -> ?hint:Atm.Addr.t -> t -> string -> Record.t
+(** LOOKUPNAME: local cache, then the local registry, then remote
+    probing of [hint]'s registry per the probe policy. [force] skips the
+    cache (the paper's explicit-remote-lookup escape hatch). Raises
+    {!Name_not_found}. *)
+
+val register_descriptor : t -> name:string -> Rmem.Descriptor.t -> unit
+(** Associate a kernel descriptor with a cached name so refresh can mark
+    it stale when the name disappears or changes generation. *)
+
+val serve_lookup_requests : t -> unit
+(** Install the exporter-side signal handler answering control-transfer
+    lookups on this clerk's request segment. *)
+
+(** {1 Cache refresh} *)
+
+val refresh_once : t -> unit
+(** Revalidate every cached imported name against its home registry;
+    purge the gone/re-exported ones and mark their descriptors stale. *)
+
+val start_refresh_daemon : t -> period:Sim.Time.t -> unit
+val cached_names : t -> string list
+
+val stats : t -> Metrics.Account.t

@@ -1,0 +1,80 @@
+(* Fixed-size registry records.
+
+   Each record occupies one 64-byte slot of a clerk's registry segment.
+   The valid flag is a single word written last by the (single) local
+   writer, so remote readers — who fetch whole slots with remote READs —
+   can rely on the paper's word-atomicity argument: a slot is either
+   visibly invalid or completely, consistently filled. *)
+
+let slot_bytes = 64
+let name_bytes = 32
+
+let flag_invalid = 0l
+let flag_valid = 1l
+
+type t = {
+  name : string;
+  node : int;  (* exporter's network address *)
+  segment_id : int;
+  generation : Rmem.Generation.t;
+  size : int;
+  rights : Rmem.Rights.t;
+}
+
+let make ~name ~node ~segment_id ~generation ~size ~rights =
+  if String.length name > name_bytes then
+    invalid_arg "Record.make: name too long";
+  if String.contains name '\000' then
+    invalid_arg "Record.make: name contains NUL";
+  { name; node; segment_id; generation; size; rights }
+
+(* Layout: [flag 4][hash 4][name 32][node 4][seg 4][gen 4][size 4][rights 4]
+   [spare 4] = 64 bytes. *)
+
+let fnv_hash name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch ->
+      h := !h lxor Char.code ch;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h
+
+let encode t =
+  let b = Bytes.make slot_bytes '\000' in
+  Bytes.set_int32_le b 0 flag_valid;
+  Bytes.set_int32_le b 4 (Int32.of_int (fnv_hash t.name));
+  Bytes.blit_string t.name 0 b 8 (String.length t.name);
+  Bytes.set_int32_le b 40 (Int32.of_int t.node);
+  Bytes.set_int32_le b 44 (Int32.of_int t.segment_id);
+  Bytes.set_int32_le b 48 (Int32.of_int (Rmem.Generation.to_int t.generation));
+  Bytes.set_int32_le b 52 (Int32.of_int t.size);
+  Bytes.set_int32_le b 56 (Int32.of_int (Rmem.Rights.to_code t.rights));
+  b
+
+let is_valid slot =
+  Bytes.length slot >= 4 && Int32.equal (Bytes.get_int32_le slot 0) flag_valid
+
+let decode slot =
+  if Bytes.length slot < slot_bytes then None
+  else if not (is_valid slot) then None
+  else begin
+    let raw_name = Bytes.sub_string slot 8 name_bytes in
+    let name =
+      match String.index_opt raw_name '\000' with
+      | Some i -> String.sub raw_name 0 i
+      | None -> raw_name
+    in
+    let field off = Int32.to_int (Bytes.get_int32_le slot off) in
+    Some
+      {
+        name;
+        node = field 40;
+        segment_id = field 44;
+        generation = Rmem.Generation.of_int (field 48);
+        size = field 52;
+        rights = Rmem.Rights.of_code (field 56);
+      }
+  end
+
+let invalid_slot () = Bytes.make slot_bytes '\000'

@@ -1,0 +1,42 @@
+(** Fixed-size (64-byte) registry records with a valid-flag word written
+    last, so remote readers see slots either invalid or complete. *)
+
+type t = {
+  name : string;
+  node : int;  (** exporter's network address *)
+  segment_id : int;
+  generation : Rmem.Generation.t;
+  size : int;
+  rights : Rmem.Rights.t;
+}
+
+val slot_bytes : int
+(** 64. *)
+
+val name_bytes : int
+(** 32 — maximum name length. *)
+
+val flag_invalid : int32
+val flag_valid : int32
+(** Values of the slot's leading flag word. *)
+
+val make :
+  name:string ->
+  node:int ->
+  segment_id:int ->
+  generation:Rmem.Generation.t ->
+  size:int ->
+  rights:Rmem.Rights.t ->
+  t
+(** Raises [Invalid_argument] on over-long names or embedded NULs. *)
+
+val fnv_hash : string -> int
+(** The hash every clerk uses, so a name lands in the same slot on all
+    registries — the paper's single-remote-read optimization. *)
+
+val encode : t -> bytes
+val decode : bytes -> t option
+(** [None] when the slot is invalid (never exported or deleted). *)
+
+val is_valid : bytes -> bool
+val invalid_slot : unit -> bytes

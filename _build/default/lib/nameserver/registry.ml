@@ -1,0 +1,96 @@
+(* The open-addressed hash table serialized into a registry segment.
+
+   All operations here are *local* memory operations performed by the
+   clerk that owns the segment; remote clerks access the same bytes with
+   remote READs and decode them with {!Record}.  Linear probing; every
+   clerk uses the same hash function, so a name usually sits at the same
+   slot index on whichever registry holds it. *)
+
+type t = {
+  space : Cluster.Address_space.t;
+  base : int;
+  slots : int;
+  mutable live : int;
+}
+
+let segment_bytes ~slots = slots * Record.slot_bytes
+
+let create ~space ~base ~slots =
+  if slots <= 0 || slots land (slots - 1) <> 0 then
+    invalid_arg "Registry.create: slots must be a positive power of two";
+  { space; base; slots; live = 0 }
+
+let slots t = t.slots
+let live t = t.live
+
+let slot_index t name probe = (Record.fnv_hash name + probe) land (t.slots - 1)
+
+let slot_offset (_ : t) index = index * Record.slot_bytes
+
+let read_slot t index =
+  Cluster.Address_space.read t.space
+    ~addr:(t.base + slot_offset t index)
+    ~len:Record.slot_bytes
+
+(* Insert: find the first invalid slot along the probe sequence (or a
+   valid slot already holding this name, which is overwritten — re-export
+   replaces).  Write the body first, flag last. *)
+let insert t record =
+  let name = record.Record.name in
+  let rec probe i =
+    if i >= t.slots then Error `Full
+    else begin
+      let index = slot_index t name i in
+      let slot = read_slot t index in
+      match Record.decode slot with
+      | None -> Ok index
+      | Some existing ->
+          if String.equal existing.Record.name name then Ok index
+          else probe (i + 1)
+    end
+  in
+  match probe 0 with
+  | Error `Full -> Error `Full
+  | Ok index ->
+      let slot = Record.encode record in
+      let body = Bytes.sub slot 4 (Record.slot_bytes - 4) in
+      let was_valid = Record.is_valid (read_slot t index) in
+      (* Invalidate, fill body, then set the flag word — the remote
+         readers' consistency contract. *)
+      Cluster.Address_space.write_word t.space
+        ~addr:(t.base + slot_offset t index)
+        Record.flag_invalid;
+      Cluster.Address_space.write t.space
+        ~addr:(t.base + slot_offset t index + 4)
+        body;
+      Cluster.Address_space.write_word t.space
+        ~addr:(t.base + slot_offset t index)
+        Record.flag_valid;
+      if not was_valid then t.live <- t.live + 1;
+      Ok index
+
+let lookup t name =
+  let rec probe i =
+    if i >= t.slots then None
+    else begin
+      let index = slot_index t name i in
+      let slot = read_slot t index in
+      match Record.decode slot with
+      | None -> None (* an invalid slot ends the probe chain *)
+      | Some record ->
+          if String.equal record.Record.name name then Some (record, i)
+          else probe (i + 1)
+    end
+  in
+  probe 0
+
+let delete t name =
+  match lookup t name with
+  | None -> false
+  | Some (_, i) ->
+      let index = slot_index t name i in
+      Cluster.Address_space.write_word t.space
+        ~addr:(t.base + slot_offset t index)
+        Record.flag_invalid;
+      t.live <- t.live - 1;
+      true

@@ -1,0 +1,37 @@
+(** The open-addressed (linear-probing) hash table a clerk serializes
+    into its registry segment. Local operations only; remote clerks read
+    the same bytes with remote READs.
+
+    Deletion simply invalidates the slot. Because an invalid slot ends
+    every probe chain, a deletion can orphan colliding names that probed
+    past it; the paper's name service tolerates this the same way —
+    generation numbers and periodic refresh make stale or missed entries
+    recoverable, and re-export re-inserts. *)
+
+type t
+
+val segment_bytes : slots:int -> int
+(** Bytes of segment memory a table of [slots] slots occupies. *)
+
+val create : space:Cluster.Address_space.t -> base:int -> slots:int -> t
+(** [slots] must be a positive power of two. *)
+
+val slots : t -> int
+val live : t -> int
+
+val slot_index : t -> string -> int -> int
+(** [slot_index t name i] — the i-th probe location for [name]; the same
+    on every clerk (shared hash function). *)
+
+val slot_offset : t -> int -> int
+(** Byte offset of a slot within the registry segment. *)
+
+val insert : t -> Record.t -> (int, [ `Full ]) result
+(** Returns the slot index used. Re-inserting a live name overwrites it.
+    The flag word is written last (single-writer / multi-reader
+    consistency, as in the paper). *)
+
+val lookup : t -> string -> (Record.t * int) option
+(** Returns the record and the number of probes taken to reach it. *)
+
+val delete : t -> string -> bool

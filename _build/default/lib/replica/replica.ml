@@ -1,0 +1,210 @@
+(* A serverless replicated configuration store.
+
+   §3.2's closing observation: "in some cases it might be possible to
+   eliminate the server completely and have the state maintained by the
+   clerks alone."  This service does exactly that.  Every member holds
+   a full replica of a small key/value table inside an exported
+   segment.  An update is a set of one-way remote writes, one per peer
+   — pure data transfer, nobody scheduled anywhere.  Reads are local
+   memory accesses.  Versions make concurrent updates converge
+   (last-writer-wins, version then writer id as tie-break), and an
+   anti-entropy pass remote-reads a peer's replica to repair anything a
+   lost or reordered update left behind.
+
+   Slot layout (single-writer-per-slot is NOT assumed; the version word
+   is written last so torn remote reads are detectable):
+     [version 4][writer 4][key 32][len 4][value 64] = 108 -> 112 bytes. *)
+
+let slot_bytes = 112
+let key_bytes = 32
+let value_bytes = 64
+
+let segment_name_for addr =
+  Printf.sprintf "replica:%d" (Atm.Addr.to_int addr)
+
+type entry = { version : int; writer : int; key : string; value : bytes }
+
+type t = {
+  rmem : Rmem.Remote_memory.t;
+  names : Names.Clerk.t;
+  node : Cluster.Node.t;
+  space : Cluster.Address_space.t;
+  slots : int;
+  peers : (int, Rmem.Descriptor.t) Hashtbl.t; (* peer addr -> its replica *)
+  scratch_base : int;
+  mutable updates_sent : int;
+  mutable repairs : int;
+}
+
+let slot_of t key = Names.Record.fnv_hash key land (t.slots - 1)
+let slot_addr (_ : t) index = index * slot_bytes
+
+let encode_entry e =
+  if String.length e.key > key_bytes then invalid_arg "Replica: key too long";
+  if Bytes.length e.value > value_bytes then
+    invalid_arg "Replica: value too long";
+  let b = Bytes.make slot_bytes '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int e.version);
+  Bytes.set_int32_le b 4 (Int32.of_int e.writer);
+  Bytes.blit_string e.key 0 b 8 (String.length e.key);
+  Bytes.set_int32_le b 40 (Int32.of_int (Bytes.length e.value));
+  Bytes.blit e.value 0 b 44 (Bytes.length e.value);
+  b
+
+let decode_entry b =
+  let version = Int32.to_int (Bytes.get_int32_le b 0) in
+  if version = 0 then None
+  else begin
+    let writer = Int32.to_int (Bytes.get_int32_le b 4) in
+    let raw_key = Bytes.sub_string b 8 key_bytes in
+    let key =
+      match String.index_opt raw_key '\000' with
+      | Some i -> String.sub raw_key 0 i
+      | None -> raw_key
+    in
+    let len = Int32.to_int (Bytes.get_int32_le b 40) in
+    if len < 0 || len > value_bytes then None
+    else Some { version; writer; key; value = Bytes.sub b 44 len }
+  end
+
+let create ?(slots = 64) names =
+  if slots land (slots - 1) <> 0 then
+    invalid_arg "Replica.create: slots must be a power of two";
+  let rmem = Names.Clerk.rmem names in
+  let node = Rmem.Remote_memory.node rmem in
+  let space = Cluster.Node.new_address_space node in
+  let (_ : Rmem.Segment.t) =
+    Names.Api.export names ~space ~base:0 ~len:(slots * slot_bytes)
+      ~rights:(Rmem.Rights.make ~read:true ~write:true ())
+      ~name:(segment_name_for (Cluster.Node.addr node))
+      ()
+  in
+  {
+    rmem;
+    names;
+    node;
+    space;
+    slots;
+    peers = Hashtbl.create 8;
+    scratch_base = slots * slot_bytes * 2;
+    updates_sent = 0;
+    repairs = 0;
+  }
+
+let join t ~peer =
+  let key = Atm.Addr.to_int peer in
+  if (not (Hashtbl.mem t.peers key)) && not (Atm.Addr.equal peer (Cluster.Node.addr t.node))
+  then
+    Hashtbl.replace t.peers key
+      (Names.Api.import ~hint:peer t.names (segment_name_for peer))
+
+let members t = Hashtbl.length t.peers + 1
+
+(* Is [candidate] newer than [current]?  Version, then writer id. *)
+let newer candidate current =
+  match current with
+  | None -> true
+  | Some current ->
+      candidate.version > current.version
+      || (candidate.version = current.version
+         && candidate.writer > current.writer)
+
+let read_local_slot t index =
+  decode_entry
+    (Cluster.Address_space.read t.space ~addr:(slot_addr t index) ~len:slot_bytes)
+
+let install_local t entry =
+  let index = slot_of t entry.key in
+  let image = encode_entry entry in
+  (* Body first, version word last: remote readers never see a torn
+     entry with a plausible version. *)
+  Cluster.Address_space.write_word t.space ~addr:(slot_addr t index) 0l;
+  Cluster.Address_space.write t.space
+    ~addr:(slot_addr t index + 4)
+    (Bytes.sub image 4 (slot_bytes - 4));
+  Cluster.Address_space.write_word t.space ~addr:(slot_addr t index)
+    (Int32.of_int entry.version)
+
+let get t key =
+  match read_local_slot t (slot_of t key) with
+  | Some entry when String.equal entry.key key -> Some entry.value
+  | Some _ | None -> None
+
+let version_of t key =
+  match read_local_slot t (slot_of t key) with
+  | Some entry when String.equal entry.key key -> entry.version
+  | Some _ | None -> 0
+
+let set t key value =
+  let entry =
+    {
+      version = version_of t key + 1;
+      writer = Atm.Addr.to_int (Cluster.Node.addr t.node);
+      key;
+      value;
+    }
+  in
+  install_local t entry;
+  (* Propagate with one-way remote writes: body then version word. *)
+  let index = slot_of t key in
+  let image = encode_entry entry in
+  let body = Bytes.sub image 4 (slot_bytes - 4) in
+  let version_word = Bytes.create 4 in
+  Bytes.set_int32_le version_word 0 (Int32.of_int entry.version);
+  Hashtbl.iter
+    (fun _ desc ->
+      Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index + 4) body;
+      Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index) version_word;
+      t.updates_sent <- t.updates_sent + 1)
+    t.peers
+
+(* Anti-entropy: remote-read one peer's whole replica and adopt every
+   entry newer than ours.  Cheap (one block read), server-free, and
+   repairs both lost updates and late joiners. *)
+let anti_entropy_with t ~peer =
+  match Hashtbl.find_opt t.peers (Atm.Addr.to_int peer) with
+  | None -> invalid_arg "Replica.anti_entropy_with: unknown peer"
+  | Some desc ->
+      let len = t.slots * slot_bytes in
+      let buf =
+        Rmem.Remote_memory.buffer ~space:t.space ~base:t.scratch_base ~len
+      in
+      Rmem.Remote_memory.read_wait t.rmem desc ~soff:0 ~count:len ~dst:buf
+        ~doff:0 ();
+      for index = 0 to t.slots - 1 do
+        let image =
+          Cluster.Address_space.read t.space
+            ~addr:(t.scratch_base + slot_addr t index)
+            ~len:slot_bytes
+        in
+        match decode_entry image with
+        | Some theirs when newer theirs (read_local_slot t index) ->
+            install_local t theirs;
+            t.repairs <- t.repairs + 1
+        | Some _ | None -> ()
+      done
+
+let start_anti_entropy_daemon t ~period =
+  let stopped = ref false in
+  Cluster.Node.spawn t.node (fun () ->
+      let prng = Cluster.Node.prng t.node in
+      while not !stopped do
+        Sim.Proc.wait period;
+        if not !stopped then begin
+          let peers =
+            Hashtbl.fold (fun addr _ acc -> addr :: acc) t.peers []
+          in
+          match peers with
+          | [] -> ()
+          | _ ->
+              let target =
+                List.nth peers (Sim.Prng.int prng (List.length peers))
+              in
+              anti_entropy_with t ~peer:(Atm.Addr.of_int target)
+        end
+      done);
+  fun () -> stopped := true
+
+let updates_sent t = t.updates_sent
+let repairs t = t.repairs
+let node t = t.node

@@ -1,0 +1,48 @@
+(** A serverless replicated configuration store — §3.2's "eliminate the
+    server completely and have the state maintained by the clerks
+    alone".
+
+    Every member holds a full replica in an exported segment; updates
+    propagate as one-way remote writes (version word last), reads are
+    local memory accesses, concurrent updates converge by
+    (version, writer) last-writer-wins, and an anti-entropy pass
+    remote-reads a peer's replica to repair gaps. No server exists. *)
+
+type t
+
+val create : ?slots:int -> Names.Clerk.t -> t
+(** Export this member's replica (registered with the name service).
+    [slots] must be a power of two (default 64). *)
+
+val join : t -> peer:Atm.Addr.t -> unit
+(** Import a peer's replica so updates and anti-entropy reach it. *)
+
+val members : t -> int
+(** Known members, including this one. *)
+
+(** {1 The store} *)
+
+val get : t -> string -> bytes option
+(** Purely local: one memory read, no network. *)
+
+val set : t -> string -> bytes -> unit
+(** Install locally and push to every peer with one-way remote writes.
+    Keys up to 32 bytes, values up to 64. *)
+
+val version_of : t -> string -> int
+(** 0 when absent. *)
+
+(** {1 Repair} *)
+
+val anti_entropy_with : t -> peer:Atm.Addr.t -> unit
+(** Remote-read the peer's whole replica; adopt every newer entry. *)
+
+val start_anti_entropy_daemon : t -> period:Sim.Time.t -> unit -> unit
+(** Periodically reconcile with a random peer; returns the stop
+    function. *)
+
+(** {1 Statistics} *)
+
+val updates_sent : t -> int
+val repairs : t -> int
+val node : t -> Cluster.Node.t

@@ -1,0 +1,1 @@
+lib/rpc/client.ml: Bytes Cluster Sim Transport Xdr

@@ -1,0 +1,1 @@
+lib/rpc/server.ml: Atm Bytes Cluster Metrics Sim Transport Xdr

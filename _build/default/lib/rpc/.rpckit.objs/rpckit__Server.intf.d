@@ -1,0 +1,1 @@
+lib/rpc/server.mli: Atm Cluster Metrics Transport Xdr

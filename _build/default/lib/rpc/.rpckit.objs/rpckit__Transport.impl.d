@@ -1,0 +1,1 @@
+lib/rpc/transport.ml: Atm Cluster Hashtbl Metrics Printf Sim Xdr

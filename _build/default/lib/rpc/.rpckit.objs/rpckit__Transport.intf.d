@@ -1,0 +1,1 @@
+lib/rpc/transport.mli: Atm Cluster Metrics Sim Xdr

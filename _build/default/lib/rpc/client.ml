@@ -1,0 +1,26 @@
+(* The client side of a remote procedure call.
+
+   This is the paper's "data and control inextricably linked" baseline:
+   the calling thread marshals, traps, blocks; the reply costs an
+   interrupt, a copy and a context switch before the caller resumes. *)
+
+let call ?(category = Cluster.Cpu.cat_client) transport ~dst ~prog ~proc
+    ~label args =
+  let node = Transport.node transport in
+  let c = Cluster.Node.costs node in
+  let cpu = Cluster.Node.cpu node in
+  Cluster.Cpu.use cpu ~category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.syscall c.Cluster.Costs.rpc_stub)
+       (Cluster.Costs.frame_copy_cost c
+          ~payload_bytes:(Transport.call_frame_bytes args)));
+  let reply = Transport.send_call transport ~dst ~prog ~proc ~label args in
+  let body = Sim.Ivar.read reply in
+  Cluster.Cpu.use cpu ~category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt c.Cluster.Costs.context_switch)
+       (Sim.Time.add c.Cluster.Costs.rpc_stub
+          (Cluster.Costs.frame_copy_cost c
+             ~payload_bytes:
+               (Bytes.length body + Transport.reply_header_bytes + 8))));
+  Xdr.reader body

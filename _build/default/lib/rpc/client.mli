@@ -1,0 +1,15 @@
+(** The client side of a remote procedure call: marshal, trap, block;
+    pay interrupt + copy + context switch on reply. *)
+
+val call :
+  ?category:string ->
+  Transport.t ->
+  dst:Atm.Addr.t ->
+  prog:int ->
+  proc:int ->
+  label:string ->
+  Xdr.t ->
+  Xdr.reader
+(** Synchronous RPC. Blocks the calling process until the reply body is
+    available and returns a reader over it. CPU costs are charged to
+    [category] (default: client). *)

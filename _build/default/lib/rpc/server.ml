@@ -1,0 +1,70 @@
+(* The server side of RPC: interrupt-level reception into a request
+   queue, a pool of service threads, and per-category CPU accounting
+   matching Figure 3's decomposition (data reception / control transfer
+   / procedure invocation / data reply). *)
+
+type request = {
+  src : Atm.Addr.t;
+  xid : int;
+  proc : int;
+  args : bytes;
+  arrived : Sim.Time.t;
+}
+
+type t = {
+  transport : Transport.t;
+  node : Cluster.Node.t;
+  queue : request Sim.Mailbox.t;
+  mutable served : int;
+  queueing : Metrics.Summary.t; (* microseconds spent queued *)
+}
+
+let create transport ~prog ?(threads = 1)
+    ~(handler : src:Atm.Addr.t -> proc:int -> Xdr.reader -> Xdr.t) () =
+  let node = Transport.node transport in
+  let c = Cluster.Node.costs node in
+  let cpu = Cluster.Node.cpu node in
+  let t =
+    {
+      transport;
+      node;
+      queue = Sim.Mailbox.create ();
+      served = 0;
+      queueing = Metrics.Summary.create ();
+    }
+  in
+  Transport.register transport ~prog ~deliver:(fun ~src ~xid ~proc ~args ->
+      (* Interrupt level: drain the frame and queue the request. *)
+      Cluster.Cpu.use cpu ~category:Cluster.Cpu.cat_data_reception
+        (Sim.Time.add c.Cluster.Costs.rx_interrupt
+           (Cluster.Costs.frame_copy_cost c
+              ~payload_bytes:
+                (Bytes.length args + Transport.call_header_bytes)));
+      Sim.Mailbox.send t.queue
+        { src; xid; proc; args; arrived = Sim.Engine.now (Cluster.Node.engine node) });
+  for _ = 1 to threads do
+    Cluster.Node.spawn node (fun () ->
+        while true do
+          let req = Sim.Mailbox.recv t.queue in
+          let now = Sim.Engine.now (Cluster.Node.engine node) in
+          Metrics.Summary.add t.queueing
+            (Sim.Time.to_us (Sim.Time.diff now req.arrived));
+          (* Control transfer: schedule, dispatch and later resume. *)
+          Cluster.Cpu.use cpu ~category:Cluster.Cpu.cat_control_transfer
+            c.Cluster.Costs.context_switch;
+          let reply = handler ~src:req.src ~proc:req.proc (Xdr.reader req.args) in
+          Cluster.Cpu.use cpu ~category:Cluster.Cpu.cat_procedure
+            c.Cluster.Costs.rpc_stub;
+          Cluster.Cpu.use cpu ~category:Cluster.Cpu.cat_data_reply
+            (Cluster.Costs.frame_copy_cost c
+               ~payload_bytes:(Transport.reply_frame_bytes reply));
+          Transport.send_reply transport ~dst:req.src ~xid:req.xid reply;
+          t.served <- t.served + 1
+        done)
+  done;
+  t
+
+let served t = t.served
+let queue_length t = Sim.Mailbox.length t.queue
+let queueing t = t.queueing
+let node t = t.node

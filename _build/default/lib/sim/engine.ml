@@ -1,0 +1,55 @@
+(* The discrete-event engine: a clock plus an ordered queue of thunks. *)
+
+exception Deadlock of Time.t
+
+type t = {
+  mutable now : Time.t;
+  queue : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable stopped : bool;
+}
+
+let create () = { now = Time.zero; queue = Heap.create (); seq = 0; stopped = false }
+
+let now t = t.now
+
+let pending t = Heap.length t.queue
+
+let schedule_at t time thunk =
+  if Time.(time < t.now) then
+    invalid_arg "Engine.schedule_at: event in the past";
+  Heap.push t.queue ~time ~seq:t.seq thunk;
+  t.seq <- t.seq + 1
+
+let schedule ?(after = Time.zero) t thunk =
+  if after < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (Time.add t.now after) thunk
+
+let stop t = t.stopped <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some { Heap.time; payload; _ } ->
+      t.now <- time;
+      payload ();
+      true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue () =
+    (not t.stopped)
+    &&
+    match (Heap.peek t.queue, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some { Heap.time; _ }, Some limit -> Time.(time <= limit)
+  in
+  while continue () do
+    ignore (step t : bool)
+  done;
+  match until with
+  | Some limit when (not t.stopped) && Time.(t.now < limit) -> t.now <- limit
+  | _ -> ()
+
+let run_until_quiescent t = run t

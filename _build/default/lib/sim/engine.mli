@@ -1,0 +1,41 @@
+(** The discrete-event engine: a virtual clock and an ordered event queue.
+
+    Every simulated activity is ultimately a thunk scheduled at an instant.
+    Events at the same instant fire in the order they were scheduled. *)
+
+exception Deadlock of Time.t
+(** Raised by higher layers when every process is blocked and the event
+    queue cannot make progress. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val schedule : ?after:Time.t -> t -> (unit -> unit) -> unit
+(** [schedule ~after t thunk] runs [thunk] [after] nanoseconds from now
+    (default: at the current instant, after already-queued same-time
+    events). Raises [Invalid_argument] on negative delays. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Schedule at an absolute instant. Raises [Invalid_argument] if the
+    instant is in the past. *)
+
+val step : t -> bool
+(** Fire the next event. Returns [false] if the queue was empty. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Run until the queue drains, [stop] is called, or the next event lies
+    beyond [until]. When a limit is given and the queue drains early, the
+    clock still advances to the limit. *)
+
+val run_until_quiescent : t -> unit
+(** [run] with no limit. *)
+
+val stop : t -> unit
+(** Make [run] return after the current event completes. *)

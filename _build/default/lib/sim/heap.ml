@@ -1,0 +1,76 @@
+(* Array-backed binary min-heap of timestamped events.
+
+   Ordering is by (time, seq): the sequence number is a monotonically
+   increasing tie-breaker assigned by the engine so that events scheduled
+   for the same instant fire in scheduling order, keeping runs
+   deterministic. *)
+
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let entry_before a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow h entry =
+  let capacity = Array.length h.arr in
+  if h.size = capacity then begin
+    let next = if capacity = 0 then 16 else capacity * 2 in
+    let arr = Array.make next entry in
+    Array.blit h.arr 0 arr 0 h.size;
+    h.arr <- arr
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && entry_before h.arr.(left) h.arr.(!smallest) then
+    smallest := left;
+  if right < h.size && entry_before h.arr.(right) h.arr.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow h entry;
+  h.arr.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.arr.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end

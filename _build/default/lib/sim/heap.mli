@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events, ordered by [(time, seq)].
+
+    The sequence number breaks ties between events scheduled for the same
+    instant so that same-time events fire in scheduling order, which keeps
+    simulation runs fully deterministic. *)
+
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:Time.t -> seq:int -> 'a -> unit
+
+val peek : 'a t -> 'a entry option
+(** Smallest entry without removing it. *)
+
+val pop : 'a t -> 'a entry option
+(** Remove and return the smallest entry. *)

@@ -1,0 +1,22 @@
+(* Unbounded FIFO message queues with blocking receive. *)
+
+type 'a t = { messages : 'a Queue.t; readers : ('a -> unit) Queue.t }
+
+let create () = { messages = Queue.create (); readers = Queue.create () }
+
+let length t = Queue.length t.messages
+
+let is_empty t = Queue.is_empty t.messages
+
+let send t msg =
+  if Queue.is_empty t.readers then Queue.push msg t.messages
+  else
+    let resume = Queue.pop t.readers in
+    resume msg
+
+let recv t =
+  if not (Queue.is_empty t.messages) then Queue.pop t.messages
+  else Proc.suspend (fun resume -> Queue.push resume t.readers)
+
+let try_recv t =
+  if Queue.is_empty t.messages then None else Some (Queue.pop t.messages)

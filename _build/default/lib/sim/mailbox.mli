@@ -1,0 +1,18 @@
+(** Unbounded FIFO message queues with blocking receive.
+
+    Messages are delivered in send order; blocked receivers are woken in
+    blocking order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks. Wakes the oldest blocked receiver, if any. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the oldest message, blocking the current process if empty. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

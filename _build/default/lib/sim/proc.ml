@@ -1,0 +1,64 @@
+(* Cooperative simulation processes built on OCaml effects.
+
+   A process is ordinary direct-style code; [wait] and [suspend] perform
+   effects that the scheduler installed by [spawn] interprets against the
+   engine's event queue.  Continuations are one-shot: [suspend]'s resume
+   callback guards against double resumption. *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t +=
+  | Wait : Time.t -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+exception Not_in_process
+
+let wait span = perform (Wait span)
+
+let yield () = perform (Wait Time.zero)
+
+let suspend register = perform (Suspend register)
+
+let spawn ?(after = Time.zero) engine body =
+  let run () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun exn -> raise exn);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait span ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Engine.schedule ~after:span engine (fun () ->
+                        continue k ()))
+            | Suspend register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    let resumed = ref false in
+                    let resume v =
+                      if !resumed then
+                        invalid_arg "Proc: continuation resumed twice";
+                      resumed := true;
+                      Engine.schedule engine (fun () -> continue k v)
+                    in
+                    register resume)
+            | _ -> None);
+      }
+  in
+  Engine.schedule ~after engine run
+
+let run engine body =
+  let result = ref None in
+  let failure = ref None in
+  spawn engine (fun () ->
+      match body () with
+      | v -> result := Some v
+      | exception exn -> failure := Some exn);
+  Engine.run engine;
+  match (!result, !failure) with
+  | Some v, _ -> v
+  | None, Some exn -> raise exn
+  | None, None -> raise (Engine.Deadlock (Engine.now engine))

@@ -1,0 +1,31 @@
+(** Cooperative simulation processes.
+
+    A process is direct-style OCaml code running under an effect handler
+    installed by {!spawn}. Within a process, {!wait} advances simulated
+    time and {!suspend} blocks until some other activity resumes it.
+    Calling either outside a process raises [Effect.Unhandled]. *)
+
+exception Not_in_process
+
+val spawn : ?after:Time.t -> Engine.t -> (unit -> unit) -> unit
+(** [spawn engine body] schedules [body] to start as a process, [after]
+    nanoseconds from now (default: immediately). Exceptions escaping
+    [body] propagate out of [Engine.run]. *)
+
+val wait : Time.t -> unit
+(** Block the current process for the given duration of simulated time. *)
+
+val yield : unit -> unit
+(** Reschedule the current process behind already-queued same-time events. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] blocks the current process. [register] is called
+    immediately with a one-shot [resume] function; whoever calls
+    [resume v] (at any later simulated instant) unblocks the process with
+    value [v]. Double resumption raises [Invalid_argument]. *)
+
+val run : Engine.t -> (unit -> 'a) -> 'a
+(** [run engine body] spawns [body], drives the engine until quiescence
+    and returns [body]'s result. Raises {!Engine.Deadlock} if the queue
+    drained while [body] was still blocked, and re-raises any exception
+    [body] raised. Intended for tests and experiment harnesses. *)

@@ -1,0 +1,1 @@
+lib/workload/file_tree.ml: Array Bytes Char Dfs List Printf Sim Zipf

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: List Sim String

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Bytes Dfs File_tree Hashtbl List Mix Option Sim Stdlib

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Dfs File_tree Sim

@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Dfs Float Hashtbl List Option Trace

@@ -1,0 +1,24 @@
+(** Synthetic server namespace standing in for the paper's departmental
+    exports: directories of read-mostly files with skewed sizes and
+    popularity, plus symbolic links. *)
+
+type t
+
+val build :
+  ?dirs:int ->
+  ?files_per_dir:int ->
+  ?symlinks_per_dir:int ->
+  ?zipf_exponent:float ->
+  Sim.Prng.t ->
+  t
+
+val store : t -> Dfs.File_store.t
+val file_count : t -> int
+val dir_count : t -> int
+
+val pick_file : t -> Sim.Prng.t -> int
+(** Zipf-popular file handle. *)
+
+val pick_dir : t -> Sim.Prng.t -> int
+val pick_symlink : t -> Sim.Prng.t -> int
+val pick_name_in : t -> Sim.Prng.t -> dir:int -> string

@@ -1,0 +1,14 @@
+(** The operation mix of the paper's Table 1a (28.86M NFS calls on the
+    authors' departmental server). *)
+
+type row = { label : string; calls : int }
+
+val table_1a : row list
+(** Rows in the paper's order, counts verbatim. *)
+
+val total_calls : int
+val percentage : row -> float
+val calls_of : string -> int
+
+val sampler : unit -> Sim.Prng.t -> string
+(** Draw activity labels with Table 1a's relative frequencies. *)

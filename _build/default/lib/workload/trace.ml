@@ -1,0 +1,81 @@
+(* Trace generation: turn the Table 1a mix plus a synthetic namespace
+   into a concrete operation sequence. *)
+
+type event = { label : string; op : Dfs.Nfs_ops.op }
+
+(* Read transfer sizes: NFS clients read in power-of-two chunks; the
+   weights keep the byte volume consistent with the paper's data-traffic
+   dominance of reads. *)
+let pick_read_count prng =
+  let u = Sim.Prng.float prng in
+  if u < 0.35 then 512
+  else if u < 0.65 then 1024
+  else if u < 0.85 then 2048
+  else if u < 0.95 then 4096
+  else 8192
+
+let pick_readdir_count prng =
+  let u = Sim.Prng.float prng in
+  if u < 0.4 then 512 else if u < 0.75 then 1024 else 4096
+
+let pick_write_count prng =
+  if Sim.Prng.float prng < 0.5 then 4096 else 8192
+
+let event_for tree prng label =
+  let store = File_tree.store tree in
+  let op =
+    match label with
+    | "Get File Attribute" ->
+        Dfs.Nfs_ops.Get_attr { fh = File_tree.pick_file tree prng }
+    | "Lookup File Name" ->
+        let dir = File_tree.pick_dir tree prng in
+        Dfs.Nfs_ops.Lookup { dir; name = File_tree.pick_name_in tree prng ~dir }
+    | "Read File Data" ->
+        let fh = File_tree.pick_file tree prng in
+        let size = (Dfs.File_store.getattr store fh).Dfs.File_store.size in
+        let count = pick_read_count prng in
+        let blocks = Stdlib.max 1 (size / Dfs.File_store.block_bytes) in
+        let block = Sim.Prng.int prng blocks in
+        Dfs.Nfs_ops.Read
+          { fh; off = block * Dfs.File_store.block_bytes; count }
+    | "Null Ping Call" -> Dfs.Nfs_ops.Null
+    | "Read Symbolic Link" ->
+        Dfs.Nfs_ops.Read_link { fh = File_tree.pick_symlink tree prng }
+    | "Read Directory Contents" ->
+        Dfs.Nfs_ops.Read_dir
+          { fh = File_tree.pick_dir tree prng; count = pick_readdir_count prng }
+    | "Read File System Stats." -> Dfs.Nfs_ops.Statfs
+    | "Write File Data" ->
+        let fh = File_tree.pick_file tree prng in
+        let count = pick_write_count prng in
+        let data = Bytes.make count 'w' in
+        Dfs.Nfs_ops.Write { fh; off = 0; data }
+    | "Other" | _ ->
+        (* The remaining activity (setattr, create, ...): model it as a
+           non-structural attribute update, which keeps replayed traces
+           executable in any order. *)
+        let fh = File_tree.pick_file tree prng in
+        let attr = Dfs.File_store.getattr store fh in
+        Dfs.Nfs_ops.Set_attr
+          { fh; mode = attr.Dfs.File_store.mode; size = attr.Dfs.File_store.size }
+  in
+  { label; op }
+
+let generate ?(scale = 1000) tree prng =
+  let sample = Mix.sampler () in
+  let n = Mix.total_calls / scale in
+  Array.init n (fun _ -> event_for tree prng (sample prng))
+
+let counts_by_label events =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let current =
+        Option.value ~default:0 (Hashtbl.find_opt table e.label)
+      in
+      Hashtbl.replace table e.label (current + 1))
+    events;
+  List.filter_map
+    (fun label ->
+      Option.map (fun n -> (label, n)) (Hashtbl.find_opt table label))
+    Dfs.Nfs_ops.all_labels

@@ -1,0 +1,14 @@
+(** Trace generation: the Table 1a mix plus a synthetic namespace turned
+    into a concrete operation sequence. *)
+
+type event = { label : string; op : Dfs.Nfs_ops.op }
+
+val event_for : File_tree.t -> Sim.Prng.t -> string -> event
+(** One event of the given Table 1a activity with concrete parameters. *)
+
+val generate : ?scale:int -> File_tree.t -> Sim.Prng.t -> event array
+(** A trace with Table 1a's total call count divided by [scale]
+    (default 1000, i.e. ~28.9k events). *)
+
+val counts_by_label : event array -> (string * int) list
+(** Per-activity counts in the paper's row order. *)

@@ -1,0 +1,45 @@
+(* Table 1b accounting: run a trace's operations against the store and
+   classify every request and reply byte as control or data.
+
+   This mirrors the paper's methodology — they instrumented the live
+   server and summed per-activity traffic; we execute the trace against
+   the synthetic store and sum the same classification. *)
+
+type row = { label : string; control : int; data : int }
+
+let ratio row =
+  if row.data = 0 then Float.infinity
+  else float_of_int row.control /. float_of_int row.data
+
+let of_trace store events =
+  let table = Hashtbl.create 16 in
+  let add label (t : Dfs.Nfs_ops.traffic) =
+    let control, data =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt table label)
+    in
+    Hashtbl.replace table label
+      (control + t.Dfs.Nfs_ops.control, data + t.Dfs.Nfs_ops.data)
+  in
+  Array.iter
+    (fun (e : Trace.event) ->
+      add e.Trace.label (Dfs.Nfs_ops.request_traffic e.Trace.op);
+      let result = Dfs.Server.execute store e.Trace.op in
+      add e.Trace.label (Dfs.Nfs_ops.reply_traffic result))
+    events;
+  List.filter_map
+    (fun label ->
+      Option.map
+        (fun (control, data) -> { label; control; data })
+        (Hashtbl.find_opt table label))
+    Dfs.Nfs_ops.all_labels
+
+let totals rows =
+  List.fold_left
+    (fun acc row ->
+      {
+        label = "Overall Total";
+        control = acc.control + row.control;
+        data = acc.data + row.data;
+      })
+    { label = "Overall Total"; control = 0; data = 0 }
+    rows

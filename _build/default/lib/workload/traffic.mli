@@ -1,0 +1,13 @@
+(** Table 1b accounting: execute a trace against the store and classify
+    every request/reply byte as control or data, per activity. *)
+
+type row = { label : string; control : int; data : int }
+
+val ratio : row -> float
+(** control / data (infinite for pure-control rows). *)
+
+val of_trace : Dfs.File_store.t -> Trace.event array -> row list
+(** Per-activity byte totals in the paper's row order. Executes the
+    trace's operations against the store (writes mutate it). *)
+
+val totals : row list -> row

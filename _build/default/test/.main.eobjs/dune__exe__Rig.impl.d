@@ -1,0 +1,1 @@
+test/rig.ml: Cluster Float Names Rmem Sim

@@ -1,0 +1,1 @@
+test/test_amsg.ml: Alcotest Amsg Atm Bytes Char Cluster Int32 Sim

@@ -1,0 +1,1 @@
+test/test_atm.ml: Alcotest Atm Bytes Gen Int32 List QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Bytes Char Cluster Gen List Metrics QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_dfs.ml: Alcotest Array Bytes Cluster Dfs Experiments Gen Lazy List Metrics Names Printf QCheck QCheck_alcotest Rmem Rpckit Sim

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Atm Bytes Cluster Dfs List Metrics Rig Rmem Sim String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bytes Char Cluster Dfs Gen Metrics Names Printf QCheck QCheck_alcotest Rig Rmem Sim

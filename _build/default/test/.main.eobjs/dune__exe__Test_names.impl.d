@@ -1,0 +1,1 @@
+test/test_names.ml: Alcotest Bytes Cluster Gen List Metrics Names Printf QCheck QCheck_alcotest Rig Rmem Sim String

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Array Bytes Cluster Names Option Printf Replica Rmem Sim String

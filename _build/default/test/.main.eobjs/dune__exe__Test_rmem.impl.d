@@ -1,0 +1,1 @@
+test/test_rmem.ml: Alcotest Atm Bytes Char Cluster Gen Int32 Metrics Printf QCheck QCheck_alcotest Rig Rmem Sim

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Atm Bytes Cluster Gen List Metrics QCheck QCheck_alcotest Rpckit Sim String

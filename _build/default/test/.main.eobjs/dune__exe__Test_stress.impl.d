@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Bytes Char Cluster Dfs Experiments Hashtbl List Names Printf QCheck QCheck_alcotest Rig Rmem Sim Workload

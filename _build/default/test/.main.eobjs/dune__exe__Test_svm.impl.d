@@ -1,0 +1,1 @@
+test/test_svm.ml: Alcotest Array Bytes Char Cluster Rpckit Sim Svm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dfs Float Hashtbl List Option QCheck QCheck_alcotest Rig Sim String Workload

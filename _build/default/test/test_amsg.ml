@@ -1,0 +1,99 @@
+(* Tests for the Active Messages comparator. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rig () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let a0 = Amsg.attach (Cluster.Testbed.node testbed 0) in
+  let a1 = Amsg.attach (Cluster.Testbed.node testbed 1) in
+  (testbed, a0, a1)
+
+let handler_runs_with_args () =
+  let testbed, a0, a1 = rig () in
+  let received = ref [] in
+  Amsg.register a0 ~id:3 (fun ~src args ->
+      received := (Atm.Addr.to_int src, Bytes.to_string args) :: !received);
+  Cluster.Testbed.run testbed (fun () ->
+      Amsg.send a1
+        ~dst:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+        ~handler:3 (Bytes.of_string "ping");
+      Sim.Proc.wait (Sim.Time.ms 1);
+      Alcotest.(check (list (pair int string)))
+        "handler saw source and payload"
+        [ (1, "ping") ]
+        !received;
+      check_int "sent" 1 (Amsg.sent a1);
+      check_int "delivered" 1 (Amsg.delivered a0))
+
+let request_reply_round_trip () =
+  let testbed, a0, a1 = rig () in
+  let client_space =
+    Cluster.Node.new_address_space (Cluster.Testbed.node testbed 1)
+  in
+  Amsg.register a0 ~id:1 (fun ~src args ->
+      (* Double each byte and send the result back. *)
+      let doubled = Bytes.map (fun c -> Char.chr (2 * Char.code c land 0xFF)) args in
+      Amsg.send a0 ~dst:src ~handler:2 doubled);
+  Amsg.register a1 ~id:2 (fun ~src:_ args ->
+      Cluster.Address_space.write client_space ~addr:4 args;
+      Cluster.Address_space.write_word client_space ~addr:0 1l);
+  Cluster.Testbed.run testbed (fun () ->
+      Amsg.send a1
+        ~dst:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+        ~handler:1
+        (Bytes.of_string "\001\002\003");
+      let rec spin () =
+        if Int32.equal (Cluster.Address_space.read_word client_space ~addr:0) 0l
+        then begin
+          Sim.Proc.wait (Sim.Time.us 5);
+          spin ()
+        end
+      in
+      spin ();
+      Alcotest.(check bytes) "computed reply" (Bytes.of_string "\002\004\006")
+        (Cluster.Address_space.read client_space ~addr:4 ~len:3))
+
+let unknown_handler_fails () =
+  let testbed, _a0, a1 = rig () in
+  check_bool "failure surfaces" true
+    (try
+       Cluster.Testbed.run testbed (fun () ->
+           Amsg.send a1
+             ~dst:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+             ~handler:99 Bytes.empty;
+           Sim.Proc.wait (Sim.Time.ms 1));
+       false
+     with Failure _ -> true)
+
+let register_validation () =
+  let _testbed, a0, _a1 = rig () in
+  Amsg.register a0 ~id:7 (fun ~src:_ _ -> ());
+  check_bool "duplicate id rejected" true
+    (try
+       Amsg.register a0 ~id:7 (fun ~src:_ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let handler_cpu_is_tracked () =
+  let testbed, a0, a1 = rig () in
+  Amsg.register a0 ~id:1 (fun ~src:_ _ ->
+      Cluster.Cpu.use
+        (Cluster.Node.cpu (Cluster.Testbed.node testbed 0))
+        ~category:Cluster.Cpu.cat_procedure (Sim.Time.us 50));
+  Cluster.Testbed.run testbed (fun () ->
+      Amsg.send a1
+        ~dst:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+        ~handler:1 Bytes.empty;
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "handler cpu recorded" (Sim.Time.us 50)
+        (Sim.Time.to_ns (Amsg.handler_cpu a0)))
+
+let suite =
+  [
+    Alcotest.test_case "handler runs with args" `Quick handler_runs_with_args;
+    Alcotest.test_case "request/reply round trip" `Quick request_reply_round_trip;
+    Alcotest.test_case "unknown handler fails" `Quick unknown_handler_fails;
+    Alcotest.test_case "register validation" `Quick register_validation;
+    Alcotest.test_case "handler cpu tracked" `Quick handler_cpu_is_tracked;
+  ]

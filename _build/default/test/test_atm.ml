@@ -1,0 +1,184 @@
+(* Tests for the ATM network layer. *)
+
+let check_int = Alcotest.(check int)
+
+(* ---------------- AAL arithmetic ---------------- *)
+
+let aal_cells () =
+  check_int "empty frame still one cell" 1 (Atm.Aal.cells_of_len 0);
+  check_int "one byte" 1 (Atm.Aal.cells_of_len 1);
+  check_int "exactly one payload" 1 (Atm.Aal.cells_of_len 48);
+  check_int "49 bytes + trailer -> 2 cells" 2 (Atm.Aal.cells_of_len 49);
+  (* 4096 + 8 trailer = 4104 -> ceil(4104/48) = 86 *)
+  check_int "4K block" 86 (Atm.Aal.cells_of_len 4096);
+  check_int "wire bytes" (86 * 53) (Atm.Aal.wire_bytes_of_len 4096);
+  check_int "words" 3 (Atm.Aal.words_of_len 9)
+
+let aal_monotone =
+  QCheck.Test.make ~name:"cells_of_len is monotone" ~count:300
+    QCheck.(pair (int_bound 20000) (int_bound 100))
+    (fun (len, extra) ->
+      Atm.Aal.cells_of_len len <= Atm.Aal.cells_of_len (len + extra))
+
+(* ---------------- Codec ---------------- *)
+
+let codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip" ~count:300
+    QCheck.(
+      quad (int_bound 0xFF) (int_bound 0xFFFF) (int_bound 0xFFFFFFFF)
+        (string_of_size Gen.(int_bound 64)))
+    (fun (u8, u16, u32, s) ->
+      let w = Atm.Codec.writer () in
+      Atm.Codec.put_u8 w u8;
+      Atm.Codec.put_u16 w u16;
+      Atm.Codec.put_u32 w u32;
+      Atm.Codec.put_string w s;
+      Atm.Codec.put_i32 w (Int32.of_int (u32 land 0xFFFF));
+      let r = Atm.Codec.reader (Atm.Codec.contents w) in
+      Atm.Codec.get_u8 r = u8
+      && Atm.Codec.get_u16 r = u16
+      && Atm.Codec.get_u32 r = u32
+      && String.equal (Atm.Codec.get_string r) s
+      && Int32.to_int (Atm.Codec.get_i32 r) = u32 land 0xFFFF
+      && Atm.Codec.remaining r = 0)
+
+let codec_truncation () =
+  let r = Atm.Codec.reader (Bytes.make 2 '\000') in
+  Alcotest.check_raises "truncated" Atm.Codec.Truncated (fun () ->
+      ignore (Atm.Codec.get_u32 r))
+
+let codec_bounds () =
+  let w = Atm.Codec.writer () in
+  Alcotest.check_raises "u8 range" (Invalid_argument "Codec.put_u8") (fun () ->
+      Atm.Codec.put_u8 w 256);
+  Alcotest.check_raises "u16 range" (Invalid_argument "Codec.put_u16")
+    (fun () -> Atm.Codec.put_u16 w (-1))
+
+(* ---------------- Links ---------------- *)
+
+let link_delivery_time () =
+  let engine = Sim.Engine.create () in
+  let config = Atm.Config.default in
+  let arrivals = ref [] in
+  let link =
+    Atm.Link.create engine config ~deliver:(fun frame ->
+        arrivals := (Sim.Engine.now engine, Atm.Frame.length frame) :: !arrivals)
+  in
+  let src = Atm.Addr.of_int 0 and dst = Atm.Addr.of_int 1 in
+  (* Two single-cell frames sent back to back: the second serializes
+     behind the first. *)
+  Atm.Link.send link (Atm.Frame.make ~src ~dst (Bytes.make 40 'a'));
+  Atm.Link.send link (Atm.Frame.make ~src ~dst (Bytes.make 40 'b'));
+  Sim.Engine.run engine;
+  let cell = Sim.Time.to_ns (Atm.Config.cell_wire_time config) in
+  let prop = Sim.Time.to_ns config.Atm.Config.propagation in
+  (match List.rev !arrivals with
+  | [ (t1, _); (t2, _) ] ->
+      check_int "first after cell+prop" (cell + prop) t1;
+      check_int "second serialized behind" ((2 * cell) + prop) t2
+  | _ -> Alcotest.fail "expected two arrivals");
+  check_int "frames" 2 (Atm.Link.frames_sent link);
+  check_int "cells" 2 (Atm.Link.cells_sent link)
+
+let link_fifo_order () =
+  let engine = Sim.Engine.create () in
+  let seen = ref [] in
+  let link =
+    Atm.Link.create engine Atm.Config.default ~deliver:(fun frame ->
+        seen := Bytes.get (Atm.Frame.payload frame) 0 :: !seen)
+  in
+  let src = Atm.Addr.of_int 0 and dst = Atm.Addr.of_int 1 in
+  List.iter
+    (fun c -> Atm.Link.send link (Atm.Frame.make ~src ~dst (Bytes.make 1 c)))
+    [ 'x'; 'y'; 'z' ];
+  Sim.Engine.run engine;
+  Alcotest.(check (list char)) "in order" [ 'x'; 'y'; 'z' ] (List.rev !seen)
+
+(* ---------------- NIC and networks ---------------- *)
+
+let mesh_delivery () =
+  let engine = Sim.Engine.create () in
+  let network = Atm.Network.create engine ~nodes:3 in
+  let nic0 = Atm.Network.nic_of_int network 0 in
+  let nic2 = Atm.Network.nic_of_int network 2 in
+  Atm.Nic.transmit nic0 ~dst:(Atm.Nic.addr nic2) (Bytes.of_string "ping");
+  let received =
+    Sim.Proc.run engine (fun () -> Atm.Nic.receive nic2)
+  in
+  Alcotest.(check string) "payload" "ping"
+    (Bytes.to_string (Atm.Frame.payload received));
+  Alcotest.(check int) "src" 0 (Atm.Addr.to_int (Atm.Frame.src received));
+  check_int "tx counted" 1 (Atm.Nic.frames_tx nic0);
+  check_int "rx counted" 1 (Atm.Nic.frames_rx nic2)
+
+let star_delivery () =
+  let engine = Sim.Engine.create () in
+  let network = Atm.Network.create ~topology:Atm.Network.Star engine ~nodes:4 in
+  let nic1 = Atm.Network.nic_of_int network 1 in
+  let nic3 = Atm.Network.nic_of_int network 3 in
+  Atm.Nic.transmit nic1 ~dst:(Atm.Nic.addr nic3) (Bytes.of_string "star");
+  let received = Sim.Proc.run engine (fun () -> Atm.Nic.receive nic3) in
+  Alcotest.(check string) "payload" "star"
+    (Bytes.to_string (Atm.Frame.payload received));
+  match Atm.Network.switch network with
+  | Some switch -> check_int "switched" 1 (Atm.Switch.frames_switched switch)
+  | None -> Alcotest.fail "star has a switch"
+
+let star_slower_than_mesh () =
+  let time_of topology =
+    let engine = Sim.Engine.create () in
+    let network = Atm.Network.create ~topology engine ~nodes:2 in
+    let nic0 = Atm.Network.nic_of_int network 0 in
+    let nic1 = Atm.Network.nic_of_int network 1 in
+    Atm.Nic.transmit nic0 ~dst:(Atm.Nic.addr nic1) (Bytes.make 40 'x');
+    ignore (Sim.Proc.run engine (fun () -> Atm.Nic.receive nic1));
+    Sim.Engine.now engine
+  in
+  Alcotest.(check bool) "switch adds latency" true
+    Sim.Time.(time_of Atm.Network.Star > time_of Atm.Network.Back_to_back)
+
+let nic_transmit_to_self_rejected () =
+  let engine = Sim.Engine.create () in
+  let network = Atm.Network.create engine ~nodes:2 in
+  let nic0 = Atm.Network.nic_of_int network 0 in
+  Alcotest.check_raises "self" (Invalid_argument "Nic.transmit: destination is self")
+    (fun () -> Atm.Nic.transmit nic0 ~dst:(Atm.Nic.addr nic0) Bytes.empty)
+
+let rx_overflow_raises () =
+  let engine = Sim.Engine.create () in
+  let config = { Atm.Config.default with Atm.Config.fifo_capacity_cells = 4 } in
+  let network = Atm.Network.create ~config engine ~nodes:2 in
+  let nic0 = Atm.Network.nic_of_int network 0 in
+  let nic1 = Atm.Network.nic_of_int network 1 in
+  (* Nobody drains nic1: five single-cell frames exceed a 4-cell FIFO.
+     Depending on pacing the transmit queue or the receive FIFO trips
+     first; either way the loss is loud, never silent. *)
+  Alcotest.(check bool) "overflow raised" true
+    (try
+       for _ = 1 to 5 do
+         Atm.Nic.transmit nic0 ~dst:(Atm.Nic.addr nic1) (Bytes.make 40 'x')
+       done;
+       Sim.Engine.run engine;
+       false
+     with Atm.Nic.Rx_overflow _ | Atm.Link.Overflow _ -> true)
+
+let addr_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Addr.of_int: negative address")
+    (fun () -> ignore (Atm.Addr.of_int (-1)))
+
+let suite =
+  [
+    Alcotest.test_case "aal cell arithmetic" `Quick aal_cells;
+    Alcotest.test_case "codec truncation" `Quick codec_truncation;
+    Alcotest.test_case "codec bounds" `Quick codec_bounds;
+    Alcotest.test_case "link delivery timing" `Quick link_delivery_time;
+    Alcotest.test_case "link FIFO order" `Quick link_fifo_order;
+    Alcotest.test_case "mesh delivery" `Quick mesh_delivery;
+    Alcotest.test_case "star delivery via switch" `Quick star_delivery;
+    Alcotest.test_case "switch adds latency" `Quick star_slower_than_mesh;
+    Alcotest.test_case "nic rejects self transmit" `Quick nic_transmit_to_self_rejected;
+    Alcotest.test_case "rx FIFO overflow is fatal" `Quick rx_overflow_raises;
+    Alcotest.test_case "addr validation" `Quick addr_validation;
+    QCheck_alcotest.to_alcotest aal_monotone;
+    QCheck_alcotest.to_alcotest codec_roundtrip;
+  ]

@@ -1,0 +1,179 @@
+(* Tests for the cluster layer: address spaces, CPU, kernel helpers. *)
+
+let check_int = Alcotest.(check int)
+
+(* ---------------- Address spaces ---------------- *)
+
+let space () = Cluster.Address_space.create ~asid:1 ()
+
+let space_roundtrip =
+  QCheck.Test.make ~name:"address space write/read roundtrip" ~count:300
+    QCheck.(pair (int_bound 20000) (string_of_size Gen.(1 -- 9000)))
+    (fun (addr, payload) ->
+      let s = space () in
+      let data = Bytes.of_string payload in
+      Cluster.Address_space.write s ~addr data;
+      let back =
+        Cluster.Address_space.read s ~addr ~len:(Bytes.length data)
+      in
+      Bytes.equal back data)
+
+let space_demand_zero () =
+  let s = space () in
+  let b = Cluster.Address_space.read s ~addr:123456 ~len:64 in
+  Alcotest.(check bytes) "zeros" (Bytes.make 64 '\000') b
+
+let space_cross_page () =
+  let s = space () in
+  let page = Cluster.Address_space.page_size s in
+  let data = Bytes.init 100 (fun i -> Char.chr (i land 0xFF)) in
+  Cluster.Address_space.write s ~addr:(page - 50) data;
+  Alcotest.(check bytes) "spans pages" data
+    (Cluster.Address_space.read s ~addr:(page - 50) ~len:100);
+  check_int "two pages resident" 2 (Cluster.Address_space.resident_pages s)
+
+let space_words_and_cas () =
+  let s = space () in
+  Cluster.Address_space.write_word s ~addr:16 7l;
+  Alcotest.(check int32) "word" 7l (Cluster.Address_space.read_word s ~addr:16);
+  Alcotest.(check bool) "cas succeeds" true
+    (Cluster.Address_space.cas_word s ~addr:16 ~old_value:7l ~new_value:9l);
+  Alcotest.(check bool) "cas fails" false
+    (Cluster.Address_space.cas_word s ~addr:16 ~old_value:7l ~new_value:11l);
+  Alcotest.(check int32) "value kept" 9l
+    (Cluster.Address_space.read_word s ~addr:16)
+
+let space_pinning () =
+  let s = space () in
+  let page = Cluster.Address_space.page_size s in
+  let pages = Cluster.Address_space.pin s ~addr:100 ~len:(page + 200) in
+  check_int "two pages pinned" 2 pages;
+  Alcotest.(check bool) "pinned" true
+    (Cluster.Address_space.is_pinned s ~addr:100 ~len:page);
+  Alcotest.(check bool) "beyond not pinned" false
+    (Cluster.Address_space.is_pinned s ~addr:(3 * page) ~len:10);
+  (* Pins nest. *)
+  ignore (Cluster.Address_space.pin s ~addr:0 ~len:10 : int);
+  Cluster.Address_space.unpin s ~addr:100 ~len:(page + 200);
+  Alcotest.(check bool) "first page still pinned by second pin" true
+    (Cluster.Address_space.is_pinned s ~addr:0 ~len:10);
+  Cluster.Address_space.unpin s ~addr:0 ~len:10;
+  Alcotest.(check bool) "all unpinned" false
+    (Cluster.Address_space.is_pinned s ~addr:0 ~len:10);
+  Alcotest.check_raises "over-unpin"
+    (Invalid_argument "Address_space.unpin: page not pinned") (fun () ->
+      Cluster.Address_space.unpin s ~addr:0 ~len:10)
+
+let space_fault () =
+  let s = space () in
+  Alcotest.(check bool) "negative address faults" true
+    (try
+       ignore (Cluster.Address_space.read s ~addr:(-1) ~len:4);
+       false
+     with Cluster.Address_space.Fault _ -> true)
+
+(* ---------------- CPU ---------------- *)
+
+let cpu_accounting () =
+  let engine = Sim.Engine.create () in
+  let cpu = Cluster.Cpu.create () in
+  Sim.Proc.run engine (fun () ->
+      Cluster.Cpu.use cpu ~category:"a" (Sim.Time.us 10);
+      Cluster.Cpu.use cpu ~category:"b" (Sim.Time.us 5);
+      Cluster.Cpu.use cpu ~category:"a" (Sim.Time.us 1));
+  check_int "busy 16us" (Sim.Time.us 16) (Cluster.Cpu.busy_time cpu);
+  Alcotest.(check (float 1e-6)) "a = 11us" 11.
+    (Metrics.Account.total_of (Cluster.Cpu.account cpu) "a");
+  Alcotest.(check (float 1e-6)) "util over 32us" 0.5
+    (Cluster.Cpu.utilization cpu ~window:(Sim.Time.us 32))
+
+let cpu_serializes () =
+  let engine = Sim.Engine.create () in
+  let cpu = Cluster.Cpu.create () in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Sim.Proc.spawn engine (fun () ->
+        Cluster.Cpu.use cpu ~category:"work" (Sim.Time.us 10);
+        finish := (i, Sim.Engine.now engine) :: !finish)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int int)))
+    "FIFO completion at 10/20/30us"
+    [ (1, Sim.Time.us 10); (2, Sim.Time.us 20); (3, Sim.Time.us 30) ]
+    (List.rev !finish)
+
+(* ---------------- Kernel helpers and LRPC ---------------- *)
+
+let with_node body =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let node = Cluster.Testbed.node testbed 0 in
+  Cluster.Testbed.run testbed (fun () -> body testbed node)
+
+let kernel_syscall_cost () =
+  with_node (fun testbed node ->
+      let engine = Cluster.Testbed.engine testbed in
+      let t0 = Sim.Engine.now engine in
+      let v = Cluster.Kernel.syscall node ~name:"test" (fun () -> 41 + 1) in
+      check_int "result" 42 v;
+      check_int "cost = syscall"
+        (Sim.Time.to_ns (Cluster.Testbed.costs testbed).Cluster.Costs.syscall)
+        (Sim.Time.diff (Sim.Engine.now engine) t0))
+
+let lrpc_cost () =
+  with_node (fun testbed node ->
+      let engine = Cluster.Testbed.engine testbed in
+      let t0 = Sim.Engine.now engine in
+      let v = Cluster.Lrpc.call node (fun x -> x * 2) 21 in
+      check_int "result" 42 v;
+      let expected =
+        2 * Sim.Time.to_ns (Cluster.Testbed.costs testbed).Cluster.Costs.lrpc_half
+      in
+      check_int "round trip" expected (Sim.Time.diff (Sim.Engine.now engine) t0))
+
+let node_demux_and_crash () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let node0 = Cluster.Testbed.node testbed 0 in
+  let node1 = Cluster.Testbed.node testbed 1 in
+  let received = ref 0 in
+  Cluster.Node.set_handler node1 ~tag:0x42 (fun ~src:_ _payload -> incr received);
+  Alcotest.check_raises "tag already claimed"
+    (Invalid_argument "Node.set_handler: tag already claimed") (fun () ->
+      Cluster.Node.set_handler node1 ~tag:0x42 (fun ~src:_ _ -> ()));
+  Cluster.Testbed.run testbed (fun () ->
+      let payload = Bytes.make 4 '\x42' in
+      Cluster.Node.transmit node0 ~dst:(Cluster.Node.addr node1) payload;
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "delivered" 1 !received;
+      (* Crash the node: frames are absorbed silently. *)
+      Cluster.Node.set_down node1 true;
+      Cluster.Node.transmit node0 ~dst:(Cluster.Node.addr node1) payload;
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "dropped while down" 1 !received;
+      Cluster.Node.set_down node1 false;
+      Cluster.Node.transmit node0 ~dst:(Cluster.Node.addr node1) payload;
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "delivered after revival" 2 !received)
+
+let costs_are_calibrated () =
+  (* A sanity pin on the headline calibration constants. *)
+  let c = Cluster.Costs.default in
+  check_int "notification 260us" (Sim.Time.us 260) c.Cluster.Costs.notification;
+  check_int "context switch 100us" (Sim.Time.us 100) c.Cluster.Costs.context_switch;
+  Alcotest.(check bool) "cell copy cost positive" true
+    (Cluster.Costs.cell_copy_cost c ~payload_bytes:48 > 0)
+
+let suite =
+  [
+    Alcotest.test_case "space demand zero" `Quick space_demand_zero;
+    Alcotest.test_case "space cross-page access" `Quick space_cross_page;
+    Alcotest.test_case "space words and cas" `Quick space_words_and_cas;
+    Alcotest.test_case "space pinning nests" `Quick space_pinning;
+    Alcotest.test_case "space faults" `Quick space_fault;
+    Alcotest.test_case "cpu accounting" `Quick cpu_accounting;
+    Alcotest.test_case "cpu serializes holders" `Quick cpu_serializes;
+    Alcotest.test_case "kernel syscall cost" `Quick kernel_syscall_cost;
+    Alcotest.test_case "lrpc round-trip cost" `Quick lrpc_cost;
+    Alcotest.test_case "node demux and crash" `Quick node_demux_and_crash;
+    Alcotest.test_case "calibration constants pinned" `Quick costs_are_calibrated;
+    QCheck_alcotest.to_alcotest space_roundtrip;
+  ]

@@ -1,0 +1,645 @@
+(* Tests for the distributed file service. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- File store ---------------- *)
+
+let store_namespace () =
+  let store = Dfs.File_store.create () in
+  let root = Dfs.File_store.root store in
+  let dir = Dfs.File_store.mkdir store ~dir:root ~name:"d" () in
+  let f = Dfs.File_store.create_file store ~dir ~name:"f" () in
+  let l = Dfs.File_store.symlink store ~dir ~name:"l" ~target:"/elsewhere" in
+  check_int "lookup finds file" f (Dfs.File_store.lookup store ~dir ~name:"f");
+  Alcotest.(check string) "readlink" "/elsewhere" (Dfs.File_store.readlink store l);
+  Alcotest.(check (list (pair string int)))
+    "readdir in insertion order"
+    [ ("f", f); ("l", l) ]
+    (Dfs.File_store.readdir store dir);
+  check_bool "duplicate rejected" true
+    (try
+       ignore (Dfs.File_store.create_file store ~dir ~name:"f" ());
+       false
+     with Dfs.File_store.Name_exists _ -> true);
+  check_bool "missing name" true
+    (try
+       ignore (Dfs.File_store.lookup store ~dir ~name:"zz");
+       false
+     with Dfs.File_store.No_such_file _ -> true);
+  check_bool "readlink on file" true
+    (try
+       ignore (Dfs.File_store.readlink store f);
+       false
+     with Dfs.File_store.Not_a_symlink _ -> true)
+
+let store_data_paths =
+  QCheck.Test.make ~name:"file store write/read roundtrip" ~count:100
+    QCheck.(pair (int_bound 30000) (string_of_size Gen.(1 -- 20000)))
+    (fun (off, payload) ->
+      let store = Dfs.File_store.create () in
+      let root = Dfs.File_store.root store in
+      let f = Dfs.File_store.create_file store ~dir:root ~name:"f" () in
+      let data = Bytes.of_string payload in
+      Dfs.File_store.write store f ~off data;
+      let back = Dfs.File_store.read store f ~off ~count:(Bytes.length data) in
+      Bytes.equal back data
+      && (Dfs.File_store.getattr store f).Dfs.File_store.size
+         = off + Bytes.length data)
+
+let store_holes_and_eof () =
+  let store = Dfs.File_store.create () in
+  let root = Dfs.File_store.root store in
+  let f = Dfs.File_store.create_file store ~dir:root ~name:"f" () in
+  Dfs.File_store.write store f ~off:10000 (Bytes.of_string "end");
+  (* The hole reads as zeros. *)
+  Alcotest.(check bytes) "hole" (Bytes.make 8 '\000')
+    (Dfs.File_store.read store f ~off:100 ~count:8);
+  (* Reads past EOF are short. *)
+  check_int "short read at EOF" 3
+    (Bytes.length (Dfs.File_store.read store f ~off:10000 ~count:100))
+
+let store_mutations () =
+  let store = Dfs.File_store.create () in
+  let root = Dfs.File_store.root store in
+  let dir = Dfs.File_store.mkdir store ~dir:root ~name:"d" () in
+  let f = Dfs.File_store.create_file store ~dir ~name:"f" () in
+  Dfs.File_store.write store f ~off:0 (Bytes.make 10000 'x');
+  (* set_attr truncation zeros the dropped tail. *)
+  Dfs.File_store.set_attr store f ~size:5000 ();
+  check_int "truncated" 5000 (Dfs.File_store.getattr store f).Dfs.File_store.size;
+  Dfs.File_store.set_attr store f ~size:10000 ();
+  Alcotest.(check bytes) "tail zeroed after re-extend" (Bytes.make 100 '\000')
+    (Dfs.File_store.read store f ~off:5000 ~count:100);
+  (* rename moves the entry. *)
+  let dir2 = Dfs.File_store.mkdir store ~dir:root ~name:"d2" () in
+  Dfs.File_store.rename store ~from_dir:dir ~from_name:"f" ~to_dir:dir2
+    ~to_name:"g";
+  check_int "reachable at new name" f (Dfs.File_store.lookup store ~dir:dir2 ~name:"g");
+  check_bool "gone from old dir" true
+    (try
+       ignore (Dfs.File_store.lookup store ~dir ~name:"f");
+       false
+     with Dfs.File_store.No_such_file _ -> true);
+  (* rmdir refuses non-empty, then succeeds. *)
+  check_bool "rmdir non-empty" true
+    (try
+       Dfs.File_store.rmdir store ~dir:root ~name:"d2";
+       false
+     with Dfs.File_store.Not_empty _ -> true);
+  Dfs.File_store.remove store ~dir:dir2 ~name:"g";
+  Dfs.File_store.rmdir store ~dir:root ~name:"d2";
+  check_bool "d2 gone" true
+    (try
+       ignore (Dfs.File_store.lookup store ~dir:root ~name:"d2");
+       false
+     with Dfs.File_store.No_such_file _ -> true);
+  (* remove refuses directories. *)
+  check_bool "remove on dir fails" true
+    (try
+       Dfs.File_store.remove store ~dir:root ~name:"d";
+       false
+     with Dfs.File_store.Not_a_file _ -> true)
+
+let store_mtime_advances () =
+  let store = Dfs.File_store.create () in
+  let root = Dfs.File_store.root store in
+  let f = Dfs.File_store.create_file store ~dir:root ~name:"f" () in
+  let m1 = (Dfs.File_store.getattr store f).Dfs.File_store.mtime in
+  Dfs.File_store.write store f ~off:0 (Bytes.make 4 'x');
+  let m2 = (Dfs.File_store.getattr store f).Dfs.File_store.mtime in
+  check_bool "mtime advanced" true (m2 > m1)
+
+(* ---------------- Slot cache ---------------- *)
+
+let slot_cache () =
+  let space = Cluster.Address_space.create ~asid:3 () in
+  Dfs.Slot_cache.create ~space ~base:0 { Dfs.Slot_cache.slots = 64; payload_bytes = 128 }
+
+let slot_cache_basics () =
+  let c = slot_cache () in
+  check_bool "miss" true (Dfs.Slot_cache.lookup_local c ~key1:1 ~key2:2 = None);
+  Dfs.Slot_cache.install c ~key1:1 ~key2:2 (Bytes.of_string "value");
+  (match Dfs.Slot_cache.lookup_local c ~key1:1 ~key2:2 with
+  | Some payload -> Alcotest.(check string) "hit" "value" (Bytes.to_string payload)
+  | None -> Alcotest.fail "expected hit");
+  (* A different key mapping to the same slot misses cleanly. *)
+  Dfs.Slot_cache.invalidate c ~key1:1 ~key2:2;
+  check_bool "invalidated" true
+    (Dfs.Slot_cache.lookup_local c ~key1:1 ~key2:2 = None)
+
+let slot_cache_addressing_pure =
+  QCheck.Test.make ~name:"slot addressing matches cfg arithmetic" ~count:200
+    QCheck.(pair (int_bound 100000) (int_bound 1000))
+    (fun (key1, key2) ->
+      let c = slot_cache () in
+      let cfg = Dfs.Slot_cache.config c in
+      Dfs.Slot_cache.offset_of_key c ~key1 ~key2
+      = Dfs.Slot_cache.offset_of_key_cfg cfg ~key1 ~key2)
+
+let slot_cache_decode_rejects () =
+  let c = slot_cache () in
+  Dfs.Slot_cache.install c ~key1:7 ~key2:8 (Bytes.of_string "data");
+  let cfg = Dfs.Slot_cache.config c in
+  let space = Cluster.Address_space.create ~asid:3 () in
+  ignore space;
+  let slot_bytes = Dfs.Slot_cache.slot_bytes cfg in
+  ignore slot_bytes;
+  (* Decoding with the wrong keys fails even on a valid slot image. *)
+  let image = Dfs.Slot_cache.encode_slot c ~key1:7 ~key2:8 (Bytes.of_string "data") in
+  check_bool "right keys" true
+    (Dfs.Slot_cache.decode_slot image ~key1:7 ~key2:8 <> None);
+  check_bool "wrong keys" true
+    (Dfs.Slot_cache.decode_slot image ~key1:7 ~key2:9 = None)
+
+(* ---------------- NFS op codecs ---------------- *)
+
+let sample_attr =
+  {
+    Dfs.File_store.inode = 42;
+    kind = Dfs.File_store.Regular;
+    mode = 0o644;
+    nlink = 1;
+    uid = 10;
+    gid = 20;
+    size = 12345;
+    atime = 1;
+    mtime = 2;
+    ctime = 3;
+  }
+
+let attr_roundtrip () =
+  let back = Dfs.Nfs_ops.decode_attr (Dfs.Nfs_ops.encode_attr sample_attr) in
+  check_bool "attr roundtrip" true (back = sample_attr);
+  check_int "fattr is 68 bytes" 68
+    (Bytes.length (Dfs.Nfs_ops.encode_attr sample_attr))
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Dfs.Nfs_ops.Null;
+        return Dfs.Nfs_ops.Statfs;
+        map (fun fh -> Dfs.Nfs_ops.Get_attr { fh }) (1 -- 10000);
+        map (fun fh -> Dfs.Nfs_ops.Read_link { fh }) (1 -- 10000);
+        map
+          (fun (dir, name) -> Dfs.Nfs_ops.Lookup { dir; name })
+          (tup2 (1 -- 1000) (string_size ~gen:(char_range 'a' 'z') (1 -- 30)));
+        map
+          (fun (fh, off, count) -> Dfs.Nfs_ops.Read { fh; off; count })
+          (tup3 (1 -- 1000) (0 -- 100000) (0 -- 8192));
+        map
+          (fun (fh, count) -> Dfs.Nfs_ops.Read_dir { fh; count })
+          (tup2 (1 -- 1000) (0 -- 4096));
+        map
+          (fun (fh, off, s) ->
+            Dfs.Nfs_ops.Write { fh; off; data = Bytes.of_string s })
+          (tup3 (1 -- 1000) (0 -- 100000) (string_size (0 -- 4096)));
+        map
+          (fun (fh, mode, size) -> Dfs.Nfs_ops.Set_attr { fh; mode; size })
+          (tup3 (1 -- 1000) (0 -- 0o777) (0 -- 100000));
+        map
+          (fun (dir, name) -> Dfs.Nfs_ops.Create { dir; name })
+          (tup2 (1 -- 1000) (string_size ~gen:(char_range 'a' 'z') (1 -- 30)));
+        map
+          (fun (dir, name) -> Dfs.Nfs_ops.Remove { dir; name })
+          (tup2 (1 -- 1000) (string_size ~gen:(char_range 'a' 'z') (1 -- 30)));
+        map
+          (fun (dir, name) -> Dfs.Nfs_ops.Mkdir { dir; name })
+          (tup2 (1 -- 1000) (string_size ~gen:(char_range 'a' 'z') (1 -- 30)));
+        map
+          (fun (dir, name) -> Dfs.Nfs_ops.Rmdir { dir; name })
+          (tup2 (1 -- 1000) (string_size ~gen:(char_range 'a' 'z') (1 -- 30)));
+        map
+          (fun (from_dir, from_name, to_dir, to_name) ->
+            Dfs.Nfs_ops.Rename { from_dir; from_name; to_dir; to_name })
+          (tup4 (1 -- 1000)
+             (string_size ~gen:(char_range 'a' 'z') (1 -- 20))
+             (1 -- 1000)
+             (string_size ~gen:(char_range 'a' 'z') (1 -- 20)));
+      ])
+
+let op_roundtrip =
+  QCheck.Test.make ~name:"nfs op encode/decode roundtrip" ~count:300
+    (QCheck.make op_gen) (fun op ->
+      Dfs.Nfs_ops.decode_op (Dfs.Nfs_ops.encode_op op) = op)
+
+let result_roundtrip () =
+  let results =
+    [
+      Dfs.Nfs_ops.R_null;
+      Dfs.Nfs_ops.R_attr sample_attr;
+      Dfs.Nfs_ops.R_lookup { fh = 7; attr = sample_attr };
+      Dfs.Nfs_ops.R_link "/target";
+      Dfs.Nfs_ops.R_data (Bytes.of_string "contents");
+      Dfs.Nfs_ops.R_entries (Bytes.of_string "packed");
+      Dfs.Nfs_ops.R_statfs
+        { Dfs.File_store.total_blocks = 1; free_blocks = 2; files = 3; block_size = 4 };
+      Dfs.Nfs_ops.R_write sample_attr;
+      Dfs.Nfs_ops.R_error 13;
+    ]
+  in
+  List.iter
+    (fun result ->
+      check_bool "result roundtrip" true
+        (Dfs.Nfs_ops.decode_result (Dfs.Nfs_ops.encode_result result) = result))
+    results
+
+let rpc_codec_roundtrip =
+  QCheck.Test.make ~name:"rpc marshal/unmarshal roundtrip" ~count:200
+    (QCheck.make op_gen) (fun op ->
+      let x = Dfs.Rpc_codec.marshal_op op in
+      let reader = Rpckit.Xdr.reader (Rpckit.Xdr.contents x) in
+      Dfs.Rpc_codec.unmarshal_op ~proc:(Dfs.Rpc_codec.proc_of_op op) reader = op)
+
+let traffic_classification () =
+  let t = Dfs.Nfs_ops.request_traffic (Dfs.Nfs_ops.Get_attr { fh = 1 }) in
+  check_int "getattr request: xid + fh" 36 t.Dfs.Nfs_ops.control;
+  check_int "no data in request" 0 t.Dfs.Nfs_ops.data;
+  let t = Dfs.Nfs_ops.reply_traffic (Dfs.Nfs_ops.R_attr sample_attr) in
+  check_int "attr reply data" 68 t.Dfs.Nfs_ops.data;
+  let t =
+    Dfs.Nfs_ops.request_traffic
+      (Dfs.Nfs_ops.Write { fh = 1; off = 0; data = Bytes.make 1000 'x' })
+  in
+  check_int "write request data" 1000 t.Dfs.Nfs_ops.data
+
+(* ---------------- Server + clerk integration ---------------- *)
+
+let fixture = lazy (Experiments.Fixture.create ~clients:1 ())
+
+let mutations_through_all_schemes () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      List.iter
+        (fun scheme ->
+          Dfs.Clerk.set_scheme clerk scheme;
+          let tag = Dfs.Clerk.scheme_to_string scheme in
+          let name = "made-" ^ tag in
+          let root = Dfs.File_store.root fixture.Experiments.Fixture.store in
+          (match
+             Dfs.Clerk.perform clerk (Dfs.Nfs_ops.Create { dir = root; name })
+           with
+          | Dfs.Nfs_ops.R_lookup { fh; _ } ->
+              (* Visible through a subsequent lookup and removable. *)
+              (match
+                 Dfs.Clerk.remote_fetch clerk
+                   (Dfs.Nfs_ops.Lookup { dir = root; name })
+               with
+              | Dfs.Nfs_ops.R_lookup { fh = fh'; _ } ->
+                  check_int (tag ^ ": lookup finds created file") fh fh'
+              | _ -> Alcotest.fail (tag ^ ": lookup failed"));
+              (match
+                 Dfs.Clerk.perform clerk (Dfs.Nfs_ops.Remove { dir = root; name })
+               with
+              | Dfs.Nfs_ops.R_null -> ()
+              | _ -> Alcotest.fail (tag ^ ": remove failed"))
+          | _ -> Alcotest.fail (tag ^ ": create failed")))
+        [ Dfs.Clerk.Dx; Dfs.Clerk.Hybrid1; Dfs.Clerk.Rpc_baseline ])
+
+
+let schemes_agree () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      List.iter
+        (fun (_name, op) ->
+          let results =
+            List.map
+              (fun scheme ->
+                Dfs.Clerk.set_scheme clerk scheme;
+                Dfs.Clerk.remote_fetch clerk op)
+              [ Dfs.Clerk.Dx; Dfs.Clerk.Hybrid1; Dfs.Clerk.Rpc_baseline ]
+          in
+          match results with
+          | [ dx; hy; rpc ] ->
+              check_bool "dx = hy" true (dx = hy);
+              check_bool "hy = rpc" true (hy = rpc)
+          | _ -> assert false)
+        (List.filter
+           (fun (_, op) ->
+             (* Writes mutate state between schemes; compare reads. *)
+             match op with Dfs.Nfs_ops.Write _ -> false | _ -> true)
+           (Experiments.Fixture.figure_ops fixture)))
+
+let dx_matches_store_contents () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      let fh = fixture.Experiments.Fixture.bench_file in
+      match
+        Dfs.Clerk.remote_fetch clerk (Dfs.Nfs_ops.Read { fh; off = 0; count = 64 })
+      with
+      | Dfs.Nfs_ops.R_data data ->
+          let expected =
+            Dfs.File_store.read fixture.Experiments.Fixture.store fh ~off:0
+              ~count:64
+          in
+          check_bool "bytes match the store" true (Bytes.equal data expected)
+      | _ -> Alcotest.fail "expected data")
+
+let dx_miss_falls_back_to_control () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      (* A file created after cache warming: the DX probe misses and the
+         clerk transfers control, still returning the right answer. *)
+      let store = fixture.Experiments.Fixture.store in
+      let root = Dfs.File_store.root store in
+      let fresh = Dfs.File_store.create_file store ~dir:root ~name:"fresh.dat" () in
+      Dfs.File_store.write store fresh ~off:0 (Bytes.of_string "fresh!");
+      let before =
+        Metrics.Account.total_of (Dfs.Clerk.stats clerk) "dx misses -> control"
+      in
+      (match
+         Dfs.Clerk.remote_fetch clerk (Dfs.Nfs_ops.Get_attr { fh = fresh })
+       with
+      | Dfs.Nfs_ops.R_attr attr -> check_int "size via fallback" 6 attr.Dfs.File_store.size
+      | _ -> Alcotest.fail "expected attr");
+      Alcotest.(check (float 0.01)) "fallback counted" (before +. 1.)
+        (Metrics.Account.total_of (Dfs.Clerk.stats clerk) "dx misses -> control"))
+
+let dx_read_crosses_blocks () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      Experiments.Fixture.recache_bench fixture;
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      let fh = fixture.Experiments.Fixture.bench_file in
+      (* An unaligned read spanning the block-0/block-1 boundary. *)
+      match
+        Dfs.Clerk.remote_fetch clerk
+          (Dfs.Nfs_ops.Read { fh; off = 8000; count = 1000 })
+      with
+      | Dfs.Nfs_ops.R_data data ->
+          let expected =
+            Dfs.File_store.read fixture.Experiments.Fixture.store fh ~off:8000
+              ~count:1000
+          in
+          check_bool "cross-block bytes match" true (Bytes.equal data expected)
+      | _ -> Alcotest.fail "expected data")
+
+let write_push_and_writeback () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      let fh = fixture.Experiments.Fixture.bench_file in
+      let payload = Bytes.make 8192 'Q' in
+      (match
+         Dfs.Clerk.remote_fetch clerk
+           (Dfs.Nfs_ops.Write { fh; off = 8192; data = payload })
+       with
+      | Dfs.Nfs_ops.R_write _ -> ()
+      | _ -> Alcotest.fail "expected write ack");
+      Sim.Proc.wait (Sim.Time.ms 5);
+      Dfs.Server.writeback fixture.Experiments.Fixture.server ~fh ~block:1;
+      let back =
+        Dfs.File_store.read fixture.Experiments.Fixture.store fh ~off:8192
+          ~count:8192
+      in
+      check_bool "pushed block applied" true (Bytes.equal back payload))
+
+let concurrent_hybrid_clients () =
+  (* Several clients' Hybrid-1 requests land in distinct request slots
+     and are served serially by the notification handler without
+     cross-talk. *)
+  let fixture = Experiments.Fixture.create ~clients:3 () in
+  Experiments.Fixture.run fixture (fun () ->
+      let served_before =
+        Dfs.Server.hybrid_served fixture.Experiments.Fixture.server
+      in
+      let finished = ref 0 in
+      let all_done = Sim.Ivar.create () in
+      for c = 0 to 2 do
+        let clerk = Experiments.Fixture.clerk fixture c in
+        Dfs.Clerk.set_scheme clerk Dfs.Clerk.Hybrid1;
+        Cluster.Node.spawn (Dfs.Clerk.node clerk) (fun () ->
+            for _ = 1 to 10 do
+              match
+                Dfs.Clerk.remote_fetch clerk
+                  (Dfs.Nfs_ops.Get_attr
+                     { fh = fixture.Experiments.Fixture.bench_file })
+              with
+              | Dfs.Nfs_ops.R_attr attr ->
+                  check_int "right inode back"
+                    fixture.Experiments.Fixture.bench_file
+                    attr.Dfs.File_store.inode
+              | _ -> Alcotest.fail "hybrid getattr failed"
+            done;
+            incr finished;
+            if !finished = 3 then Sim.Ivar.fill all_done ())
+      done;
+      Sim.Ivar.read all_done;
+      check_int "server answered all 30" (served_before + 30)
+        (Dfs.Server.hybrid_served fixture.Experiments.Fixture.server))
+
+let dx_readdir_multi_chunk () =
+  (* A directory whose packed listing exceeds one 4 KB chunk: the DX
+     path stitches chunks together and matches the HY answer. *)
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      let store = fixture.Experiments.Fixture.store in
+      let root = Dfs.File_store.root store in
+      let wide = Dfs.File_store.mkdir store ~dir:root ~name:"very-wide" () in
+      for i = 0 to 499 do
+        ignore
+          (Dfs.File_store.create_file store ~dir:wide
+             ~name:(Printf.sprintf "e%04d" i) ()
+            : int)
+      done;
+      Dfs.Server.cache_dir fixture.Experiments.Fixture.server wide;
+      let op = Dfs.Nfs_ops.Read_dir { fh = wide; count = 7000 } in
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      let dx = Dfs.Clerk.remote_fetch clerk op in
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Hybrid1;
+      let hy = Dfs.Clerk.remote_fetch clerk op in
+      match (dx, hy) with
+      | Dfs.Nfs_ops.R_entries a, Dfs.Nfs_ops.R_entries b ->
+          check_bool "multi-chunk DX matches HY" true (Bytes.equal a b);
+          check_bool "crossed the chunk boundary" true (Bytes.length a > 4096)
+      | _ -> Alcotest.fail "expected entries")
+
+let clerk_local_cache_hits () =
+  let fixture = Lazy.force fixture in
+  let clerk = Experiments.Fixture.clerk fixture 0 in
+  Experiments.Fixture.run fixture (fun () ->
+      Dfs.Clerk.set_scheme clerk Dfs.Clerk.Dx;
+      let op = Dfs.Nfs_ops.Get_attr { fh = fixture.Experiments.Fixture.bench_file } in
+      let r1 = Dfs.Clerk.perform clerk op in
+      let before =
+        Metrics.Account.total_of (Dfs.Clerk.stats clerk) "local hits"
+      in
+      let r2 = Dfs.Clerk.perform clerk op in
+      check_bool "same answer" true (r1 = r2);
+      Alcotest.(check (float 0.01)) "second was a local hit" (before +. 1.)
+        (Metrics.Account.total_of (Dfs.Clerk.stats clerk) "local hits"))
+
+(* ---------------- Coherence ---------------- *)
+
+let coherence_mutual_exclusion () =
+  let testbed = Cluster.Testbed.create ~nodes:3 () in
+  let rmems =
+    Array.init 3 (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Cluster.Testbed.run testbed (fun () ->
+      let names = Array.map Names.Clerk.create rmems in
+      Array.iter Names.Clerk.serve_lookup_requests names;
+      let manager = Dfs.Coherence.export_tokens ~names:names.(0) () in
+      let c1 =
+        Dfs.Coherence.connect ~names:names.(1)
+          ~server:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+          ()
+      in
+      let c2 =
+        Dfs.Coherence.connect ~names:names.(2)
+          ~server:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+          ()
+      in
+      let in_section = ref false in
+      let violations = ref 0 in
+      let done_count = ref 0 in
+      let all_done = Sim.Ivar.create () in
+      let worker client id =
+        Cluster.Node.spawn
+          (Cluster.Testbed.node testbed id)
+          (fun () ->
+            for _ = 1 to 10 do
+              Dfs.Coherence.acquire client ~token:0;
+              if !in_section then incr violations;
+              in_section := true;
+              Sim.Proc.wait (Sim.Time.us 50);
+              in_section := false;
+              Dfs.Coherence.release client ~token:0
+            done;
+            incr done_count;
+            if !done_count = 2 then Sim.Ivar.fill all_done ())
+      in
+      worker c1 1;
+      worker c2 2;
+      Sim.Ivar.read all_done;
+      check_int "no mutual-exclusion violations" 0 !violations;
+      check_int "token free at the end" 0 (Dfs.Coherence.holder_of manager ~token:0);
+      check_bool "contention caused retries" true
+        (Dfs.Coherence.retries c1 + Dfs.Coherence.retries c2 >= 0))
+
+let delayed_revocation () =
+  let testbed = Cluster.Testbed.create ~nodes:3 () in
+  let rmems =
+    Array.init 3 (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Cluster.Testbed.run testbed (fun () ->
+      let names = Array.map Names.Clerk.create rmems in
+      Array.iter Names.Clerk.serve_lookup_requests names;
+      let (_ : Dfs.Coherence.manager) =
+        Dfs.Coherence.export_tokens ~names:names.(0) ()
+      in
+      let server = Cluster.Node.addr (Cluster.Testbed.node testbed 0) in
+      let holder = Dfs.Coherence.connect ~names:names.(1) ~server () in
+      let contender = Dfs.Coherence.connect ~names:names.(2) ~server () in
+      let engine = Cluster.Testbed.engine testbed in
+      (* The holder takes the token on a long lease but honors
+         revocation requests. *)
+      Dfs.Coherence.acquire holder ~token:5;
+      Cluster.Node.spawn
+        (Cluster.Testbed.node testbed 1)
+        (fun () ->
+          Dfs.Coherence.hold_with_lease holder ~token:5 ~lease:(Sim.Time.ms 50));
+      Sim.Proc.wait (Sim.Time.us 200);
+      (* The contender asks for revocation after two failed CAS tries
+         and must get the token long before the 50 ms lease expires. *)
+      let t0 = Sim.Engine.now engine in
+      Dfs.Coherence.acquire ~revoke_after:2 contender ~token:5;
+      let waited = Sim.Time.to_ms (Sim.Time.diff (Sim.Engine.now engine) t0) in
+      check_bool "acquired well before the lease expired" true (waited < 20.);
+      check_int "holder honored one revocation" 1
+        (Dfs.Coherence.revocations_honored holder);
+      Dfs.Coherence.release contender ~token:5)
+
+let lease_expires_without_revocation () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let rmems =
+    Array.init 2 (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Cluster.Testbed.run testbed (fun () ->
+      let names = Array.map Names.Clerk.create rmems in
+      Array.iter Names.Clerk.serve_lookup_requests names;
+      let manager = Dfs.Coherence.export_tokens ~names:names.(0) () in
+      let client =
+        Dfs.Coherence.connect ~names:names.(1)
+          ~server:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+          ()
+      in
+      Dfs.Coherence.acquire client ~token:3;
+      check_bool "held" true (Dfs.Coherence.holder_of manager ~token:3 <> 0);
+      let engine = Cluster.Testbed.engine testbed in
+      let t0 = Sim.Engine.now engine in
+      Dfs.Coherence.hold_with_lease client ~token:3 ~lease:(Sim.Time.ms 5);
+      let held_for = Sim.Time.to_ms (Sim.Time.diff (Sim.Engine.now engine) t0) in
+      check_bool "held roughly the whole lease" true
+        (held_for >= 4.5 && held_for < 8.);
+      check_int "released at expiry" 0 (Dfs.Coherence.holder_of manager ~token:3);
+      check_int "no revocations were honored" 0
+        (Dfs.Coherence.revocations_honored client))
+
+let coherence_release_requires_ownership () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let rmems =
+    Array.init 2 (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Alcotest.(check bool) "foreign release fails" true
+    (try
+       Cluster.Testbed.run testbed (fun () ->
+           let names = Array.map Names.Clerk.create rmems in
+           Array.iter Names.Clerk.serve_lookup_requests names;
+           let (_ : Dfs.Coherence.manager) =
+             Dfs.Coherence.export_tokens ~names:names.(0) ()
+           in
+           let c =
+             Dfs.Coherence.connect ~names:names.(1)
+               ~server:(Cluster.Node.addr (Cluster.Testbed.node testbed 0))
+               ()
+           in
+           Dfs.Coherence.release c ~token:0);
+       false
+     with Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "store namespace" `Quick store_namespace;
+    Alcotest.test_case "store holes and EOF" `Quick store_holes_and_eof;
+    Alcotest.test_case "store mtime advances" `Quick store_mtime_advances;
+    Alcotest.test_case "store mutations" `Quick store_mutations;
+    Alcotest.test_case "mutations through all schemes" `Quick
+      mutations_through_all_schemes;
+    Alcotest.test_case "slot cache basics" `Quick slot_cache_basics;
+    Alcotest.test_case "slot cache decode validation" `Quick slot_cache_decode_rejects;
+    Alcotest.test_case "attr codec" `Quick attr_roundtrip;
+    Alcotest.test_case "result codec" `Quick result_roundtrip;
+    Alcotest.test_case "traffic classification" `Quick traffic_classification;
+    Alcotest.test_case "all schemes agree on results" `Quick schemes_agree;
+    Alcotest.test_case "dx returns real store bytes" `Quick dx_matches_store_contents;
+    Alcotest.test_case "dx miss transfers control" `Quick dx_miss_falls_back_to_control;
+    Alcotest.test_case "dx read crosses blocks" `Quick dx_read_crosses_blocks;
+    Alcotest.test_case "write push + writeback" `Quick write_push_and_writeback;
+    Alcotest.test_case "clerk local cache hits" `Quick clerk_local_cache_hits;
+    Alcotest.test_case "concurrent hybrid clients" `Slow concurrent_hybrid_clients;
+    Alcotest.test_case "dx readdir multi-chunk" `Quick dx_readdir_multi_chunk;
+    Alcotest.test_case "coherence mutual exclusion" `Quick coherence_mutual_exclusion;
+    Alcotest.test_case "delayed revocation" `Quick delayed_revocation;
+    Alcotest.test_case "lease expires without revocation" `Quick
+      lease_expires_without_revocation;
+    Alcotest.test_case "coherence foreign release" `Quick coherence_release_requires_ownership;
+    QCheck_alcotest.to_alcotest store_data_paths;
+    QCheck_alcotest.to_alcotest slot_cache_addressing_pure;
+    QCheck_alcotest.to_alcotest op_roundtrip;
+    QCheck_alcotest.to_alcotest rpc_codec_roundtrip;
+  ]

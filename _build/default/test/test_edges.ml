@@ -1,0 +1,213 @@
+(* Edge-case coverage for the small leaf modules. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- rights / status / generation codecs ------------- *)
+
+let rights_code_roundtrip () =
+  for code = 0 to 7 do
+    check_int "rights code roundtrip" code
+      (Rmem.Rights.to_code (Rmem.Rights.of_code code))
+  done;
+  check_bool "allows read" true
+    Rmem.Rights.(allows read_only Read_op);
+  check_bool "denies write" false
+    Rmem.Rights.(allows read_only Write_op);
+  check_bool "union" true
+    Rmem.Rights.(equal (union read_only write_only)
+       (make ~read:true ~write:true ()))
+
+let status_code_roundtrip () =
+  List.iter
+    (fun status ->
+      check_bool
+        (Rmem.Status.to_string status)
+        true
+        (Rmem.Status.of_code (Rmem.Status.to_code status) = status))
+    [
+      Rmem.Status.Ok;
+      Rmem.Status.Bad_segment;
+      Rmem.Status.Protection;
+      Rmem.Status.Bounds;
+      Rmem.Status.Stale_generation;
+      Rmem.Status.Write_inhibited;
+      Rmem.Status.Unpinned;
+      Rmem.Status.Timed_out;
+    ];
+  check_bool "unknown code rejected" true
+    (try
+       ignore (Rmem.Status.of_code 99);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "check raises Timeout for Timed_out" true
+    (try
+       Rmem.Status.check Rmem.Status.Timed_out;
+       false
+     with Rmem.Status.Timeout -> true)
+
+let generation_bounds () =
+  check_bool "of_int rejects negatives" true
+    (try
+       ignore (Rmem.Generation.of_int (-1));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "of_int rejects overflow" true
+    (try
+       ignore (Rmem.Generation.of_int 0x10000);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "invalid is not valid" false
+    (Rmem.Generation.is_valid Rmem.Generation.invalid)
+
+(* ---------------- codec extras ---------------- *)
+
+let codec_u64_and_padding () =
+  let w = Atm.Codec.writer () in
+  Atm.Codec.put_u64 w 123_456_789_012;
+  Atm.Codec.put_padding w 3;
+  Atm.Codec.put_u8 w 7;
+  let r = Atm.Codec.reader (Atm.Codec.contents w) in
+  check_int "u64" 123_456_789_012 (Atm.Codec.get_u64 r);
+  Atm.Codec.skip r 3;
+  check_int "after padding" 7 (Atm.Codec.get_u8 r);
+  check_int "drained" 0 (Atm.Codec.remaining r)
+
+let codec_rest_and_position () =
+  let w = Atm.Codec.writer () in
+  Atm.Codec.put_u16 w 5;
+  Atm.Codec.put_bytes w (Bytes.of_string "tail");
+  let r = Atm.Codec.reader (Atm.Codec.contents w) in
+  let (_ : int) = Atm.Codec.get_u16 r in
+  check_int "position" 2 (Atm.Codec.position r);
+  Alcotest.(check bytes) "rest" (Bytes.of_string "tail") (Atm.Codec.rest r)
+
+(* ---------------- config / link arithmetic ---------------- *)
+
+let wire_time_arithmetic () =
+  let config = Atm.Config.default in
+  (* One 53-byte cell at 140 Mb/s is 424 bits / 140 = 3.03 us. *)
+  let cell_us = Sim.Time.to_us (Atm.Config.cell_wire_time config) in
+  check_bool "cell time ~3.03us" true (Rig.within ~tolerance:0.01 ~expected:3.028 cell_us);
+  (* A 4 KB frame is 86 cells. *)
+  check_int "frame time = 86 cells"
+    (86 * Sim.Time.to_ns (Atm.Config.cell_wire_time config))
+    (Sim.Time.to_ns (Atm.Config.frame_wire_time config 4096))
+
+let link_busy_accounting () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Atm.Link.create engine Atm.Config.default ~deliver:(fun _ -> ())
+  in
+  let src = Atm.Addr.of_int 0 and dst = Atm.Addr.of_int 1 in
+  Atm.Link.send link (Atm.Frame.make ~src ~dst (Bytes.make 4096 'x'));
+  Sim.Engine.run engine;
+  check_int "wire bytes" (86 * 53) (Atm.Link.wire_bytes link);
+  check_int "busy equals serialization time"
+    (Sim.Time.to_ns (Atm.Config.frame_wire_time Atm.Config.default 4096))
+    (Sim.Time.to_ns (Atm.Link.busy_time link))
+
+(* ---------------- metrics edges ---------------- *)
+
+let bar_chart_zero_values () =
+  let out =
+    Metrics.Bar_chart.render ~width:20
+      [
+        {
+          Metrics.Bar_chart.group_name = "empty";
+          bars =
+            [
+              {
+                Metrics.Bar_chart.name = "z";
+                segments = [ { Metrics.Bar_chart.label = "a"; value = 0. } ];
+              };
+            ];
+        };
+      ]
+  in
+  check_bool "renders without dividing by zero" true (String.length out > 0)
+
+let histogram_single_value () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 42.;
+  check_bool "median of one sample is sane" true
+    (Metrics.Histogram.median h >= 42. *. 0.8
+    && Metrics.Histogram.median h <= 42. *. 1.3)
+
+(* ---------------- address space word edge ---------------- *)
+
+let word_ops_at_page_boundary () =
+  let space = Cluster.Address_space.create ~asid:1 () in
+  let page = Cluster.Address_space.page_size space in
+  (* A word straddling the page boundary. *)
+  Cluster.Address_space.write_word space ~addr:(page - 2) 0x11223344l;
+  Alcotest.(check int32) "straddling word" 0x11223344l
+    (Cluster.Address_space.read_word space ~addr:(page - 2));
+  check_bool "cas across boundary" true
+    (Cluster.Address_space.cas_word space ~addr:(page - 2)
+       ~old_value:0x11223344l ~new_value:0x55667788l)
+
+(* ---------------- prng extras ---------------- *)
+
+let prng_extras () =
+  let prng = Sim.Prng.create 3 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    check_bool "pick in array" true (Array.mem (Sim.Prng.pick prng arr) arr)
+  done;
+  let total = ref 0. in
+  for _ = 1 to 2000 do
+    let x = Sim.Prng.exponential prng ~mean:5.0 in
+    check_bool "exponential non-negative" true (x >= 0.);
+    total := !total +. x
+  done;
+  check_bool "exponential mean ~5" true
+    (Rig.within ~tolerance:0.15 ~expected:5.0 (!total /. 2000.));
+  check_bool "bad mean rejected" true
+    (try
+       ignore (Sim.Prng.exponential prng ~mean:0.);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- nfs op label totality ---------------- *)
+
+let labels_are_table_rows () =
+  let ops =
+    [
+      Dfs.Nfs_ops.Null;
+      Dfs.Nfs_ops.Statfs;
+      Dfs.Nfs_ops.Get_attr { fh = 1 };
+      Dfs.Nfs_ops.Lookup { dir = 1; name = "x" };
+      Dfs.Nfs_ops.Read_link { fh = 1 };
+      Dfs.Nfs_ops.Read { fh = 1; off = 0; count = 1 };
+      Dfs.Nfs_ops.Read_dir { fh = 1; count = 1 };
+      Dfs.Nfs_ops.Write { fh = 1; off = 0; data = Bytes.empty };
+      Dfs.Nfs_ops.Set_attr { fh = 1; mode = 0; size = 0 };
+      Dfs.Nfs_ops.Create { dir = 1; name = "x" };
+      Dfs.Nfs_ops.Remove { dir = 1; name = "x" };
+      Dfs.Nfs_ops.Rename { from_dir = 1; from_name = "x"; to_dir = 1; to_name = "y" };
+      Dfs.Nfs_ops.Mkdir { dir = 1; name = "x" };
+      Dfs.Nfs_ops.Rmdir { dir = 1; name = "x" };
+    ]
+  in
+  List.iter
+    (fun op ->
+      check_bool "label is a Table 1a row" true
+        (List.mem (Dfs.Nfs_ops.label op) Dfs.Nfs_ops.all_labels))
+    ops
+
+let suite =
+  [
+    Alcotest.test_case "rights codes" `Quick rights_code_roundtrip;
+    Alcotest.test_case "status codes" `Quick status_code_roundtrip;
+    Alcotest.test_case "generation bounds" `Quick generation_bounds;
+    Alcotest.test_case "codec u64 and padding" `Quick codec_u64_and_padding;
+    Alcotest.test_case "codec rest and position" `Quick codec_rest_and_position;
+    Alcotest.test_case "wire time arithmetic" `Quick wire_time_arithmetic;
+    Alcotest.test_case "link busy accounting" `Quick link_busy_accounting;
+    Alcotest.test_case "bar chart zero values" `Quick bar_chart_zero_values;
+    Alcotest.test_case "histogram single value" `Quick histogram_single_value;
+    Alcotest.test_case "word ops at page boundary" `Quick word_ops_at_page_boundary;
+    Alcotest.test_case "prng pick and exponential" `Quick prng_extras;
+    Alcotest.test_case "op labels are table rows" `Quick labels_are_table_rows;
+  ]

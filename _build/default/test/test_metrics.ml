@@ -1,0 +1,172 @@
+(* Tests for the metrics library. *)
+
+let feps = Alcotest.float 1e-6
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let summary_known_values () =
+  let s = Metrics.Summary.create () in
+  List.iter (Metrics.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Metrics.Summary.count s);
+  Alcotest.check feps "mean" 5.0 (Metrics.Summary.mean s);
+  Alcotest.check feps "total" 40.0 (Metrics.Summary.total s);
+  Alcotest.check feps "min" 2.0 (Metrics.Summary.min s);
+  Alcotest.check feps "max" 9.0 (Metrics.Summary.max s);
+  (* population variance is 4; sample variance = 32/7 *)
+  Alcotest.check feps "variance" (32. /. 7.) (Metrics.Summary.variance s)
+
+let summary_empty () =
+  let s = Metrics.Summary.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Metrics.Summary.mean s));
+  Alcotest.check feps "variance 0" 0. (Metrics.Summary.variance s)
+
+let summary_merge =
+  QCheck.Test.make ~name:"summary merge equals concatenation" ~count:200
+    QCheck.(pair (list (float_range 0. 1000.)) (list (float_range 0. 1000.)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] && ys <> []);
+      let build values =
+        let s = Metrics.Summary.create () in
+        List.iter (Metrics.Summary.add s) values;
+        s
+      in
+      let merged = Metrics.Summary.merge (build xs) (build ys) in
+      let whole = build (xs @ ys) in
+      let close a b = Float.abs (a -. b) < 1e-6 *. (1. +. Float.abs b) in
+      Metrics.Summary.count merged = Metrics.Summary.count whole
+      && close (Metrics.Summary.mean merged) (Metrics.Summary.mean whole)
+      && close (Metrics.Summary.variance merged) (Metrics.Summary.variance whole)
+      && close (Metrics.Summary.min merged) (Metrics.Summary.min whole)
+      && close (Metrics.Summary.max merged) (Metrics.Summary.max whole))
+
+let histogram_percentiles () =
+  let h = Metrics.Histogram.create ~least:1.0 ~growth:1.05 ~buckets:256 () in
+  for i = 1 to 1000 do
+    Metrics.Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.Histogram.count h);
+  let p50 = Metrics.Histogram.median h in
+  Alcotest.(check bool) "median near 500" true (p50 > 450. && p50 < 560.);
+  let p99 = Metrics.Histogram.percentile h 99. in
+  Alcotest.(check bool) "p99 near 990" true (p99 > 900. && p99 < 1100.)
+
+let histogram_validation () =
+  Alcotest.check_raises "least > 0"
+    (Invalid_argument "Histogram.create: least must be positive") (fun () ->
+      ignore (Metrics.Histogram.create ~least:0. ()));
+  Alcotest.check_raises "growth > 1"
+    (Invalid_argument "Histogram.create: growth must exceed 1") (fun () ->
+      ignore (Metrics.Histogram.create ~growth:1.0 ()))
+
+let account_accumulation () =
+  let a = Metrics.Account.create ~name:"test" () in
+  Metrics.Account.add a ~category:"x" 1.5;
+  Metrics.Account.add a ~category:"y" 2.0;
+  Metrics.Account.add a ~category:"x" 0.5;
+  Alcotest.check feps "x total" 2.0 (Metrics.Account.total_of a "x");
+  Alcotest.check feps "y total" 2.0 (Metrics.Account.total_of a "y");
+  Alcotest.check feps "grand" 4.0 (Metrics.Account.grand_total a);
+  Alcotest.check feps "missing is zero" 0. (Metrics.Account.total_of a "z");
+  Alcotest.(check (list string))
+    "categories in first-seen order" [ "x"; "y" ]
+    (Metrics.Account.categories a);
+  Metrics.Account.reset a;
+  Alcotest.check feps "reset" 0. (Metrics.Account.grand_total a)
+
+let counter_basics () =
+  let c = Metrics.Counter.create ~name:"ops" () in
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Metrics.Counter.value c);
+  Metrics.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Metrics.Counter.value c)
+
+let table_renders () =
+  let t =
+    Metrics.Table.create ~title:"T"
+      [ ("name", Metrics.Table.Left); ("value", Metrics.Table.Right) ]
+  in
+  Metrics.Table.add_row t [ "alpha"; "1" ];
+  Metrics.Table.add_separator t;
+  Metrics.Table.add_row t [ "total"; "1" ];
+  let out = Metrics.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0);
+  Alcotest.(check bool) "contains row" true
+    (contains out "alpha" && contains out "value")
+
+let table_validates_width () =
+  let t = Metrics.Table.create [ ("a", Metrics.Table.Left) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Metrics.Table.add_row t [ "1"; "2" ])
+
+let bar_chart_renders () =
+  let groups =
+    [
+      {
+        Metrics.Bar_chart.group_name = "op";
+        bars =
+          [
+            {
+              Metrics.Bar_chart.name = "HY";
+              segments =
+                [
+                  { Metrics.Bar_chart.label = "a"; value = 10. };
+                  { Metrics.Bar_chart.label = "b"; value = 20. };
+                ];
+            };
+            {
+              Metrics.Bar_chart.name = "DX";
+              segments = [ { Metrics.Bar_chart.label = "a"; value = 15. } ];
+            };
+          ];
+      };
+    ]
+  in
+  let out = Metrics.Bar_chart.render ~width:30 groups in
+  Alcotest.(check bool) "mentions legend" true (contains out "legend");
+  Alcotest.(check bool) "mentions both bars" true
+    (contains out "HY" && contains out "DX")
+
+let percentile_within_range =
+  QCheck.Test.make ~name:"percentiles bounded by min/max" ~count:150
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 200) (float_range 0.5 10000.))
+        (float_range 0. 100.))
+    (fun (values, p) ->
+      let h = Metrics.Histogram.create ~least:0.1 ~buckets:256 () in
+      List.iter (Metrics.Histogram.add h) values;
+      let v = Metrics.Histogram.percentile h p in
+      let s = Metrics.Histogram.summary h in
+      (* Lower edge may under-report by one bucket's resolution. *)
+      v >= Metrics.Summary.min s /. 1.2 && v <= Metrics.Summary.max s *. 1.2)
+
+let pp_smoke () =
+  let s = Metrics.Summary.create () in
+  Metrics.Summary.add s 1.;
+  Alcotest.(check bool) "summary pp" true
+    (String.length (Format.asprintf "%a" Metrics.Summary.pp s) > 0);
+  let a = Metrics.Account.create () in
+  Metrics.Account.add a ~category:"c" 2.;
+  Alcotest.(check bool) "account pp" true
+    (String.length (Format.asprintf "%a" Metrics.Account.pp a) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "summary known values" `Quick summary_known_values;
+    Alcotest.test_case "pretty printers" `Quick pp_smoke;
+    QCheck_alcotest.to_alcotest percentile_within_range;
+    Alcotest.test_case "summary empty" `Quick summary_empty;
+    Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
+    Alcotest.test_case "histogram validation" `Quick histogram_validation;
+    Alcotest.test_case "account accumulation" `Quick account_accumulation;
+    Alcotest.test_case "counter basics" `Quick counter_basics;
+    Alcotest.test_case "table renders" `Quick table_renders;
+    Alcotest.test_case "table validates width" `Quick table_validates_width;
+    Alcotest.test_case "bar chart renders" `Quick bar_chart_renders;
+    QCheck_alcotest.to_alcotest summary_merge;
+  ]

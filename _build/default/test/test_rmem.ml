@@ -1,0 +1,465 @@
+(* Tests for the remote memory model — the paper's core contribution. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Wire codec ---------------- *)
+
+let gen_message =
+  QCheck.Gen.(
+    let bytes_gen = map Bytes.of_string (string_size (0 -- 300)) in
+    let gen16 = map Rmem.Generation.of_int (1 -- 0xFFFF) in
+    oneof
+      [
+        map
+          (fun (seg, gen, off, notify, data) ->
+            Rmem.Wire.Write
+              { seg; gen; off; notify; swab = off mod 2 = 0; data })
+          (tup5 (0 -- 255) gen16 (0 -- 0xFFFFFF) bool bytes_gen);
+        map
+          (fun (seg, gen, soff, count, reqid) ->
+            Rmem.Wire.Read
+              {
+                seg;
+                gen;
+                soff;
+                count;
+                reqid;
+                notify = count mod 2 = 0;
+                swab = count mod 3 = 0;
+              })
+          (tup5 (0 -- 255) gen16 (0 -- 0xFFFFFF) (0 -- 0xFFFFF) (1 -- 0xFFFF));
+        map
+          (fun (reqid, chunk_off, data) ->
+            Rmem.Wire.Read_reply
+              {
+                status = Rmem.Status.Ok;
+                reqid;
+                chunk_off;
+                swab = chunk_off mod 2 = 0;
+                data;
+              })
+          (tup3 (1 -- 0xFFFF) (0 -- 0xFFFFFF) bytes_gen);
+        map
+          (fun (seg, gen, doff, reqid) ->
+            Rmem.Wire.Cas
+              {
+                seg;
+                gen;
+                doff;
+                old_value = 5l;
+                new_value = 6l;
+                reqid;
+                notify = false;
+              })
+          (tup4 (0 -- 255) gen16 (0 -- 0xFFFFFF) (1 -- 0xFFFF));
+        map
+          (fun (reqid, witness) ->
+            Rmem.Wire.Cas_reply
+              { status = Rmem.Status.Protection; reqid; witness = Int32.of_int witness })
+          (tup2 (1 -- 0xFFFF) (0 -- 1000));
+      ])
+
+let wire_roundtrip =
+  QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:300
+    (QCheck.make gen_message) (fun message ->
+      Rmem.Wire.decode (Rmem.Wire.encode message) = message)
+
+let wire_write_header_size () =
+  let encoded =
+    Rmem.Wire.encode
+      (Rmem.Wire.Write
+         {
+           seg = 1;
+           gen = Rmem.Generation.initial;
+           off = 0;
+           notify = false;
+           swab = false;
+           data = Bytes.make 40 'x';
+         })
+  in
+  (* 8-byte header + 40 data bytes = exactly one 48-byte cell payload. *)
+  check_int "one cell exactly" 48 (Bytes.length encoded);
+  check_int "single cell" 1 (Atm.Aal.cells_of_len (Bytes.length encoded))
+
+let wire_data_cells () =
+  check_int "zero" 1 (Rmem.Wire.data_cells 0);
+  check_int "40" 1 (Rmem.Wire.data_cells 40);
+  check_int "41" 2 (Rmem.Wire.data_cells 41);
+  check_int "4K paper figure" 103 (Rmem.Wire.data_cells 4096)
+
+(* ---------------- Data transfer ---------------- *)
+
+let write_then_read_identity =
+  QCheck.Test.make ~name:"remote write then remote read is identity" ~count:40
+    QCheck.(pair (int_bound 30000) (string_of_size Gen.(1 -- 20000)))
+    (fun (off, payload) ->
+      let d = Rig.duo () in
+      let data = Bytes.of_string payload in
+      Rig.run d (fun () ->
+          let _, desc = Rig.shared_segment ~len:65536 d in
+          Rmem.Remote_memory.write d.Rig.rmem0 desc ~off data;
+          Sim.Proc.wait (Sim.Time.ms 50);
+          let buf = Rig.buffer0 d in
+          Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:off
+            ~count:(Bytes.length data) ~dst:buf ~doff:100 ();
+          Bytes.equal data
+            (Cluster.Address_space.read d.Rig.space0 ~addr:100
+               ~len:(Bytes.length data))))
+
+let zero_length_write_doorbell () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      let fd = Rmem.Segment.notification segment in
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 ~notify:true Bytes.empty;
+      let record = Rmem.Notification.wait fd in
+      check_int "empty doorbell" 0 record.Rmem.Notification.count)
+
+let cas_swaps_once () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      let won, witness =
+        Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:64 ~old_value:0l
+          ~new_value:5l ()
+      in
+      check_bool "won" true won;
+      Alcotest.(check int32) "witness 0" 0l witness;
+      let won, witness =
+        Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:64 ~old_value:0l
+          ~new_value:6l ()
+      in
+      check_bool "lost" false won;
+      Alcotest.(check int32) "witness 5" 5l witness;
+      Alcotest.(check int32) "memory holds 5" 5l
+        (Cluster.Address_space.read_word d.Rig.space1 ~addr:64))
+
+let cas_result_deposit () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      let buf = Rig.buffer0 d in
+      let _, _ =
+        Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:0 ~old_value:0l
+          ~new_value:3l ~result:(buf, 12) ()
+      in
+      Alcotest.(check int32) "success word deposited" 1l
+        (Cluster.Address_space.read_word d.Rig.space0 ~addr:12))
+
+(* ---------------- Protection and failure paths ---------------- *)
+
+let local_check tag expected body =
+  check_bool tag true
+    (try
+       body ();
+       false
+     with Rmem.Status.Remote_error status -> status = expected)
+
+let rights_enforced_locally () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment ~rights:Rmem.Rights.read_only d in
+      local_check "write denied" Rmem.Status.Protection (fun () ->
+          Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.make 4 'x'));
+      local_check "cas denied" Rmem.Status.Protection (fun () ->
+          ignore
+            (Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:0 ~old_value:0l
+               ~new_value:1l ())))
+
+let rights_enforced_remotely () =
+  (* Forge a descriptor claiming rights the exporter never granted: the
+     receiving kernel rejects the op. *)
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, _ = Rig.shared_segment ~rights:Rmem.Rights.read_only d in
+      let forged =
+        Rmem.Remote_memory.import d.Rig.rmem0
+          ~remote:(Cluster.Node.addr d.Rig.node1)
+          ~segment_id:(Rmem.Segment.id segment)
+          ~generation:(Rmem.Segment.generation segment)
+          ~size:65536 ~rights:Rmem.Rights.all ()
+      in
+      (* The write is silently dropped (no reply path for writes); the
+         destination's error counter ticks. *)
+      Rmem.Remote_memory.write d.Rig.rmem0 forged ~off:0 (Bytes.make 4 'x');
+      Sim.Proc.wait (Sim.Time.ms 1);
+      Alcotest.(check (float 0.01)) "protection error recorded" 1.
+        (Metrics.Account.total_of
+           (Rmem.Remote_memory.errors d.Rig.rmem1)
+           "protection violation");
+      check_bool "memory untouched" true
+        (Bytes.equal (Bytes.make 4 '\000')
+           (Cluster.Address_space.read d.Rig.space1 ~addr:0 ~len:4)))
+
+let per_importer_grants () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, _ = Rig.shared_segment ~rights:Rmem.Rights.read_only d in
+      Rmem.Segment.grant segment
+        ~importer:(Cluster.Node.addr d.Rig.node0)
+        Rmem.Rights.all;
+      let desc =
+        Rmem.Remote_memory.import d.Rig.rmem0
+          ~remote:(Cluster.Node.addr d.Rig.node1)
+          ~segment_id:(Rmem.Segment.id segment)
+          ~generation:(Rmem.Segment.generation segment)
+          ~size:65536 ~rights:Rmem.Rights.all ()
+      in
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:8 (Bytes.of_string "ok");
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_bool "granted write landed" true
+        (Bytes.equal (Bytes.of_string "ok")
+           (Cluster.Address_space.read d.Rig.space1 ~addr:8 ~len:2)))
+
+let bounds_checked () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment ~len:4096 d in
+      local_check "off past end" Rmem.Status.Bounds (fun () ->
+          Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:4095
+            (Bytes.make 2 'x'));
+      local_check "read past end" Rmem.Status.Bounds (fun () ->
+          Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:5000
+            ~dst:(Rig.buffer0 d) ~doff:0 ()))
+
+let stale_generation_paths () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      (* A stale descriptor fails locally, before any network traffic. *)
+      Rmem.Descriptor.mark_stale desc;
+      local_check "local stale failure" Rmem.Status.Stale_generation (fun () ->
+          Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:4
+            ~dst:(Rig.buffer0 d) ~doff:0 ());
+      (* Refresh it with a wrong generation: the destination rejects. *)
+      Rmem.Descriptor.refresh desc
+        ~generation:(Rmem.Generation.next (Rmem.Descriptor.generation desc));
+      local_check "remote stale rejection" Rmem.Status.Stale_generation
+        (fun () ->
+          Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:4
+            ~dst:(Rig.buffer0 d) ~doff:0 ()))
+
+let revoked_segment_rejects () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      Rmem.Remote_memory.revoke d.Rig.rmem1 segment;
+      local_check "revoked" Rmem.Status.Bad_segment (fun () ->
+          Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:4
+            ~dst:(Rig.buffer0 d) ~doff:0 ()))
+
+let write_inhibit_drops () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      Rmem.Segment.set_write_inhibit segment true;
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.of_string "no");
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_bool "inhibited write dropped" true
+        (Bytes.equal (Bytes.make 2 '\000')
+           (Cluster.Address_space.read d.Rig.space1 ~addr:0 ~len:2));
+      (* Reads still work. *)
+      Rmem.Segment.set_write_inhibit segment false;
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.of_string "ok");
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_bool "after uninhibit" true
+        (Bytes.equal (Bytes.of_string "ok")
+           (Cluster.Address_space.read d.Rig.space1 ~addr:0 ~len:2)))
+
+let timeout_on_crashed_node () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      Cluster.Node.set_down d.Rig.node1 true;
+      check_bool "timeout raised" true
+        (try
+           Rmem.Remote_memory.read_wait ~timeout:(Sim.Time.ms 2) d.Rig.rmem0
+             desc ~soff:0 ~count:4 ~dst:(Rig.buffer0 d) ~doff:0 ();
+           false
+         with Rmem.Status.Timeout -> true);
+      (* Failure detection by timeout is the paper's recovery story:
+         after the node comes back, the same descriptor works again. *)
+      Cluster.Node.set_down d.Rig.node1 false;
+      Rmem.Remote_memory.read_wait ~timeout:(Sim.Time.ms 2) d.Rig.rmem0 desc
+        ~soff:0 ~count:4 ~dst:(Rig.buffer0 d) ~doff:0 ())
+
+(* ---------------- Notification ---------------- *)
+
+let notify_policies () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let run_policy policy ~notify =
+        let segment, desc =
+          Rig.shared_segment ~policy ~len:4096 d
+        in
+        Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 ~notify
+          (Bytes.make 8 'x');
+        Sim.Proc.wait (Sim.Time.ms 1);
+        Rmem.Notification.posted (Rmem.Segment.notification segment)
+      in
+      check_int "never + notify bit" 0
+        (run_policy Rmem.Segment.Never ~notify:true);
+      check_int "always without bit" 1
+        (run_policy Rmem.Segment.Always ~notify:false);
+      check_int "conditional without bit" 0
+        (run_policy Rmem.Segment.Conditional ~notify:false);
+      check_int "conditional with bit" 1
+        (run_policy Rmem.Segment.Conditional ~notify:true))
+
+let notification_costs_and_queue () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      let fd = Rmem.Segment.notification segment in
+      (* Two writes with notify, nobody reading: records queue. *)
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 ~notify:true
+        (Bytes.make 4 'a');
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:8 ~notify:true
+        (Bytes.make 4 'b');
+      Sim.Proc.wait (Sim.Time.ms 2);
+      check_int "two queued" 2 (Rmem.Notification.pending fd);
+      let r1 = Rmem.Notification.wait fd in
+      let r2 = Rmem.Notification.wait fd in
+      check_int "fifo order by offset" 0 r1.Rmem.Notification.off;
+      check_int "second" 8 r2.Rmem.Notification.off;
+      check_bool "drained" true (Rmem.Notification.try_read fd = None))
+
+let signal_handler_upcall () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      let fd = Rmem.Segment.notification segment in
+      let upcalls = ref 0 in
+      Rmem.Notification.set_signal_handler fd (Some (fun _ -> incr upcalls));
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 ~notify:true
+        (Bytes.make 4 'x');
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "upcall ran" 1 !upcalls;
+      check_int "nothing queued" 0 (Rmem.Notification.pending fd))
+
+let read_completion_notification () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      let fd = Rmem.Remote_memory.completion_fd d.Rig.rmem0 in
+      Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:16
+        ~dst:(Rig.buffer0 d) ~doff:0 ~notify:true ();
+      Sim.Proc.wait (Sim.Time.ms 1);
+      check_int "completion posted on reader's fd" 1
+        (Rmem.Notification.posted fd))
+
+(* ---------------- Segments and generations ---------------- *)
+
+let export_pins_pages () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, _ = Rig.shared_segment ~len:10000 d in
+      check_bool "pages pinned" true
+        (Cluster.Address_space.is_pinned d.Rig.space1 ~addr:0 ~len:10000);
+      Rmem.Remote_memory.revoke d.Rig.rmem1 segment;
+      check_bool "unpinned after revoke" false
+        (Cluster.Address_space.is_pinned d.Rig.space1 ~addr:0 ~len:10000))
+
+let generations_increase_per_export () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let s1 =
+        Rmem.Remote_memory.export d.Rig.rmem1 ~space:d.Rig.space1 ~base:0
+          ~len:4096 ~name:"a" ()
+      in
+      let s2 =
+        Rmem.Remote_memory.export d.Rig.rmem1 ~space:d.Rig.space1 ~base:8192
+          ~len:4096 ~name:"b" ()
+      in
+      check_int "consecutive generations"
+        (Rmem.Generation.to_int (Rmem.Segment.generation s1) + 1)
+        (Rmem.Generation.to_int (Rmem.Segment.generation s2)))
+
+let generation_wraps_past_invalid () =
+  let g = ref (Rmem.Generation.of_int 0xFFFF) in
+  g := Rmem.Generation.next !g;
+  check_int "wraps to initial, skipping 0" 1 (Rmem.Generation.to_int !g)
+
+let well_known_id_export () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let s =
+        Rmem.Remote_memory.export d.Rig.rmem1 ~space:d.Rig.space1 ~base:0
+          ~len:4096 ~id:77 ~name:"wk" ()
+      in
+      check_int "requested id" 77 (Rmem.Segment.id s);
+      check_bool "collision rejected" true
+        (try
+           ignore
+             (Rmem.Remote_memory.export d.Rig.rmem1 ~space:d.Rig.space1
+                ~base:8192 ~len:4096 ~id:77 ~name:"wk2" ());
+           false
+         with Invalid_argument _ -> true))
+
+(* ---------------- Accounting ---------------- *)
+
+let fence_orders_writes () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment ~len:65536 d in
+      (* A pile of writes, then a fence: all must be visible after. *)
+      for i = 0 to 9 do
+        Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:(i * 4096)
+          (Bytes.make 4096 (Char.chr (97 + i)))
+      done;
+      Rmem.Remote_memory.fence d.Rig.rmem0 desc;
+      for i = 0 to 9 do
+        check_bool
+          (Printf.sprintf "write %d deposited before fence returned" i)
+          true
+          (Bytes.equal
+             (Cluster.Address_space.read d.Rig.space1 ~addr:(i * 4096)
+                ~len:4096)
+             (Bytes.make 4096 (Char.chr (97 + i))))
+      done)
+
+let stats_track_bytes () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.make 1000 'x');
+      Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0 ~count:500
+        ~dst:(Rig.buffer0 d) ~doff:0 ();
+      Alcotest.(check (float 0.01)) "write bytes" 1000.
+        (Metrics.Account.total_of (Rmem.Remote_memory.data_bytes d.Rig.rmem0) "write");
+      Alcotest.(check (float 0.01)) "read bytes" 500.
+        (Metrics.Account.total_of (Rmem.Remote_memory.data_bytes d.Rig.rmem0) "read");
+      Alcotest.(check (float 0.01)) "served at exporter" 1000.
+        (Metrics.Account.total_of
+           (Rmem.Remote_memory.data_bytes d.Rig.rmem1)
+           "write served"))
+
+let suite =
+  [
+    Alcotest.test_case "wire write header is 8 bytes" `Quick wire_write_header_size;
+    Alcotest.test_case "wire data-cell arithmetic" `Quick wire_data_cells;
+    Alcotest.test_case "zero-length write doorbell" `Quick zero_length_write_doorbell;
+    Alcotest.test_case "cas swaps exactly once" `Quick cas_swaps_once;
+    Alcotest.test_case "cas deposits result word" `Quick cas_result_deposit;
+    Alcotest.test_case "rights enforced locally" `Quick rights_enforced_locally;
+    Alcotest.test_case "rights enforced remotely" `Quick rights_enforced_remotely;
+    Alcotest.test_case "per-importer grants" `Quick per_importer_grants;
+    Alcotest.test_case "bounds checked" `Quick bounds_checked;
+    Alcotest.test_case "stale generations fail" `Quick stale_generation_paths;
+    Alcotest.test_case "revoked segment rejects" `Quick revoked_segment_rejects;
+    Alcotest.test_case "write inhibit drops writes" `Quick write_inhibit_drops;
+    Alcotest.test_case "timeout detects crashed node" `Quick timeout_on_crashed_node;
+    Alcotest.test_case "notification policies" `Quick notify_policies;
+    Alcotest.test_case "notification queue order" `Quick notification_costs_and_queue;
+    Alcotest.test_case "signal handler upcall" `Quick signal_handler_upcall;
+    Alcotest.test_case "read completion notification" `Quick read_completion_notification;
+    Alcotest.test_case "export pins pages" `Quick export_pins_pages;
+    Alcotest.test_case "generations increase" `Quick generations_increase_per_export;
+    Alcotest.test_case "generation wraparound" `Quick generation_wraps_past_invalid;
+    Alcotest.test_case "well-known segment ids" `Quick well_known_id_export;
+    Alcotest.test_case "fence orders writes" `Quick fence_orders_writes;
+    Alcotest.test_case "byte accounting" `Quick stats_track_bytes;
+    QCheck_alcotest.to_alcotest wire_roundtrip;
+    QCheck_alcotest.to_alcotest write_then_read_identity;
+  ]

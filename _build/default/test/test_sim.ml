@@ -1,0 +1,316 @@
+(* Unit and property tests for the simulation engine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Time ---------------- *)
+
+let time_conversions () =
+  check_int "us" 1_000 (Sim.Time.us 1);
+  check_int "ms" 1_000_000 (Sim.Time.ms 1);
+  check_int "sec" 1_000_000_000 (Sim.Time.sec 1);
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Sim.Time.to_us (Sim.Time.ns 1500));
+  check_int "of_us_float rounds" 1_500 (Sim.Time.of_us_float 1.5);
+  check_int "scale" 3_000 (Sim.Time.scale (Sim.Time.us 2) 1.5);
+  check_bool "ordering" true Sim.Time.(us 1 < ms 1)
+
+let time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Sim.Time.to_string 999);
+  Alcotest.(check string) "us" "1.50us" (Sim.Time.to_string 1500);
+  Alcotest.(check string) "ms" "2.000ms" (Sim.Time.to_string 2_000_000)
+
+(* ---------------- Engine ---------------- *)
+
+let engine_fifo_same_time () =
+  let engine = Sim.Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  Sim.Engine.schedule engine (note "a");
+  Sim.Engine.schedule engine (note "b");
+  Sim.Engine.schedule ~after:(Sim.Time.us 1) engine (note "d");
+  Sim.Engine.schedule engine (note "c");
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c"; "d" ]
+    (List.rev !order)
+
+let engine_time_advances () =
+  let engine = Sim.Engine.create () in
+  let seen = ref [] in
+  List.iter
+    (fun delay ->
+      Sim.Engine.schedule ~after:delay engine (fun () ->
+          seen := Sim.Engine.now engine :: !seen))
+    [ Sim.Time.us 5; Sim.Time.us 1; Sim.Time.us 3 ];
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "fires in time order"
+    [ Sim.Time.us 1; Sim.Time.us 3; Sim.Time.us 5 ]
+    (List.rev !seen)
+
+let engine_until_limit () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule ~after:(Sim.Time.us 10) engine (fun () -> incr fired);
+  Sim.Engine.schedule ~after:(Sim.Time.us 30) engine (fun () -> incr fired);
+  Sim.Engine.run ~until:(Sim.Time.us 20) engine;
+  check_int "only first fired" 1 !fired;
+  check_int "clock at limit" (Sim.Time.us 20) (Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check_int "rest fired" 2 !fired
+
+let engine_no_past_events () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.schedule ~after:(Sim.Time.us 5) engine (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: event in the past")
+        (fun () -> Sim.Engine.schedule_at engine Sim.Time.zero (fun () -> ())));
+  Sim.Engine.run engine
+
+let engine_stop () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule engine (fun () ->
+      incr fired;
+      Sim.Engine.stop engine);
+  Sim.Engine.schedule ~after:(Sim.Time.us 1) engine (fun () -> incr fired);
+  Sim.Engine.run engine;
+  check_int "stopped after first" 1 !fired
+
+(* ---------------- Heap property ---------------- *)
+
+let heap_pop_sorted =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck.(list (int_bound 1_000_000))
+    (fun times ->
+      let heap = Sim.Heap.create () in
+      List.iteri (fun seq time -> Sim.Heap.push heap ~time ~seq ()) times;
+      let rec drain previous =
+        match Sim.Heap.pop heap with
+        | None -> true
+        | Some entry ->
+            let key = (entry.Sim.Heap.time, entry.Sim.Heap.seq) in
+            if compare previous key <= 0 then drain key else false
+      in
+      drain (min_int, min_int))
+
+(* ---------------- Proc ---------------- *)
+
+let proc_wait_accumulates () =
+  let engine = Sim.Engine.create () in
+  let result =
+    Sim.Proc.run engine (fun () ->
+        Sim.Proc.wait (Sim.Time.us 10);
+        Sim.Proc.wait (Sim.Time.us 5);
+        Sim.Engine.now engine)
+  in
+  check_int "waited 15us" (Sim.Time.us 15) result
+
+let proc_suspend_resume () =
+  let engine = Sim.Engine.create () in
+  let resumer = ref None in
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Proc.wait (Sim.Time.us 3);
+      match !resumer with Some resume -> resume 42 | None -> ());
+  let result =
+    Sim.Proc.run engine (fun () ->
+        Sim.Proc.suspend (fun resume -> resumer := Some resume))
+  in
+  check_int "resumed with value" 42 result
+
+let proc_run_deadlock () =
+  let engine = Sim.Engine.create () in
+  check_bool "deadlock raised" true
+    (try
+       ignore
+         (Sim.Proc.run engine (fun () ->
+              Sim.Proc.suspend (fun (_ : int -> unit) -> ())));
+       false
+     with Sim.Engine.Deadlock _ -> true)
+
+let proc_exception_propagates () =
+  let engine = Sim.Engine.create () in
+  check_bool "exception surfaced" true
+    (try
+       let () = Sim.Proc.run engine (fun () -> failwith "boom") in
+       false
+     with Failure msg -> String.equal msg "boom")
+
+(* ---------------- Ivar ---------------- *)
+
+let ivar_basics () =
+  let engine = Sim.Engine.create () in
+  let ivar = Sim.Ivar.create () in
+  check_bool "empty" false (Sim.Ivar.is_full ivar);
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Proc.wait (Sim.Time.us 2);
+      Sim.Ivar.fill ivar "done");
+  let value = Sim.Proc.run engine (fun () -> Sim.Ivar.read ivar) in
+  Alcotest.(check string) "value" "done" value;
+  check_bool "double fill rejected" true
+    (not (Sim.Ivar.try_fill ivar "again"));
+  Alcotest.check_raises "fill raises" (Invalid_argument "Ivar.fill: already full")
+    (fun () -> Sim.Ivar.fill ivar "boom")
+
+let ivar_multiple_readers () =
+  let engine = Sim.Engine.create () in
+  let ivar = Sim.Ivar.create () in
+  let seen = ref [] in
+  for i = 1 to 3 do
+    Sim.Proc.spawn engine (fun () ->
+        let v = Sim.Ivar.read ivar in
+        seen := (i, v) :: !seen)
+  done;
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Proc.wait (Sim.Time.us 1);
+      Sim.Ivar.fill ivar 7);
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int int)))
+    "all woken in blocking order"
+    [ (1, 7); (2, 7); (3, 7) ]
+    (List.rev !seen)
+
+(* ---------------- Mailbox ---------------- *)
+
+let mailbox_fifo () =
+  let engine = Sim.Engine.create () in
+  let mailbox = Sim.Mailbox.create () in
+  let received = ref [] in
+  Sim.Proc.spawn engine (fun () ->
+      for _ = 1 to 3 do
+        received := Sim.Mailbox.recv mailbox :: !received
+      done);
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Mailbox.send mailbox 1;
+      Sim.Proc.wait (Sim.Time.us 1);
+      Sim.Mailbox.send mailbox 2;
+      Sim.Mailbox.send mailbox 3);
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let mailbox_try_recv () =
+  let mailbox = Sim.Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Sim.Mailbox.try_recv mailbox);
+  Sim.Mailbox.send mailbox 9;
+  Alcotest.(check (option int)) "one" (Some 9) (Sim.Mailbox.try_recv mailbox)
+
+(* ---------------- Resource ---------------- *)
+
+let resource_fifo_mutex () =
+  let engine = Sim.Engine.create () in
+  let resource = Sim.Resource.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.Proc.spawn engine (fun () ->
+        Sim.Resource.with_resource resource (fun () ->
+            order := i :: !order;
+            Sim.Proc.wait (Sim.Time.us 10)))
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "served in arrival order" [ 1; 2; 3 ]
+    (List.rev !order);
+  check_int "contended twice" 2 (Sim.Resource.contended resource);
+  check_int "three acquisitions" 3 (Sim.Resource.acquisitions resource);
+  check_int "holds serialized: 30us total" (Sim.Time.us 30)
+    (Sim.Engine.now engine)
+
+let resource_release_unheld () =
+  let resource = Sim.Resource.create () in
+  Alcotest.check_raises "release unheld"
+    (Invalid_argument "Resource.release: not held") (fun () ->
+      Sim.Resource.release resource)
+
+(* ---------------- Prng ---------------- *)
+
+let prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  let sequence p = List.init 32 (fun _ -> Sim.Prng.int p 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (sequence a) (sequence b)
+
+let prng_split_independent () =
+  let parent = Sim.Prng.create 1 in
+  let child = Sim.Prng.split parent in
+  let child_draws = List.init 8 (fun _ -> Sim.Prng.int child 1000) in
+  let parent_draws = List.init 8 (fun _ -> Sim.Prng.int parent 1000) in
+  check_bool "streams differ" true (child_draws <> parent_draws)
+
+let prng_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (bound, seed) ->
+      let bound = bound + 1 in
+      let prng = Sim.Prng.create seed in
+      let v = Sim.Prng.int prng bound in
+      v >= 0 && v < bound)
+
+let prng_float_range =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let prng = Sim.Prng.create seed in
+      let f = Sim.Prng.float prng in
+      f >= 0. && f < 1.)
+
+let mailbox_readers_fifo () =
+  let engine = Sim.Engine.create () in
+  let mailbox = Sim.Mailbox.create () in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Sim.Proc.spawn engine (fun () ->
+        let v = Sim.Mailbox.recv mailbox in
+        woken := (i, v) :: !woken)
+  done;
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Proc.wait (Sim.Time.us 1);
+      List.iter (Sim.Mailbox.send mailbox) [ 10; 20; 30 ]);
+  Sim.Engine.run engine;
+  Alcotest.(check (list (pair int int)))
+    "blocked readers served in order"
+    [ (1, 10); (2, 20); (3, 30) ]
+    (List.rev !woken)
+
+let resource_exception_safe () =
+  let engine = Sim.Engine.create () in
+  let resource = Sim.Resource.create () in
+  let second_ran = ref false in
+  Sim.Proc.spawn engine (fun () ->
+      try Sim.Resource.with_resource resource (fun () -> failwith "inside")
+      with Failure _ -> ());
+  Sim.Proc.spawn engine (fun () ->
+      Sim.Resource.with_resource resource (fun () -> second_ran := true));
+  Sim.Engine.run engine;
+  check_bool "released despite the exception" true !second_ran;
+  check_bool "free at the end" false (Sim.Resource.is_busy resource)
+
+let engine_pending_counts () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.schedule engine (fun () -> ());
+  Sim.Engine.schedule ~after:(Sim.Time.us 1) engine (fun () -> ());
+  check_int "two pending" 2 (Sim.Engine.pending engine);
+  ignore (Sim.Engine.step engine : bool);
+  check_int "one left" 1 (Sim.Engine.pending engine)
+
+let suite =
+  [
+    Alcotest.test_case "time conversions" `Quick time_conversions;
+    Alcotest.test_case "mailbox readers FIFO" `Quick mailbox_readers_fifo;
+    Alcotest.test_case "resource exception safety" `Quick resource_exception_safe;
+    Alcotest.test_case "engine pending counts" `Quick engine_pending_counts;
+    Alcotest.test_case "time pretty printing" `Quick time_pp;
+    Alcotest.test_case "same-time events are FIFO" `Quick engine_fifo_same_time;
+    Alcotest.test_case "time advances in order" `Quick engine_time_advances;
+    Alcotest.test_case "run ~until honors limit" `Quick engine_until_limit;
+    Alcotest.test_case "no events in the past" `Quick engine_no_past_events;
+    Alcotest.test_case "stop halts the loop" `Quick engine_stop;
+    Alcotest.test_case "proc wait accumulates" `Quick proc_wait_accumulates;
+    Alcotest.test_case "proc suspend/resume" `Quick proc_suspend_resume;
+    Alcotest.test_case "proc deadlock detected" `Quick proc_run_deadlock;
+    Alcotest.test_case "proc exception propagates" `Quick proc_exception_propagates;
+    Alcotest.test_case "ivar fill/read/double-fill" `Quick ivar_basics;
+    Alcotest.test_case "ivar wakes all readers" `Quick ivar_multiple_readers;
+    Alcotest.test_case "mailbox is FIFO" `Quick mailbox_fifo;
+    Alcotest.test_case "mailbox try_recv" `Quick mailbox_try_recv;
+    Alcotest.test_case "resource FIFO mutex" `Quick resource_fifo_mutex;
+    Alcotest.test_case "resource release unheld" `Quick resource_release_unheld;
+    Alcotest.test_case "prng determinism" `Quick prng_deterministic;
+    Alcotest.test_case "prng split independence" `Quick prng_split_independent;
+    QCheck_alcotest.to_alcotest heap_pop_sorted;
+    QCheck_alcotest.to_alcotest prng_bounds;
+    QCheck_alcotest.to_alcotest prng_float_range;
+  ]

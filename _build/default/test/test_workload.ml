@@ -1,0 +1,124 @@
+(* Tests for the workload generators. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let zipf_bounds =
+  QCheck.Test.make ~name:"zipf samples stay in range" ~count:300
+    QCheck.(pair (int_range 1 500) small_int)
+    (fun (n, seed) ->
+      let z = Workload.Zipf.create n in
+      let prng = Sim.Prng.create seed in
+      let v = Workload.Zipf.sample z prng in
+      v >= 0 && v < n)
+
+let zipf_skew () =
+  let z = Workload.Zipf.create 100 in
+  let prng = Sim.Prng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let i = Workload.Zipf.sample z prng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_bool "rank 0 beats rank 50" true (counts.(0) > 5 * counts.(50));
+  check_bool "all mass present" true
+    (Array.fold_left ( + ) 0 counts = 20000)
+
+let mix_sums_to_total () =
+  check_int "total" 28_860_744 Workload.Mix.total_calls;
+  let sum =
+    List.fold_left (fun acc (r : Workload.Mix.row) -> acc +. Workload.Mix.percentage r)
+      0. Workload.Mix.table_1a
+  in
+  check_bool "percentages sum to 100" true (Float.abs (sum -. 100.) < 1e-6)
+
+let mix_sampler_matches () =
+  let sample = Workload.Mix.sampler () in
+  let prng = Sim.Prng.create 3 in
+  let counts = Hashtbl.create 16 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let label = sample prng in
+    Hashtbl.replace counts label
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts label))
+  done;
+  (* GetAttr should be ~31%, Write ~0.4%. *)
+  let pct label =
+    100. *. float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts label))
+    /. float_of_int n
+  in
+  check_bool "getattr share" true
+    (Rig.within ~tolerance:0.1 ~expected:31.0 (pct "Get File Attribute"));
+  check_bool "lookup share" true
+    (Rig.within ~tolerance:0.1 ~expected:30.6 (pct "Lookup File Name"));
+  check_bool "write share small" true (pct "Write File Data" < 1.0)
+
+let tree_is_well_formed () =
+  let prng = Sim.Prng.create 17 in
+  let tree = Workload.File_tree.build ~dirs:5 ~files_per_dir:4 prng in
+  check_int "files" 20 (Workload.File_tree.file_count tree);
+  check_int "dirs" 5 (Workload.File_tree.dir_count tree);
+  let store = Workload.File_tree.store tree in
+  let fh = Workload.File_tree.pick_file tree prng in
+  let attr = Dfs.File_store.getattr store fh in
+  check_bool "picked a regular file with contents" true
+    (attr.Dfs.File_store.kind = Dfs.File_store.Regular
+    && attr.Dfs.File_store.size > 0)
+
+let trace_respects_mix () =
+  let prng = Sim.Prng.create 23 in
+  let tree = Workload.File_tree.build prng in
+  let events = Workload.Trace.generate ~scale:500 tree prng in
+  check_int "scaled size" (Workload.Mix.total_calls / 500) (Array.length events);
+  let counts = Workload.Trace.counts_by_label events in
+  let share label =
+    100.
+    *. float_of_int (Option.value ~default:0 (List.assoc_opt label counts))
+    /. float_of_int (Array.length events)
+  in
+  check_bool "getattr ~31%" true
+    (Rig.within ~tolerance:0.1 ~expected:31.0 (share "Get File Attribute"));
+  check_bool "null ping ~12.5%" true
+    (Rig.within ~tolerance:0.1 ~expected:12.5 (share "Null Ping Call"))
+
+let trace_events_are_executable () =
+  let prng = Sim.Prng.create 29 in
+  let tree = Workload.File_tree.build prng in
+  let events = Workload.Trace.generate ~scale:2000 tree prng in
+  let store = Workload.File_tree.store tree in
+  Array.iter
+    (fun (e : Workload.Trace.event) ->
+      match Dfs.Server.execute store e.Workload.Trace.op with
+      | Dfs.Nfs_ops.R_error code ->
+          Alcotest.failf "trace op %s failed with %d" e.Workload.Trace.label code
+      | _ -> ())
+    events
+
+let traffic_ratios_in_band () =
+  let prng = Sim.Prng.create 31 in
+  let tree = Workload.File_tree.build prng in
+  let events = Workload.Trace.generate ~scale:500 tree prng in
+  let rows = Workload.Traffic.of_trace (Workload.File_tree.store tree) events in
+  let total = Workload.Traffic.totals rows in
+  let overall = Workload.Traffic.ratio total in
+  check_bool "overall ratio near the paper's 0.14" true
+    (overall > 0.10 && overall < 0.18);
+  let write =
+    List.find (fun (r : Workload.Traffic.row) ->
+        String.equal r.Workload.Traffic.label "Write File Data")
+      rows
+  in
+  check_bool "write ratio near the paper's 0.01" true
+    (Workload.Traffic.ratio write < 0.02)
+
+let suite =
+  [
+    Alcotest.test_case "zipf skew" `Quick zipf_skew;
+    Alcotest.test_case "mix sums" `Quick mix_sums_to_total;
+    Alcotest.test_case "mix sampler matches table" `Quick mix_sampler_matches;
+    Alcotest.test_case "file tree well formed" `Quick tree_is_well_formed;
+    Alcotest.test_case "trace respects mix" `Quick trace_respects_mix;
+    Alcotest.test_case "trace events executable" `Quick trace_events_are_executable;
+    Alcotest.test_case "traffic ratios in band" `Quick traffic_ratios_in_band;
+    QCheck_alcotest.to_alcotest zipf_bounds;
+  ]
