@@ -1,0 +1,77 @@
+(* racecheck — replay the example workloads under the analysis monitor
+   and report data races and protocol findings.
+
+     dune exec bin/racecheck.exe -- --workload kv_store
+     dune exec bin/racecheck.exe -- --ci        # assert expectations
+
+   In --ci mode every workload must match its expectation: the clean
+   workloads report nothing, the seeded racy workload must be flagged,
+   and the name-service misuse workload must produce lint findings. *)
+
+open Cmdliner
+
+let check name ~ci =
+  let monitor = Analysis.Scenarios.run name in
+  let races = Analysis.Race.find monitor in
+  let findings = Analysis.Lint.check monitor in
+  Analysis.Report.print ~title:name monitor ~races ~findings;
+  if ci then begin
+    let expect = Analysis.Scenarios.expectation name in
+    let mismatch what expected got =
+      Printf.printf "   FAIL %s: expected %s %s, got %d\n" name
+        (if expected then "some" else "no")
+        what got;
+      false
+    in
+    let races_ok =
+      if expect.Analysis.Scenarios.races <> (races <> []) then
+        mismatch "races" expect.Analysis.Scenarios.races (List.length races)
+      else true
+    in
+    let findings_ok =
+      if expect.Analysis.Scenarios.findings <> (findings <> []) then
+        mismatch "findings" expect.Analysis.Scenarios.findings
+          (List.length findings)
+      else true
+    in
+    races_ok && findings_ok
+  end
+  else races = [] && findings = []
+
+let main workload ci =
+  let names =
+    if workload = "all" then Analysis.Scenarios.all
+    else if List.mem workload Analysis.Scenarios.all then [ workload ]
+    else begin
+      Printf.eprintf "unknown workload %S (have: %s, all)\n" workload
+        (String.concat ", " Analysis.Scenarios.all);
+      exit 2
+    end
+  in
+  let ok = List.for_all (fun name -> check name ~ci) names in
+  if ci then
+    if ok then print_endline "racecheck: all workloads match expectations"
+    else begin
+      print_endline "racecheck: expectation mismatch";
+      exit 1
+    end
+  else if not ok then exit 1
+
+let workload =
+  let doc = "Workload to replay (or $(b,all))." in
+  Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let ci =
+  let doc =
+    "Assert per-workload expectations (clean workloads clean, seeded \
+     races/findings present) instead of failing on any report."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let cmd =
+  let doc = "happens-before race detector for the remote-memory workloads" in
+  Cmd.v
+    (Cmd.info "racecheck" ~doc)
+    Term.(const main $ workload $ ci)
+
+let () = exit (Cmd.eval cmd)

@@ -25,7 +25,6 @@ let key_hash name = Names.Record.fnv_hash name
 
 type store_client = {
   rmem : Rmem.Remote_memory.t;
-  node : Cluster.Node.t;
   data : Rmem.Descriptor.t;
   tokens : Dfs.Coherence.client;
   space : Cluster.Address_space.t;
@@ -114,7 +113,6 @@ let () =
             let c =
               {
                 rmem = rmems.(i);
-                node;
                 data = Names.Api.import ~hint:(Cluster.Node.addr home) names.(i) "kv:data";
                 tokens =
                   Dfs.Coherence.connect ~names:names.(i)
@@ -136,7 +134,6 @@ let () =
       let reader =
         {
           rmem = rmems.(1);
-          node = Cluster.Testbed.node testbed 1;
           data =
             Names.Api.import
               ~hint:(Cluster.Node.addr home)

@@ -1,0 +1,75 @@
+type finding = {
+  rule : string;
+  agent : string;
+  key : Access.seg_key;
+  detail : string;
+}
+
+let poll_threshold = 8
+
+let rule_of_status = function
+  | Rmem.Status.Stale_generation -> Some "stale-generation"
+  | Rmem.Status.Bad_segment -> Some "revoked-segment"
+  | Rmem.Status.Protection -> Some "rights"
+  | Rmem.Status.Bounds -> Some "bounds"
+  | Rmem.Status.Write_inhibited -> Some "write-inhibit"
+  | Rmem.Status.Unpinned -> Some "unpinned"
+  | _ -> None
+
+let op_name = function
+  | Rmem.Rights.Read_op -> "READ"
+  | Rmem.Rights.Write_op -> "WRITE"
+  | Rmem.Rights.Cas_op -> "CAS"
+
+let check monitor =
+  let findings = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add rule agent key detail =
+    if not (Hashtbl.mem seen (rule, agent, key)) then begin
+      Hashtbl.replace seen (rule, agent, key) ();
+      findings := { rule; agent; key; detail } :: !findings
+    end
+  in
+  (* Rejections the protocol absorbed — a stale descriptor retried, a
+     rights probe, an out-of-bounds request, a dropped write. *)
+  List.iter
+    (fun (r : Monitor.rejection) ->
+      match rule_of_status r.status with
+      | None -> ()
+      | Some rule ->
+          let site = match r.site with `Issue -> "locally" | `Serve -> "at the exporter" in
+          add rule r.agent_name r.key
+            (Printf.sprintf "%s [%d..%d) rejected %s: %s" (op_name r.op)
+               r.off (r.off + r.count) site
+               (Rmem.Status.to_string r.status)))
+    (Monitor.rejections monitor);
+  (* Notify-policy misuse: a reader hammering one location of a segment
+     whose policy can never notify it is polling where the control-
+     transfer machinery was the point. *)
+  let polls = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Access.t) ->
+      match (a.kind, a.origin) with
+      | Access.Load, Access.Meta Rmem.Rights.Read_op ->
+          let k = (a.agent_name, a.key, a.off, a.count) in
+          Hashtbl.replace polls k
+            (1 + Option.value (Hashtbl.find_opt polls k) ~default:0)
+      | _ -> ())
+    (Monitor.accesses monitor);
+  Hashtbl.iter
+    (fun (agent, key, off, count) n ->
+      if n >= poll_threshold then
+        match Monitor.policy_of monitor key with
+        | Some Rmem.Segment.Never ->
+            add "poll-never" agent key
+              (Printf.sprintf
+                 "%d identical READs of [%d..%d) on a notify:never segment"
+                 n off (off + count))
+        | Some (Rmem.Segment.Always | Rmem.Segment.Conditional) | None -> ())
+    polls;
+  List.rev !findings
+
+let describe f =
+  Printf.sprintf "[%s] %s on %s: %s" f.rule f.agent
+    (Access.key_to_string f.key)
+    f.detail

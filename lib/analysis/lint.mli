@@ -1,0 +1,21 @@
+(** Protocol-conformance lint over the monitor's event trace: uses of
+    the remote-memory protocol that "work" in the sense that the kernel
+    emulation tolerates them, but indicate a broken workload. *)
+
+type finding = {
+  rule : string;
+      (** one of: ["stale-generation"], ["revoked-segment"], ["rights"],
+          ["bounds"], ["write-inhibit"], ["unpinned"], ["poll-never"] *)
+  agent : string;  (** the offending agent *)
+  key : Access.seg_key;
+  detail : string;
+}
+
+val poll_threshold : int
+(** Repeated identical READs of one location before ["poll-never"]
+    fires (8). *)
+
+val check : Monitor.t -> finding list
+(** One finding per (rule, agent, region), in first-occurrence order. *)
+
+val describe : finding -> string

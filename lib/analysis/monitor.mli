@@ -1,0 +1,73 @@
+(** The dynamic instrumentation hub: attaches to the hooks exposed by
+    {!Rmem.Remote_memory}, {!Rmem.Notification}, {!Svm.Svm} and
+    {!Cluster.Lrpc}, maintains a vector clock per node agent, and
+    records every shared-memory access with its happens-before stamps.
+
+    The clock model, briefly: each node is one agent (the simulator's
+    cooperative scheduling makes a node's activities sequential). Every
+    recorded event ticks the acting agent. An access carries the
+    issuer's clock at {e issue} time as its stamp; its memory effect
+    becomes a visibility witness only when the issuer can {e know} the
+    serve happened — a READ/CAS reply on the same link (FIFO flushes
+    earlier writes), or a notification delivered to the destination
+    user. Synchronization edges: a successful CAS publishes the
+    issuer's issue-time clock into a per-word lock clock at serve and
+    joins the previous holder's publication at completion
+    (release/acquire); a delivered notification joins the sender's
+    stamp into the destination agent. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+val attach_rmem : t -> Rmem.Remote_memory.t -> unit
+(** Subscribe to a node's remote-memory events (and, transitively, to
+    the notification descriptors of every segment it exports). *)
+
+val attach_svm : t -> Svm.t -> unit
+val attach_lrpc : t -> unit
+(** Count same-node LRPC control transfers (ticks the calling agent).
+    The hook is global to {!Cluster.Lrpc}; the latest attached monitor
+    wins. *)
+
+val local_access :
+  t ->
+  node:Cluster.Node.t ->
+  segment:Rmem.Segment.t ->
+  kind:Access.kind ->
+  off:int ->
+  count:int ->
+  unit
+(** Record a direct touch of exported memory on its home node (the
+    address-space loads/stores the hooks cannot see). Call it where the
+    workload touches the segment. *)
+
+val declare_sync_word : t -> key:Access.seg_key -> off:int -> unit
+(** Mark the aligned word at [off] as a synchronization word: races
+    confined to it are exempt (in addition to the inferred CAS-only
+    words). *)
+
+(** {1 Results} *)
+
+val accesses : t -> Access.t list
+(** All recorded accesses, in recording order. *)
+
+type rejection = {
+  site : [ `Issue | `Serve ];
+  agent_name : string;  (** the offending issuer *)
+  key : Access.seg_key;
+  op : Rmem.Rights.op;
+  off : int;
+  count : int;
+  status : Rmem.Status.t;
+  time : Sim.Time.t;
+}
+
+val rejections : t -> rejection list
+val nacks : t -> int
+(** Write nacks observed back at issuers. *)
+
+val policy_of : t -> Access.seg_key -> Rmem.Segment.notify_policy option
+val is_declared_sync : t -> key:Access.seg_key -> off:int -> bool
+val agent_count : t -> int
+val lrpc_calls : t -> int

@@ -1,0 +1,57 @@
+let access_cell (a : Access.t) =
+  Printf.sprintf "%s %s [%d..%d)" a.agent_name
+    (Access.kind_to_string a.kind)
+    a.off (a.off + a.count)
+
+let races_table races =
+  let table =
+    Metrics.Table.create ~title:"data races"
+      [
+        ("segment", Metrics.Table.Left);
+        ("first access", Metrics.Table.Left);
+        ("second access", Metrics.Table.Left);
+        ("at", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Race.t) ->
+      Metrics.Table.add_row table
+        [
+          Printf.sprintf "%s (%s)" r.seg_name (Access.key_to_string r.key);
+          access_cell r.a;
+          access_cell r.b;
+          Sim.Time.to_string r.b.Access.time;
+        ])
+    races;
+  Metrics.Table.render table
+
+let findings_table findings =
+  let table =
+    Metrics.Table.create ~title:"protocol findings"
+      [
+        ("rule", Metrics.Table.Left);
+        ("agent", Metrics.Table.Left);
+        ("segment", Metrics.Table.Left);
+        ("detail", Metrics.Table.Left);
+      ]
+  in
+  List.iter
+    (fun (f : Lint.finding) ->
+      Metrics.Table.add_row table
+        [ f.rule; f.agent; Access.key_to_string f.key; f.detail ])
+    findings;
+  Metrics.Table.render table
+
+let summary monitor ~races ~findings =
+  Printf.sprintf
+    "%d agents, %d accesses, %d lrpc calls: %d race(s), %d finding(s)"
+    (Monitor.agent_count monitor)
+    (List.length (Monitor.accesses monitor))
+    (Monitor.lrpc_calls monitor)
+    (List.length races) (List.length findings)
+
+let print ~title monitor ~races ~findings =
+  Printf.printf "== %s: %s\n" title (summary monitor ~races ~findings);
+  if races <> [] then print_string (races_table races);
+  if findings <> [] then print_string (findings_table findings);
+  if races = [] && findings = [] then Printf.printf "   clean\n"

@@ -1,0 +1,332 @@
+(* Compact, deterministic replays of the example workloads, run under
+   the monitor.  Each builds its own testbed so runs are independent;
+   the shapes mirror examples/ (kv_store, producer_consumer, ...) at a
+   size that keeps a race-check run instant. *)
+
+type expectation = { races : bool; findings : bool }
+
+let all =
+  [
+    "kv_store";
+    "producer_consumer";
+    "file_service";
+    "file_service_nofence";
+    "name_service";
+    "racy";
+  ]
+
+let expectation = function
+  | "kv_store" | "producer_consumer" | "file_service" ->
+      { races = false; findings = false }
+  | "name_service" -> { races = false; findings = true }
+  | "file_service_nofence" | "racy" -> { races = true; findings = false }
+  | name -> invalid_arg ("Scenarios.expectation: " ^ name)
+
+let setup ~nodes =
+  let testbed = Cluster.Testbed.create ~nodes () in
+  let rmems =
+    Array.init nodes (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  let monitor = Monitor.create (Cluster.Testbed.engine testbed) in
+  Array.iter (Monitor.attach_rmem monitor) rmems;
+  Monitor.attach_lrpc monitor;
+  (testbed, rmems, monitor)
+
+let import_segment rmem ~from segment ~rights =
+  Rmem.Remote_memory.import rmem ~remote:from
+    ~segment_id:(Rmem.Segment.id segment)
+    ~generation:(Rmem.Segment.generation segment)
+    ~size:(Rmem.Segment.length segment)
+    ~rights ()
+
+(* ------------------------------------------------------------------ *)
+(* kv_store: each client owns disjoint slots of the server table and
+   put/fence/gets them.  No sharing, so nothing can race. *)
+
+let kv_store () =
+  let testbed, rmems, monitor = setup ~nodes:3 in
+  Cluster.Testbed.run testbed (fun () ->
+      let server = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space server in
+      let table =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"kv table" ()
+      in
+      let done_ = Sim.Ivar.create () in
+      let finished = ref 0 in
+      for c = 1 to 2 do
+        let node = Cluster.Testbed.node testbed c in
+        Cluster.Node.spawn node (fun () ->
+            let rmem = rmems.(c) in
+            let desc =
+              import_segment rmem ~from:(Cluster.Node.addr server) table
+                ~rights:Rmem.Rights.all
+            in
+            let my_space = Cluster.Node.new_address_space node in
+            let buf =
+              Rmem.Remote_memory.buffer ~space:my_space ~base:0 ~len:64
+            in
+            for k = 0 to 3 do
+              let off = (c * 512) + (k * 64) in
+              Rmem.Remote_memory.write rmem desc ~off
+                (Bytes.make 64 (Char.chr (0x30 + c)));
+              Rmem.Remote_memory.fence rmem desc;
+              Rmem.Remote_memory.read_wait rmem desc ~soff:off ~count:64
+                ~dst:buf ~doff:0 ()
+            done;
+            incr finished;
+            if !finished = 2 then Sim.Ivar.fill done_ ())
+      done;
+      Sim.Ivar.read done_);
+  monitor
+
+(* ------------------------------------------------------------------ *)
+(* producer_consumer: CAS-ticket slot claims, WRITE deliveries, notify
+   doorbells.  The ring holds every item (no slot reuse) and the
+   consumer touches exactly the slot each doorbell names, so all
+   cross-agent edges flow through the notification channel. *)
+
+let pc_slot_bytes = 64
+let pc_items_per_producer = 4
+let pc_total = 2 * pc_items_per_producer
+let pc_slot_off seq = 64 + (seq * pc_slot_bytes)
+
+let producer_consumer () =
+  let testbed, rmems, monitor = setup ~nodes:3 in
+  Cluster.Testbed.run testbed (fun () ->
+      let consumer_node = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space consumer_node in
+      let ring =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0
+          ~len:(64 + (pc_total * pc_slot_bytes))
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional ~name:"ring"
+          ()
+      in
+      let done_ = Sim.Ivar.create () in
+      let fd = Rmem.Segment.notification ring in
+      Cluster.Node.spawn consumer_node (fun () ->
+          for _ = 1 to pc_total do
+            let record = Rmem.Notification.wait fd in
+            (* Consume the one slot this doorbell announced. *)
+            let slot = record.Rmem.Notification.off in
+            let len =
+              Int32.to_int (Cluster.Address_space.read_word space ~addr:slot)
+            in
+            let (_ : bytes) =
+              Cluster.Address_space.read space ~addr:(slot + 4) ~len
+            in
+            Monitor.local_access monitor ~node:consumer_node ~segment:ring
+              ~kind:Access.Load ~off:slot ~count:pc_slot_bytes
+          done;
+          Sim.Ivar.fill done_ ());
+      let finished = ref 0 in
+      for p = 1 to 2 do
+        let node = Cluster.Testbed.node testbed p in
+        Cluster.Node.spawn node (fun () ->
+            let rmem = rmems.(p) in
+            let desc =
+              import_segment rmem
+                ~from:(Cluster.Node.addr consumer_node)
+                ring ~rights:Rmem.Rights.all
+            in
+            let my_space = Cluster.Node.new_address_space node in
+            let buf =
+              Rmem.Remote_memory.buffer ~space:my_space ~base:0 ~len:4
+            in
+            for i = 1 to pc_items_per_producer do
+              (* Claim a sequence number with a CAS ticket. *)
+              let seq = ref (-1) in
+              while !seq < 0 do
+                Rmem.Remote_memory.read_wait rmem desc ~soff:0 ~count:4
+                  ~dst:buf ~doff:0 ();
+                let ticket =
+                  Cluster.Address_space.read_word my_space ~addr:0
+                in
+                let won, _ =
+                  Rmem.Remote_memory.cas_wait rmem desc ~doff:0
+                    ~old_value:ticket ~new_value:(Int32.add ticket 1l) ()
+                in
+                if won then seq := Int32.to_int ticket
+              done;
+              let slot = pc_slot_off !seq in
+              let item = Printf.sprintf "item %d.%d" p i in
+              Rmem.Remote_memory.write rmem desc ~off:(slot + 4)
+                (Bytes.of_string item);
+              (* Length word last, doorbell on it. *)
+              let flag = Bytes.create 4 in
+              Bytes.set_int32_le flag 0 (Int32.of_int (String.length item));
+              Rmem.Remote_memory.write rmem desc ~off:slot ~notify:true flag
+            done;
+            incr finished)
+      done;
+      Sim.Ivar.read done_);
+  monitor
+
+(* ------------------------------------------------------------------ *)
+(* file_service: two clients update the SAME block of a file server
+   under a CAS lock, with the paper's required fence before release —
+   every WRITE is deposited before the lock can move on. *)
+
+let file_service ~fence () =
+  let testbed, rmems, monitor = setup ~nodes:3 in
+  Cluster.Testbed.run testbed (fun () ->
+      let server = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space server in
+      let blocks =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"file blocks" ()
+      in
+      let done_ = Sim.Ivar.create () in
+      let finished = ref 0 in
+      for c = 1 to 2 do
+        let node = Cluster.Testbed.node testbed c in
+        Cluster.Node.spawn node (fun () ->
+            let rmem = rmems.(c) in
+            let desc =
+              import_segment rmem ~from:(Cluster.Node.addr server) blocks
+                ~rights:Rmem.Rights.all
+            in
+            let me = Int32.of_int c in
+            for _round = 1 to 2 do
+              (* Acquire the lock word at offset 0. *)
+              let held = ref false in
+              while not !held do
+                let won, _ =
+                  Rmem.Remote_memory.cas_wait rmem desc ~doff:0 ~old_value:0l
+                    ~new_value:me ()
+                in
+                if won then held := true
+                else Sim.Proc.wait (Sim.Time.us 200)
+              done;
+              Rmem.Remote_memory.write rmem desc ~off:1024
+                (Bytes.make 256 (Char.chr (0x40 + c)));
+              if fence then Rmem.Remote_memory.fence rmem desc;
+              let released, _ =
+                Rmem.Remote_memory.cas_wait rmem desc ~doff:0 ~old_value:me
+                  ~new_value:0l ()
+              in
+              assert released
+            done;
+            incr finished;
+            if !finished = 2 then Sim.Ivar.fill done_ ())
+      done;
+      Sim.Ivar.read done_);
+  monitor
+
+(* ------------------------------------------------------------------ *)
+(* name_service: a clerk-mediated lookup, then two protocol sins — a
+   descriptor kept across a revoke/re-export (stale generation) and a
+   reader polling a notify:never segment. *)
+
+let name_service () =
+  let testbed, rmems, monitor = setup ~nodes:2 in
+  Cluster.Testbed.run testbed (fun () ->
+      let node0 = Cluster.Testbed.node testbed 0 in
+      let node1 = Cluster.Testbed.node testbed 1 in
+      let clerk0 = Names.Clerk.create rmems.(0) in
+      let clerk1 = Names.Clerk.create rmems.(1) in
+      Names.Clerk.serve_lookup_requests clerk0;
+      Names.Clerk.serve_lookup_requests clerk1;
+      let space0 = Cluster.Node.new_address_space node0 in
+      let (_ : Rmem.Segment.t) =
+        Names.Api.export clerk0 ~space:space0 ~base:0 ~len:256
+          ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Never
+          ~name:"status" ()
+      in
+      let epoch =
+        Rmem.Remote_memory.export rmems.(0) ~space:space0 ~base:1024 ~len:256
+          ~id:7 ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Conditional
+          ~name:"epoch" ()
+      in
+      let first_read_done = Sim.Ivar.create () in
+      let reexported = Sim.Ivar.create () in
+      let done_ = Sim.Ivar.create () in
+      Cluster.Node.spawn node1 (fun () ->
+          let rmem = rmems.(1) in
+          let my_space = Cluster.Node.new_address_space node1 in
+          let buf = Rmem.Remote_memory.buffer ~space:my_space ~base:0 ~len:64 in
+          let desc =
+            import_segment rmem ~from:(Cluster.Node.addr node0) epoch
+              ~rights:Rmem.Rights.read_only
+          in
+          Rmem.Remote_memory.read_wait rmem desc ~soff:0 ~count:32 ~dst:buf
+            ~doff:0 ();
+          Sim.Ivar.fill first_read_done ();
+          Sim.Ivar.read reexported;
+          (* The sin: keep using the descriptor across the re-export. *)
+          (match
+             Rmem.Remote_memory.read_wait rmem desc ~soff:0 ~count:32 ~dst:buf
+               ~doff:0 ()
+           with
+          | () -> assert false
+          | exception Rmem.Status.Remote_error Rmem.Status.Stale_generation ->
+              ());
+          (* The other sin: poll a notify:never segment. *)
+          let status =
+            Names.Api.import ~hint:(Cluster.Node.addr node0) clerk1 "status"
+          in
+          for _ = 1 to 12 do
+            Rmem.Remote_memory.read_wait rmem status ~soff:0 ~count:4 ~dst:buf
+              ~doff:0 ();
+            Sim.Proc.wait (Sim.Time.us 100)
+          done;
+          Sim.Ivar.fill done_ ());
+      Sim.Ivar.read first_read_done;
+      Rmem.Remote_memory.revoke rmems.(0) epoch;
+      let (_ : Rmem.Segment.t) =
+        Rmem.Remote_memory.export rmems.(0) ~space:space0 ~base:1024 ~len:256
+          ~id:7 ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Conditional
+          ~name:"epoch" ()
+      in
+      Sim.Ivar.fill reexported ();
+      Sim.Ivar.read done_);
+  monitor
+
+(* ------------------------------------------------------------------ *)
+(* racy: two writers, one range, no synchronization at all.  The seeded
+   positive the detector must flag. *)
+
+let racy () =
+  let testbed, rmems, monitor = setup ~nodes:3 in
+  Cluster.Testbed.run testbed (fun () ->
+      let server = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space server in
+      let shared =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"shared" ()
+      in
+      let done_ = Sim.Ivar.create () in
+      let finished = ref 0 in
+      for c = 1 to 2 do
+        let node = Cluster.Testbed.node testbed c in
+        Cluster.Node.spawn node (fun () ->
+            let rmem = rmems.(c) in
+            let desc =
+              import_segment rmem ~from:(Cluster.Node.addr server) shared
+                ~rights:Rmem.Rights.all
+            in
+            Rmem.Remote_memory.write rmem desc ~off:1024
+              (Bytes.make 256 (Char.chr (0x60 + c)));
+            Rmem.Remote_memory.fence rmem desc;
+            incr finished;
+            if !finished = 2 then Sim.Ivar.fill done_ ())
+      done;
+      Sim.Ivar.read done_);
+  monitor
+
+let run name =
+  let body =
+    match name with
+    | "kv_store" -> kv_store
+    | "producer_consumer" -> producer_consumer
+    | "file_service" -> file_service ~fence:true
+    | "file_service_nofence" -> file_service ~fence:false
+    | "name_service" -> name_service
+    | "racy" -> racy
+    | name -> invalid_arg ("Scenarios.run: " ^ name)
+  in
+  Fun.protect ~finally:(fun () -> Cluster.Lrpc.set_monitor None) body

@@ -1,0 +1,31 @@
+(** Compact, deterministic replays of the repository's example
+    workloads, run under the monitor. Shared by [bin/racecheck] and the
+    test suite.
+
+    - [kv_store]: two clients write/fence/read their own slots of a
+      server table. Clean.
+    - [producer_consumer]: two producers feed a consumer ring with CAS
+      ticket claims and notify doorbells; the consumer touches exactly
+      the slot each notification names. Clean.
+    - [file_service]: two clients update the {e same} block under a CAS
+      lock, fencing their writes before releasing. Clean.
+    - [file_service_nofence]: the same workload without the fence — the
+      unacknowledged WRITEs may still be in flight when the lock moves
+      on, exactly the hazard the paper's fence idiom exists for. Races.
+    - [name_service]: lookup via the name service, then a revoke /
+      re-export makes a retained descriptor stale, and a client
+      read-polls a notify:never status segment. Lint findings, no
+      races.
+    - [racy]: two unsynchronized writers to one range. Races. *)
+
+type expectation = { races : bool; findings : bool }
+
+val all : string list
+
+val expectation : string -> expectation
+(** Raises [Invalid_argument] on an unknown workload name. *)
+
+val run : string -> Monitor.t
+(** Build a fresh testbed, attach a monitor, replay the workload to
+    quiescence, and return the monitor for checking. Raises
+    [Invalid_argument] on an unknown name. *)

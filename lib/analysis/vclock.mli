@@ -1,0 +1,26 @@
+(** Vector clocks over a dense space of agent ids.
+
+    Values are immutable; missing components read as zero, so clocks
+    grow transparently as agents register. *)
+
+type t
+
+val empty : t
+
+val get : t -> int -> int
+(** Component for agent [i] (0 when never ticked). *)
+
+val tick : t -> int -> t
+(** Advance agent [i]'s component by one. *)
+
+val join : t -> t -> t
+(** Component-wise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is <= the one in [b]:
+    the happens-before-or-equal order. *)
+
+type order = Equal | Before | After | Concurrent
+
+val compare : t -> t -> order
+val to_string : t -> string

@@ -5,7 +5,11 @@
    style of LRPC [Bershad et al. 1990].  We model it as one CPU charge in
    each direction around the callee's execution. *)
 
+let monitor : (Node.t -> unit) option ref = ref None
+let set_monitor m = monitor := m
+
 let call node ?(category = Cpu.cat_client) f arg =
+  (match !monitor with None -> () | Some observe -> observe node);
   let half = (Node.costs node).Costs.lrpc_half in
   Cpu.use (Node.cpu node) ~category half;
   let result = f arg in

@@ -8,3 +8,8 @@ val call : Node.t -> ?category:string -> ('a -> 'b) -> 'a -> 'b
 (** [call node f arg] charges half the LRPC round-trip, runs [f arg]
     (which may block or consume CPU), charges the other half, and
     returns the result. Must run within a simulation process. *)
+
+val set_monitor : (Node.t -> unit) option -> unit
+(** Instrumentation hook for the analysis layer, invoked with the node
+    at every {!call} entry (a same-node synchronization point). Global,
+    like the mechanism itself is stateless; no-cost no-op when unset. *)

@@ -18,6 +18,7 @@ type t = {
   mutable signal_handler : (record -> unit) option;
   mutable posted : int;
   mutable delivered : int;
+  mutable monitor : (record -> unit) option;
 }
 
 let create node =
@@ -28,7 +29,16 @@ let create node =
     signal_handler = None;
     posted = 0;
     delivered = 0;
+    monitor = None;
   }
+
+let set_monitor t monitor = t.monitor <- monitor
+
+(* The analysis hook observes the instant a record becomes visible to
+   user code (waiter resumed, signal upcall, or queue pop) — that is the
+   happens-before edge notification induces. *)
+let observed t record =
+  match t.monitor with None -> () | Some f -> f record
 
 let kind_to_string = function
   | Write_arrived -> "write"
@@ -48,19 +58,31 @@ let post t record =
       t.delivered <- t.delivered + 1;
       if not (Queue.is_empty t.waiters) then begin
         let resume = Queue.pop t.waiters in
+        observed t record;
         resume record
       end
       else
         match t.signal_handler with
-        | Some handler -> handler record
+        | Some handler ->
+            observed t record;
+            handler record
         | None -> Queue.push record t.queue)
 
 let wait t =
-  if not (Queue.is_empty t.queue) then Queue.pop t.queue
+  if not (Queue.is_empty t.queue) then begin
+    let record = Queue.pop t.queue in
+    observed t record;
+    record
+  end
   else Sim.Proc.suspend (fun resume -> Queue.push resume t.waiters)
 
 let try_read t =
-  if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+  if Queue.is_empty t.queue then None
+  else begin
+    let record = Queue.pop t.queue in
+    observed t record;
+    Some record
+  end
 
 let set_signal_handler t handler = t.signal_handler <- handler
 

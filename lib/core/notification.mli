@@ -34,3 +34,9 @@ val pending : t -> int
 val posted : t -> int
 val delivered : t -> int
 val kind_to_string : kind -> string
+
+val set_monitor : t -> (record -> unit) option -> unit
+(** Instrumentation hook for the analysis layer, invoked at the instant
+    a record becomes visible to user code (a blocked {!wait} resumes, a
+    signal upcall runs, or a queued record is popped). No-cost no-op
+    when unset. *)

@@ -18,6 +18,8 @@ let buffer ~space ~base ~len =
 
 type pending =
   | Pending_read of {
+      desc : Descriptor.t;
+      soff : int;
       buf : buffer;
       doff : int;
       count : int;
@@ -26,10 +28,56 @@ type pending =
       completion : Status.t Sim.Ivar.t;
     }
   | Pending_cas of {
+      desc : Descriptor.t;
+      cas_doff : int;
       result : (buffer * int) option; (* deposit a success word here *)
       notify : bool;
       old_value : int32;
       completion : (Status.t * int32) Sim.Ivar.t;
+    }
+
+type monitor_event =
+  | Exported of Segment.t
+  | Issued of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      notify : bool;
+    }
+  | Issue_rejected of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      status : Status.t;
+    }
+  | Served of {
+      op : Rights.op;
+      src : Atm.Addr.t;
+      segment : Segment.t;
+      off : int;
+      count : int;
+      notified : bool;
+      cas_success : bool option;
+    }
+  | Serve_rejected of {
+      op : Rights.op;
+      src : Atm.Addr.t;
+      seg : int;
+      gen : Generation.t;
+      off : int;
+      count : int;
+      status : Status.t;
+    }
+  | Nacked of { src : Atm.Addr.t; nack : Wire.write_nack }
+  | Completed of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      status : Status.t;
+      cas_success : bool option;
     }
 
 type t = {
@@ -48,7 +96,14 @@ type t = {
   errors : Metrics.Account.t;
   mutable delivery_probe : (Notification.kind -> count:int -> unit) option;
   mutable crypto : Crypto.t option; (* link encryption, section 3.5 *)
+  write_failures : (int * int * int, Status.t) Hashtbl.t;
+  (* (remote, seg, gen) -> latest nacked WRITE status, cleared on take *)
+  mutable monitor : (monitor_event -> unit) option;
 }
+
+(* The analysis layer's hook: one match on a [None] field when disabled,
+   so the instrumented paths cost nothing extra in normal runs. *)
+let emit t event = match t.monitor with None -> () | Some f -> f event
 
 (* ------------------------------------------------------------------ *)
 (* Cost arithmetic.                                                    *)
@@ -106,6 +161,8 @@ let attach node =
       errors = Metrics.Account.create ~name:"rmem errors" ();
       delivery_probe = None;
       crypto = None;
+      write_failures = Hashtbl.create 4;
+      monitor = None;
     }
   in
   List.iter
@@ -133,6 +190,7 @@ let set_server_role t =
     ~tx_reply:Cluster.Cpu.cat_data_reply ~client:Cluster.Cpu.cat_data_reply ()
 
 let set_delivery_probe t probe = t.delivery_probe <- probe
+let set_monitor t monitor = t.monitor <- monitor
 
 let set_crypto t crypto = t.crypto <- crypto
 
@@ -191,6 +249,7 @@ let export t ~space ~base ~len ?id ?(policy = Segment.Conditional)
   in
   Hashtbl.replace t.exported id segment;
   Metrics.Account.add t.ops ~category:"export" 1.;
+  emit t (Exported segment);
   segment
 
 let revoke t segment =
@@ -204,6 +263,7 @@ let revoke t segment =
   Metrics.Account.add t.ops ~category:"revoke" 1.
 
 let lookup_export t id = Hashtbl.find_opt t.exported id
+let exports t = Hashtbl.fold (fun _ segment acc -> segment :: acc) t.exported []
 
 let import t ~remote ~segment_id ~generation ~size
     ?(rights = Rights.read_only) () =
@@ -223,13 +283,16 @@ let buffer_of_segment segment =
 (* ------------------------------------------------------------------ *)
 (* Local (issue-side) validation.                                      *)
 
-let check_local desc op ~off ~count =
-  if Descriptor.is_stale desc then
-    raise (Status.Remote_error Status.Stale_generation);
+let check_local t desc op ~off ~count =
+  let reject status =
+    emit t (Issue_rejected { op; desc; off; count; status });
+    raise (Status.Remote_error status)
+  in
+  if Descriptor.is_stale desc then reject Status.Stale_generation;
   if not (Rights.allows (Descriptor.rights desc) op) then
-    raise (Status.Remote_error Status.Protection);
+    reject Status.Protection;
   if off < 0 || count < 0 || off + count > Descriptor.size desc then
-    raise (Status.Remote_error Status.Bounds)
+    reject Status.Bounds
 
 let alloc_reqid t =
   let rec probe attempts candidate =
@@ -252,7 +315,8 @@ let burst_data_bytes c = c.Cluster.Costs.burst_cells * Wire.data_bytes_per_cell
 let write t desc ~off ?(notify = false) ?(swab = false) data =
   let c = costs t in
   let count = Bytes.length data in
-  check_local desc Rights.Write_op ~off ~count;
+  check_local t desc Rights.Write_op ~off ~count;
+  emit t (Issued { op = Rights.Write_op; desc; off; count; notify });
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check);
   Metrics.Account.add t.ops ~category:"write" 1.;
@@ -288,13 +352,15 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
 let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
     ?(swab = false) () =
   let c = costs t in
-  check_local desc Rights.Read_op ~off:soff ~count;
+  check_local t desc Rights.Read_op ~off:soff ~count;
   if doff < 0 || doff + count > dst.len then
     raise (Status.Remote_error Status.Bounds);
+  emit t (Issued { op = Rights.Read_op; desc; off = soff; count; notify });
   let completion = Sim.Ivar.create () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
-    (Pending_read { buf = dst; doff; count; notify; received = 0; completion });
+    (Pending_read
+       { desc; soff; buf = dst; doff; count; notify; received = 0; completion });
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
@@ -334,18 +400,19 @@ let read_wait ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
           end));
   Status.check (Sim.Ivar.read completion)
 
-let cas_async t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
+let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
   let c = costs t in
-  check_local desc Rights.Cas_op ~off:doff ~count:4;
+  check_local t desc Rights.Cas_op ~off:doff ~count:4;
   (match result with
   | Some (buf, off) ->
       if off < 0 || off + 4 > buf.len then
         raise (Status.Remote_error Status.Bounds)
   | None -> ());
+  emit t (Issued { op = Rights.Cas_op; desc; off = doff; count = 4; notify });
   let completion = Sim.Ivar.create () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
-    (Pending_cas { result; notify; old_value; completion });
+    (Pending_cas { desc; cas_doff = doff; result; notify; old_value; completion });
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
@@ -363,19 +430,39 @@ let cas_async t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
             reqid;
             notify;
           }));
-  completion
+  (reqid, completion)
+
+let cas_async t desc ~doff ~old_value ~new_value ?result ?notify () =
+  snd (cas_submit t desc ~doff ~old_value ~new_value ?result ?notify ())
+
+let take_write_failure t desc =
+  let key =
+    ( Atm.Addr.to_int (Descriptor.remote desc),
+      Descriptor.segment_id desc,
+      Generation.to_int (Descriptor.generation desc) )
+  in
+  match Hashtbl.find_opt t.write_failures key with
+  | None -> None
+  | Some status ->
+      Hashtbl.remove t.write_failures key;
+      Some status
 
 (* Writes are unacknowledged; links are FIFO.  A fence is therefore one
    minimal read round trip: when it returns, every WRITE this node
-   previously issued toward the same segment has been deposited. *)
+   previously issued toward the same segment has been deposited — or, if
+   the destination had to drop one, its nack has arrived and the fence
+   reports the loss instead of succeeding silently. *)
 let fence ?timeout t desc =
   let space = Cluster.Node.new_address_space t.node in
   let dst = buffer ~space ~base:0 ~len:4 in
-  read_wait ?timeout t desc ~soff:0 ~count:4 ~dst ~doff:0 ()
+  read_wait ?timeout t desc ~soff:0 ~count:4 ~dst ~doff:0 ();
+  match take_write_failure t desc with
+  | None -> ()
+  | Some status -> raise (Status.Remote_error status)
 
 let cas_wait ?timeout t desc ~doff ~old_value ~new_value ?result ?notify () =
-  let completion =
-    cas_async t desc ~doff ~old_value ~new_value ?result ?notify ()
+  let reqid, completion =
+    cas_submit t desc ~doff ~old_value ~new_value ?result ?notify ()
   in
   (match timeout with
   | None -> ()
@@ -383,6 +470,10 @@ let cas_wait ?timeout t desc ~doff ~old_value ~new_value ?result ?notify () =
       Sim.Proc.spawn (Cluster.Node.engine t.node) (fun () ->
           Sim.Proc.wait span;
           if not (Sim.Ivar.is_full completion) then begin
+            (* Drop the pending entry too, so a reply that straggles in
+               after the timeout is discarded instead of double-filling
+               the completion. *)
+            Hashtbl.remove t.pending reqid;
             Metrics.Account.add t.errors ~category:"timeout" 1.;
             Sim.Ivar.fill completion (Status.Timed_out, 0l)
           end));
@@ -422,14 +513,35 @@ let handle_write t ~src (w : Wire.write_req) =
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_data_cost c count))
        c.Cluster.Costs.vm_deliver);
+  (* A write this node cannot apply is data silently lost unless the
+     issuer hears about it: report the drop with a negative ack (the
+     success path stays unacknowledged, as in the paper). *)
+  let drop status =
+    record_error t status;
+    emit t
+      (Serve_rejected
+         {
+           op = Rights.Write_op;
+           src;
+           seg = w.seg;
+           gen = w.gen;
+           off = w.off;
+           count;
+           status;
+         });
+    Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 12);
+    Cluster.Node.transmit t.node ~dst:src
+      (Wire.encode
+         (Wire.Write_nack
+            { status; seg = w.seg; gen = w.gen; off = w.off; count }))
+  in
   match
     validate_segment t ~src ~seg:w.seg ~gen:w.gen ~off:w.off ~count
       Rights.Write_op
   with
-  | Error status -> record_error t status
+  | Error status -> drop status
   | Ok segment ->
-      if Segment.write_inhibited segment then
-        record_error t Status.Write_inhibited
+      if Segment.write_inhibited segment then drop Status.Write_inhibited
       else begin
         let data = crypto_in t ~category:t.rx_request_category w.data in
         let data = if w.swab then Wire.swap_words data else data in
@@ -438,10 +550,22 @@ let handle_write t ~src (w : Wire.write_req) =
           data;
         Metrics.Account.add t.data_bytes ~category:"write served"
           (float_of_int count);
+        let notified = Segment.should_notify segment ~requested:w.notify in
+        emit t
+          (Served
+             {
+               op = Rights.Write_op;
+               src;
+               segment;
+               off = w.off;
+               count;
+               notified;
+               cas_success = None;
+             });
         (match t.delivery_probe with
         | Some probe -> probe Notification.Write_arrived ~count
         | None -> ());
-        if Segment.should_notify segment ~requested:w.notify then
+        if notified then
           Notification.post
             (Segment.notification segment)
             {
@@ -467,6 +591,17 @@ let handle_read t ~src (r : Wire.read_req) =
   with
   | Error status ->
       record_error t status;
+      emit t
+        (Serve_rejected
+           {
+             op = Rights.Read_op;
+             src;
+             seg = r.seg;
+             gen = r.gen;
+             off = r.soff;
+             count = r.count;
+             status;
+           });
       Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 8);
       reply
         (Wire.Read_reply
@@ -480,6 +615,17 @@ let handle_read t ~src (r : Wire.read_req) =
   | Ok segment ->
       Metrics.Account.add t.data_bytes ~category:"read served"
         (float_of_int r.count);
+      emit t
+        (Served
+           {
+             op = Rights.Read_op;
+             src;
+             segment;
+             off = r.soff;
+             count = r.count;
+             notified = Segment.should_notify segment ~requested:false;
+             cas_success = None;
+           });
       (if Segment.should_notify segment ~requested:false then
          (* An Always-notify segment also reports served reads. *)
          Notification.post
@@ -543,16 +689,38 @@ let handle_cas t ~src (r : Wire.cas_req) =
     with
     | Error status ->
         record_error t status;
+        emit t
+          (Serve_rejected
+             {
+               op = Rights.Cas_op;
+               src;
+               seg = r.seg;
+               gen = r.gen;
+               off = r.doff;
+               count = 4;
+               status;
+             });
         (status, 0l)
     | Ok segment ->
         let addr = Segment.base segment + r.doff in
         let witness =
           Cluster.Address_space.read_word (Segment.space segment) ~addr
         in
-        let (_ : bool) =
+        let swapped =
           Cluster.Address_space.cas_word (Segment.space segment) ~addr
             ~old_value:r.old_value ~new_value:r.new_value
         in
+        emit t
+          (Served
+             {
+               op = Rights.Cas_op;
+               src;
+               segment;
+               off = r.doff;
+               count = 4;
+               notified = Segment.should_notify segment ~requested:r.notify;
+               cas_success = Some swapped;
+             });
         (if Segment.should_notify segment ~requested:r.notify then
            Notification.post
              (Segment.notification segment)
@@ -580,11 +748,29 @@ let handle_read_reply t ~src (r : Wire.read_reply) =
        (Sim.Time.add c.Cluster.Costs.reply_match c.Cluster.Costs.vm_deliver));
   match Hashtbl.find_opt t.pending r.reqid with
   | None -> () (* late reply after a timeout: dropped *)
-  | Some (Pending_cas _) -> record_error t Status.Bad_segment
+  | Some (Pending_cas p) ->
+      (* A READ reply matched a pending CAS: protocol violation. Fail
+         the operation instead of leaving the issuer blocked forever. *)
+      Hashtbl.remove t.pending r.reqid;
+      record_error t Status.Bad_segment;
+      Sim.Ivar.fill p.completion (Status.Bad_segment, 0l)
   | Some (Pending_read p) ->
+      let completed status =
+        emit t
+          (Completed
+             {
+               op = Rights.Read_op;
+               desc = p.desc;
+               off = p.soff;
+               count = p.count;
+               status;
+               cas_success = None;
+             })
+      in
       if r.status <> Status.Ok then begin
         Hashtbl.remove t.pending r.reqid;
         record_error t r.status;
+        completed r.status;
         Sim.Ivar.fill p.completion r.status
       end
       else begin
@@ -604,6 +790,7 @@ let handle_read_reply t ~src (r : Wire.read_reply) =
                 off = p.doff;
                 count = p.count;
               };
+          completed Status.Ok;
           Sim.Ivar.fill p.completion Status.Ok
         end
       end
@@ -616,7 +803,12 @@ let handle_cas_reply t ~src (r : Wire.cas_reply) =
        c.Cluster.Costs.reply_match);
   match Hashtbl.find_opt t.pending r.reqid with
   | None -> ()
-  | Some (Pending_read _) -> record_error t Status.Bad_segment
+  | Some (Pending_read p) ->
+      (* A CAS reply matched a pending READ: fail it rather than letting
+         the issuer hang until its timeout (if it even set one). *)
+      Hashtbl.remove t.pending r.reqid;
+      record_error t Status.Bad_segment;
+      Sim.Ivar.fill p.completion Status.Bad_segment
   | Some (Pending_cas p) ->
       Hashtbl.remove t.pending r.reqid;
       if r.status <> Status.Ok then record_error t r.status;
@@ -637,7 +829,31 @@ let handle_cas_reply t ~src (r : Wire.cas_reply) =
             off = 0;
             count = 4;
           };
+      emit t
+        (Completed
+           {
+             op = Rights.Cas_op;
+             desc = p.desc;
+             off = p.cas_doff;
+             count = 4;
+             status = r.status;
+             cas_success =
+               Some (r.status = Status.Ok && Int32.equal r.witness p.old_value);
+           });
       Sim.Ivar.fill p.completion (r.status, r.witness)
+
+(* A write nack at the issuer: count it and remember the latest status
+   per (destination, segment, generation) so a later [fence] or an
+   explicit [take_write_failure] surfaces the loss to the caller. *)
+let handle_write_nack t ~src (n : Wire.write_nack) =
+  let c = costs t in
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 12));
+  record_error t n.status;
+  Hashtbl.replace t.write_failures
+    (Atm.Addr.to_int src, n.seg, Generation.to_int n.gen)
+    n.status;
+  emit t (Nacked { src; nack = n })
 
 let () =
   handle_message :=
@@ -648,3 +864,4 @@ let () =
       | Wire.Cas r -> handle_cas t ~src r
       | Wire.Read_reply r -> handle_read_reply t ~src r
       | Wire.Cas_reply r -> handle_cas_reply t ~src r
+      | Wire.Write_nack n -> handle_write_nack t ~src n

@@ -51,6 +51,9 @@ val revoke : t -> Segment.t -> unit
 
 val lookup_export : t -> int -> Segment.t option
 
+val exports : t -> Segment.t list
+(** All currently exported (unrevoked) segments, unordered. *)
+
 val import :
   t ->
   remote:Atm.Addr.t ->
@@ -114,7 +117,17 @@ val fence : ?timeout:Sim.Time.t -> t -> Descriptor.t -> unit
 (** Block until every WRITE this node previously issued against the
     descriptor's segment has been deposited: one minimal read round
     trip, sound because links deliver in FIFO order. Raises like
-    {!read_wait}. *)
+    {!read_wait}; additionally raises {!Status.Remote_error} if the
+    destination nacked one of those writes (data was dropped), consuming
+    the failure as {!take_write_failure} would. *)
+
+val take_write_failure : t -> Descriptor.t -> Status.t option
+(** WRITEs are unacknowledged, but a destination that must {e drop} one
+    (stale generation, revoked segment, rights, bounds, write inhibit)
+    reports the loss with a negative ack. This returns — and clears —
+    the latest such status recorded for the descriptor's
+    (remote, segment, generation), or [None] if all writes landed.
+    {!fence} consumes it automatically. *)
 
 val cas_async :
   t ->
@@ -169,6 +182,68 @@ val set_delivery_probe :
 (** Instrumentation hook invoked at the instant an inbound write's data
     has been deposited (before any notification cost). Used by the
     calibration experiments to time one-way delivery. *)
+
+(** {1 Monitoring}
+
+    Zero-cost-when-disabled event stream for the analysis layer
+    ([lib/analysis]): every issued, served, and rejected
+    meta-instruction, plus exports and write nacks. *)
+
+type monitor_event =
+  | Exported of Segment.t
+  | Issued of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      notify : bool;
+    }  (** Local validation passed; the request is going on the wire. *)
+  | Issue_rejected of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      status : Status.t;
+    }  (** Local validation failed; {!Status.Remote_error} follows. *)
+  | Served of {
+      op : Rights.op;
+      src : Atm.Addr.t;
+      segment : Segment.t;
+      off : int;
+      count : int;
+      notified : bool;
+      cas_success : bool option;
+    }
+      (** An incoming request touched the segment's memory. [notified]
+          reflects the segment policy's decision; [cas_success] is set
+          for CAS only. *)
+  | Serve_rejected of {
+      op : Rights.op;
+      src : Atm.Addr.t;
+      seg : int;
+      gen : Generation.t;
+      off : int;
+      count : int;
+      status : Status.t;
+    }  (** An incoming request was refused before touching memory. *)
+  | Nacked of { src : Atm.Addr.t; nack : Wire.write_nack }
+      (** A write nack arrived back at this (issuing) node. *)
+  | Completed of {
+      op : Rights.op;
+      desc : Descriptor.t;
+      off : int;
+      count : int;
+      status : Status.t;
+      cas_success : bool option;
+    }
+      (** A READ or CAS reply filled its completion at this (issuing)
+          node — the issuer now knows the serve happened, and (links
+          being FIFO) that every earlier request it sent the same remote
+          was processed. Not emitted for local timeouts. *)
+
+val set_monitor : t -> (monitor_event -> unit) option -> unit
+(** Install (or clear) the event hook. When unset the instrumented paths
+    cost a single [None] field test. *)
 
 (** {1 Statistics} *)
 

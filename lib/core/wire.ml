@@ -50,12 +50,21 @@ type cas_req = {
 
 type cas_reply = { status : Status.t; reqid : int; witness : int32 }
 
+type write_nack = {
+  status : Status.t;
+  seg : int;
+  gen : Generation.t;
+  off : int;
+  count : int;
+}
+
 type message =
   | Write of write_req
   | Read of read_req
   | Read_reply of read_reply
   | Cas of cas_req
   | Cas_reply of cas_reply
+  | Write_nack of write_nack
 
 let tag_base = 0x10
 let tag_base_swab = 0x30
@@ -69,6 +78,7 @@ let op_read = 2
 let op_read_reply = 3
 let op_cas = 4
 let op_cas_reply = 5
+let op_write_nack = 6
 
 let tag ~op ~notify ~swab =
   (if swab then tag_base_swab else tag_base)
@@ -133,7 +143,14 @@ let encode message =
       Atm.Codec.put_u8 w (tag ~op:op_cas_reply ~notify:false ~swab:false);
       Atm.Codec.put_u8 w (Status.to_code status);
       Atm.Codec.put_u16 w reqid;
-      Atm.Codec.put_i32 w witness);
+      Atm.Codec.put_i32 w witness
+  | Write_nack { status; seg; gen; off; count } ->
+      Atm.Codec.put_u8 w (tag ~op:op_write_nack ~notify:false ~swab:false);
+      Atm.Codec.put_u8 w (Status.to_code status);
+      Atm.Codec.put_u8 w seg;
+      Atm.Codec.put_u16 w (Generation.to_int gen);
+      Atm.Codec.put_u32 w off;
+      Atm.Codec.put_u32 w count);
   Atm.Codec.contents w
 
 exception Bad_message of string
@@ -176,4 +193,11 @@ let decode payload =
     let reqid = Atm.Codec.get_u16 r in
     let witness = Atm.Codec.get_i32 r in
     Cas_reply { status; reqid; witness }
+  else if op = op_write_nack then
+    let status = Status.of_code (Atm.Codec.get_u8 r) in
+    let seg = Atm.Codec.get_u8 r in
+    let gen = Generation.of_int (Atm.Codec.get_u16 r) in
+    let off = Atm.Codec.get_u32 r in
+    let count = Atm.Codec.get_u32 r in
+    Write_nack { status; seg; gen; off; count }
   else raise (Bad_message (Printf.sprintf "op %d" op))

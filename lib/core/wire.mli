@@ -43,12 +43,26 @@ type cas_req = {
 
 type cas_reply = { status : Status.t; reqid : int; witness : int32 }
 
+type write_nack = {
+  status : Status.t;
+  seg : int;
+  gen : Generation.t;
+  off : int;
+  count : int;
+}
+(** Negative acknowledgement for a rejected WRITE. Successful writes stay
+    unacknowledged (the paper's model); a destination that must {e drop}
+    a write — stale generation, revoked segment, rights, bounds, write
+    inhibit — reports the drop back so the issuer can surface it instead
+    of silently losing data. *)
+
 type message =
   | Write of write_req
   | Read of read_req
   | Read_reply of read_reply
   | Cas of cas_req
   | Cas_reply of cas_reply
+  | Write_nack of write_nack
 
 exception Bad_message of string
 

@@ -25,7 +25,6 @@ let scheme_to_string = function
 type t = {
   rmem : Rmem.Remote_memory.t;
   node : Cluster.Node.t;
-  names : Names.Clerk.t;
   server : Atm.Addr.t;
   mutable scheme : scheme;
   space : Cluster.Address_space.t;
@@ -67,7 +66,6 @@ let create ?(scheme = Dx) ?rpc ?(export_local_cache = false) ~names ~server () =
     {
       rmem;
       node;
-      names;
       server;
       scheme;
       space;

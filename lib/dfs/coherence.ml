@@ -14,11 +14,7 @@ let default_tokens = 1024
 
 (* ---------------- server side ---------------- *)
 
-type manager = {
-  space : Cluster.Address_space.t;
-  base : int;
-  tokens : int;
-}
+type manager = { space : Cluster.Address_space.t; base : int }
 
 let rpc_prog = 0x1002
 let proc_acquire = 1
@@ -32,7 +28,7 @@ let export_tokens ~names ?(tokens = default_tokens) () =
       ~rights:(Rmem.Rights.make ~read:true ~cas:true ())
       ~name:token_segment_name ()
   in
-  { space; base = 0; tokens }
+  { space; base = 0 }
 
 let holder_of manager ~token =
   Int32.to_int
@@ -84,9 +80,8 @@ type client = {
   desc : Rmem.Descriptor.t;
   me : int32;
   revoke_space : Cluster.Address_space.t;
-  revoke_segment : Rmem.Segment.t;
   revoke_descs : (int, Rmem.Descriptor.t) Hashtbl.t; (* peer -> its revoke seg *)
-  mutable held : (int, Sim.Time.t) Hashtbl.t; (* token -> acquired at *)
+  held : (int, Sim.Time.t) Hashtbl.t; (* token -> acquired at *)
   mutable acquires : int;
   mutable retries : int;
   mutable revocations_honored : int;
@@ -97,7 +92,7 @@ let connect ~names ~server () =
   let node = Rmem.Remote_memory.node rmem in
   let desc = Names.Api.import ~hint:server names token_segment_name in
   let revoke_space = Cluster.Node.new_address_space node in
-  let revoke_segment =
+  let (_ : Rmem.Segment.t) =
     Names.Api.export names ~space:revoke_space ~base:0 ~len:(revoke_slots * 4)
       ~rights:(Rmem.Rights.make ~write:true ())
       ~policy:Rmem.Segment.Conditional
@@ -111,7 +106,6 @@ let connect ~names ~server () =
     desc;
     me = Int32.of_int (Atm.Addr.to_int (Cluster.Node.addr node) + 1);
     revoke_space;
-    revoke_segment;
     revoke_descs = Hashtbl.create 4;
     held = Hashtbl.create 4;
     acquires = 0;

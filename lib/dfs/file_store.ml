@@ -30,7 +30,7 @@ type attr = {
 
 type node = {
   mutable attr : attr;
-  mutable blocks : (int, bytes) Hashtbl.t; (* block # -> data, Regular *)
+  blocks : (int, bytes) Hashtbl.t; (* block # -> data, Regular *)
   mutable entries : (string * int) list; (* Directory, insertion order *)
   mutable target : string; (* Symlink *)
 }

@@ -2,7 +2,7 @@
    reached through the classic RPC stack — the structure the paper's
    Table 1 systems use. *)
 
-type t = { server : Rpckit.Server.t; store : File_store.t }
+type t = { server : Rpckit.Server.t }
 
 let start transport ~store ?(threads = 2) () =
   let node = Rpckit.Transport.node transport in
@@ -17,7 +17,7 @@ let start transport ~store ?(threads = 2) () =
   let server =
     Rpckit.Server.create transport ~prog:Rpc_codec.prog ~threads ~handler ()
   in
-  { server; store }
+  { server }
 
 let served t = Rpckit.Server.served t.server
 let rpc_server t = t.server

@@ -19,7 +19,6 @@ type t = {
   link_cache : Slot_cache.t;
   dir_cache : Slot_cache.t;
   file_cache : Slot_cache.t;
-  request_segment : Rmem.Segment.t;
   reply_descriptors : (int, Rmem.Descriptor.t) Hashtbl.t;
   push_targets : (int, Rmem.Descriptor.t) Hashtbl.t;
   mutable hybrid_served : int;
@@ -332,7 +331,6 @@ let create ~rmem ~clerk ~store () =
       link_cache = cache Layout.link_base Layout.link_cache;
       dir_cache = cache Layout.dir_base Layout.dir_cache;
       file_cache = cache Layout.file_base Layout.file_cache;
-      request_segment;
       reply_descriptors = Hashtbl.create 8;
       push_targets = Hashtbl.create 8;
       hybrid_served = 0;

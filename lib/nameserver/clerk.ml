@@ -25,9 +25,7 @@ type t = {
   node : Cluster.Node.t;
   space : Cluster.Address_space.t;
   registry : Registry.t;
-  registry_segment : Rmem.Segment.t;
   request_segment : Rmem.Segment.t;
-  scratch_segment : Rmem.Segment.t;
   mutable probe_policy : probe_policy;
   import_cache : (string, cached_import) Hashtbl.t;
   remote_registries : (int, Rmem.Descriptor.t) Hashtbl.t;
@@ -86,9 +84,7 @@ let create ?(slots = Bootstrap.default_slots)
       node;
       space;
       registry;
-      registry_segment;
       request_segment;
-      scratch_segment;
       probe_policy;
       import_cache = Hashtbl.create 64;
       remote_registries = Hashtbl.create 8;

@@ -12,7 +12,6 @@ type request = {
 }
 
 type t = {
-  transport : Transport.t;
   node : Cluster.Node.t;
   queue : request Sim.Mailbox.t;
   mutable served : int;
@@ -26,7 +25,6 @@ let create transport ~prog ?(threads = 1)
   let cpu = Cluster.Node.cpu node in
   let t =
     {
-      transport;
       node;
       queue = Sim.Mailbox.create ();
       served = 0;

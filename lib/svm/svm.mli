@@ -23,6 +23,13 @@ val write : t -> addr:int -> bytes -> unit
 (** Write to the shared region, acquiring ownership first (invalidating
     every cached copy). *)
 
+type access = { kind : [ `Load | `Store ]; addr : int; len : int }
+
+val set_monitor : t -> (access -> unit) option -> unit
+(** Instrumentation hook for the analysis layer, invoked once per
+    {!read} / {!write} at the instant the local copy is touched (after
+    any faulting). No-cost no-op when unset. *)
+
 (** {1 Introspection} *)
 
 val state : t -> page:int -> page_state
@@ -31,4 +38,5 @@ val write_faults : t -> int
 val invalidations_received : t -> int
 val pages_fetched : t -> int
 val node : t -> Cluster.Node.t
+val manager : t -> Atm.Addr.t
 val is_manager_node : t -> bool

@@ -17,4 +17,5 @@ let () =
       ("edges", Test_edges.suite);
       ("stress", Test_stress.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -1,0 +1,185 @@
+(* Tests for the analysis layer: vector clocks, the race detector and
+   protocol lint over the replay scenarios, and regression coverage for
+   the reply-path hardening that the monitor hooks exposed. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Vector clocks ---------------- *)
+
+let vclock_orders () =
+  let module V = Analysis.Vclock in
+  let a = V.tick (V.tick V.empty 0) 0 in
+  let b = V.tick V.empty 1 in
+  check_int "missing component reads zero" 0 (V.get V.empty 5);
+  check_int "two ticks" 2 (V.get a 0);
+  check_bool "empty <= any" true (V.leq V.empty a);
+  check_bool "concurrent not <=" false (V.leq a b);
+  (match V.compare a b with
+  | V.Concurrent -> ()
+  | _ -> Alcotest.fail "disjoint ticks must be concurrent");
+  let j = V.join a b in
+  check_int "join keeps a" 2 (V.get j 0);
+  check_int "join keeps b" 1 (V.get j 1);
+  (match V.compare a j with
+  | V.Before -> ()
+  | _ -> Alcotest.fail "a must be before its join");
+  (match V.compare j a with
+  | V.After -> ()
+  | _ -> Alcotest.fail "join must be after a");
+  match V.compare j (V.join b a) with
+  | V.Equal -> ()
+  | _ -> Alcotest.fail "join is commutative"
+
+(* ---------------- Scenario expectations ---------------- *)
+
+let run_scenario name =
+  let monitor = Analysis.Scenarios.run name in
+  (monitor, Analysis.Race.find monitor, Analysis.Lint.check monitor)
+
+let racy_flagged () =
+  let _, races, _ = run_scenario "racy" in
+  check_bool "two unsynchronized writers race" true (races <> []);
+  let r = List.hd races in
+  check_bool "distinct agents" true
+    (r.Analysis.Race.a.Analysis.Access.agent
+    <> r.Analysis.Race.b.Analysis.Access.agent);
+  check_bool "at least one side writes" true
+    (Analysis.Access.is_write r.Analysis.Race.a
+    || Analysis.Access.is_write r.Analysis.Race.b)
+
+let producer_consumer_clean () =
+  let monitor, races, findings = run_scenario "producer_consumer" in
+  check_int "notification-synchronized ring has no races" 0
+    (List.length races);
+  check_int "and no findings" 0 (List.length findings);
+  check_bool "the run actually recorded accesses" true
+    (Analysis.Monitor.accesses monitor <> [])
+
+let kv_store_clean () =
+  let _, races, findings = run_scenario "kv_store" in
+  check_int "fenced per-client slots are race free" 0 (List.length races);
+  check_int "no findings" 0 (List.length findings)
+
+let fence_sensitivity () =
+  let _, races_fenced, _ = run_scenario "file_service" in
+  check_int "lock + fence: clean" 0 (List.length races_fenced);
+  let _, races_unfenced, _ = run_scenario "file_service_nofence" in
+  check_bool "lock without fence: in-flight writes race" true
+    (races_unfenced <> [])
+
+let name_service_lint () =
+  let _, races, findings = run_scenario "name_service" in
+  check_int "misuse, not races" 0 (List.length races);
+  let has rule =
+    List.exists (fun f -> f.Analysis.Lint.rule = rule) findings
+  in
+  check_bool "stale descriptor reuse caught" true (has "stale-generation");
+  check_bool "polling a notify:never segment caught" true (has "poll-never")
+
+(* ---------------- Reply-path regressions ---------------- *)
+
+(* WRITE is unacknowledged, so a dropped write must surface through the
+   negative-ack channel: [take_write_failure] returns it once, and
+   [fence] turns it into an exception instead of silently succeeding. *)
+let nacked_write_surfaces () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      Rmem.Segment.set_write_inhibit segment true;
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.make 32 'x');
+      Sim.Proc.wait (Sim.Time.us 500);
+      (match Rmem.Remote_memory.take_write_failure d.Rig.rmem0 desc with
+      | Some Rmem.Status.Write_inhibited -> ()
+      | Some s -> Alcotest.failf "wrong status %s" (Rmem.Status.to_string s)
+      | None -> Alcotest.fail "nack not recorded");
+      check_bool "failure is consumed" true
+        (Rmem.Remote_memory.take_write_failure d.Rig.rmem0 desc = None))
+
+let fence_raises_on_nack () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let segment, desc = Rig.shared_segment d in
+      Rmem.Segment.set_write_inhibit segment true;
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.make 32 'x');
+      (* Reads still work under write inhibit, so the fence's probe
+         succeeds — the raise must come from the recorded nack. *)
+      (match Rmem.Remote_memory.fence d.Rig.rmem0 desc with
+      | () -> Alcotest.fail "fence must report the dropped write"
+      | exception Rmem.Status.Remote_error Rmem.Status.Write_inhibited -> ());
+      check_bool "fence consumed the failure" true
+        (Rmem.Remote_memory.take_write_failure d.Rig.rmem0 desc = None);
+      Rmem.Segment.set_write_inhibit segment false;
+      Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0 (Bytes.make 32 'y');
+      Rmem.Remote_memory.fence d.Rig.rmem0 desc)
+
+(* A reply of the wrong kind for a pending request must fail that
+   request cleanly (fill its completion with an error) rather than be
+   dropped on the floor leaving the issuer blocked forever. *)
+let mismatched_reply_fails_request () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _segment, desc = Rig.shared_segment d in
+      (* Swallow the genuine READ at a downed server, then forge a CAS
+         reply bearing its reqid (a fresh endpoint starts at 1). *)
+      Cluster.Node.set_down d.Rig.node1 true;
+      let completion =
+        Rmem.Remote_memory.read d.Rig.rmem0 desc ~soff:0 ~count:16
+          ~dst:(Rig.buffer0 d) ~doff:0 ()
+      in
+      Sim.Proc.wait (Sim.Time.us 300);
+      Cluster.Node.set_down d.Rig.node1 false;
+      Cluster.Node.transmit d.Rig.node1
+        ~dst:(Cluster.Node.addr d.Rig.node0)
+        (Rmem.Wire.encode
+           (Rmem.Wire.Cas_reply
+              { status = Rmem.Status.Ok; reqid = 1; witness = 0l }));
+      match Sim.Ivar.read completion with
+      | Rmem.Status.Bad_segment -> ()
+      | s -> Alcotest.failf "expected Bad_segment, got %s"
+               (Rmem.Status.to_string s))
+
+(* After a timed-out CAS the pending entry is gone, so a straggling
+   reply must be discarded instead of double-filling the completion
+   (which would crash the dispatch loop). *)
+let late_reply_after_timeout_ignored () =
+  let d = Rig.duo () in
+  Rig.run d (fun () ->
+      let _segment, desc = Rig.shared_segment d in
+      Cluster.Node.set_down d.Rig.node1 true;
+      (match
+         Rmem.Remote_memory.cas_wait ~timeout:(Sim.Time.us 500) d.Rig.rmem0
+           desc ~doff:0 ~old_value:0l ~new_value:1l ()
+       with
+      | _ -> Alcotest.fail "cas against a dead server must time out"
+      | exception Rmem.Status.Timeout -> ());
+      Cluster.Node.set_down d.Rig.node1 false;
+      Cluster.Node.transmit d.Rig.node1
+        ~dst:(Cluster.Node.addr d.Rig.node0)
+        (Rmem.Wire.encode
+           (Rmem.Wire.Cas_reply
+              { status = Rmem.Status.Ok; reqid = 1; witness = 0l }));
+      (* Survives only if the straggler was dropped. *)
+      Sim.Proc.wait (Sim.Time.us 300);
+      let ok, _ =
+        Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:0 ~old_value:0l
+          ~new_value:1l ()
+      in
+      check_bool "endpoint still functional" true ok)
+
+let suite =
+  [
+    Alcotest.test_case "vclock orders" `Quick vclock_orders;
+    Alcotest.test_case "racy workload flagged" `Quick racy_flagged;
+    Alcotest.test_case "producer/consumer clean" `Quick
+      producer_consumer_clean;
+    Alcotest.test_case "kv store clean" `Quick kv_store_clean;
+    Alcotest.test_case "fence sensitivity" `Quick fence_sensitivity;
+    Alcotest.test_case "name service lint" `Quick name_service_lint;
+    Alcotest.test_case "nacked write surfaces" `Quick nacked_write_surfaces;
+    Alcotest.test_case "fence raises on nack" `Quick fence_raises_on_nack;
+    Alcotest.test_case "mismatched reply fails request" `Quick
+      mismatched_reply_fails_request;
+    Alcotest.test_case "late reply after timeout ignored" `Quick
+      late_reply_after_timeout_ignored;
+  ]
