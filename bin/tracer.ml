@@ -1,0 +1,145 @@
+(* tracer — replay the example workloads under the span tracer and emit
+   Chrome trace-event JSON plus the cluster metrics report.
+
+     dune exec bin/tracer.exe -- examples/quickstart
+     dune exec bin/tracer.exe -- --ci      # assert span-tree invariants
+
+   In --ci mode every replay's span tree must validate (no orphans, no
+   open spans, monotone timestamps), the quickstart WRITE must decompose
+   into its trap/nic/wire/serve children summing to the end-to-end
+   latency within 1%, and the span-derived Table 1 decomposition must
+   agree with direct engine-clock accounting within 1%. *)
+
+open Cmdliner
+
+let normalize name =
+  match String.index_opt name '/' with
+  | Some i when String.sub name 0 i = "examples" ->
+      String.sub name (i + 1) (String.length name - i - 1)
+  | _ -> name
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("   FAIL " ^ s); false) fmt
+
+let check_validates name (run : Experiments.Traced.run) =
+  match Obs.Trace.validate run.trace with
+  | Ok () -> true
+  | Error problems ->
+      List.for_all (fun p -> fail "%s: %s" name p) problems
+
+(* The acceptance check: a WRITE root whose phase children (trap, nic,
+   wire, serve, ...) are contiguous and sum to its end-to-end latency. *)
+let check_write_decomposition (run : Experiments.Traced.run) =
+  let writes =
+    List.filter
+      (fun (s : Obs.Span.t) -> s.Obs.Span.name = "WRITE")
+      (Obs.Trace.roots run.trace)
+  in
+  let decomposes (root : Obs.Span.t) =
+    let children = Obs.Trace.children run.trace root in
+    let names =
+      List.sort_uniq compare
+        (List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) children)
+    in
+    let sum =
+      List.fold_left (fun a s -> a +. Obs.Span.duration_us s) 0. children
+    in
+    let e2e = Obs.Span.duration_us root in
+    List.length children >= 4
+    && List.for_all (fun n -> List.mem n names) [ "trap"; "nic"; "wire"; "serve" ]
+    && Float.abs (sum -. e2e) <= 0.01 *. e2e
+  in
+  List.exists decomposes writes
+  || fail "quickstart: no WRITE root decomposes into >= 4 contiguous phases"
+
+let check_decompose_agreement () =
+  let d = Experiments.Table1a.decompose () in
+  print_string (Experiments.Table1a.render_decomposition d);
+  List.for_all
+    (fun (r : Experiments.Table1a.phase_row) ->
+      Float.abs (r.Experiments.Table1a.span_us -. r.Experiments.Table1a.direct_us)
+      <= 0.01 *. r.Experiments.Table1a.direct_us
+      || fail "decompose %s: spans %.2f us vs direct %.2f us"
+           r.Experiments.Table1a.op r.Experiments.Table1a.span_us
+           r.Experiments.Table1a.direct_us)
+    d.Experiments.Table1a.phase_rows
+
+let emit name ~out ~tree (run : Experiments.Traced.run) =
+  let json = Obs.Export.chrome_json run.trace in
+  let path = Filename.concat out (name ^ ".trace.json") in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "%s: %d spans -> %s\n" name
+    (Obs.Trace.span_count run.trace)
+    path;
+  if tree then print_string (Obs.Export.render_tree run.trace);
+  print_string (Obs.Registry.report run.registry)
+
+let run_one name ~ci ~out ~tree =
+  let run = Experiments.Traced.replay name in
+  if ci then begin
+    let ok = check_validates name run in
+    let ok =
+      ok && (name <> "quickstart" || check_write_decomposition run)
+    in
+    Printf.printf "%s: %d spans, %s\n" name
+      (Obs.Trace.span_count run.trace)
+      (if ok then "valid" else "INVALID");
+    ok
+  end
+  else begin
+    emit name ~out ~tree run;
+    true
+  end
+
+let main workload ci out tree =
+  let name = normalize workload in
+  let names =
+    if name = "all" then Experiments.Traced.all
+    else if List.mem name Experiments.Traced.all then [ name ]
+    else begin
+      Printf.eprintf "unknown workload %S (have: %s, all)\n" name
+        (String.concat ", " Experiments.Traced.all);
+      exit 2
+    end
+  in
+  let ok = List.for_all (fun name -> run_one name ~ci ~out ~tree) names in
+  let ok = ok && ((not ci) || check_decompose_agreement ()) in
+  if ci then
+    if ok then print_endline "tracer: all span trees valid"
+    else begin
+      print_endline "tracer: check failed";
+      exit 1
+    end
+
+let workload =
+  let doc =
+    "Workload to replay and trace: a name from the examples directory \
+     ($(b,quickstart), $(b,name_service), $(b,producer_consumer), \
+     $(b,file_service), also accepted as $(b,examples/quickstart)), or \
+     $(b,all)."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WORKLOAD" ~doc)
+
+let ci =
+  let doc =
+    "Assert span-tree invariants and latency-accounting agreement \
+     instead of writing trace files."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let out =
+  let doc = "Directory for the emitted $(i,NAME).trace.json files." in
+  Arg.(value & opt string "." & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+
+let tree =
+  let doc = "Also print the plain-text span trees." in
+  Arg.(value & flag & info [ "tree" ] ~doc)
+
+let cmd =
+  let doc = "span tracer for the remote-memory example workloads" in
+  Cmd.v
+    (Cmd.info "tracer" ~doc)
+    Term.(const main $ workload $ ci $ out $ tree)
+
+let () = exit (Cmd.eval cmd)

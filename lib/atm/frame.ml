@@ -1,15 +1,25 @@
 (* Network frames: the unit handed to and received from a NIC.
 
    A frame's payload is segmented into ATM cells for transmission; see
-   {!Aal} for the cell arithmetic. *)
+   {!Aal} for the cell arithmetic.
 
-type t = { src : Addr.t; dst : Addr.t; payload : bytes }
+   [ctx] models a trace id riding in a reserved header field: it travels
+   with the frame but contributes nothing to [length], so attaching a
+   tracer cannot perturb wire timing. *)
 
-let make ~src ~dst payload = { src; dst; payload }
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  payload : bytes;
+  ctx : Obs.Ctx.t option;
+}
+
+let make ?ctx ~src ~dst payload = { src; dst; payload; ctx }
 
 let src t = t.src
 let dst t = t.dst
 let payload t = t.payload
+let ctx t = t.ctx
 let length t = Bytes.length t.payload
 
 let pp ppf t =

@@ -2,10 +2,14 @@
 
 type t
 
-val make : src:Addr.t -> dst:Addr.t -> bytes -> t
+val make : ?ctx:Obs.Ctx.t -> src:Addr.t -> dst:Addr.t -> bytes -> t
+(** [ctx] is a trace context riding in a reserved header field — carried
+    with the frame, excluded from {!length} (and hence wire timing). *)
+
 val src : t -> Addr.t
 val dst : t -> Addr.t
 val payload : t -> bytes
+val ctx : t -> Obs.Ctx.t option
 val length : t -> int
 (** Payload length in bytes. *)
 

@@ -52,6 +52,7 @@ let send t frame =
   let arrival =
     Sim.Time.add t.next_free t.config.Config.propagation
   in
+  Obs.Trace.link_hop (Frame.ctx frame) ~name:t.name ~start ~finish:arrival;
   Sim.Engine.schedule_at t.engine arrival (fun () ->
       t.queued <- t.queued - 1;
       t.deliver frame)

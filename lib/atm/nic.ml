@@ -42,10 +42,11 @@ let create config addr =
 let addr t = t.addr
 let set_route t route = t.route <- route
 
-let transmit t ~dst payload =
+let transmit ?ctx t ~dst payload =
   if Addr.equal dst t.addr then
     invalid_arg "Nic.transmit: destination is self";
-  let frame = Frame.make ~src:t.addr ~dst payload in
+  Obs.Trace.frame_sent ctx ~node:(Addr.to_int t.addr);
+  let frame = Frame.make ?ctx ~src:t.addr ~dst payload in
   let len = Frame.length frame in
   t.frames_tx <- t.frames_tx + 1;
   t.bytes_tx <- t.bytes_tx + len;
@@ -56,6 +57,7 @@ let deliver t frame =
   let cells = Aal.cells_of_len (Frame.length frame) in
   if t.rx_cells_pending + cells > t.config.Config.fifo_capacity_cells then
     raise (Rx_overflow t.addr);
+  Obs.Trace.frame_delivered (Frame.ctx frame) ~node:(Addr.to_int t.addr);
   t.rx_cells_pending <- t.rx_cells_pending + cells;
   t.frames_rx <- t.frames_rx + 1;
   t.bytes_rx <- t.bytes_rx + Frame.length frame;

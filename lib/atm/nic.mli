@@ -17,9 +17,10 @@ val addr : t -> Addr.t
 val set_route : t -> (Addr.t -> Link.t) -> unit
 (** Install the outbound routing function (done by {!Network}). *)
 
-val transmit : t -> dst:Addr.t -> bytes -> unit
+val transmit : ?ctx:Obs.Ctx.t -> t -> dst:Addr.t -> bytes -> unit
 (** Route a payload onto the appropriate link. Does not block; wire-rate
-    serialization happens inside the link. *)
+    serialization happens inside the link. [ctx] rides the frame header
+    for tracing and opens the frame's wire span. *)
 
 val deliver : t -> Frame.t -> unit
 (** Called by links at frame arrival; queues into the receive FIFO. *)

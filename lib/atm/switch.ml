@@ -31,6 +31,9 @@ let forward t frame =
   | None -> failwith "Switch.forward: unknown destination port"
   | Some down ->
       t.frames_switched <- t.frames_switched + 1;
+      let now = Sim.Engine.now t.engine in
+      Obs.Trace.link_hop (Frame.ctx frame) ~name:"switch" ~start:now
+        ~finish:(Sim.Time.add now t.config.Config.switch_latency);
       Sim.Engine.schedule ~after:t.config.Config.switch_latency t.engine
         (fun () -> Link.send down frame)
 

@@ -1,8 +1,15 @@
 (* Generic kernel-path helpers: syscall entry, thread dispatch. *)
 
-let syscall node ?(category = Cpu.cat_emulation) ~name:_ body =
+let syscall node ?(category = Cpu.cat_emulation) ~name body =
+  let span =
+    Obs.Trace.scoped_begin
+      ~node:(Atm.Addr.to_int (Node.addr node))
+      ~name ~cat:"syscall"
+  in
   Cpu.use (Node.cpu node) ~category (Node.costs node).Costs.syscall;
-  body ()
+  let result = body () in
+  Obs.Trace.span_end_opt span;
+  result
 
 let dispatch_thread node ?(category = Cpu.cat_control_transfer) body =
   (* Schedule a thread: pay the context switch on this CPU, then run the

@@ -10,6 +10,16 @@ val call : Node.t -> ?category:string -> ('a -> 'b) -> 'a -> 'b
     returns the result. Must run within a simulation process. *)
 
 val set_monitor : (Node.t -> unit) option -> unit
-(** Instrumentation hook for the analysis layer, invoked with the node
-    at every {!call} entry (a same-node synchronization point). Global,
-    like the mechanism itself is stateless; no-cost no-op when unset. *)
+(** Legacy single-slot instrumentation hook, invoked with the node at
+    every {!call} entry (a same-node synchronization point). Kept for
+    existing callers; composes with {!add_monitor} registrations rather
+    than replacing them. No-cost no-op when nothing is attached. *)
+
+type monitor_id
+
+val add_monitor : (Node.t -> unit) -> monitor_id
+(** Register an additional call-entry observer. Any number may be live
+    at once, alongside the {!set_monitor} slot. *)
+
+val remove_monitor : monitor_id -> unit
+(** Deregister; unknown ids are ignored. *)

@@ -63,7 +63,7 @@ let set_handler t ~tag handler =
     invalid_arg "Node.set_handler: tag already claimed";
   Hashtbl.replace t.handlers tag handler
 
-let transmit t ~dst payload = Atm.Nic.transmit t.nic ~dst payload
+let transmit ?ctx t ~dst payload = Atm.Nic.transmit ?ctx t.nic ~dst payload
 
 let set_down t down = t.down <- down
 let is_down t = t.down
@@ -73,7 +73,14 @@ let dispatch t frame =
   if Bytes.length payload = 0 then failwith "Node.dispatch: empty frame";
   let tag = Char.code (Bytes.get payload 0) in
   match Hashtbl.find_opt t.handlers tag with
-  | Some handler -> handler ~src:(Atm.Frame.src frame) payload
+  | Some handler ->
+      (* The frame's trace context is visible to serve-side hooks for
+         exactly the synchronous prefix of the handler — the
+         interrupt-level work done before any spawn or block. *)
+      let node = Atm.Addr.to_int t.addr in
+      Obs.Trace.dispatch_begin ~node (Atm.Frame.ctx frame);
+      handler ~src:(Atm.Frame.src frame) payload;
+      Obs.Trace.dispatch_end ~node
   | None ->
       failwith
         (Printf.sprintf "%s: no protocol handler for tag 0x%02x"

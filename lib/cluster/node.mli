@@ -30,9 +30,9 @@ val set_handler : t -> tag:int -> handler -> unit
 (** Claim a protocol tag byte. Raises [Invalid_argument] if already
     claimed or out of [0..255]. *)
 
-val transmit : t -> dst:Atm.Addr.t -> bytes -> unit
+val transmit : ?ctx:Obs.Ctx.t -> t -> dst:Atm.Addr.t -> bytes -> unit
 (** Hand a payload (whose first byte must be a claimed-by-someone tag on
-    the receiving side) to the NIC. *)
+    the receiving side) to the NIC. [ctx] rides the frame for tracing. *)
 
 val start : t -> unit
 (** Start the receive dispatcher. Idempotent. *)

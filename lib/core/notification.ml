@@ -45,17 +45,22 @@ let kind_to_string = function
   | Read_served -> "read"
   | Cas_applied -> "cas"
 
-let post t record =
+let post ?ctx t record =
   t.posted <- t.posted + 1;
   (* Delivery runs as its own kernel activity on the destination node:
      it charges the notification cost to "control transfer" and only
      then lets user level see the record. *)
   Cluster.Node.spawn t.node (fun () ->
+      let span =
+        Obs.Trace.ctx_span_begin ctx
+          ~node:(Atm.Addr.to_int (Cluster.Node.addr t.node))
+      in
       Cluster.Cpu.use
         (Cluster.Node.cpu t.node)
         ~category:Cluster.Cpu.cat_control_transfer
         (Cluster.Node.costs t.node).Cluster.Costs.notification;
       t.delivered <- t.delivered + 1;
+      Obs.Trace.span_end_opt span;
       if not (Queue.is_empty t.waiters) then begin
         let resume = Queue.pop t.waiters in
         observed t record;

@@ -16,9 +16,10 @@ type t
 
 val create : Cluster.Node.t -> t
 
-val post : t -> record -> unit
+val post : ?ctx:Obs.Ctx.t -> t -> record -> unit
 (** Called by the kernel emulation on request arrival. Non-blocking for
-    the caller; delivery happens as its own activity on the node's CPU. *)
+    the caller; delivery happens as its own activity on the node's CPU.
+    [ctx] parents the delivery span under the originating operation. *)
 
 val wait : t -> record
 (** Block the current process until a record is deliverable

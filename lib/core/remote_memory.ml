@@ -110,6 +110,7 @@ let emit t event = match t.monitor with None -> () | Some f -> f event
 
 let costs t = Cluster.Node.costs t.node
 let cpu t = Cluster.Node.cpu t.node
+let nid t = Atm.Addr.to_int (Cluster.Node.addr t.node)
 
 let words_per_data_cell = 12
 (* 8-byte header + 40 data bytes = 48 bytes = 12 words per cell. *)
@@ -317,8 +318,14 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
   let count = Bytes.length data in
   check_local t desc Rights.Write_op ~off ~count;
   emit t (Issued { op = Rights.Write_op; desc; off; count; notify });
+  let fl =
+    Obs.Trace.issue_begin ~node:(nid t) ~op:"WRITE"
+      ~seg:(Descriptor.segment_id desc) ~off ~count
+  in
+  Obs.Trace.phase fl "trap";
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check);
+  Obs.Trace.phase_end fl;
   Metrics.Account.add t.ops ~category:"write" 1.;
   Metrics.Account.add t.data_bytes ~category:"write" (float_of_int count);
   let burst = burst_data_bytes c in
@@ -326,10 +333,14 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
   let seg = Descriptor.segment_id desc in
   let gen = Descriptor.generation desc in
   let send_chunk ~off ~notify chunk =
+    Obs.Trace.phase fl "nic";
     Cluster.Cpu.use (cpu t) ~category:t.client_category
       (tx_data_cost c (Bytes.length chunk));
     let chunk = crypto_out t chunk in
-    Cluster.Node.transmit t.node ~dst
+    Obs.Trace.phase_end fl;
+    Cluster.Node.transmit
+      ?ctx:(Obs.Trace.wire_ctx fl)
+      t.node ~dst
       (Wire.encode (Wire.Write { seg; gen; off; notify; swab; data = chunk }))
   in
   if count = 0 then
@@ -356,18 +367,26 @@ let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
   if doff < 0 || doff + count > dst.len then
     raise (Status.Remote_error Status.Bounds);
   emit t (Issued { op = Rights.Read_op; desc; off = soff; count; notify });
+  let fl =
+    Obs.Trace.issue_begin ~node:(nid t) ~op:"READ"
+      ~seg:(Descriptor.segment_id desc) ~off:soff ~count
+  in
   let completion = Sim.Ivar.create () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
     (Pending_read
        { desc; soff; buf = dst; doff; count; notify; received = 0; completion });
+  Obs.Trace.phase fl "trap";
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
        (tx_ctrl_cost c 14));
+  Obs.Trace.phase_end fl;
   Metrics.Account.add t.ops ~category:"read" 1.;
   Metrics.Account.add t.data_bytes ~category:"read" (float_of_int count);
-  Cluster.Node.transmit t.node ~dst:(Descriptor.remote desc)
+  Cluster.Node.transmit
+    ?ctx:(Obs.Trace.wire_ctx fl)
+    t.node ~dst:(Descriptor.remote desc)
     (Wire.encode
        (Wire.Read
           {
@@ -409,16 +428,24 @@ let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
         raise (Status.Remote_error Status.Bounds)
   | None -> ());
   emit t (Issued { op = Rights.Cas_op; desc; off = doff; count = 4; notify });
+  let fl =
+    Obs.Trace.issue_begin ~node:(nid t) ~op:"CAS"
+      ~seg:(Descriptor.segment_id desc) ~off:doff ~count:4
+  in
   let completion = Sim.Ivar.create () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
     (Pending_cas { desc; cas_doff = doff; result; notify; old_value; completion });
+  Obs.Trace.phase fl "trap";
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check)
        (tx_ctrl_cost c 18));
+  Obs.Trace.phase_end fl;
   Metrics.Account.add t.ops ~category:"cas" 1.;
-  Cluster.Node.transmit t.node ~dst:(Descriptor.remote desc)
+  Cluster.Node.transmit
+    ?ctx:(Obs.Trace.wire_ctx fl)
+    t.node ~dst:(Descriptor.remote desc)
     (Wire.encode
        (Wire.Cas
           {
@@ -509,6 +536,7 @@ let validate_segment t ~src ~seg ~gen ~off ~count op =
 let handle_write t ~src (w : Wire.write_req) =
   let c = costs t in
   let count = Bytes.length w.data in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"serve" in
   Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_data_cost c count))
@@ -529,11 +557,15 @@ let handle_write t ~src (w : Wire.write_req) =
            count;
            status;
          });
+    Obs.Trace.serve_arg sv "status" (Status.to_string status);
     Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 12);
-    Cluster.Node.transmit t.node ~dst:src
+    Cluster.Node.transmit
+      ?ctx:(Obs.Trace.serve_ctx sv ~label:"nack")
+      t.node ~dst:src
       (Wire.encode
          (Wire.Write_nack
-            { status; seg = w.seg; gen = w.gen; off = w.off; count }))
+            { status; seg = w.seg; gen = w.gen; off = w.off; count }));
+    Obs.Trace.serve_end sv
   in
   match
     validate_segment t ~src ~seg:w.seg ~gen:w.gen ~off:w.off ~count
@@ -565,25 +597,30 @@ let handle_write t ~src (w : Wire.write_req) =
         (match t.delivery_probe with
         | Some probe -> probe Notification.Write_arrived ~count
         | None -> ());
-        if notified then
-          Notification.post
-            (Segment.notification segment)
-            {
-              Notification.src;
-              kind = Notification.Write_arrived;
-              off = w.off;
-              count;
-            }
+        (if notified then
+           Notification.post
+             ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
+             (Segment.notification segment)
+             {
+               Notification.src;
+               kind = Notification.Write_arrived;
+               off = w.off;
+               count;
+             });
+        Obs.Trace.serve_end sv
       end
 
 let handle_read t ~src (r : Wire.read_req) =
   let c = costs t in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"serve" in
   Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 14))
        c.Cluster.Costs.descriptor_check);
   let reply message =
-    Cluster.Node.transmit t.node ~dst:src (Wire.encode message)
+    Cluster.Node.transmit
+      ?ctx:(Obs.Trace.serve_ctx sv ~label:"reply")
+      t.node ~dst:src (Wire.encode message)
   in
   match
     validate_segment t ~src ~seg:r.seg ~gen:r.gen ~off:r.soff ~count:r.count
@@ -602,6 +639,7 @@ let handle_read t ~src (r : Wire.read_req) =
              count = r.count;
              status;
            });
+      Obs.Trace.serve_arg sv "status" (Status.to_string status);
       Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 8);
       reply
         (Wire.Read_reply
@@ -611,7 +649,8 @@ let handle_read t ~src (r : Wire.read_req) =
              chunk_off = 0;
              swab = r.swab;
              data = Bytes.empty;
-           })
+           });
+      Obs.Trace.serve_end sv
   | Ok segment ->
       Metrics.Account.add t.data_bytes ~category:"read served"
         (float_of_int r.count);
@@ -629,6 +668,7 @@ let handle_read t ~src (r : Wire.read_req) =
       (if Segment.should_notify segment ~requested:false then
          (* An Always-notify segment also reports served reads. *)
          Notification.post
+           ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
            (Segment.notification segment)
            {
              Notification.src;
@@ -663,20 +703,22 @@ let handle_read t ~src (r : Wire.read_req) =
                data;
              })
       in
-      if r.count = 0 then send_chunk ~pos:0 ~chunk_len:0
-      else begin
-        let rec send pos =
-          if pos < r.count then begin
-            let chunk_len = Stdlib.min burst (r.count - pos) in
-            send_chunk ~pos ~chunk_len;
-            send (pos + chunk_len)
-          end
-        in
-        send 0
-      end
+      (if r.count = 0 then send_chunk ~pos:0 ~chunk_len:0
+       else begin
+         let rec send pos =
+           if pos < r.count then begin
+             let chunk_len = Stdlib.min burst (r.count - pos) in
+             send_chunk ~pos ~chunk_len;
+             send (pos + chunk_len)
+           end
+         in
+         send 0
+       end);
+      Obs.Trace.serve_end sv
 
 let handle_cas t ~src (r : Wire.cas_req) =
   let c = costs t in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"serve" in
   Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 18))
@@ -700,6 +742,7 @@ let handle_cas t ~src (r : Wire.cas_req) =
                count = 4;
                status;
              });
+        Obs.Trace.serve_arg sv "status" (Status.to_string status);
         (status, 0l)
     | Ok segment ->
         let addr = Segment.base segment + r.doff in
@@ -721,8 +764,10 @@ let handle_cas t ~src (r : Wire.cas_req) =
                notified = Segment.should_notify segment ~requested:r.notify;
                cas_success = Some swapped;
              });
+        Obs.Trace.serve_arg sv "cas" (string_of_bool swapped);
         (if Segment.should_notify segment ~requested:r.notify then
            Notification.post
+             ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
              (Segment.notification segment)
              {
                Notification.src;
@@ -733,8 +778,11 @@ let handle_cas t ~src (r : Wire.cas_req) =
         (Status.Ok, witness)
   in
   Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 8);
-  Cluster.Node.transmit t.node ~dst:src
-    (Wire.encode (Wire.Cas_reply { status; reqid = r.reqid; witness }))
+  Cluster.Node.transmit
+    ?ctx:(Obs.Trace.serve_ctx sv ~label:"reply")
+    t.node ~dst:src
+    (Wire.encode (Wire.Cas_reply { status; reqid = r.reqid; witness }));
+  Obs.Trace.serve_end sv
 
 (* ------------------------------------------------------------------ *)
 (* Reply handling at the requester.                                    *)
@@ -742,17 +790,19 @@ let handle_cas t ~src (r : Wire.cas_req) =
 let handle_read_reply t ~src (r : Wire.read_reply) =
   let c = costs t in
   let count = Bytes.length r.data in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"deliver" in
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_data_cost c count))
        (Sim.Time.add c.Cluster.Costs.reply_match c.Cluster.Costs.vm_deliver));
-  match Hashtbl.find_opt t.pending r.reqid with
+  (match Hashtbl.find_opt t.pending r.reqid with
   | None -> () (* late reply after a timeout: dropped *)
   | Some (Pending_cas p) ->
       (* A READ reply matched a pending CAS: protocol violation. Fail
          the operation instead of leaving the issuer blocked forever. *)
       Hashtbl.remove t.pending r.reqid;
       record_error t Status.Bad_segment;
+      Obs.Trace.root_close sv ~status:"mismatched";
       Sim.Ivar.fill p.completion (Status.Bad_segment, 0l)
   | Some (Pending_read p) ->
       let completed status =
@@ -771,6 +821,7 @@ let handle_read_reply t ~src (r : Wire.read_reply) =
         Hashtbl.remove t.pending r.reqid;
         record_error t r.status;
         completed r.status;
+        Obs.Trace.root_close sv ~status:(Status.to_string r.status);
         Sim.Ivar.fill p.completion r.status
       end
       else begin
@@ -783,7 +834,9 @@ let handle_read_reply t ~src (r : Wire.read_reply) =
         if p.received >= p.count then begin
           Hashtbl.remove t.pending r.reqid;
           if p.notify then
-            Notification.post t.completion_fd
+            Notification.post
+              ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
+              t.completion_fd
               {
                 Notification.src;
                 kind = Notification.Read_served;
@@ -791,23 +844,27 @@ let handle_read_reply t ~src (r : Wire.read_reply) =
                 count = p.count;
               };
           completed Status.Ok;
+          Obs.Trace.root_close sv ~status:"ok";
           Sim.Ivar.fill p.completion Status.Ok
         end
-      end
+      end);
+  Obs.Trace.serve_end sv
 
 let handle_cas_reply t ~src (r : Wire.cas_reply) =
   let c = costs t in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"deliver" in
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add
        (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 8))
        c.Cluster.Costs.reply_match);
-  match Hashtbl.find_opt t.pending r.reqid with
+  (match Hashtbl.find_opt t.pending r.reqid with
   | None -> ()
   | Some (Pending_read p) ->
       (* A CAS reply matched a pending READ: fail it rather than letting
          the issuer hang until its timeout (if it even set one). *)
       Hashtbl.remove t.pending r.reqid;
       record_error t Status.Bad_segment;
+      Obs.Trace.root_close sv ~status:"mismatched";
       Sim.Ivar.fill p.completion Status.Bad_segment
   | Some (Pending_cas p) ->
       Hashtbl.remove t.pending r.reqid;
@@ -821,14 +878,16 @@ let handle_cas_reply t ~src (r : Wire.cas_reply) =
           Cluster.Address_space.write_word buf.space ~addr:(buf.base + off)
             (if success then 1l else 0l)
       | Some _ | None -> ());
-      if p.notify then
-        Notification.post t.completion_fd
-          {
-            Notification.src;
-            kind = Notification.Cas_applied;
-            off = 0;
-            count = 4;
-          };
+      (if p.notify then
+         Notification.post
+           ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
+           t.completion_fd
+           {
+             Notification.src;
+             kind = Notification.Cas_applied;
+             off = 0;
+             count = 4;
+           });
       emit t
         (Completed
            {
@@ -840,20 +899,25 @@ let handle_cas_reply t ~src (r : Wire.cas_reply) =
              cas_success =
                Some (r.status = Status.Ok && Int32.equal r.witness p.old_value);
            });
-      Sim.Ivar.fill p.completion (r.status, r.witness)
+      Obs.Trace.root_close sv ~status:(Status.to_string r.status);
+      Sim.Ivar.fill p.completion (r.status, r.witness));
+  Obs.Trace.serve_end sv
 
 (* A write nack at the issuer: count it and remember the latest status
    per (destination, segment, generation) so a later [fence] or an
    explicit [take_write_failure] surfaces the loss to the caller. *)
 let handle_write_nack t ~src (n : Wire.write_nack) =
   let c = costs t in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"nack" in
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add c.Cluster.Costs.rx_interrupt (rx_ctrl_cost c 12));
   record_error t n.status;
   Hashtbl.replace t.write_failures
     (Atm.Addr.to_int src, n.seg, Generation.to_int n.gen)
     n.status;
-  emit t (Nacked { src; nack = n })
+  emit t (Nacked { src; nack = n });
+  Obs.Trace.root_close sv ~status:(Status.to_string n.status);
+  Obs.Trace.serve_end sv
 
 let () =
   handle_message :=

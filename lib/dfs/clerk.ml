@@ -366,10 +366,21 @@ let rpc_fetch t op =
 (* The remote path, scheme-dispatched; and the full client path.       *)
 
 let remote_fetch t op =
-  match t.scheme with
-  | Dx -> dx_fetch t op
-  | Hybrid1 -> hybrid_fetch t op
-  | Rpc_baseline -> rpc_fetch t op
+  (* The enclosing scope makes every meta-instruction the fetch issues a
+     child span of one "DX:read"-style fetch span. *)
+  let scope =
+    Obs.Trace.scope_begin
+      ~node:(Atm.Addr.to_int (Cluster.Node.addr t.node))
+      ~name:
+        (Printf.sprintf "%s:%s" (scheme_to_string t.scheme) (Nfs_ops.label op))
+  in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.scope_end scope)
+    (fun () ->
+      match t.scheme with
+      | Dx -> dx_fetch t op
+      | Hybrid1 -> hybrid_fetch t op
+      | Rpc_baseline -> rpc_fetch t op)
 
 (* Local cache consultation. *)
 let local_lookup t op =

@@ -13,3 +13,22 @@ type result = { rows : row list; trace_total : int; scale : int }
 
 val run : ?scale:int -> ?seed:int -> unit -> result
 val render : result -> string
+
+(** {1 Span-derived latency decomposition}
+
+    One unloaded WRITE / READ / CAS between two nodes, measured both
+    directly (engine clock around the operation) and from the tracer's
+    span tree. The two accountings must agree; the tests hold them to
+    within 1%. *)
+
+type phase_row = {
+  op : string;
+  direct_us : float;
+  span_us : float;
+  phases : (string * float) list;
+}
+
+type decomposition = { phase_rows : phase_row list; trace : Obs.Trace.t }
+
+val decompose : ?bytes:int -> unit -> decomposition
+val render_decomposition : decomposition -> string

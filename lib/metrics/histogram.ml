@@ -43,6 +43,29 @@ let add t x =
 
 let count t = t.n
 let summary t = t.summary
+let underflow t = t.underflow
+let params t = (t.least, t.growth, Array.length t.counts)
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_upper t i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let merge a b =
+  if
+    a.least <> b.least || a.growth <> b.growth
+    || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Histogram.merge: incompatible bucket layouts";
+  {
+    least = a.least;
+    growth = a.growth;
+    counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+    underflow = a.underflow + b.underflow;
+    n = a.n + b.n;
+    summary = Summary.merge a.summary b.summary;
+  }
 
 let percentile t p =
   if p < 0. || p > 100. then invalid_arg "Histogram.percentile";

@@ -13,6 +13,20 @@ val count : t -> int
 val summary : t -> Summary.t
 (** Exact streaming summary of everything added. *)
 
+val underflow : t -> int
+(** Samples below [least] (kept out of the bucket array). *)
+
+val params : t -> float * float * int
+(** [(least, growth, buckets)] — the bucket layout. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_edge, count)], ascending — the raw
+    material a registry needs to aggregate per-node histograms. *)
+
+val merge : t -> t -> t
+(** Histogram of the concatenation of the two streams. Requires
+    identical bucket layouts; raises [Invalid_argument] otherwise. *)
+
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0,100\]]: upper edge of the bucket
     containing the p-th percentile (approximate by bucket resolution). *)

@@ -1,0 +1,16 @@
+(* The trace context that rides along with a protocol message.
+
+   In a hardware implementation these two identifiers would occupy a
+   reserved field of the request header; here they travel out-of-band
+   with the frame so the wire format — and therefore every calibrated
+   cell count and transmission time — is byte-identical whether or not a
+   tracer is attached. *)
+
+type t = {
+  trace : int;  (** the operation's trace id *)
+  parent : int;  (** span the receiving side should attach to *)
+  label : string;  (** name for the wire span covering this frame *)
+  mutable wire : int;  (** in-flight wire span id; 0 until transmit *)
+}
+
+let make ~trace ~parent ~label = { trace; parent; label; wire = 0 }

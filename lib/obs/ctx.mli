@@ -1,0 +1,14 @@
+(** The trace context that rides along with a protocol message: trace id
+    plus the span the receiving side should parent its own spans to.
+
+    Modeled as a reserved header field: it travels with the frame but
+    contributes no bytes to the wire, so calibration is undisturbed. *)
+
+type t = {
+  trace : int;
+  parent : int;
+  label : string;  (** name for the wire span covering this frame *)
+  mutable wire : int;  (** in-flight wire span id; 0 until transmit *)
+}
+
+val make : trace:int -> parent:int -> label:string -> t

@@ -1,0 +1,91 @@
+(* Artifact rendering: Chrome trace-event JSON (load in chrome://tracing
+   or https://ui.perfetto.dev) and a plain-text span-tree dump.
+
+   Chrome mapping: pid = node address (with process_name metadata), a
+   synthetic pid for network hops, tid = trace id, so each operation
+   renders as one nested row per machine. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let net_pid = 9999
+
+let pid_of (s : Span.t) = if s.Span.node < 0 then net_pid else s.Span.node
+
+let chrome_json trace =
+  Trace.finalize trace;
+  let spans = Trace.spans trace in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let event s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf s
+  in
+  (* Process-name metadata rows, one per distinct pid. *)
+  let pids = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.t) ->
+      let pid = pid_of s in
+      if not (Hashtbl.mem pids pid) then Hashtbl.replace pids pid ())
+    spans;
+  Hashtbl.iter
+    (fun pid () ->
+      let label = if pid = net_pid then "network" else Printf.sprintf "node%d" pid in
+      event
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+           pid label))
+    pids;
+  List.iter
+    (fun (s : Span.t) ->
+      let args =
+        ("span", string_of_int s.Span.id)
+        :: ("parent", string_of_int s.Span.parent)
+        :: s.Span.args
+      in
+      let args_json =
+        String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+             args)
+      in
+      event
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+           (json_escape s.Span.name) (json_escape s.Span.cat) (pid_of s)
+           s.Span.trace
+           (Sim.Time.to_us s.Span.start)
+           (Span.duration_us s) args_json))
+    spans;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents buf
+
+let render_tree trace =
+  Trace.finalize trace;
+  let buf = Buffer.create 2048 in
+  let rec walk depth (s : Span.t) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-14s %-8s %10.2f us  [%s .. %s]\n"
+         (String.make (2 * depth) ' ')
+         s.Span.name
+         (if s.Span.node < 0 then "net" else Printf.sprintf "node%d" s.Span.node)
+         (Span.duration_us s)
+         (Sim.Time.to_string s.Span.start)
+         (Sim.Time.to_string s.Span.finish));
+    List.iter (walk (depth + 1)) (Trace.children trace s)
+  in
+  List.iter (walk 0) (Trace.roots trace);
+  Buffer.contents buf

@@ -1,0 +1,111 @@
+(* The cluster-wide metrics registry: named counters plus one latency
+   histogram per (node, segment, op).  Per-node histograms share a
+   bucket layout so [Metrics.Histogram.merge] can aggregate them into
+   cluster-wide series for the report. *)
+
+type series_key = { node : int; seg : int; op : string }
+
+type t = {
+  counters : (string, float ref) Hashtbl.t;
+  series : (series_key, Metrics.Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let incr t ?(by = 1.) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r +. by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0.
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort compare
+
+(* One layout for every series, so any two histograms merge. *)
+let new_histogram () = Metrics.Histogram.create ~least:0.1 ~growth:1.15 ()
+
+let observe t ~node ~seg ~op value =
+  let key = { node; seg; op } in
+  let h =
+    match Hashtbl.find_opt t.series key with
+    | Some h -> h
+    | None ->
+        let h = new_histogram () in
+        Hashtbl.replace t.series key h;
+        h
+  in
+  Metrics.Histogram.add h value
+
+let histogram t ~node ~seg ~op = Hashtbl.find_opt t.series { node; seg; op }
+
+let series t =
+  Hashtbl.fold (fun key h acc -> (key, h) :: acc) t.series []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let aggregate t ~op =
+  Hashtbl.fold
+    (fun key h acc ->
+      if String.equal key.op op then
+        match acc with
+        | None -> Some h
+        | Some m -> Some (Metrics.Histogram.merge m h)
+      else acc)
+    t.series None
+
+let ops t =
+  Hashtbl.fold (fun key _ acc -> key.op :: acc) t.series []
+  |> List.sort_uniq compare
+
+let merge_into t other =
+  List.iter (fun (name, v) -> incr t ~by:v name) (counters other);
+  Hashtbl.iter
+    (fun key h ->
+      match Hashtbl.find_opt t.series key with
+      | None -> Hashtbl.replace t.series key h
+      | Some mine ->
+          Hashtbl.replace t.series key (Metrics.Histogram.merge mine h))
+    other.series
+
+let pct h p = Metrics.Histogram.percentile h p
+
+(* Plain-text report: cluster-wide aggregates per op, the top-N
+   (node, segment, op) series by sample count, and every counter. *)
+let report ?(top = 10) t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "== cluster-wide latency by op (us) ==";
+  line "%-12s %8s %10s %10s %10s %10s" "op" "count" "mean" "p50" "p95" "p99";
+  List.iter
+    (fun op ->
+      match aggregate t ~op with
+      | None -> ()
+      | Some h ->
+          line "%-12s %8d %10.1f %10.1f %10.1f %10.1f" op
+            (Metrics.Histogram.count h)
+            (Metrics.Summary.mean (Metrics.Histogram.summary h))
+            (pct h 50.) (pct h 95.) (pct h 99.))
+    (ops t);
+  line "";
+  line "== top %d series by sample count ==" top;
+  line "%-8s %-6s %-12s %8s %10s %10s %10s" "node" "seg" "op" "count" "p50"
+    "p95" "p99";
+  let ranked =
+    series t
+    |> List.sort (fun (_, a) (_, b) ->
+           compare (Metrics.Histogram.count b) (Metrics.Histogram.count a))
+  in
+  List.iteri
+    (fun i (key, h) ->
+      if i < top then
+        line "node%-4d %-6d %-12s %8d %10.1f %10.1f %10.1f" key.node key.seg
+          key.op
+          (Metrics.Histogram.count h)
+          (pct h 50.) (pct h 95.) (pct h 99.))
+    ranked;
+  line "";
+  line "== counters ==";
+  List.iter (fun (name, v) -> line "%-40s %12.0f" name v) (counters t);
+  Buffer.contents buf

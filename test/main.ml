@@ -18,4 +18,5 @@ let () =
       ("stress", Test_stress.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,433 @@
+(* Tests for the observability layer: span-tree shapes for each
+   meta-instruction, the cluster-wide registry, histogram aggregation,
+   composable LRPC monitors, and tracing's zero-perturbation guarantee. *)
+
+let feps = Alcotest.float 1e-9
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let assert_valid name trace =
+  match Obs.Trace.validate trace with
+  | Ok () -> ()
+  | Error problems ->
+      Alcotest.failf "%s: invalid trace: %s" name (String.concat "; " problems)
+
+let root_named trace name =
+  match
+    List.filter
+      (fun (s : Obs.Span.t) -> s.Obs.Span.name = name)
+      (Obs.Trace.roots trace)
+  with
+  | s :: _ -> s
+  | [] -> Alcotest.failf "no %s root span" name
+
+let child_names trace root =
+  List.sort_uniq compare
+    (List.map
+       (fun (s : Obs.Span.t) -> s.Obs.Span.name)
+       (Obs.Trace.children trace root))
+
+let sum_children trace root =
+  List.fold_left
+    (fun acc s -> acc +. Obs.Span.duration_us s)
+    0.
+    (Obs.Trace.children trace root)
+
+(* Replays are deterministic; share one run per workload across tests. *)
+let quickstart = lazy (Experiments.Traced.quickstart ())
+let file_service = lazy (Experiments.Traced.file_service ())
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree shapes.                                                   *)
+
+let write_tree () =
+  let run = Lazy.force quickstart in
+  assert_valid "quickstart" run.Experiments.Traced.trace;
+  let trace = run.Experiments.Traced.trace in
+  let w = root_named trace "WRITE" in
+  let children = Obs.Trace.children trace w in
+  Alcotest.(check bool)
+    "WRITE has >= 4 phase children" true
+    (List.length children >= 4);
+  let names = child_names trace w in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Printf.sprintf "WRITE has a %s phase" phase)
+        true (List.mem phase names))
+    [ "trap"; "nic"; "wire"; "serve"; "notify" ];
+  (* Phases are contiguous: they tile the root's end-to-end latency. *)
+  let e2e = Obs.Span.duration_us w in
+  let sum = sum_children trace w in
+  Alcotest.(check bool)
+    (Printf.sprintf "phases (%.2f us) sum to e2e (%.2f us)" sum e2e)
+    true
+    (Float.abs (sum -. e2e) <= 0.01 *. e2e);
+  (* Every child nests inside the root's interval. *)
+  List.iter
+    (fun (c : Obs.Span.t) ->
+      Alcotest.(check bool) "child starts after root" true
+        (Sim.Time.compare c.Obs.Span.start w.Obs.Span.start >= 0);
+      Alcotest.(check bool) "child ends by root finish" true
+        (Sim.Time.compare c.Obs.Span.finish w.Obs.Span.finish <= 0))
+    children;
+  (* The serve phase runs on the remote node. *)
+  let serve =
+    List.find (fun (s : Obs.Span.t) -> s.Obs.Span.name = "serve") children
+  in
+  Alcotest.(check bool) "serve runs on a different node" true
+    (serve.Obs.Span.node <> w.Obs.Span.node)
+
+let read_and_cas_trees () =
+  let run = Lazy.force quickstart in
+  let trace = run.Experiments.Traced.trace in
+  List.iter
+    (fun op ->
+      let root = root_named trace op in
+      let names = child_names trace root in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has a %s phase" op phase)
+            true (List.mem phase names))
+        [ "trap"; "wire"; "serve"; "deliver" ];
+      List.iter
+        (fun (c : Obs.Span.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s child %s starts after root" op c.Obs.Span.name)
+            true
+            (Sim.Time.compare c.Obs.Span.start root.Obs.Span.start >= 0))
+        (Obs.Trace.children trace root))
+    [ "READ"; "CAS" ]
+
+let file_service_scopes () =
+  let run = Lazy.force file_service in
+  assert_valid "file_service" run.Experiments.Traced.trace;
+  let trace = run.Experiments.Traced.trace in
+  let roots = Obs.Trace.roots trace in
+  let scoped prefix op =
+    List.exists
+      (fun (s : Obs.Span.t) ->
+        starts_with ~prefix s.Obs.Span.name
+        && List.exists
+             (fun (c : Obs.Span.t) -> c.Obs.Span.name = op)
+             (Obs.Trace.children trace s))
+      roots
+  in
+  (* DX fetches through remote READs; Hybrid-1 ships the request as a
+     WRITE with notification. The clerk scope must enclose them. *)
+  Alcotest.(check bool) "a DX scope encloses a READ" true (scoped "DX:" "READ");
+  Alcotest.(check bool) "an HY scope encloses a WRITE" true
+    (scoped "HY:" "WRITE")
+
+let all_replays_validate () =
+  List.iter
+    (fun name ->
+      let run = Experiments.Traced.replay name in
+      let trace = run.Experiments.Traced.trace in
+      assert_valid name trace;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s records spans" name)
+        true
+        (Obs.Trace.span_count trace > 0);
+      (* No orphans, same-trace parentage, monotone timestamps. *)
+      let spans = Obs.Trace.spans trace in
+      List.iter
+        (fun (s : Obs.Span.t) ->
+          Alcotest.(check bool) "finish >= start" true
+            (Sim.Time.compare s.Obs.Span.finish s.Obs.Span.start >= 0);
+          if not (Obs.Span.is_root s) then
+            match Obs.Trace.find trace s.Obs.Span.parent with
+            | None ->
+                Alcotest.failf "%s: span %d orphaned (parent %d)" name
+                  s.Obs.Span.id s.Obs.Span.parent
+            | Some p ->
+                Alcotest.(check int)
+                  (Printf.sprintf "span %d shares its parent's trace"
+                     s.Obs.Span.id)
+                  p.Obs.Span.trace s.Obs.Span.trace)
+        spans)
+    Experiments.Traced.all
+
+let chrome_export () =
+  let run = Lazy.force quickstart in
+  let json = Obs.Export.chrome_json run.Experiments.Traced.trace in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %s" needle)
+        true (contains json needle))
+    [
+      "{\"traceEvents\":[";
+      "\"ph\":\"X\"";
+      "\"name\":\"WRITE\"";
+      "\"ph\":\"M\"";
+      "\"displayTimeUnit\"";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Span accounting agrees with direct engine-clock measurement.        *)
+
+let decompose_agreement () =
+  let d = Experiments.Table1a.decompose () in
+  assert_valid "decompose" d.Experiments.Table1a.trace;
+  List.iter
+    (fun (r : Experiments.Table1a.phase_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: spans %.2f us agree with direct %.2f us"
+           r.Experiments.Table1a.op r.Experiments.Table1a.span_us
+           r.Experiments.Table1a.direct_us)
+        true
+        (Float.abs
+           (r.Experiments.Table1a.span_us -. r.Experiments.Table1a.direct_us)
+        <= 0.01 *. r.Experiments.Table1a.direct_us);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s decomposes into phases" r.Experiments.Table1a.op)
+        true
+        (r.Experiments.Table1a.phases <> []))
+    d.Experiments.Table1a.phase_rows
+
+(* ------------------------------------------------------------------ *)
+(* Zero perturbation: the same run, attached or detached, takes the    *)
+(* same simulated time.                                                *)
+
+let measure_with_tracer traced =
+  let d = Rig.duo () in
+  let trace =
+    if traced then begin
+      let t = Obs.Trace.create d.Rig.engine in
+      Obs.Trace.attach t;
+      Some t
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> if traced then Obs.Trace.detach ())
+    (fun () ->
+      let timings = ref [] in
+      Rig.run d (fun () ->
+          let _seg, desc = Rig.shared_segment d in
+          let buf = Rig.buffer0 d in
+          let (), w_us =
+            Rig.elapsed_us d (fun () ->
+                Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:0
+                  (Bytes.make 256 'x'))
+          in
+          let _n, r_us =
+            Rig.elapsed_us d (fun () ->
+                Rmem.Remote_memory.read_wait d.Rig.rmem0 desc ~soff:0
+                  ~count:256 ~dst:buf ~doff:0 ())
+          in
+          let _swap, c_us =
+            Rig.elapsed_us d (fun () ->
+                Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:512
+                  ~old_value:0l ~new_value:7l ())
+          in
+          timings := [ w_us; r_us; c_us ]);
+      ignore trace;
+      !timings)
+
+let tracing_is_free () =
+  let detached = measure_with_tracer false in
+  let attached = measure_with_tracer true in
+  List.iter2
+    (fun a b -> Alcotest.check feps "same simulated latency" a b)
+    detached attached
+
+let table2_unperturbed () =
+  let baseline = Experiments.Table2.run () in
+  let t = Obs.Trace.create (Sim.Engine.create ()) in
+  Obs.Trace.attach t;
+  let traced =
+    Fun.protect ~finally:Obs.Trace.detach (fun () -> Experiments.Table2.run ())
+  in
+  List.iter2
+    (fun (b : Experiments.Table2.row) (tr : Experiments.Table2.row) ->
+      Alcotest.(check string) "row name" b.Experiments.Table2.name
+        tr.Experiments.Table2.name;
+      Alcotest.check feps
+        (Printf.sprintf "Table 2 %S unchanged under tracing"
+           b.Experiments.Table2.name)
+        b.Experiments.Table2.measured tr.Experiments.Table2.measured)
+    baseline traced
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+let registry_counters () =
+  let r = Obs.Registry.create () in
+  Alcotest.check feps "unset counter reads 0" 0. (Obs.Registry.counter r "x");
+  Obs.Registry.incr r "frames";
+  Obs.Registry.incr r "frames";
+  Obs.Registry.incr r ~by:3. "bytes";
+  Alcotest.check feps "frames" 2. (Obs.Registry.counter r "frames");
+  Alcotest.check feps "bytes" 3. (Obs.Registry.counter r "bytes");
+  Alcotest.(check (list string))
+    "counters sorted by name" [ "bytes"; "frames" ]
+    (List.map fst (Obs.Registry.counters r))
+
+let registry_series_aggregate () =
+  let r = Obs.Registry.create () in
+  List.iter
+    (fun v -> Obs.Registry.observe r ~node:1 ~seg:7 ~op:"WRITE" v)
+    [ 10.; 20.; 30. ];
+  List.iter
+    (fun v -> Obs.Registry.observe r ~node:2 ~seg:7 ~op:"WRITE" v)
+    [ 40.; 50. ];
+  Obs.Registry.observe r ~node:1 ~seg:7 ~op:"READ" 99.;
+  Alcotest.(check (list string))
+    "ops" [ "READ"; "WRITE" ]
+    (List.sort compare (Obs.Registry.ops r));
+  (match Obs.Registry.histogram r ~node:1 ~seg:7 ~op:"WRITE" with
+  | None -> Alcotest.fail "missing (1,7,WRITE) series"
+  | Some h -> Alcotest.(check int) "node-1 samples" 3 (Metrics.Histogram.count h));
+  (match Obs.Registry.aggregate r ~op:"WRITE" with
+  | None -> Alcotest.fail "missing WRITE aggregate"
+  | Some h ->
+      Alcotest.(check int) "cluster-wide samples" 5 (Metrics.Histogram.count h));
+  Alcotest.(check bool) "no such aggregate" true
+    (Obs.Registry.aggregate r ~op:"CAS" = None);
+  let report = Obs.Registry.report r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report mentions %s" needle)
+        true (contains report needle))
+    [ "WRITE"; "READ" ]
+
+let registry_merge () =
+  let a = Obs.Registry.create () and b = Obs.Registry.create () in
+  Obs.Registry.incr a "ops";
+  Obs.Registry.incr b ~by:4. "ops";
+  Obs.Registry.observe a ~node:1 ~seg:1 ~op:"CAS" 5.;
+  Obs.Registry.observe b ~node:1 ~seg:1 ~op:"CAS" 6.;
+  Obs.Registry.observe b ~node:3 ~seg:1 ~op:"CAS" 7.;
+  Obs.Registry.merge_into a b;
+  Alcotest.check feps "counters fold" 5. (Obs.Registry.counter a "ops");
+  match Obs.Registry.aggregate a ~op:"CAS" with
+  | None -> Alcotest.fail "missing CAS aggregate"
+  | Some h -> Alcotest.(check int) "series fold" 3 (Metrics.Histogram.count h)
+
+let quickstart_feeds_registry () =
+  let run = Lazy.force quickstart in
+  let r = run.Experiments.Traced.registry in
+  List.iter
+    (fun op ->
+      match Obs.Registry.aggregate r ~op with
+      | None -> Alcotest.failf "no %s latency series" op
+      | Some h ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s samples recorded" op)
+            true
+            (Metrics.Histogram.count h > 0))
+    [ "WRITE"; "READ"; "CAS" ]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram aggregation (satellite of the registry).                  *)
+
+let histogram_percentile_bounds () =
+  let h = Metrics.Histogram.create () in
+  for i = 1 to 2000 do
+    Metrics.Histogram.add h (float_of_int i)
+  done;
+  let _, growth, _ = Metrics.Histogram.params h in
+  List.iter
+    (fun (p, exact) ->
+      let approx = Metrics.Histogram.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f: %.1f within one bucket above %.1f" p approx
+           exact)
+        true
+        (approx >= exact && approx <= exact *. growth *. 1.000001))
+    [ (50., 1000.); (95., 1900.); (99., 1980.) ]
+
+let histogram_merge () =
+  let build values =
+    let h = Metrics.Histogram.create () in
+    List.iter (Metrics.Histogram.add h) values;
+    h
+  in
+  let xs = [ 1.; 5.; 120.; 120.; 4000. ] and ys = [ 0.5; 9.; 350. ] in
+  let merged = Metrics.Histogram.merge (build xs) (build ys) in
+  let whole = build (xs @ ys) in
+  Alcotest.(check int) "count" (Metrics.Histogram.count whole)
+    (Metrics.Histogram.count merged);
+  List.iter
+    (fun p ->
+      Alcotest.check feps
+        (Printf.sprintf "p%.0f equals concatenation" p)
+        (Metrics.Histogram.percentile whole p)
+        (Metrics.Histogram.percentile merged p))
+    [ 10.; 50.; 90.; 99. ];
+  Alcotest.(check bool) "buckets equal" true
+    (Metrics.Histogram.buckets whole = Metrics.Histogram.buckets merged)
+
+let histogram_merge_layout_mismatch () =
+  let a = Metrics.Histogram.create () in
+  let b = Metrics.Histogram.create ~growth:1.5 () in
+  Alcotest.check_raises "layouts must match"
+    (Invalid_argument "Histogram.merge: incompatible bucket layouts")
+    (fun () -> ignore (Metrics.Histogram.merge a b))
+
+let histogram_underflow () =
+  let h = Metrics.Histogram.create ~least:0.1 () in
+  Metrics.Histogram.add h 0.05;
+  Metrics.Histogram.add h 1.0;
+  Alcotest.(check int) "underflow tracked" 1 (Metrics.Histogram.underflow h)
+
+(* ------------------------------------------------------------------ *)
+(* Composable LRPC monitors (legacy slot + registrations).             *)
+
+let lrpc_monitor_compose () =
+  let d = Rig.duo () in
+  let legacy = ref 0 and extra = ref 0 in
+  Cluster.Lrpc.set_monitor (Some (fun _node -> incr legacy));
+  let id = Cluster.Lrpc.add_monitor (fun _node -> incr extra) in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Lrpc.set_monitor None;
+      Cluster.Lrpc.remove_monitor id)
+    (fun () ->
+      Rig.run d (fun () ->
+          ignore (Cluster.Lrpc.call d.Rig.node0 (fun x -> x + 1) 1));
+      Alcotest.(check int) "legacy slot fired" 1 !legacy;
+      Alcotest.(check int) "registered monitor fired" 1 !extra;
+      Cluster.Lrpc.remove_monitor id;
+      Rig.run d (fun () ->
+          ignore (Cluster.Lrpc.call d.Rig.node0 (fun x -> x + 1) 2));
+      Alcotest.(check int) "legacy still fires" 2 !legacy;
+      Alcotest.(check int) "removed monitor silent" 1 !extra)
+
+let suite =
+  [
+    Alcotest.test_case "WRITE span tree decomposes" `Quick write_tree;
+    Alcotest.test_case "READ and CAS span trees" `Quick read_and_cas_trees;
+    Alcotest.test_case "DX vs HY clerk scopes" `Quick file_service_scopes;
+    Alcotest.test_case "all replays validate" `Quick all_replays_validate;
+    Alcotest.test_case "chrome trace export" `Quick chrome_export;
+    Alcotest.test_case "span accounting agrees with clock" `Quick
+      decompose_agreement;
+    Alcotest.test_case "tracing is free" `Quick tracing_is_free;
+    Alcotest.test_case "table 2 unperturbed by tracing" `Quick
+      table2_unperturbed;
+    Alcotest.test_case "registry counters" `Quick registry_counters;
+    Alcotest.test_case "registry series and aggregates" `Quick
+      registry_series_aggregate;
+    Alcotest.test_case "registry merge" `Quick registry_merge;
+    Alcotest.test_case "replay feeds the registry" `Quick
+      quickstart_feeds_registry;
+    Alcotest.test_case "histogram percentile bounds" `Quick
+      histogram_percentile_bounds;
+    Alcotest.test_case "histogram merge" `Quick histogram_merge;
+    Alcotest.test_case "histogram merge layout mismatch" `Quick
+      histogram_merge_layout_mismatch;
+    Alcotest.test_case "histogram underflow" `Quick histogram_underflow;
+    Alcotest.test_case "lrpc monitors compose" `Quick lrpc_monitor_compose;
+  ]
