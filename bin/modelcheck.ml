@@ -1,0 +1,232 @@
+(* modelcheck — systematic same-instant schedule exploration of the
+   example workloads, with DPOR + sleep sets + trace-equivalence
+   hashing, and deterministic certificate replay.
+
+     dune exec bin/modelcheck.exe --                       # explore all
+     dune exec bin/modelcheck.exe -- -w torn_record
+     dune exec bin/modelcheck.exe -- -w cas_missing_release \
+         --replay "0/3,0/2,0/3,1/2"                        # replay a cert
+     dune exec bin/modelcheck.exe -- --ci --budget 2000
+
+   In --ci mode every explored workload must behave: the clean
+   workloads exhaust their schedule space with zero failures, the
+   seeded-bug workloads (clean under FIFO, so invisible to racecheck's
+   single schedule) must produce at least one failing schedule, and
+   replaying the first failure certificate must reproduce the same
+   failure kind. *)
+
+open Cmdliner
+
+let failure_detail = function
+  | None -> ("ok", "")
+  | Some f ->
+      (Analysis.Explore.failure_kind f, Analysis.Explore.describe_failure f)
+
+let print_outcome ~label (o : Analysis.Explore.outcome) =
+  let kind, detail = failure_detail o.failure in
+  Printf.printf "   %s: %s%s  [schedule %s, %d choice point(s)]\n" label kind
+    (if detail = "" then "" else " — " ^ detail)
+    (Analysis.Schedule.to_string o.schedule)
+    o.choice_points
+
+let print_result (r : Analysis.Explore.result) =
+  let s = r.stats in
+  Printf.printf
+    "== %s: %d schedule(s) executed, %d distinct, %d failing%s\n" r.workload
+    s.executed s.distinct s.failing
+    (if s.budget_exhausted then " (budget exhausted)" else "");
+  Printf.printf
+    "   reduction: %d hash-redundant, %d dpor-pruned, %d sleep-pruned, %d \
+     deferred, max %d choice point(s)\n"
+    s.redundant s.pruned_dpor s.pruned_sleep s.deferred s.max_choice_points;
+  print_outcome ~label:"baseline (fifo)" r.baseline;
+  List.iter (fun o -> print_outcome ~label:"failure" o) r.failures
+
+let outcome_json (o : Analysis.Explore.outcome) =
+  let kind, detail = failure_detail o.failure in
+  Printf.sprintf
+    "{\"schedule\":\"%s\",\"choice_points\":%d,\"status\":\"%s\",\"detail\":\"%s\"}"
+    (Analysis.Report.json_escape (Analysis.Schedule.to_string o.schedule))
+    o.choice_points
+    (Analysis.Report.json_escape kind)
+    (Analysis.Report.json_escape detail)
+
+let result_json (r : Analysis.Explore.result) =
+  let s = r.stats in
+  Printf.sprintf
+    "{\"workload\":\"%s\",\"stats\":{\"executed\":%d,\"distinct\":%d,\"redundant\":%d,\"pruned_dpor\":%d,\"pruned_sleep\":%d,\"deferred\":%d,\"failing\":%d,\"max_choice_points\":%d,\"budget_exhausted\":%b},\"baseline\":%s,\"failures\":[%s]}"
+    (Analysis.Report.json_escape r.workload)
+    s.executed s.distinct s.redundant s.pruned_dpor s.pruned_sleep s.deferred
+    s.failing s.max_choice_points s.budget_exhausted
+    (outcome_json r.baseline)
+    (String.concat "," (List.map outcome_json r.failures))
+
+(* --ci: clean workloads must explore clean, seeded bugs must fail and
+   their first certificate must replay to the same failure kind. *)
+let assert_result ~config ~out (r : Analysis.Explore.result) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.fprintf out "   FAIL %s: %s\n" r.workload msg;
+        false)
+      fmt
+  in
+  let seeded = List.mem r.workload Analysis.Scenarios.seeded_bugs in
+  let baseline_ok =
+    (* FIFO races/findings are the differential reference, so the
+       baseline outcome can only fail on deadlock / exception /
+       divergence / invariant — none of which a checked workload has
+       under the default schedule *)
+    match r.baseline.failure with
+    | None -> true
+    | Some f ->
+        fail "baseline schedule failed: %s"
+          (Analysis.Explore.describe_failure f)
+  in
+  let failures_ok =
+    if seeded then
+      if r.stats.failing = 0 then
+        fail "seeded bug not found in %d schedule(s)" r.stats.executed
+      else
+        match r.failures with
+        | [] -> fail "failing>0 but no failure outcome reported"
+        | first :: _ -> (
+            let replayed =
+              Analysis.Explore.replay ~config r.workload first.schedule
+            in
+            match (first.failure, replayed.failure) with
+            | Some want, Some got
+              when Analysis.Explore.failure_kind want
+                   = Analysis.Explore.failure_kind got ->
+                true
+            | _, got ->
+                let _, want_d = failure_detail first.failure in
+                let _, got_d = failure_detail got in
+                fail "replay of %s diverged: expected %s, got %s"
+                  (Analysis.Schedule.to_string first.schedule)
+                  want_d
+                  (if got_d = "" then "a clean run" else got_d))
+    else if r.stats.failing > 0 then
+      fail "expected a clean schedule space, got %d failing schedule(s)"
+        r.stats.failing
+    else true
+  in
+  baseline_ok && failures_ok
+
+let run_explore names ~config ~json ~ci =
+  let results =
+    List.map (fun name -> Analysis.Explore.explore ~config name) names
+  in
+  let out = if json then stderr else stdout in
+  if json then
+    List.iter (fun r -> print_endline (result_json r)) results
+  else List.iter print_result results;
+  if ci then begin
+    let ok = List.for_all (assert_result ~config ~out) results in
+    if ok then output_string out "modelcheck: all workloads match expectations\n"
+    else begin
+      output_string out "modelcheck: expectation mismatch\n";
+      exit 1
+    end
+  end
+  else if List.exists (fun (r : Analysis.Explore.result) -> r.stats.failing > 0)
+            results
+  then exit 1
+
+let run_replay name cert ~config ~json =
+  let schedule =
+    try Analysis.Schedule.of_string cert
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let outcome = Analysis.Explore.replay ~config name schedule in
+  if json then print_endline (outcome_json outcome)
+  else print_outcome ~label:(Printf.sprintf "replay %s" name) outcome;
+  if outcome.failure <> None then exit 1
+
+let main workload budget depth max_events json ci replay =
+  let config =
+    {
+      Analysis.Explore.budget;
+      max_depth = depth;
+      max_events;
+    }
+  in
+  let names =
+    if workload = "all" then Analysis.Scenarios.checked
+    else if List.mem workload Analysis.Scenarios.checked then [ workload ]
+    else begin
+      Printf.eprintf "unknown workload %S (have: %s, all)\n" workload
+        (String.concat ", " Analysis.Scenarios.checked);
+      exit 2
+    end
+  in
+  match replay with
+  | Some cert -> (
+      match names with
+      | [ name ] -> run_replay name cert ~config ~json
+      | _ ->
+          Printf.eprintf "--replay needs a single --workload\n";
+          exit 2)
+  | None -> run_explore names ~config ~json ~ci
+
+let workload =
+  let doc = "Workload to explore (or $(b,all) for the checked set)." in
+  Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let budget =
+  let doc = "Maximum number of schedules to execute per workload." in
+  Arg.(
+    value
+    & opt int Analysis.Explore.default_config.budget
+    & info [ "budget" ] ~docv:"N" ~doc)
+
+let depth =
+  let doc = "Branch at most this many choice points deep." in
+  Arg.(
+    value
+    & opt int Analysis.Explore.default_config.max_depth
+    & info [ "depth" ] ~docv:"N" ~doc)
+
+let max_events =
+  let doc = "Per-run event bound; a run that exceeds it is diverged." in
+  Arg.(
+    value
+    & opt int Analysis.Explore.default_config.max_events
+    & info [ "max-events" ] ~docv:"N" ~doc)
+
+let json =
+  let doc =
+    "Emit one JSON object per workload on stdout (human-readable \
+     output and CI diagnostics go to stderr)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci =
+  let doc =
+    "Assert expectations: clean workloads explore clean, seeded bugs \
+     produce failing schedules, and the first failure certificate \
+     replays to the same failure kind."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let replay =
+  let doc =
+    "Replay one schedule certificate ($(b,index/count) pairs joined by \
+     commas, or $(b,-) for the FIFO baseline) against a single \
+     --workload and report its outcome."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"CERT" ~doc)
+
+let cmd =
+  let doc = "DPOR schedule explorer for the remote-memory workloads" in
+  Cmd.v
+    (Cmd.info "modelcheck" ~doc)
+    Term.(
+      const main $ workload $ budget $ depth $ max_events $ json $ ci $ replay)
+
+let () = exit (Cmd.eval cmd)

@@ -3,6 +3,7 @@
 
      dune exec bin/racecheck.exe -- --workload kv_store
      dune exec bin/racecheck.exe -- --ci        # assert expectations
+     dune exec bin/racecheck.exe -- --json      # machine-readable report
 
    In --ci mode every workload must match its expectation: the clean
    workloads report nothing, the seeded racy workload must be flagged,
@@ -10,15 +11,18 @@
 
 open Cmdliner
 
-let check name ~ci =
+let check name ~ci ~json =
   let monitor = Analysis.Scenarios.run name in
   let races = Analysis.Race.find monitor in
   let findings = Analysis.Lint.check monitor in
-  Analysis.Report.print ~title:name monitor ~races ~findings;
+  if json then
+    print_endline (Analysis.Report.json ~title:name monitor ~races ~findings)
+  else Analysis.Report.print ~title:name monitor ~races ~findings;
   if ci then begin
     let expect = Analysis.Scenarios.expectation name in
+    let out = if json then stderr else stdout in
     let mismatch what expected got =
-      Printf.printf "   FAIL %s: expected %s %s, got %d\n" name
+      Printf.fprintf out "   FAIL %s: expected %s %s, got %d\n" name
         (if expected then "some" else "no")
         what got;
       false
@@ -38,7 +42,7 @@ let check name ~ci =
   end
   else races = [] && findings = []
 
-let main workload ci =
+let main workload ci json =
   let names =
     if workload = "all" then Analysis.Scenarios.all
     else if List.mem workload Analysis.Scenarios.all then [ workload ]
@@ -48,11 +52,12 @@ let main workload ci =
       exit 2
     end
   in
-  let ok = List.for_all (fun name -> check name ~ci) names in
+  let ok = List.for_all (fun name -> check name ~ci ~json) names in
+  let out = if json then stderr else stdout in
   if ci then
-    if ok then print_endline "racecheck: all workloads match expectations"
+    if ok then output_string out "racecheck: all workloads match expectations\n"
     else begin
-      print_endline "racecheck: expectation mismatch";
+      output_string out "racecheck: expectation mismatch\n";
       exit 1
     end
   else if not ok then exit 1
@@ -68,10 +73,19 @@ let ci =
   in
   Arg.(value & flag & info [ "ci" ] ~doc)
 
+let json =
+  let doc =
+    "Emit one JSON object per workload on stdout (tables and CI \
+     diagnostics go to stderr). Exit status is unchanged: nonzero when \
+     races or findings are present (or, with $(b,--ci), on expectation \
+     mismatch)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let cmd =
   let doc = "happens-before race detector for the remote-memory workloads" in
   Cmd.v
     (Cmd.info "racecheck" ~doc)
-    Term.(const main $ workload $ ci)
+    Term.(const main $ workload $ ci $ json)
 
 let () = exit (Cmd.eval cmd)

@@ -67,6 +67,41 @@ let check monitor =
                  n off (off + count))
         | Some (Rmem.Segment.Always | Rmem.Segment.Conditional) | None -> ())
     polls;
+  (* The dual misuse: bulk WRITEs into a notify:always segment raise a
+     control transfer per burst — the sender should have asked for
+     notify:conditional and a single doorbell. *)
+  let storms = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Access.t) ->
+      match (a.kind, a.origin) with
+      | Access.Store, Access.Meta Rmem.Rights.Write_op -> (
+          match Monitor.policy_of monitor a.key with
+          | Some Rmem.Segment.Always ->
+              let k = (a.agent_name, a.key) in
+              Hashtbl.replace storms k
+                (1 + Option.value (Hashtbl.find_opt storms k) ~default:0)
+          | Some (Rmem.Segment.Never | Rmem.Segment.Conditional) | None -> ())
+      | _ -> ())
+    (Monitor.accesses monitor);
+  Hashtbl.iter
+    (fun (agent, key) n ->
+      if n >= poll_threshold then
+        add "notify-storm" agent key
+          (Printf.sprintf
+             "%d WRITE bursts served on a notify:always segment (one \
+              notification each)"
+             n))
+    storms;
+  (* Spinning on a lock word: a long run of failed CAS with no backoff
+     pause and no other traffic is the paper's anti-idiom — retry with
+     backoff, or hand the word a notification. *)
+  List.iter
+    (fun ((agent, key, off), worst) ->
+      if worst >= poll_threshold then
+        add "unbounded-retry" agent key
+          (Printf.sprintf
+             "%d consecutive failed CAS on word %d with no backoff" worst off))
+    (Monitor.worst_cas_retries monitor);
   List.rev !findings
 
 let describe f =

@@ -5,7 +5,8 @@
 type finding = {
   rule : string;
       (** one of: ["stale-generation"], ["revoked-segment"], ["rights"],
-          ["bounds"], ["write-inhibit"], ["unpinned"], ["poll-never"] *)
+          ["bounds"], ["write-inhibit"], ["unpinned"], ["poll-never"],
+          ["notify-storm"], ["unbounded-retry"] *)
   agent : string;  (** the offending agent *)
   key : Access.seg_key;
   detail : string;

@@ -31,6 +31,16 @@ type flight = {
   mutable acquired : Vclock.t option; (* CAS: lock clock captured at serve *)
 }
 
+(* One run of consecutive failed CAS attempts by one agent on one word.
+   [len] is the current run, [worst] the longest seen; a success, an
+   intervening non-CAS access to the segment by the same agent, or a
+   pause longer than [retry_backoff_floor] resets [len]. *)
+type retry_chain = {
+  mutable len : int;
+  mutable last : Sim.Time.t;
+  mutable worst : int;
+}
+
 type rejection = {
   site : [ `Issue | `Serve ];
   agent_name : string;
@@ -57,6 +67,8 @@ type t = {
   locks : (Access.seg_key * int, Vclock.t) Hashtbl.t;
   declared_sync : (Access.seg_key * int, unit) Hashtbl.t;
   policies : (Access.seg_key, Rmem.Segment.notify_policy) Hashtbl.t;
+  retries : (string * Access.seg_key * int, retry_chain) Hashtbl.t;
+  (* (agent name, segment, word offset) -> failed-CAS run lengths *)
   mutable rejections : rejection list;
   mutable nacks : int;
   mutable lrpc_calls : int;
@@ -76,6 +88,7 @@ let create engine =
     locks = Hashtbl.create 8;
     declared_sync = Hashtbl.create 8;
     policies = Hashtbl.create 8;
+    retries = Hashtbl.create 8;
     rejections = [];
     nacks = 0;
     lrpc_calls = 0;
@@ -173,6 +186,36 @@ let kind_of_op = function
   | Rmem.Rights.Write_op -> Access.Store
   | Rmem.Rights.Cas_op -> Access.Atomic
 
+(* A CAS retried after at least this pause counts as backing off; only
+   faster retries extend a failed-CAS run. *)
+let retry_backoff_floor = Sim.Time.us 150
+
+let note_cas_retry t ~agent_name ~key ~off ~success =
+  let chain_key = (agent_name, key, off) in
+  let chain =
+    match Hashtbl.find_opt t.retries chain_key with
+    | Some c -> c
+    | None ->
+        let c = { len = 0; last = Sim.Time.zero; worst = 0 } in
+        Hashtbl.replace t.retries chain_key c;
+        c
+  in
+  if success then chain.len <- 0
+  else begin
+    let gap = Sim.Time.diff (now t) chain.last in
+    chain.len <-
+      (if chain.len > 0 && Sim.Time.(gap <= retry_backoff_floor) then
+         chain.len + 1
+       else 1);
+    chain.last <- now t;
+    if chain.len > chain.worst then chain.worst <- chain.len
+  end
+
+let break_cas_retries t ~agent_name ~key =
+  Hashtbl.iter
+    (fun (a, k, _) chain -> if a = agent_name && k = key then chain.len <- 0)
+    t.retries
+
 (* A notification record became visible to user code on the segment's
    home node: join the sender's stamp, and witness the accesses the
    serve-side end of the channel captured. *)
@@ -239,6 +282,12 @@ let on_rmem_event t ~self_addr event =
           ~seg_name:(Rmem.Segment.name segment) ~kind:(kind_of_op op) ~off
           ~count ~stamp ~vis:[] ~origin:(Access.Meta op)
       in
+      (match op with
+      | Rmem.Rights.Cas_op ->
+          note_cas_retry t ~agent_name:issuer.name ~key ~off
+            ~success:(cas_success = Some true)
+      | Rmem.Rights.Read_op | Rmem.Rights.Write_op ->
+          break_cas_retries t ~agent_name:issuer.name ~key);
       (match flight with
       | None -> ()
       | Some f -> (
@@ -363,6 +412,22 @@ let declare_sync_word t ~key ~off =
   Hashtbl.replace t.declared_sync (key, off) ()
 
 let accesses t = List.rev t.accesses
+let access_count t = t.next_access_id
+
+let accesses_from t ~id =
+  let rec take acc = function
+    | (a : Access.t) :: rest when a.id >= id -> take (a :: acc) rest
+    | _ -> acc
+  in
+  take [] t.accesses
+
+let worst_cas_retries t =
+  Hashtbl.fold
+    (fun (agent, key, off) chain acc ->
+      if chain.worst > 0 then ((agent, key, off), chain.worst) :: acc else acc)
+    t.retries []
+  |> List.sort Stdlib.compare
+
 let rejections t = List.rev t.rejections
 let nacks t = t.nacks
 let policy_of t key = Hashtbl.find_opt t.policies key

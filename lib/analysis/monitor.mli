@@ -52,6 +52,22 @@ val declare_sync_word : t -> key:Access.seg_key -> off:int -> unit
 val accesses : t -> Access.t list
 (** All recorded accesses, in recording order. *)
 
+val access_count : t -> int
+(** Number of accesses recorded so far (ids are dense from 0). *)
+
+val accesses_from : t -> id:int -> Access.t list
+(** Accesses with id at least [id], in recording order — the model
+    checker's per-event delta, without rescanning the whole trace. *)
+
+val retry_backoff_floor : Sim.Time.t
+(** A failed CAS retried after at least this pause counts as backing
+    off; only faster retries extend a consecutive-failure run. *)
+
+val worst_cas_retries : t -> ((string * Access.seg_key * int) * int) list
+(** Per (agent, segment, word offset): the longest run of consecutive
+    failed CAS attempts with no backoff pause and no intervening
+    non-CAS access to the segment by that agent. Sorted. *)
+
 type rejection = {
   site : [ `Issue | `Serve ];
   agent_name : string;  (** the offending issuer *)

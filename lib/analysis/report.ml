@@ -42,6 +42,53 @@ let findings_table findings =
     findings;
   Metrics.Table.render table
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let access_json (a : Access.t) =
+  Printf.sprintf "{\"agent\":%s,\"kind\":%s,\"off\":%d,\"count\":%d,\"at\":%s}"
+    (json_string a.agent_name)
+    (json_string (Access.kind_to_string a.kind))
+    a.off a.count
+    (json_string (Sim.Time.to_string a.Access.time))
+
+let race_json (r : Race.t) =
+  Printf.sprintf "{\"segment\":%s,\"key\":%s,\"first\":%s,\"second\":%s}"
+    (json_string r.seg_name)
+    (json_string (Access.key_to_string r.key))
+    (access_json r.a) (access_json r.b)
+
+let finding_json (f : Lint.finding) =
+  Printf.sprintf "{\"rule\":%s,\"agent\":%s,\"segment\":%s,\"detail\":%s}"
+    (json_string f.rule) (json_string f.agent)
+    (json_string (Access.key_to_string f.key))
+    (json_string f.detail)
+
+let json ~title monitor ~races ~findings =
+  Printf.sprintf
+    "{\"workload\":%s,\"agents\":%d,\"accesses\":%d,\"lrpc_calls\":%d,\"races\":[%s],\"findings\":[%s]}"
+    (json_string title)
+    (Monitor.agent_count monitor)
+    (List.length (Monitor.accesses monitor))
+    (Monitor.lrpc_calls monitor)
+    (String.concat "," (List.map race_json races))
+    (String.concat "," (List.map finding_json findings))
+
 let summary monitor ~races ~findings =
   Printf.sprintf
     "%d agents, %d accesses, %d lrpc calls: %d race(s), %d finding(s)"

@@ -8,3 +8,12 @@ val summary : Monitor.t -> races:Race.t list -> findings:Lint.finding list -> st
 
 val print :
   title:string -> Monitor.t -> races:Race.t list -> findings:Lint.finding list -> unit
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal (without
+    the surrounding quotes). *)
+
+val json :
+  title:string -> Monitor.t -> races:Race.t list -> findings:Lint.finding list -> string
+(** One JSON object per workload run: totals plus full race and finding
+    lists. No trailing newline. *)

@@ -1,9 +1,23 @@
 (* Compact, deterministic replays of the example workloads, run under
    the monitor.  Each builds its own testbed so runs are independent;
    the shapes mirror examples/ (kv_store, producer_consumer, ...) at a
-   size that keeps a race-check run instant. *)
+   size that keeps a race-check run instant.
+
+   Each scenario is split into [prepare] (build the testbed, attach the
+   monitor, spawn the workload) and the engine run, so the model
+   checker can drive the same workloads event by event under its own
+   schedules.  [run] composes the two exactly the way the old
+   single-call interface did: default FIFO runs are unchanged. *)
 
 type expectation = { races : bool; findings : bool }
+
+type prep = {
+  testbed : Cluster.Testbed.t;
+  monitor : Monitor.t;
+  finished : unit -> bool;
+  invariants : (string * (unit -> bool)) list;
+  teardown : unit -> unit;
+}
 
 let all =
   [
@@ -13,6 +27,20 @@ let all =
     "file_service_nofence";
     "name_service";
     "racy";
+    "torn_record";
+    "cas_missing_release";
+  ]
+
+let seeded_bugs = [ "torn_record"; "cas_missing_release" ]
+
+let checked =
+  [
+    "kv_store";
+    "producer_consumer";
+    "file_service";
+    "name_service";
+    "torn_record";
+    "cas_missing_release";
   ]
 
 let expectation = function
@@ -20,6 +48,10 @@ let expectation = function
       { races = false; findings = false }
   | "name_service" -> { races = false; findings = true }
   | "file_service_nofence" | "racy" -> { races = true; findings = false }
+  (* The seeded schedule bugs: clean under the default FIFO schedule —
+     that is the point; only the model checker's exploration exposes
+     them. *)
+  | "torn_record" | "cas_missing_release" -> { races = false; findings = false }
   | name -> invalid_arg ("Scenarios.expectation: " ^ name)
 
 let setup ~nodes =
@@ -40,13 +72,31 @@ let import_segment rmem ~from segment ~rights =
     ~size:(Rmem.Segment.length segment)
     ~rights ()
 
+let teardown () = Cluster.Lrpc.set_monitor None
+
+(* Spawn the workload main process and package the prep record.  The
+   spawn happens exactly where [Proc.run] used to spawn its main
+   process, so event sequence numbers — and therefore default-FIFO
+   runs — are unchanged. *)
+let wrap ~testbed ~monitor ?(invariants = []) body =
+  let finished = ref false in
+  Sim.Proc.spawn ~name:"main"
+    (Cluster.Testbed.engine testbed)
+    (fun () ->
+      body ();
+      finished := true);
+  { testbed; monitor; finished = (fun () -> !finished); invariants; teardown }
+
 (* ------------------------------------------------------------------ *)
 (* kv_store: each client owns disjoint slots of the server table and
    put/fence/gets them.  No sharing, so nothing can race. *)
 
 let kv_store () =
   let testbed, rmems, monitor = setup ~nodes:3 in
-  Cluster.Testbed.run testbed (fun () ->
+  let read_back_ok = ref true in
+  wrap ~testbed ~monitor
+    ~invariants:[ ("kv read-your-writes", fun () -> !read_back_ok) ]
+    (fun () ->
       let server = Cluster.Testbed.node testbed 0 in
       let space = Cluster.Node.new_address_space server in
       let table =
@@ -54,7 +104,7 @@ let kv_store () =
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
           ~name:"kv table" ()
       in
-      let done_ = Sim.Ivar.create () in
+      let done_ = Sim.Ivar.create ~name:"kv done" () in
       let finished = ref 0 in
       for c = 1 to 2 do
         let node = Cluster.Testbed.node testbed c in
@@ -74,13 +124,15 @@ let kv_store () =
                 (Bytes.make 64 (Char.chr (0x30 + c)));
               Rmem.Remote_memory.fence rmem desc;
               Rmem.Remote_memory.read_wait rmem desc ~soff:off ~count:64
-                ~dst:buf ~doff:0 ()
+                ~dst:buf ~doff:0 ();
+              let got = Cluster.Address_space.read my_space ~addr:0 ~len:64 in
+              if got <> Bytes.make 64 (Char.chr (0x30 + c)) then
+                read_back_ok := false
             done;
             incr finished;
             if !finished = 2 then Sim.Ivar.fill done_ ())
       done;
-      Sim.Ivar.read done_);
-  monitor
+      Sim.Ivar.read done_)
 
 (* ------------------------------------------------------------------ *)
 (* producer_consumer: CAS-ticket slot claims, WRITE deliveries, notify
@@ -95,7 +147,10 @@ let pc_slot_off seq = 64 + (seq * pc_slot_bytes)
 
 let producer_consumer () =
   let testbed, rmems, monitor = setup ~nodes:3 in
-  Cluster.Testbed.run testbed (fun () ->
+  let lens_sane = ref true in
+  wrap ~testbed ~monitor
+    ~invariants:[ ("consumed lengths sane", fun () -> !lens_sane) ]
+    (fun () ->
       let consumer_node = Cluster.Testbed.node testbed 0 in
       let space = Cluster.Node.new_address_space consumer_node in
       let ring =
@@ -104,7 +159,7 @@ let producer_consumer () =
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional ~name:"ring"
           ()
       in
-      let done_ = Sim.Ivar.create () in
+      let done_ = Sim.Ivar.create ~name:"pc done" () in
       let fd = Rmem.Segment.notification ring in
       Cluster.Node.spawn consumer_node (fun () ->
           for _ = 1 to pc_total do
@@ -114,6 +169,7 @@ let producer_consumer () =
             let len =
               Int32.to_int (Cluster.Address_space.read_word space ~addr:slot)
             in
+            if len <= 0 || len > pc_slot_bytes - 4 then lens_sane := false;
             let (_ : bytes) =
               Cluster.Address_space.read space ~addr:(slot + 4) ~len
             in
@@ -161,8 +217,7 @@ let producer_consumer () =
             done;
             incr finished)
       done;
-      Sim.Ivar.read done_);
-  monitor
+      Sim.Ivar.read done_)
 
 (* ------------------------------------------------------------------ *)
 (* file_service: two clients update the SAME block of a file server
@@ -171,15 +226,29 @@ let producer_consumer () =
 
 let file_service ~fence () =
   let testbed, rmems, monitor = setup ~nodes:3 in
-  Cluster.Testbed.run testbed (fun () ->
+  let server_space = ref None in
+  let block_untorn () =
+    match !server_space with
+    | None -> true
+    | Some space ->
+        let block = Cluster.Address_space.read space ~addr:1024 ~len:256 in
+        let first = Bytes.get block 0 in
+        let same = ref true in
+        Bytes.iter (fun c -> if c <> first then same := false) block;
+        !same
+  in
+  wrap ~testbed ~monitor
+    ~invariants:[ ("file block untorn", block_untorn) ]
+    (fun () ->
       let server = Cluster.Testbed.node testbed 0 in
       let space = Cluster.Node.new_address_space server in
+      server_space := Some space;
       let blocks =
         Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
           ~name:"file blocks" ()
       in
-      let done_ = Sim.Ivar.create () in
+      let done_ = Sim.Ivar.create ~name:"fs done" () in
       let finished = ref 0 in
       for c = 1 to 2 do
         let node = Cluster.Testbed.node testbed c in
@@ -213,8 +282,7 @@ let file_service ~fence () =
             incr finished;
             if !finished = 2 then Sim.Ivar.fill done_ ())
       done;
-      Sim.Ivar.read done_);
-  monitor
+      Sim.Ivar.read done_)
 
 (* ------------------------------------------------------------------ *)
 (* name_service: a clerk-mediated lookup, then two protocol sins — a
@@ -223,11 +291,20 @@ let file_service ~fence () =
 
 let name_service () =
   let testbed, rmems, monitor = setup ~nodes:2 in
-  Cluster.Testbed.run testbed (fun () ->
+  let clerks = ref [] in
+  let registries_well_formed () =
+    List.for_all
+      (fun clerk -> Names.Registry.well_formed (Names.Clerk.registry clerk))
+      !clerks
+  in
+  wrap ~testbed ~monitor
+    ~invariants:[ ("registries well-formed", registries_well_formed) ]
+    (fun () ->
       let node0 = Cluster.Testbed.node testbed 0 in
       let node1 = Cluster.Testbed.node testbed 1 in
       let clerk0 = Names.Clerk.create rmems.(0) in
       let clerk1 = Names.Clerk.create rmems.(1) in
+      clerks := [ clerk0; clerk1 ];
       Names.Clerk.serve_lookup_requests clerk0;
       Names.Clerk.serve_lookup_requests clerk1;
       let space0 = Cluster.Node.new_address_space node0 in
@@ -241,9 +318,9 @@ let name_service () =
           ~id:7 ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Conditional
           ~name:"epoch" ()
       in
-      let first_read_done = Sim.Ivar.create () in
-      let reexported = Sim.Ivar.create () in
-      let done_ = Sim.Ivar.create () in
+      let first_read_done = Sim.Ivar.create ~name:"first read done" () in
+      let reexported = Sim.Ivar.create ~name:"reexported" () in
+      let done_ = Sim.Ivar.create ~name:"ns done" () in
       Cluster.Node.spawn node1 (fun () ->
           let rmem = rmems.(1) in
           let my_space = Cluster.Node.new_address_space node1 in
@@ -282,8 +359,7 @@ let name_service () =
           ~name:"epoch" ()
       in
       Sim.Ivar.fill reexported ();
-      Sim.Ivar.read done_);
-  monitor
+      Sim.Ivar.read done_)
 
 (* ------------------------------------------------------------------ *)
 (* racy: two writers, one range, no synchronization at all.  The seeded
@@ -291,7 +367,7 @@ let name_service () =
 
 let racy () =
   let testbed, rmems, monitor = setup ~nodes:3 in
-  Cluster.Testbed.run testbed (fun () ->
+  wrap ~testbed ~monitor (fun () ->
       let server = Cluster.Testbed.node testbed 0 in
       let space = Cluster.Node.new_address_space server in
       let shared =
@@ -299,7 +375,7 @@ let racy () =
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
           ~name:"shared" ()
       in
-      let done_ = Sim.Ivar.create () in
+      let done_ = Sim.Ivar.create ~name:"racy done" () in
       let finished = ref 0 in
       for c = 1 to 2 do
         let node = Cluster.Testbed.node testbed c in
@@ -315,18 +391,153 @@ let racy () =
             incr finished;
             if !finished = 2 then Sim.Ivar.fill done_ ())
       done;
-      Sim.Ivar.read done_);
-  monitor
+      Sim.Ivar.read done_)
+
+(* ------------------------------------------------------------------ *)
+(* torn_record: one node, a two-word record updated word by word with a
+   yield in between, and a reader snapshotting the pair the same way.
+   Under the default FIFO schedule the reader's snapshots always land
+   on a consistent record; picking the writer first at the shared
+   instant tears the read.  Because the whole scenario lives on one
+   node — one vector-clock agent — the race detector is structurally
+   blind to it: the bug is an invariant violation only schedule
+   exploration can surface. *)
+
+let torn_record () =
+  (* Two nodes because the network layer needs a peer; node 1 stays
+     idle, so every access still belongs to one agent. *)
+  let testbed, rmems, monitor = setup ~nodes:2 in
+  let engine = Cluster.Testbed.engine testbed in
+  let observed = ref [] in
+  wrap ~testbed ~monitor
+    ~invariants:
+      [
+        ( "record snapshots consistent",
+          fun () -> List.for_all (fun (a, b) -> a = b) !observed );
+      ]
+    (fun () ->
+      let node = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space node in
+      let record =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:64
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Never ~name:"record" ()
+      in
+      let read_word off =
+        Monitor.local_access monitor ~node ~segment:record ~kind:Access.Load
+          ~off ~count:4;
+        Int32.to_int (Cluster.Address_space.read_word space ~addr:off)
+      in
+      let write_word off v =
+        Monitor.local_access monitor ~node ~segment:record ~kind:Access.Store
+          ~off ~count:4;
+        Cluster.Address_space.write_word space ~addr:off (Int32.of_int v)
+      in
+      let reader_done = Sim.Ivar.create ~name:"reader done" () in
+      let writer_done = Sim.Ivar.create ~name:"writer done" () in
+      Sim.Proc.spawn ~name:"reader" engine (fun () ->
+          for _ = 1 to 2 do
+            let a = read_word 0 in
+            Sim.Proc.yield ();
+            let b = read_word 4 in
+            observed := (a, b) :: !observed
+          done;
+          Sim.Ivar.fill reader_done ());
+      Sim.Proc.spawn ~name:"writer" engine (fun () ->
+          write_word 0 1;
+          Sim.Proc.yield ();
+          write_word 4 1;
+          Sim.Ivar.fill writer_done ());
+      Sim.Ivar.read reader_done;
+      Sim.Ivar.read writer_done)
+
+(* ------------------------------------------------------------------ *)
+(* cas_missing_release: a CAS lock protocol whose fast path — winning
+   the lock on the very first attempt — forgets both the release CAS
+   and the baton handoff.  Under the default FIFO schedule the lock
+   starts held and every winner goes through the (correct) retry path;
+   letting the init process run first frees the lock early, a client
+   wins outright, and the other client plus the main process block
+   forever.  A single-schedule race check sees a clean run; only
+   exploration reaches the deadlock. *)
+
+let cas_missing_release () =
+  let testbed, rmems, monitor = setup ~nodes:2 in
+  let engine = Cluster.Testbed.engine testbed in
+  wrap ~testbed ~monitor (fun () ->
+      let server = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space server in
+      let lock =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"lock table" ()
+      in
+      (* The lock word starts held by the setup (value 9); [init]
+         releases it once the clients are parked on their first
+         attempt.  Written directly, not through the monitor: the word
+         must stay CAS-only for the sync-word exemption. *)
+      Cluster.Address_space.write_word space ~addr:0 9l;
+      let rmem = rmems.(1) in
+      let desc =
+        import_segment rmem ~from:(Cluster.Node.addr server) lock
+          ~rights:Rmem.Rights.all
+      in
+      let baton = Sim.Mailbox.create ~name:"baton" () in
+      let done_ = Sim.Ivar.create ~name:"done" () in
+      let finished_clients = ref 0 in
+      for c = 1 to 2 do
+        Sim.Proc.spawn ~name:(Printf.sprintf "client%d" c) engine (fun () ->
+            let me = Int32.of_int c in
+            let attempts = ref 1 in
+            let won =
+              ref (fst (Rmem.Remote_memory.cas_wait rmem desc ~doff:0
+                          ~old_value:0l ~new_value:me ()))
+            in
+            while not !won do
+              Sim.Mailbox.recv baton;
+              incr attempts;
+              won :=
+                fst (Rmem.Remote_memory.cas_wait rmem desc ~doff:0
+                       ~old_value:0l ~new_value:me ())
+            done;
+            Rmem.Remote_memory.write rmem desc ~off:64
+              (Bytes.make 32 (Char.chr (0x40 + c)));
+            (* THE BUG: a first-attempt win skips the fence, the
+               release CAS and the baton handoff. *)
+            if !attempts > 1 then begin
+              Rmem.Remote_memory.fence rmem desc;
+              let released, _ =
+                Rmem.Remote_memory.cas_wait rmem desc ~doff:0 ~old_value:me
+                  ~new_value:0l ()
+              in
+              assert released;
+              Sim.Mailbox.send baton ()
+            end;
+            incr finished_clients;
+            if !finished_clients = 2 then Sim.Ivar.fill done_ ())
+      done;
+      Sim.Proc.spawn ~name:"init" engine (fun () ->
+          let released, _ =
+            Rmem.Remote_memory.cas_wait rmem desc ~doff:0 ~old_value:9l
+              ~new_value:0l ()
+          in
+          assert released;
+          Sim.Mailbox.send baton ());
+      Sim.Ivar.read done_)
+
+let prepare name =
+  match name with
+  | "kv_store" -> kv_store ()
+  | "producer_consumer" -> producer_consumer ()
+  | "file_service" -> file_service ~fence:true ()
+  | "file_service_nofence" -> file_service ~fence:false ()
+  | "name_service" -> name_service ()
+  | "racy" -> racy ()
+  | "torn_record" -> torn_record ()
+  | "cas_missing_release" -> cas_missing_release ()
+  | name -> invalid_arg ("Scenarios.prepare: " ^ name)
 
 let run name =
-  let body =
-    match name with
-    | "kv_store" -> kv_store
-    | "producer_consumer" -> producer_consumer
-    | "file_service" -> file_service ~fence:true
-    | "file_service_nofence" -> file_service ~fence:false
-    | "name_service" -> name_service
-    | "racy" -> racy
-    | name -> invalid_arg ("Scenarios.run: " ^ name)
-  in
-  Fun.protect ~finally:(fun () -> Cluster.Lrpc.set_monitor None) body
+  let prep = prepare name in
+  Fun.protect ~finally:prep.teardown (fun () ->
+      Sim.Engine.run (Cluster.Testbed.engine prep.testbed));
+  prep.monitor

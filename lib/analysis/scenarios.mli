@@ -1,6 +1,6 @@
 (** Compact, deterministic replays of the repository's example
-    workloads, run under the monitor. Shared by [bin/racecheck] and the
-    test suite.
+    workloads, run under the monitor. Shared by [bin/racecheck],
+    [bin/modelcheck] and the test suite.
 
     - [kv_store]: two clients write/fence/read their own slots of a
       server table. Clean.
@@ -16,16 +16,49 @@
       re-export makes a retained descriptor stale, and a client
       read-polls a notify:never status segment. Lint findings, no
       races.
-    - [racy]: two unsynchronized writers to one range. Races. *)
+    - [racy]: two unsynchronized writers to one range. Races.
+    - [torn_record]: a single-node two-word record updated and read
+      non-atomically. Clean under FIFO and invisible to the race
+      detector (one node, one agent); an adversarial same-instant
+      schedule tears the reader's snapshot.
+    - [cas_missing_release]: a CAS lock whose first-attempt-win fast
+      path forgets the release and the baton handoff. Clean under FIFO;
+      an adversarial schedule deadlocks two processes. *)
 
 type expectation = { races : bool; findings : bool }
 
+type prep = {
+  testbed : Cluster.Testbed.t;
+  monitor : Monitor.t;
+  finished : unit -> bool;
+      (** did the workload's main process reach its end *)
+  invariants : (string * (unit -> bool)) list;
+      (** named workload-state predicates, checked after a completed
+          run *)
+  teardown : unit -> unit;
+      (** detach global hooks; call once per prepared run *)
+}
+
 val all : string list
 
+val checked : string list
+(** The workloads [bin/modelcheck] explores: the four clean examples
+    plus the two seeded schedule bugs. *)
+
+val seeded_bugs : string list
+(** FIFO-clean workloads that fail only under adversarial schedules. *)
+
 val expectation : string -> expectation
-(** Raises [Invalid_argument] on an unknown workload name. *)
+(** Single-schedule (FIFO) expectation. Raises [Invalid_argument] on an
+    unknown workload name. *)
+
+val prepare : string -> prep
+(** Build a fresh testbed, attach a monitor, and spawn the workload
+    without running it: the caller drives the engine — [Sim.Engine.run]
+    for a normal run, or event by event under a model-checker schedule.
+    Raises [Invalid_argument] on an unknown name. *)
 
 val run : string -> Monitor.t
-(** Build a fresh testbed, attach a monitor, replay the workload to
-    quiescence, and return the monitor for checking. Raises
-    [Invalid_argument] on an unknown name. *)
+(** [prepare], run the engine to quiescence under the default FIFO
+    order, tear down, and return the monitor for checking. Identical to
+    the historical single-call behavior. *)

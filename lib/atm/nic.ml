@@ -29,7 +29,7 @@ let create config addr =
     addr;
     config;
     route = no_route;
-    rx = Sim.Mailbox.create ();
+    rx = Sim.Mailbox.create ~name:(Addr.to_string addr ^ " rx fifo") ~daemon:true ();
     rx_cells_pending = 0;
     frames_tx = 0;
     frames_rx = 0;

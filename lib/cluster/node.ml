@@ -46,7 +46,7 @@ let cpu t = t.cpu
 let nic t = t.nic
 let prng t = t.prng
 
-let spawn t body = Sim.Proc.spawn t.engine body
+let spawn ?name t body = Sim.Proc.spawn ?name t.engine body
 
 let new_address_space t =
   let asid = t.next_asid in
@@ -89,7 +89,7 @@ let dispatch t frame =
 let start t =
   if not t.started then begin
     t.started <- true;
-    spawn t (fun () ->
+    spawn t ~name:(Atm.Addr.to_string t.addr ^ " rx-dispatcher") (fun () ->
         while true do
           let frame = Atm.Nic.receive t.nic in
           (* A crashed node absorbs frames without reacting; the paper's

@@ -20,7 +20,7 @@ val cpu : t -> Cpu.t
 val nic : t -> Atm.Nic.t
 val prng : t -> Sim.Prng.t
 
-val spawn : t -> (unit -> unit) -> unit
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
 (** Start a process on this node (scheduling only; does not consume CPU). *)
 
 val new_address_space : t -> Address_space.t

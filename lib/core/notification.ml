@@ -13,6 +13,7 @@ type record = { src : Atm.Addr.t; kind : kind; off : int; count : int }
 
 type t = {
   node : Cluster.Node.t;
+  name : string;
   queue : record Queue.t;
   waiters : (record -> unit) Queue.t;
   mutable signal_handler : (record -> unit) option;
@@ -21,9 +22,10 @@ type t = {
   mutable monitor : (record -> unit) option;
 }
 
-let create node =
+let create ?(name = "fd") node =
   {
     node;
+    name;
     queue = Queue.create ();
     waiters = Queue.create ();
     signal_handler = None;
@@ -50,7 +52,7 @@ let post ?ctx t record =
   (* Delivery runs as its own kernel activity on the destination node:
      it charges the notification cost to "control transfer" and only
      then lets user level see the record. *)
-  Cluster.Node.spawn t.node (fun () ->
+  Cluster.Node.spawn t.node ~name:(t.name ^ " delivery") (fun () ->
       let span =
         Obs.Trace.ctx_span_begin ctx
           ~node:(Atm.Addr.to_int (Cluster.Node.addr t.node))
@@ -79,7 +81,10 @@ let wait t =
     observed t record;
     record
   end
-  else Sim.Proc.suspend (fun resume -> Queue.push resume t.waiters)
+  else
+    Sim.Proc.suspend_on
+      ~resource:(Printf.sprintf "notification %S" t.name)
+      (fun resume -> Queue.push resume t.waiters)
 
 let try_read t =
   if Queue.is_empty t.queue then None

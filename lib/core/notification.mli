@@ -14,7 +14,8 @@ type record = { src : Atm.Addr.t; kind : kind; off : int; count : int }
 
 type t
 
-val create : Cluster.Node.t -> t
+val create : ?name:string -> Cluster.Node.t -> t
+(** [name] labels the descriptor in deadlock reports. *)
 
 val post : ?ctx:Obs.Ctx.t -> t -> record -> unit
 (** Called by the kernel emulation on request arrival. Non-blocking for

@@ -156,7 +156,7 @@ let attach node =
       next_generation = Generation.initial;
       pending = Hashtbl.create 16;
       next_reqid = 1;
-      completion_fd = Notification.create node;
+      completion_fd = Notification.create ~name:"completion fd" node;
       ops = Metrics.Account.create ~name:"rmem ops" ();
       data_bytes = Metrics.Account.create ~name:"rmem bytes" ();
       errors = Metrics.Account.create ~name:"rmem errors" ();
@@ -243,7 +243,7 @@ let export t ~space ~base ~len ?id ?(policy = Segment.Conditional)
   Cluster.Cpu.use (cpu t) ~category:t.client_category
     (Sim.Time.add c.Cluster.Costs.segment_export_kernel
        (Sim.Time.scale c.Cluster.Costs.page_pin (float_of_int pages)));
-  let notification = Notification.create t.node in
+  let notification = Notification.create ~name:(name ^ " fd") t.node in
   let segment =
     Segment.create ~id ~name ~space ~base ~len ~generation
       ~default_rights:rights ~notification ~policy
@@ -371,7 +371,7 @@ let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
     Obs.Trace.issue_begin ~node:(nid t) ~op:"READ"
       ~seg:(Descriptor.segment_id desc) ~off:soff ~count
   in
-  let completion = Sim.Ivar.create () in
+  let completion = Sim.Ivar.create ~name:"rmem READ completion" () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
     (Pending_read
@@ -432,7 +432,7 @@ let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"CAS"
       ~seg:(Descriptor.segment_id desc) ~off:doff ~count:4
   in
-  let completion = Sim.Ivar.create () in
+  let completion = Sim.Ivar.create ~name:"rmem CAS completion" () in
   let reqid = alloc_reqid t in
   Hashtbl.replace t.pending reqid
     (Pending_cas { desc; cas_doff = doff; result; notify; old_value; completion });

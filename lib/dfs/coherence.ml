@@ -125,6 +125,17 @@ let clear_wanted t ~token =
     ~addr:(token mod revoke_slots * 4)
     0l
 
+(* Every token a client believes it holds must be published as held by
+   that client in the server's table — the coherence invariant the
+   model checker asserts between schedules. *)
+let holds_match manager client =
+  Hashtbl.fold
+    (fun token _ ok ->
+      ok && holder_of manager ~token = Int32.to_int client.me)
+    client.held true
+
+let invariant manager ~clients = List.for_all (holds_match manager) clients
+
 exception Acquire_failed of int
 
 (* Ask the current holder to give the token up: a remote write of the

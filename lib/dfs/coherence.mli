@@ -42,6 +42,10 @@ val acquire :
 val release : client -> token:int -> unit
 (** CAS(me -> 0); fails loudly if the token is not held by this client. *)
 
+val invariant : manager -> clients:client list -> bool
+(** Token-coherence invariant: every token a client holds locally is
+    published as held by that client in the server's table. *)
+
 val hold_with_lease : client -> token:int -> lease:Sim.Time.t -> unit
 (** Delayed revocation: keep the token for up to [lease], but release as
     soon as a competitor's revocation request arrives. *)

@@ -84,6 +84,18 @@ let lookup t name =
   in
   probe 0
 
+let well_formed t =
+  let valid = ref 0 in
+  let sane = ref true in
+  for index = 0 to t.slots - 1 do
+    match Record.decode (read_slot t index) with
+    | None -> ()
+    | Some record ->
+        incr valid;
+        if String.length record.Record.name = 0 then sane := false
+  done;
+  !sane && !valid = t.live
+
 let delete t name =
   match lookup t name with
   | None -> false

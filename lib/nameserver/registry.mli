@@ -35,3 +35,9 @@ val lookup : t -> string -> (Record.t * int) option
 (** Returns the record and the number of probes taken to reach it. *)
 
 val delete : t -> string -> bool
+
+val well_formed : t -> bool
+(** Structural consistency of the serialized table: the live counter
+    matches the number of decodable slots and no valid slot carries a
+    torn (empty-name) record. Orphaned-but-valid entries after a
+    deletion are tolerated, as in the paper's name service. *)

@@ -26,7 +26,7 @@ let create transport ~prog ?(threads = 1)
   let t =
     {
       node;
-      queue = Sim.Mailbox.create ();
+      queue = Sim.Mailbox.create ~name:(Printf.sprintf "rpc prog %d queue" prog) ~daemon:true ();
       served = 0;
       queueing = Metrics.Summary.create ();
     }

@@ -113,7 +113,7 @@ let alloc_xid t =
 
 let send_call t ~dst ~prog ~proc ~label (args : Xdr.t) =
   let xid = alloc_xid t in
-  let reply = Sim.Ivar.create () in
+  let reply = Sim.Ivar.create ~name:(label ^ " reply") () in
   Hashtbl.replace t.calls xid { label; reply };
   Metrics.Account.add t.call_counts ~category:label 1.;
   Metrics.Account.add t.control_traffic ~category:label

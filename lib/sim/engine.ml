@@ -1,15 +1,58 @@
-(* The discrete-event engine: a clock plus an ordered queue of thunks. *)
+(* The discrete-event engine: a clock plus an ordered queue of thunks.
 
-exception Deadlock of Time.t
+   Two additions ride on the basic loop:
+
+   - a registry of blocked waiters (filled in by Ivar/Mailbox/Resource
+     via [Proc.suspend_on]) so that a drained queue with live waiters
+     is recognized as a deadlock and reported by name;
+   - a pluggable same-instant scheduler: when more than one event is
+     enabled at the next instant, an installed scheduler picks which
+     fires first.  With no scheduler installed the engine keeps its
+     historical FIFO order (ascending sequence number), so default runs
+     are bit-identical to the pre-scheduler engine. *)
+
+type blocked = {
+  process : string;
+  resource : string;
+  daemon : bool;
+  since : Time.t;
+}
+
+exception Deadlock of Time.t * blocked list
+
+type choice = { at : Time.t; enabled : int list }
+type scheduler = choice -> int
 
 type t = {
   mutable now : Time.t;
   queue : (unit -> unit) Heap.t;
   mutable seq : int;
   mutable stopped : bool;
+  mutable scheduler : scheduler option;
+  waiting : (int, blocked) Hashtbl.t;
+  mutable next_token : int;
+  mutable detect_deadlock : bool;
+  mutable spawns : int;
+  mutable firing : int; (* seq of the event being fired, -1 outside [fire] *)
+  mutable track_parents : bool;
+  parents : (int, int) Hashtbl.t; (* event seq -> scheduling event's seq *)
 }
 
-let create () = { now = Time.zero; queue = Heap.create (); seq = 0; stopped = false }
+let create () =
+  {
+    now = Time.zero;
+    queue = Heap.create ();
+    seq = 0;
+    stopped = false;
+    scheduler = None;
+    waiting = Hashtbl.create 16;
+    next_token = 0;
+    detect_deadlock = true;
+    spawns = 0;
+    firing = -1;
+    track_parents = false;
+    parents = Hashtbl.create 64;
+  }
 
 let now t = t.now
 
@@ -19,6 +62,8 @@ let schedule_at t time thunk =
   if Time.(time < t.now) then
     invalid_arg "Engine.schedule_at: event in the past";
   Heap.push t.queue ~time ~seq:t.seq thunk;
+  if t.track_parents && t.firing >= 0 then
+    Hashtbl.replace t.parents t.seq t.firing;
   t.seq <- t.seq + 1
 
 let schedule ?(after = Time.zero) t thunk =
@@ -27,13 +72,94 @@ let schedule ?(after = Time.zero) t thunk =
 
 let stop t = t.stopped <- true
 
-let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some { Heap.time; payload; _ } ->
-      t.now <- time;
-      payload ();
+let next_spawn_id t =
+  let id = t.spawns in
+  t.spawns <- t.spawns + 1;
+  id
+
+(* ---------------- Blocked-waiter registry ---------------- *)
+
+let register_blocked t ~process ~resource ~daemon =
+  let token = t.next_token in
+  t.next_token <- token + 1;
+  Hashtbl.replace t.waiting token { process; resource; daemon; since = t.now };
+  token
+
+let clear_blocked t token = Hashtbl.remove t.waiting token
+
+let blocked ?(daemons = false) t =
+  Hashtbl.fold (fun token b acc -> (token, b) :: acc) t.waiting []
+  |> List.filter (fun (_, b) -> daemons || not b.daemon)
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  |> List.map snd
+
+let describe_blocked b =
+  Printf.sprintf "%s blocked on %s since %s" b.process b.resource
+    (Time.to_string b.since)
+
+let deadlock_report bs =
+  match bs with
+  | [] -> "deadlock: queue drained with no registered waiters"
+  | bs ->
+      "deadlock: "
+      ^ String.concat "; " (List.map describe_blocked bs)
+
+let set_deadlock_detection t on = t.detect_deadlock <- on
+
+(* ---------------- Stepping ---------------- *)
+
+let fire t (entry : (unit -> unit) Heap.entry) =
+  t.now <- entry.Heap.time;
+  let previous = t.firing in
+  t.firing <- entry.Heap.seq;
+  Fun.protect ~finally:(fun () -> t.firing <- previous) entry.Heap.payload
+
+let set_parent_tracking t on = t.track_parents <- on
+let parent t seq = Hashtbl.find_opt t.parents seq
+
+let next_enabled t =
+  match Heap.entries_at_min t.queue with
+  | [] -> None
+  | entries ->
+      Some
+        {
+          at = (List.hd entries).Heap.time;
+          enabled = List.map (fun e -> e.Heap.seq) entries;
+        }
+
+let step_seq t seq =
+  match Heap.entries_at_min t.queue with
+  | [] -> false
+  | entries ->
+      if not (List.exists (fun e -> e.Heap.seq = seq) entries) then
+        invalid_arg "Engine.step_seq: event not enabled at the next instant";
+      (match Heap.remove t.queue ~seq with
+      | Some entry -> fire t entry
+      | None -> assert false);
       true
+
+let step t =
+  match t.scheduler with
+  | None -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some entry ->
+          fire t entry;
+          true)
+  | Some choose -> (
+      match next_enabled t with
+      | None -> false
+      | Some { enabled = [ seq ]; _ } -> step_seq t seq
+      | Some choice ->
+          let seq = choose choice in
+          if not (List.mem seq choice.enabled) then
+            invalid_arg "Engine.step: scheduler chose a non-enabled event";
+          step_seq t seq)
+
+let set_scheduler t scheduler = t.scheduler <- scheduler
+
+let has_nondaemon_blocked t =
+  Hashtbl.fold (fun _ b acc -> acc || not b.daemon) t.waiting false
 
 let run ?until t =
   t.stopped <- false;
@@ -49,7 +175,17 @@ let run ?until t =
     ignore (step t : bool)
   done;
   match until with
-  | Some limit when (not t.stopped) && Time.(t.now < limit) -> t.now <- limit
-  | _ -> ()
+  | Some limit ->
+      if (not t.stopped) && Time.(t.now < limit) then t.now <- limit
+  | None ->
+      (* The queue drained for good: if detection is on and somebody is
+         still blocked on a non-daemon resource, nothing can ever wake
+         them — report who waits on what. *)
+      if
+        t.detect_deadlock
+        && (not t.stopped)
+        && Heap.is_empty t.queue
+        && has_nondaemon_blocked t
+      then raise (Deadlock (t.now, blocked t))
 
 let run_until_quiescent t = run t

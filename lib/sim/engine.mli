@@ -1,11 +1,23 @@
 (** The discrete-event engine: a virtual clock and an ordered event queue.
 
     Every simulated activity is ultimately a thunk scheduled at an instant.
-    Events at the same instant fire in the order they were scheduled. *)
+    Events at the same instant fire in the order they were scheduled,
+    unless a same-instant {!scheduler} is installed to pick otherwise. *)
 
-exception Deadlock of Time.t
-(** Raised by higher layers when every process is blocked and the event
-    queue cannot make progress. *)
+type blocked = {
+  process : string;  (** the blocked process, as named at [Proc.spawn] *)
+  resource : string;  (** what it waits on, e.g. [ivar "done"] *)
+  daemon : bool;
+      (** daemon waiters (a NIC receive loop, an RPC server queue) idle
+          between requests by design and never indicate deadlock *)
+  since : Time.t;  (** when it blocked *)
+}
+
+exception Deadlock of Time.t * blocked list
+(** Raised by {!run} when the event queue drains while non-daemon
+    waiters are still registered: every such process is blocked on a
+    resource nothing can ever signal. The payload names each blocked
+    process and the resource it waits on. *)
 
 type t
 
@@ -27,15 +39,87 @@ val schedule_at : t -> Time.t -> (unit -> unit) -> unit
     instant is in the past. *)
 
 val step : t -> bool
-(** Fire the next event. Returns [false] if the queue was empty. *)
+(** Fire the next event (consulting the installed scheduler at
+    same-instant choice points). Returns [false] if the queue was
+    empty. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Run until the queue drains, [stop] is called, or the next event lies
     beyond [until]. When a limit is given and the queue drains early, the
-    clock still advances to the limit. *)
+    clock still advances to the limit. With no limit, a drain that
+    leaves non-daemon blocked waiters raises {!Deadlock} (disable with
+    {!set_deadlock_detection}). *)
 
 val run_until_quiescent : t -> unit
 (** [run] with no limit. *)
 
 val stop : t -> unit
 (** Make [run] return after the current event completes. *)
+
+(** {1 Same-instant scheduling choice points}
+
+    When more than one event is enabled at the next instant, the order
+    they fire in is a genuine scheduling choice: the model checker
+    enumerates these, a random scheduler fuzzes them, and the default
+    (no scheduler) keeps the historical FIFO order so existing runs are
+    bit-identical. *)
+
+type choice = {
+  at : Time.t;  (** the instant *)
+  enabled : int list;  (** sequence numbers of enabled events, FIFO order *)
+}
+
+type scheduler = choice -> int
+(** Must return one of [choice.enabled]. Called only when two or more
+    events are enabled at the same instant. *)
+
+val set_scheduler : t -> scheduler option -> unit
+(** Install ([Some]) or remove ([None], the default FIFO order) the
+    same-instant scheduler. *)
+
+val next_enabled : t -> choice option
+(** The events enabled at the next instant without firing anything —
+    the explorer's view of the current choice point. *)
+
+val step_seq : t -> int -> bool
+(** Fire the enabled event carrying the given sequence number. Returns
+    [false] on an empty queue; raises [Invalid_argument] if the event
+    exists but is not enabled at the next instant. *)
+
+(** {1 Blocked-waiter registry}
+
+    Synchronization primitives register who is blocked on what (via
+    [Proc.suspend_on]) so deadlocks can be reported by name. *)
+
+val register_blocked :
+  t -> process:string -> resource:string -> daemon:bool -> int
+(** Record a blocked waiter; returns a token for {!clear_blocked}. *)
+
+val clear_blocked : t -> int -> unit
+
+val blocked : ?daemons:bool -> t -> blocked list
+(** Currently blocked waiters in registration order; [daemons] includes
+    daemon waiters too (default false). *)
+
+val set_deadlock_detection : t -> bool -> unit
+(** Default on. *)
+
+val describe_blocked : blocked -> string
+val deadlock_report : blocked list -> string
+
+val next_spawn_id : t -> int
+(** Fresh per-engine id used to name anonymous processes. *)
+
+(** {1 Causal parenthood}
+
+    With tracking on (off by default: it retains one table entry per
+    event), every scheduled event remembers the sequence number of the
+    event that was firing when it was scheduled. The model checker uses
+    the resulting forest to attribute a process chain's memory accesses
+    to the choice that launched it. *)
+
+val set_parent_tracking : t -> bool -> unit
+
+val parent : t -> int -> int option
+(** [parent t seq] — the scheduling event of [seq], if it was scheduled
+    during another event while tracking was on. *)

@@ -74,3 +74,31 @@ let pop h =
     end;
     Some top
   end
+
+let entries_at_min h =
+  match peek h with
+  | None -> []
+  | Some { time; _ } ->
+      let same = ref [] in
+      for i = h.size - 1 downto 0 do
+        if Time.equal h.arr.(i).time time then same := h.arr.(i) :: !same
+      done;
+      List.sort (fun a b -> Stdlib.compare a.seq b.seq) !same
+
+let remove h ~seq =
+  let found = ref None in
+  for i = h.size - 1 downto 0 do
+    if h.arr.(i).seq = seq then found := Some i
+  done;
+  match !found with
+  | None -> None
+  | Some i ->
+      let entry = h.arr.(i) in
+      h.size <- h.size - 1;
+      if i < h.size then begin
+        h.arr.(i) <- h.arr.(h.size);
+        (* The replacement may belong either above or below its new slot. *)
+        sift_up h i;
+        sift_down h i
+      end;
+      Some entry

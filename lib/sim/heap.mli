@@ -19,3 +19,11 @@ val peek : 'a t -> 'a entry option
 
 val pop : 'a t -> 'a entry option
 (** Remove and return the smallest entry. *)
+
+val entries_at_min : 'a t -> 'a entry list
+(** Every entry sharing the smallest time, in ascending [seq] order —
+    the set of events enabled at the next instant. [[]] when empty. *)
+
+val remove : 'a t -> seq:int -> 'a entry option
+(** Remove the entry carrying [seq] (sequence numbers are unique per
+    engine), restoring the heap invariant. [None] if absent. *)

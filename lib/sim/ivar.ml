@@ -2,9 +2,11 @@
 
 type 'a state = Empty of ('a -> unit) list | Full of 'a
 
-type 'a t = { mutable state : 'a state }
+type 'a t = { name : string; mutable state : 'a state }
 
-let create () = { state = Empty [] }
+let create ?(name = "ivar") () = { name; state = Empty [] }
+
+let name t = t.name
 
 let is_full t = match t.state with Full _ -> true | Empty _ -> false
 
@@ -29,7 +31,9 @@ let read t =
   match t.state with
   | Full v -> v
   | Empty _ ->
-      Proc.suspend (fun resume ->
+      Proc.suspend_on
+        ~resource:(Printf.sprintf "ivar %S" t.name)
+        (fun resume ->
           match t.state with
           | Full v -> resume v
           | Empty waiters -> t.state <- Empty (resume :: waiters))

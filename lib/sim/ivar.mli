@@ -6,7 +6,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?name:string -> unit -> 'a t
+(** [name] labels the ivar in deadlock reports (default ["ivar"]). *)
+
+val name : 'a t -> string
 
 val fill : 'a t -> 'a -> unit
 (** Fill and wake all readers (in blocking order). Raises

@@ -1,8 +1,16 @@
 (* Unbounded FIFO message queues with blocking receive. *)
 
-type 'a t = { messages : 'a Queue.t; readers : ('a -> unit) Queue.t }
+type 'a t = {
+  name : string;
+  daemon : bool;
+  messages : 'a Queue.t;
+  readers : ('a -> unit) Queue.t;
+}
 
-let create () = { messages = Queue.create (); readers = Queue.create () }
+let create ?(name = "mailbox") ?(daemon = false) () =
+  { name; daemon; messages = Queue.create (); readers = Queue.create () }
+
+let name t = t.name
 
 let length t = Queue.length t.messages
 
@@ -16,7 +24,10 @@ let send t msg =
 
 let recv t =
   if not (Queue.is_empty t.messages) then Queue.pop t.messages
-  else Proc.suspend (fun resume -> Queue.push resume t.readers)
+  else
+    Proc.suspend_on ~daemon:t.daemon
+      ~resource:(Printf.sprintf "mailbox %S" t.name)
+      (fun resume -> Queue.push resume t.readers)
 
 let try_recv t =
   if Queue.is_empty t.messages then None else Some (Queue.pop t.messages)

@@ -5,7 +5,13 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?name:string -> ?daemon:bool -> unit -> 'a t
+(** [name] labels the mailbox in deadlock reports. [daemon] marks a
+    queue whose blocked receivers idle between requests by design (a
+    NIC receive FIFO, a server request queue): they are excluded from
+    deadlock detection. *)
+
+val name : 'a t -> string
 
 val send : 'a t -> 'a -> unit
 (** Never blocks. Wakes the oldest blocked receiver, if any. *)

@@ -3,7 +3,12 @@
    A process is ordinary direct-style code; [wait] and [suspend] perform
    effects that the scheduler installed by [spawn] interprets against the
    engine's event queue.  Continuations are one-shot: [suspend]'s resume
-   callback guards against double resumption. *)
+   callback guards against double resumption.
+
+   Every process carries a name and knows its engine (the [Info]
+   effect); [suspend_on] uses both to register the blocked process with
+   the engine's waiter registry, which is what makes engine-level
+   deadlock reports name processes and resources. *)
 
 open Effect
 open Effect.Deep
@@ -11,6 +16,7 @@ open Effect.Deep
 type _ Effect.t +=
   | Wait : Time.t -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Info : (Engine.t * string) Effect.t
 
 exception Not_in_process
 
@@ -20,7 +26,27 @@ let yield () = perform (Wait Time.zero)
 
 let suspend register = perform (Suspend register)
 
-let spawn ?(after = Time.zero) engine body =
+let self_name () =
+  match perform Info with
+  | _, name -> name
+  | exception Effect.Unhandled _ -> raise Not_in_process
+
+let suspend_on ?(daemon = false) ~resource register =
+  match perform Info with
+  | exception Effect.Unhandled _ -> suspend register
+  | engine, process ->
+      let token = Engine.register_blocked engine ~process ~resource ~daemon in
+      suspend (fun resume ->
+          register (fun v ->
+              Engine.clear_blocked engine token;
+              resume v))
+
+let spawn ?(after = Time.zero) ?name engine body =
+  let name =
+    match name with
+    | Some name -> name
+    | None -> Printf.sprintf "proc%d" (Engine.next_spawn_id engine)
+  in
   let run () =
     match_with body ()
       {
@@ -45,6 +71,9 @@ let spawn ?(after = Time.zero) engine body =
                       Engine.schedule engine (fun () -> continue k v)
                     in
                     register resume)
+            | Info ->
+                Some
+                  (fun (k : (a, unit) continuation) -> continue k (engine, name))
             | _ -> None);
       }
   in
@@ -53,7 +82,7 @@ let spawn ?(after = Time.zero) engine body =
 let run engine body =
   let result = ref None in
   let failure = ref None in
-  spawn engine (fun () ->
+  spawn ~name:"main" engine (fun () ->
       match body () with
       | v -> result := Some v
       | exception exn -> failure := Some exn);
@@ -61,4 +90,5 @@ let run engine body =
   match (!result, !failure) with
   | Some v, _ -> v
   | None, Some exn -> raise exn
-  | None, None -> raise (Engine.Deadlock (Engine.now engine))
+  | None, None ->
+      raise (Engine.Deadlock (Engine.now engine, Engine.blocked engine))

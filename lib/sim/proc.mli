@@ -7,10 +7,15 @@
 
 exception Not_in_process
 
-val spawn : ?after:Time.t -> Engine.t -> (unit -> unit) -> unit
+val spawn : ?after:Time.t -> ?name:string -> Engine.t -> (unit -> unit) -> unit
 (** [spawn engine body] schedules [body] to start as a process, [after]
-    nanoseconds from now (default: immediately). Exceptions escaping
-    [body] propagate out of [Engine.run]. *)
+    nanoseconds from now (default: immediately). [name] labels the
+    process in deadlock reports (default ["proc<n>"], numbered per
+    engine). Exceptions escaping [body] propagate out of
+    [Engine.run]. *)
+
+val self_name : unit -> string
+(** The current process's name. Raises {!Not_in_process} outside one. *)
 
 val wait : Time.t -> unit
 (** Block the current process for the given duration of simulated time. *)
@@ -23,6 +28,15 @@ val suspend : (('a -> unit) -> unit) -> 'a
     immediately with a one-shot [resume] function; whoever calls
     [resume v] (at any later simulated instant) unblocks the process with
     value [v]. Double resumption raises [Invalid_argument]. *)
+
+val suspend_on :
+  ?daemon:bool -> resource:string -> (('a -> unit) -> unit) -> 'a
+(** {!suspend}, but the block is recorded in the engine's waiter
+    registry under the current process's name and [resource], and
+    cleared on resume — the raw material of {!Engine.Deadlock} reports.
+    [daemon] marks waits that idle between requests by design (a server
+    loop) and never count as deadlocked. Outside a process it degrades
+    to {!suspend}. *)
 
 val run : Engine.t -> (unit -> 'a) -> 'a
 (** [run engine body] spawns [body], drives the engine until quiescence

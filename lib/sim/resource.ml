@@ -27,7 +27,9 @@ let acquire t =
   if not t.busy then t.busy <- true
   else begin
     t.contended <- t.contended + 1;
-    Proc.suspend (fun resume -> Queue.push (fun () -> resume ()) t.waiters)
+    Proc.suspend_on
+      ~resource:(Printf.sprintf "resource %S" t.name)
+      (fun resume -> Queue.push (fun () -> resume ()) t.waiters)
   end
 
 let release t =

@@ -18,5 +18,6 @@ let () =
       ("stress", Test_stress.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("explore", Test_explore.suite);
       ("obs", Test_obs.suite);
     ]

@@ -31,6 +31,151 @@ let vclock_orders () =
   | V.Equal -> ()
   | _ -> Alcotest.fail "join is commutative"
 
+(* A clock is fully determined by the multiset of agent ids ticked, so
+   a small id list is a complete generator. *)
+let vclock_of_ticks ticks =
+  List.fold_left Analysis.Vclock.tick Analysis.Vclock.empty ticks
+
+let vclock_gen = QCheck.(list_of_size Gen.(0 -- 12) (int_bound 4))
+
+let vclock_join_is_lub =
+  QCheck.Test.make ~name:"vclock join is the least upper bound" ~count:300
+    QCheck.(pair vclock_gen vclock_gen)
+    (fun (ta, tb) ->
+      let module V = Analysis.Vclock in
+      let a = vclock_of_ticks ta and b = vclock_of_ticks tb in
+      let j = V.join a b in
+      V.leq a j && V.leq b j
+      && V.compare j (V.join b a) = V.Equal
+      && V.compare (V.join a a) a = V.Equal
+      && V.compare (V.join a (V.join a b)) j = V.Equal)
+
+let vclock_compare_matches_leq =
+  QCheck.Test.make ~name:"vclock compare agrees with leq" ~count:300
+    QCheck.(pair vclock_gen vclock_gen)
+    (fun (ta, tb) ->
+      let module V = Analysis.Vclock in
+      let a = vclock_of_ticks ta and b = vclock_of_ticks tb in
+      let le = V.leq a b and ge = V.leq b a in
+      match V.compare a b with
+      | V.Equal -> le && ge
+      | V.Before -> le && not ge
+      | V.After -> ge && not le
+      | V.Concurrent -> (not le) && not ge)
+
+let vclock_ragged_lengths () =
+  (* Clocks over different agent-id ranges compare by padding with
+     zeros; a missing component is exactly a zero component. *)
+  let module V = Analysis.Vclock in
+  let short = V.tick V.empty 0 in
+  let long = V.tick (V.tick V.empty 0) 3 in
+  check_int "phantom component" 0 (V.get short 3);
+  check_bool "short <= long" true (V.leq short long);
+  check_bool "long not <= short" false (V.leq long short);
+  (match V.compare short long with
+  | V.Before -> ()
+  | _ -> Alcotest.fail "padding must give Before");
+  match V.compare (V.join short V.empty) short with
+  | V.Equal -> ()
+  | _ -> Alcotest.fail "join with empty is identity"
+
+(* ---------------- Schedule certificates ---------------- *)
+
+let schedule_roundtrip () =
+  let module S = Analysis.Schedule in
+  Alcotest.(check string) "empty prints dash" "-" (S.to_string S.empty);
+  check_bool "empty parses" true (S.of_string "-" = S.empty);
+  check_bool "blank parses" true (S.of_string "  " = S.empty);
+  let t = [ { S.index = 1; count = 3 }; { S.index = 0; count = 2 } ] in
+  Alcotest.(check string) "renders" "1/3,0/2" (S.to_string t);
+  check_bool "round trips" true (S.of_string (S.to_string t) = t);
+  check_int "length" 2 (S.length t);
+  let rejects s =
+    try
+      ignore (S.of_string s);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "index out of range" true (rejects "3/3");
+  check_bool "count below two" true (rejects "0/1");
+  check_bool "malformed pair" true (rejects "1-3");
+  check_bool "junk" true (rejects "1/3,x")
+
+(* ---------------- Lint: notify-storm and unbounded-retry ------- *)
+
+let monitored_duo () =
+  let d = Rig.duo () in
+  let monitor = Analysis.Monitor.create d.Rig.engine in
+  Analysis.Monitor.attach_rmem monitor d.Rig.rmem0;
+  Analysis.Monitor.attach_rmem monitor d.Rig.rmem1;
+  (d, monitor)
+
+let rules findings = List.map (fun f -> f.Analysis.Lint.rule) findings
+
+let notify_storm_flagged () =
+  let d, monitor = monitored_duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment ~policy:Rmem.Segment.Always d in
+      (* Every write to a notify:always segment posts a notification;
+         a burst of small writes is the storm the rule is after. *)
+      for i = 0 to Analysis.Lint.poll_threshold + 1 do
+        Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:(i * 8)
+          (Bytes.make 8 'x')
+      done;
+      Rmem.Remote_memory.fence d.Rig.rmem0 desc);
+  let findings = Analysis.Lint.check monitor in
+  check_bool "notify-storm fires" true
+    (List.mem "notify-storm" (rules findings))
+
+let notify_storm_spares_conditional () =
+  let d, monitor = monitored_duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment ~policy:Rmem.Segment.Conditional d in
+      for i = 0 to Analysis.Lint.poll_threshold + 1 do
+        Rmem.Remote_memory.write d.Rig.rmem0 desc ~off:(i * 8)
+          (Bytes.make 8 'x')
+      done;
+      Rmem.Remote_memory.fence d.Rig.rmem0 desc);
+  let findings = Analysis.Lint.check monitor in
+  check_bool "conditional-policy bursts are fine" false
+    (List.mem "notify-storm" (rules findings))
+
+let unbounded_retry_flagged () =
+  let d, monitor = monitored_duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      (* Park the lock word at a value no CAS will match, then spin. *)
+      Cluster.Address_space.write_word d.Rig.space1 ~addr:0 9l;
+      for _ = 1 to Analysis.Lint.poll_threshold + 2 do
+        let ok, _ =
+          Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:0 ~old_value:0l
+            ~new_value:1l ()
+        in
+        assert (not ok)
+      done);
+  let findings = Analysis.Lint.check monitor in
+  check_bool "unbounded-retry fires" true
+    (List.mem "unbounded-retry" (rules findings))
+
+let backoff_retry_clean () =
+  let d, monitor = monitored_duo () in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      Cluster.Address_space.write_word d.Rig.space1 ~addr:0 9l;
+      for _ = 1 to Analysis.Lint.poll_threshold + 2 do
+        let ok, _ =
+          Rmem.Remote_memory.cas_wait d.Rig.rmem0 desc ~doff:0 ~old_value:0l
+            ~new_value:1l ()
+        in
+        assert (not ok);
+        (* Pausing past the backoff floor resets the consecutive run. *)
+        Sim.Proc.wait Analysis.Monitor.retry_backoff_floor;
+        Sim.Proc.wait (Sim.Time.us 1)
+      done);
+  let findings = Analysis.Lint.check monitor in
+  check_bool "backed-off retries are fine" false
+    (List.mem "unbounded-retry" (rules findings))
+
 (* ---------------- Scenario expectations ---------------- *)
 
 let run_scenario name =
@@ -170,6 +315,17 @@ let late_reply_after_timeout_ignored () =
 let suite =
   [
     Alcotest.test_case "vclock orders" `Quick vclock_orders;
+    Alcotest.test_case "vclock ragged lengths" `Quick vclock_ragged_lengths;
+    QCheck_alcotest.to_alcotest vclock_join_is_lub;
+    QCheck_alcotest.to_alcotest vclock_compare_matches_leq;
+    Alcotest.test_case "schedule certificates round trip" `Quick
+      schedule_roundtrip;
+    Alcotest.test_case "notify-storm flagged" `Quick notify_storm_flagged;
+    Alcotest.test_case "notify-storm spares conditional" `Quick
+      notify_storm_spares_conditional;
+    Alcotest.test_case "unbounded-retry flagged" `Quick
+      unbounded_retry_flagged;
+    Alcotest.test_case "backed-off retry clean" `Quick backoff_retry_clean;
     Alcotest.test_case "racy workload flagged" `Quick racy_flagged;
     Alcotest.test_case "producer/consumer clean" `Quick
       producer_consumer_clean;

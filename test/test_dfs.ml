@@ -612,6 +612,47 @@ let coherence_release_requires_ownership () =
        false
      with Failure _ -> true)
 
+let coherence_invariant_tracks_table () =
+  let testbed = Cluster.Testbed.create ~nodes:3 () in
+  let rmems =
+    Array.init 3 (fun i ->
+        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+  in
+  Cluster.Testbed.run testbed (fun () ->
+      let names = Array.map Names.Clerk.create rmems in
+      Array.iter Names.Clerk.serve_lookup_requests names;
+      let server = Cluster.Node.addr (Cluster.Testbed.node testbed 0) in
+      let manager = Dfs.Coherence.export_tokens ~names:names.(0) () in
+      let c1 = Dfs.Coherence.connect ~names:names.(1) ~server () in
+      check_bool "empty client trivially coherent" true
+        (Dfs.Coherence.invariant manager ~clients:[ c1 ]);
+      Dfs.Coherence.acquire c1 ~token:0;
+      check_bool "held token is published" true
+        (Dfs.Coherence.invariant manager ~clients:[ c1 ]);
+      (* A buggy third party frees the token behind the holder's back;
+         the invariant must notice the drift. *)
+      let thief = Names.Api.import ~hint:server names.(2) "dfs:tokens" in
+      let me1 =
+        Int32.of_int
+          (Atm.Addr.to_int (Cluster.Node.addr (Cluster.Testbed.node testbed 1))
+          + 1)
+      in
+      let stolen, _ =
+        Rmem.Remote_memory.cas_wait rmems.(2) thief ~doff:0 ~old_value:me1
+          ~new_value:0l ()
+      in
+      check_bool "steal succeeded" true stolen;
+      check_bool "drift detected" false
+        (Dfs.Coherence.invariant manager ~clients:[ c1 ]);
+      let restored, _ =
+        Rmem.Remote_memory.cas_wait rmems.(2) thief ~doff:0 ~old_value:0l
+          ~new_value:me1 ()
+      in
+      check_bool "restored" true restored;
+      Dfs.Coherence.release c1 ~token:0;
+      check_bool "coherent after release" true
+        (Dfs.Coherence.invariant manager ~clients:[ c1 ]))
+
 let suite =
   [
     Alcotest.test_case "store namespace" `Quick store_namespace;
@@ -638,6 +679,8 @@ let suite =
     Alcotest.test_case "lease expires without revocation" `Quick
       lease_expires_without_revocation;
     Alcotest.test_case "coherence foreign release" `Quick coherence_release_requires_ownership;
+    Alcotest.test_case "coherence invariant tracks table" `Quick
+      coherence_invariant_tracks_table;
     QCheck_alcotest.to_alcotest store_data_paths;
     QCheck_alcotest.to_alcotest slot_cache_addressing_pure;
     QCheck_alcotest.to_alcotest op_roundtrip;

@@ -290,9 +290,29 @@ let reexport_bumps_generation () =
         (Rmem.Generation.equal (Rmem.Descriptor.generation d1)
            (Rmem.Descriptor.generation d2)))
 
+let registry_well_formed () =
+  let space = Cluster.Address_space.create ~asid:9 () in
+  let r = Names.Registry.create ~space ~base:0 ~slots:8 in
+  check_bool "fresh table" true (Names.Registry.well_formed r);
+  ignore (Names.Registry.insert r (sample_record ~name:"alpha" ()));
+  ignore (Names.Registry.insert r (sample_record ~name:"beta" ()));
+  check_bool "after inserts" true (Names.Registry.well_formed r);
+  check_bool "deleted" true (Names.Registry.delete r "beta");
+  check_bool "orphans after deletion tolerated" true
+    (Names.Registry.well_formed r);
+  (* Tear every slot's valid flag behind the registry's back: the live
+     counter now exceeds the decodable records. *)
+  for index = 0 to 7 do
+    Cluster.Address_space.write_word space
+      ~addr:(index * Names.Record.slot_bytes)
+      0l
+  done;
+  check_bool "torn table detected" false (Names.Registry.well_formed r)
+
 let suite =
   [
     Alcotest.test_case "record invalid slot" `Quick record_invalid_slot;
+    Alcotest.test_case "registry well-formedness" `Quick registry_well_formed;
     Alcotest.test_case "record validation" `Quick record_validation;
     Alcotest.test_case "registry insert/lookup/delete" `Quick
       registry_insert_lookup_delete;

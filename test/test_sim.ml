@@ -91,6 +91,173 @@ let heap_pop_sorted =
       in
       drain (min_int, min_int))
 
+let heap_same_time_seq_order =
+  QCheck.Test.make ~name:"same-key entries pop in seq order" ~count:200
+    QCheck.(pair (int_bound 3) (list_of_size Gen.(2 -- 30) (int_bound 3)))
+    (fun (min_time, times) ->
+      (* Only a handful of distinct times, so same-time runs are long;
+         seqs are assigned in push order and must come back ascending
+         within every run. *)
+      let heap = Sim.Heap.create () in
+      List.iteri (fun seq time -> Sim.Heap.push heap ~time ~seq ()) times;
+      Sim.Heap.push heap ~time:min_time ~seq:(List.length times) ();
+      let rec drain previous =
+        match Sim.Heap.pop heap with
+        | None -> true
+        | Some e ->
+            if
+              e.Sim.Heap.time > fst previous
+              || (e.Sim.Heap.time = fst previous
+                 && e.Sim.Heap.seq > snd previous)
+            then drain (e.Sim.Heap.time, e.Sim.Heap.seq)
+            else false
+      in
+      drain (min_int, min_int))
+
+let heap_entries_at_min_and_remove () =
+  let heap = Sim.Heap.create () in
+  check_bool "empty min set" true (Sim.Heap.entries_at_min heap = []);
+  List.iter
+    (fun (time, seq) -> Sim.Heap.push heap ~time ~seq seq)
+    [ (5, 0); (3, 1); (5, 2); (3, 3); (3, 4) ];
+  let seqs entries = List.map (fun e -> e.Sim.Heap.seq) entries in
+  Alcotest.(check (list int))
+    "all min-time entries, ascending seq" [ 1; 3; 4 ]
+    (seqs (Sim.Heap.entries_at_min heap));
+  check_int "peek unchanged" 5 (Sim.Heap.length heap);
+  (match Sim.Heap.remove heap ~seq:3 with
+  | Some e -> check_int "removed the right payload" 3 e.Sim.Heap.payload
+  | None -> Alcotest.fail "seq 3 should be present");
+  check_bool "absent seq" true (Sim.Heap.remove heap ~seq:99 = None);
+  Alcotest.(check (list int))
+    "min set after removal" [ 1; 4 ]
+    (seqs (Sim.Heap.entries_at_min heap));
+  let rec drain acc =
+    match Sim.Heap.pop heap with
+    | None -> List.rev acc
+    | Some e -> drain (e.Sim.Heap.seq :: acc)
+  in
+  Alcotest.(check (list int))
+    "heap invariant survives removal" [ 1; 4; 0; 2 ] (drain [])
+
+(* ---------------- Same-instant choice points ---------------- *)
+
+let engine_choice_points () =
+  let engine = Sim.Engine.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  Sim.Engine.schedule engine (note "a");
+  Sim.Engine.schedule engine (note "b");
+  Sim.Engine.schedule engine (note "c");
+  (match Sim.Engine.next_enabled engine with
+  | Some choice ->
+      check_int "three enabled" 3 (List.length choice.Sim.Engine.enabled);
+      check_int "at time zero" 0 choice.Sim.Engine.at
+  | None -> Alcotest.fail "expected a choice point");
+  (* A scheduler that reverses FIFO must reverse the firing order. *)
+  Sim.Engine.set_scheduler engine
+    (Some
+       (fun choice ->
+         List.nth choice.Sim.Engine.enabled
+           (List.length choice.Sim.Engine.enabled - 1)));
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "reversed" [ "c"; "b"; "a" ]
+    (List.rev !order)
+
+let engine_step_seq_validates () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  Sim.Engine.schedule engine (fun () -> fired := "a" :: !fired);
+  Sim.Engine.schedule engine (fun () -> fired := "b" :: !fired);
+  Sim.Engine.schedule ~after:(Sim.Time.us 1) engine (fun () ->
+      fired := "late" :: !fired);
+  let enabled =
+    match Sim.Engine.next_enabled engine with
+    | Some c -> c.Sim.Engine.enabled
+    | None -> Alcotest.fail "expected a choice point"
+  in
+  check_int "two enabled now" 2 (List.length enabled);
+  (* The later event exists but is not enabled at this instant. *)
+  check_bool "not-enabled seq rejected" true
+    (try
+       ignore (Sim.Engine.step_seq engine 2);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "fired second first" true
+    (Sim.Engine.step_seq engine (List.nth enabled 1));
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "order" [ "b"; "a"; "late" ]
+    (List.rev !fired)
+
+let explicit_fifo_scheduler_is_default () =
+  (* The first-enabled scheduler must replay the default order exactly. *)
+  let trace scheduler =
+    let engine = Sim.Engine.create () in
+    (match scheduler with
+    | true -> Sim.Engine.set_scheduler engine (Some (fun c -> List.hd c.Sim.Engine.enabled))
+    | false -> ());
+    let order = ref [] in
+    let note tag () = order := tag :: !order in
+    Sim.Proc.spawn ~name:"p1" engine (fun () ->
+        note "p1-start" ();
+        Sim.Proc.yield ();
+        note "p1-mid" ();
+        Sim.Proc.wait (Sim.Time.us 2);
+        note "p1-end" ());
+    Sim.Proc.spawn ~name:"p2" engine (fun () ->
+        note "p2-start" ();
+        Sim.Proc.wait (Sim.Time.us 2);
+        note "p2-end" ());
+    Sim.Engine.schedule ~after:(Sim.Time.us 1) engine (note "timer");
+    Sim.Engine.run engine;
+    List.rev !order
+  in
+  Alcotest.(check (list string))
+    "identical event order" (trace false) (trace true)
+
+(* ---------------- Deadlock reporting ---------------- *)
+
+let engine_deadlock_names_waiters () =
+  let engine = Sim.Engine.create () in
+  Sim.Proc.spawn ~name:"stuck" engine (fun () ->
+      ignore
+        (Sim.Proc.suspend_on ~resource:"ivar \"never\""
+           (fun (_ : int -> unit) -> ())));
+  Sim.Proc.spawn ~name:"server" engine (fun () ->
+      ignore
+        (Sim.Proc.suspend_on ~daemon:true ~resource:"request queue"
+           (fun (_ : int -> unit) -> ())));
+  match Sim.Engine.run engine with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Engine.Deadlock (_, blocked) ->
+      check_int "one non-daemon waiter" 1 (List.length blocked);
+      let b = List.hd blocked in
+      Alcotest.(check string) "process named" "stuck" b.Sim.Engine.process;
+      Alcotest.(check string)
+        "resource named" "ivar \"never\"" b.Sim.Engine.resource;
+      let report = Sim.Engine.deadlock_report blocked in
+      let contains needle =
+        let n = String.length needle and h = String.length report in
+        let rec scan i =
+          i + n <= h && (String.sub report i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool "report names the process" true (contains "stuck");
+      check_bool "report names the resource" true (contains "ivar \"never\"")
+
+let engine_daemons_never_deadlock () =
+  let engine = Sim.Engine.create () in
+  Sim.Proc.spawn ~name:"rx-loop" engine (fun () ->
+      ignore
+        (Sim.Proc.suspend_on ~daemon:true ~resource:"nic"
+           (fun (_ : int -> unit) -> ())));
+  Sim.Engine.run engine;
+  check_int "daemon listed only on request" 0
+    (List.length (Sim.Engine.blocked engine));
+  check_int "with daemons included" 1
+    (List.length (Sim.Engine.blocked ~daemons:true engine))
+
 (* ---------------- Proc ---------------- *)
 
 let proc_wait_accumulates () =
@@ -310,7 +477,19 @@ let suite =
     Alcotest.test_case "resource release unheld" `Quick resource_release_unheld;
     Alcotest.test_case "prng determinism" `Quick prng_deterministic;
     Alcotest.test_case "prng split independence" `Quick prng_split_independent;
+    Alcotest.test_case "heap entries_at_min and remove" `Quick
+      heap_entries_at_min_and_remove;
+    Alcotest.test_case "engine choice points" `Quick engine_choice_points;
+    Alcotest.test_case "step_seq validates enabledness" `Quick
+      engine_step_seq_validates;
+    Alcotest.test_case "explicit FIFO scheduler is the default" `Quick
+      explicit_fifo_scheduler_is_default;
+    Alcotest.test_case "deadlock names blocked waiters" `Quick
+      engine_deadlock_names_waiters;
+    Alcotest.test_case "daemon waiters never deadlock" `Quick
+      engine_daemons_never_deadlock;
     QCheck_alcotest.to_alcotest heap_pop_sorted;
+    QCheck_alcotest.to_alcotest heap_same_time_seq_order;
     QCheck_alcotest.to_alcotest prng_bounds;
     QCheck_alcotest.to_alcotest prng_float_range;
   ]
