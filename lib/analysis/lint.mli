@@ -6,7 +6,7 @@ type finding = {
   rule : string;
       (** one of: ["stale-generation"], ["revoked-segment"], ["rights"],
           ["bounds"], ["write-inhibit"], ["unpinned"], ["poll-never"],
-          ["notify-storm"], ["unbounded-retry"] *)
+          ["notify-storm"], ["unbounded-retry"], ["no-retry-policy"] *)
   agent : string;  (** the offending agent *)
   key : Access.seg_key;
   detail : string;
@@ -16,7 +16,12 @@ val poll_threshold : int
 (** Repeated identical READs of one location before ["poll-never"]
     fires (8). *)
 
-val check : Monitor.t -> finding list
-(** One finding per (rule, agent, region), in first-occurrence order. *)
+val check : ?fault_capable:bool -> Monitor.t -> finding list
+(** One finding per (rule, agent, region), in first-occurrence order.
+    With [fault_capable] (default false — the reliable-fabric rules are
+    unchanged), additionally fires ["no-retry-policy"] for every
+    (agent, segment, op) that issued meta-instructions outside any
+    {!Rmem.Recovery} policy: on a path where the fault plane may drop
+    frames, a bare blocking op is a hang waiting to happen. *)
 
 val describe : finding -> string

@@ -69,6 +69,8 @@ type t = {
   policies : (Access.seg_key, Rmem.Segment.notify_policy) Hashtbl.t;
   retries : (string * Access.seg_key * int, retry_chain) Hashtbl.t;
   (* (agent name, segment, word offset) -> failed-CAS run lengths *)
+  unpolicied : (string * Access.seg_key * Rmem.Rights.op, int ref) Hashtbl.t;
+  (* issues seen outside any recovery policy, per (agent, segment, op) *)
   mutable rejections : rejection list;
   mutable nacks : int;
   mutable lrpc_calls : int;
@@ -89,6 +91,7 @@ let create engine =
     declared_sync = Hashtbl.create 8;
     policies = Hashtbl.create 8;
     retries = Hashtbl.create 8;
+    unpolicied = Hashtbl.create 8;
     rejections = [];
     nacks = 0;
     lrpc_calls = 0;
@@ -239,10 +242,16 @@ let on_rmem_event t ~self_addr event =
   let self () = agent_for t self_addr in
   match event with
   | Rmem.Remote_memory.Exported segment -> on_export t ~home:self_addr segment
-  | Rmem.Remote_memory.Issued { op; desc; off = _; count; notify = _ } ->
+  | Rmem.Remote_memory.Issued { op; desc; off = _; count; notify = _; policied }
+    ->
       let a = self () in
       tick a;
       let key = key_of_desc desc in
+      (if not policied then
+         let uk = (a.name, key, op) in
+         match Hashtbl.find_opt t.unpolicied uk with
+         | Some n -> incr n
+         | None -> Hashtbl.replace t.unpolicied uk (ref 1));
       let flight =
         {
           snapshot = a.clock;
@@ -426,6 +435,12 @@ let worst_cas_retries t =
     (fun (agent, key, off) chain acc ->
       if chain.worst > 0 then ((agent, key, off), chain.worst) :: acc else acc)
     t.retries []
+  |> List.sort Stdlib.compare
+
+let unpolicied_issues t =
+  Hashtbl.fold
+    (fun (agent, key, op) n acc -> ((agent, key, op), !n) :: acc)
+    t.unpolicied []
   |> List.sort Stdlib.compare
 
 let rejections t = List.rev t.rejections

@@ -24,3 +24,14 @@ let wire_bytes_of_len len = cells_of_len len * cell_wire_bytes
 
 let words_of_len len = (len + 3) / 4
 (* 32-bit words touched by programmed I/O to move [len] payload bytes. *)
+
+(* The AAL5 trailer carries a CRC-32 over the frame payload; we model it
+   with an FNV-1a digest, which is enough to make any single corrupted
+   byte detectable.  Verification is free in simulated time (the real
+   interface checks it in hardware as cells drain). *)
+let checksum payload =
+  let h = ref 0x811C9DC5 in
+  for i = 0 to Bytes.length payload - 1 do
+    h := (!h lxor Char.code (Bytes.get payload i)) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h

@@ -19,3 +19,7 @@ val wire_bytes_of_len : int -> int
 
 val words_of_len : int -> int
 (** 32-bit words touched by programmed I/O to copy [len] bytes. *)
+
+val checksum : bytes -> int
+(** The modeled AAL5 trailer CRC over a frame payload: any single
+    corrupted byte changes it. Free in simulated time. *)

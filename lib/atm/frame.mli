@@ -13,4 +13,13 @@ val ctx : t -> Obs.Ctx.t option
 val length : t -> int
 (** Payload length in bytes. *)
 
+val intact : t -> bool
+(** Does the payload still match the AAL checksum computed at {!make}?
+    False only for frames damaged in flight by the fault plane. *)
+
+val corrupted : byte:int -> t -> t
+(** A copy of the frame with the payload byte at [byte mod length]
+    flipped and the stored checksum left stale, so the receiving NIC
+    detects the damage. An empty payload damages the checksum itself. *)
+
 val pp : Format.formatter -> t -> unit

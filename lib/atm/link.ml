@@ -3,10 +3,25 @@
    A link serializes frames at wire rate: a frame occupies the wire for
    [cells x cell_time], in FIFO order, and is delivered [propagation]
    later.  Within the cluster, loss is treated as catastrophic (the
-   paper's reliability assumption), so exceeding the queue bound raises
-   rather than silently dropping. *)
+   paper's reliability assumption), so by default exceeding the queue
+   bound raises rather than silently dropping.
+
+   The fault plane interposes here: [set_interposer] installs a verdict
+   function consulted once per offered frame, and [set_overflow] switches
+   the queue bound to drop-with-counter.  With no interposer installed
+   and the legacy overflow policy, [send] follows exactly the original
+   code path, so fault-free runs are bit-identical. *)
 
 exception Overflow of string
+
+type overflow_policy = Raise_on_overflow | Drop_on_overflow
+
+type verdict =
+  | Deliver
+  | Drop of string
+  | Corrupt of int
+  | Duplicate of int
+  | Delay of Sim.Time.t
 
 type t = {
   name : string;
@@ -19,6 +34,10 @@ type t = {
   mutable cells_sent : int;
   mutable wire_bytes : int;
   mutable busy_time : Sim.Time.t;
+  mutable interposer : (Frame.t -> verdict) option;
+  mutable overflow : overflow_policy;
+  mutable drops : int; (* frames removed by the fault plane *)
+  mutable overflow_drops : int; (* frames refused by a full queue *)
 }
 
 let create ?(name = "link") engine config ~deliver =
@@ -33,32 +52,65 @@ let create ?(name = "link") engine config ~deliver =
     cells_sent = 0;
     wire_bytes = 0;
     busy_time = Sim.Time.zero;
+    interposer = None;
+    overflow = Raise_on_overflow;
+    drops = 0;
+    overflow_drops = 0;
   }
 
-let send t frame =
+let set_interposer t f = t.interposer <- f
+let set_overflow t policy = t.overflow <- policy
+
+(* Accept one frame onto the wire.  [jitter] stretches only this frame's
+   propagation (the wire itself stays FIFO, so a jittered frame can
+   arrive after frames sent later — that is how the fault plane induces
+   reordering). *)
+let enqueue t frame ~jitter =
   if t.queued >= t.config.Config.fifo_capacity_cells then
-    raise (Overflow t.name);
-  let len = Frame.length frame in
-  let cells = Aal.cells_of_len len in
-  let tx_time = Config.frame_wire_time t.config len in
-  let now = Sim.Engine.now t.engine in
-  let start = Sim.Time.max now t.next_free in
-  t.next_free <- Sim.Time.add start tx_time;
-  t.queued <- t.queued + 1;
-  t.frames_sent <- t.frames_sent + 1;
-  t.cells_sent <- t.cells_sent + cells;
-  t.wire_bytes <- t.wire_bytes + Aal.wire_bytes_of_len len;
-  t.busy_time <- Sim.Time.add t.busy_time tx_time;
-  let arrival =
-    Sim.Time.add t.next_free t.config.Config.propagation
-  in
-  Obs.Trace.link_hop (Frame.ctx frame) ~name:t.name ~start ~finish:arrival;
-  Sim.Engine.schedule_at t.engine arrival (fun () ->
-      t.queued <- t.queued - 1;
-      t.deliver frame)
+    match t.overflow with
+    | Raise_on_overflow -> raise (Overflow t.name)
+    | Drop_on_overflow -> t.overflow_drops <- t.overflow_drops + 1
+  else begin
+    let len = Frame.length frame in
+    let cells = Aal.cells_of_len len in
+    let tx_time = Config.frame_wire_time t.config len in
+    let now = Sim.Engine.now t.engine in
+    let start = Sim.Time.max now t.next_free in
+    t.next_free <- Sim.Time.add start tx_time;
+    t.queued <- t.queued + 1;
+    t.frames_sent <- t.frames_sent + 1;
+    t.cells_sent <- t.cells_sent + cells;
+    t.wire_bytes <- t.wire_bytes + Aal.wire_bytes_of_len len;
+    t.busy_time <- Sim.Time.add t.busy_time tx_time;
+    let arrival =
+      Sim.Time.add
+        (Sim.Time.add t.next_free t.config.Config.propagation)
+        jitter
+    in
+    Obs.Trace.link_hop (Frame.ctx frame) ~name:t.name ~start ~finish:arrival;
+    Sim.Engine.schedule_at t.engine arrival (fun () ->
+        t.queued <- t.queued - 1;
+        t.deliver frame)
+  end
+
+let send t frame =
+  match t.interposer with
+  | None -> enqueue t frame ~jitter:Sim.Time.zero
+  | Some f -> (
+      match f frame with
+      | Deliver -> enqueue t frame ~jitter:Sim.Time.zero
+      | Drop _reason -> t.drops <- t.drops + 1
+      | Corrupt byte -> enqueue t (Frame.corrupted ~byte frame) ~jitter:Sim.Time.zero
+      | Duplicate extra ->
+          for _ = 0 to extra do
+            enqueue t frame ~jitter:Sim.Time.zero
+          done
+      | Delay jitter -> enqueue t frame ~jitter)
 
 let frames_sent t = t.frames_sent
 let cells_sent t = t.cells_sent
 let wire_bytes t = t.wire_bytes
 let busy_time t = t.busy_time
+let drops t = t.drops
+let overflow_drops t = t.overflow_drops
 let name t = t.name

@@ -3,7 +3,11 @@
    [Back_to_back] wires every pair of nodes with dedicated links (the
    paper's two-node switchless testbed generalized to a full mesh);
    [Star] puts an output-queued switch in the middle, the deployment the
-   paper anticipates for larger clusters. *)
+   paper anticipates for larger clusters.
+
+   Every link in the fabric is retained, with its endpoints, so the
+   fault plane can interpose on each edge; route lookups for unknown
+   destinations drop-with-counter at the NIC rather than aborting. *)
 
 type topology = Back_to_back | Star
 
@@ -13,12 +17,14 @@ type t = {
   topology : topology;
   nics : Nic.t array;
   switch : Switch.t option;
+  mesh_edges : (int option * int option * Link.t) list;
 }
 
 let build_mesh engine config nics =
   let n = Array.length nics in
   (* links.(i).(j) carries traffic from node i to node j. *)
   let links = Array.make_matrix n n None in
+  let edges = ref [] in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       if i <> j then begin
@@ -29,17 +35,18 @@ let build_mesh engine config nics =
             engine config
             ~deliver:(fun frame -> Nic.deliver dst_nic frame)
         in
-        links.(i).(j) <- Some link
+        links.(i).(j) <- Some link;
+        edges := (Some i, Some j, link) :: !edges
       end
     done
   done;
   Array.iteri
     (fun i nic ->
       Nic.set_route nic (fun dst ->
-          match links.(i).(Addr.to_int dst) with
-          | Some link -> link
-          | None -> failwith "Network: no route"))
-    nics
+          let d = Addr.to_int dst in
+          if d < 0 || d >= n then None else links.(i).(d)))
+    nics;
+  List.rev !edges
 
 let build_star engine config nics =
   let switch = Switch.create engine config in
@@ -47,7 +54,7 @@ let build_star engine config nics =
   Array.iter
     (fun nic ->
       let uplink = Switch.uplink_for switch (Nic.addr nic) in
-      Nic.set_route nic (fun _dst -> uplink))
+      Nic.set_route nic (fun _dst -> Some uplink))
     nics;
   switch
 
@@ -56,14 +63,12 @@ let create ?(config = Config.default) ?(topology = Back_to_back) engine ~nodes =
   let nics =
     Array.init nodes (fun i -> Nic.create config (Addr.of_int i))
   in
-  let switch =
+  let switch, mesh_edges =
     match topology with
-    | Back_to_back ->
-        build_mesh engine config nics;
-        None
-    | Star -> Some (build_star engine config nics)
+    | Back_to_back -> (None, build_mesh engine config nics)
+    | Star -> (Some (build_star engine config nics), [])
   in
-  { engine; config; topology; nics; switch }
+  { engine; config; topology; nics; switch; mesh_edges }
 
 let nic t addr = t.nics.(Addr.to_int addr)
 let nic_of_int t i = t.nics.(i)
@@ -73,3 +78,8 @@ let engine t = t.engine
 let addrs t = Array.to_list (Array.map Nic.addr t.nics)
 let switch t = t.switch
 let topology t = t.topology
+
+let links t =
+  match t.switch with
+  | Some switch -> Switch.links switch
+  | None -> t.mesh_edges

@@ -18,3 +18,10 @@ val engine : t -> Sim.Engine.t
 val addrs : t -> Addr.t list
 val switch : t -> Switch.t option
 val topology : t -> topology
+
+val links : t -> (int option * int option * Link.t) list
+(** Every fabric edge with its endpoints, in deterministic construction
+    order, for the fault plane. Mesh link [i -> j] is
+    [(Some i, Some j, link)]; a star's uplink [i -> switch] is
+    [(Some i, None, link)] and downlink [switch -> j] is
+    [(None, Some j, link)]. *)

@@ -4,14 +4,20 @@
    DMA.  The CPU cost of those word copies is charged by the kernel
    emulation layer (which knows whose CPU pays); the NIC itself models the
    wire side: outbound frames are routed onto a link, inbound frames queue
-   in a bounded receive FIFO until the host drains them. *)
+   in a bounded receive FIFO until the host drains them.
+
+   Two drop paths exist for the fault plane's benefit: an unroutable
+   destination (a crashed or partitioned peer) counts a tx route drop
+   instead of aborting, and an arriving frame whose AAL checksum no
+   longer matches its payload counts a receive error and is discarded —
+   corruption surfaces as loss, never as silent bad data. *)
 
 exception Rx_overflow of Addr.t
 
 type t = {
   addr : Addr.t;
   config : Config.t;
-  mutable route : Addr.t -> Link.t;
+  mutable route : Addr.t -> Link.t option;
   rx : Frame.t Sim.Mailbox.t;
   mutable rx_cells_pending : int;
   mutable frames_tx : int;
@@ -20,6 +26,8 @@ type t = {
   mutable bytes_rx : int;
   mutable cells_tx : int;
   mutable cells_rx : int;
+  mutable crc_errors : int;
+  mutable route_drops : int;
 }
 
 let no_route _ = failwith "Nic: route not installed"
@@ -37,6 +45,8 @@ let create config addr =
     bytes_rx = 0;
     cells_tx = 0;
     cells_rx = 0;
+    crc_errors = 0;
+    route_drops = 0;
   }
 
 let addr t = t.addr
@@ -47,22 +57,31 @@ let transmit ?ctx t ~dst payload =
     invalid_arg "Nic.transmit: destination is self";
   Obs.Trace.frame_sent ctx ~node:(Addr.to_int t.addr);
   let frame = Frame.make ?ctx ~src:t.addr ~dst payload in
-  let len = Frame.length frame in
-  t.frames_tx <- t.frames_tx + 1;
-  t.bytes_tx <- t.bytes_tx + len;
-  t.cells_tx <- t.cells_tx + Aal.cells_of_len len;
-  Link.send (t.route dst) frame
+  match t.route dst with
+  | None -> t.route_drops <- t.route_drops + 1
+  | Some link ->
+      let len = Frame.length frame in
+      t.frames_tx <- t.frames_tx + 1;
+      t.bytes_tx <- t.bytes_tx + len;
+      t.cells_tx <- t.cells_tx + Aal.cells_of_len len;
+      Link.send link frame
 
 let deliver t frame =
-  let cells = Aal.cells_of_len (Frame.length frame) in
-  if t.rx_cells_pending + cells > t.config.Config.fifo_capacity_cells then
-    raise (Rx_overflow t.addr);
-  Obs.Trace.frame_delivered (Frame.ctx frame) ~node:(Addr.to_int t.addr);
-  t.rx_cells_pending <- t.rx_cells_pending + cells;
-  t.frames_rx <- t.frames_rx + 1;
-  t.bytes_rx <- t.bytes_rx + Frame.length frame;
-  t.cells_rx <- t.cells_rx + cells;
-  Sim.Mailbox.send t.rx frame
+  if not (Frame.intact frame) then
+    (* Checksum mismatch: the interface hardware discards the frame as it
+       reassembles, so the host never sees it — corruption becomes loss. *)
+    t.crc_errors <- t.crc_errors + 1
+  else begin
+    let cells = Aal.cells_of_len (Frame.length frame) in
+    if t.rx_cells_pending + cells > t.config.Config.fifo_capacity_cells then
+      raise (Rx_overflow t.addr);
+    Obs.Trace.frame_delivered (Frame.ctx frame) ~node:(Addr.to_int t.addr);
+    t.rx_cells_pending <- t.rx_cells_pending + cells;
+    t.frames_rx <- t.frames_rx + 1;
+    t.bytes_rx <- t.bytes_rx + Frame.length frame;
+    t.cells_rx <- t.cells_rx + cells;
+    Sim.Mailbox.send t.rx frame
+  end
 
 let receive t =
   let frame = Sim.Mailbox.recv t.rx in
@@ -77,3 +96,5 @@ let bytes_tx t = t.bytes_tx
 let bytes_rx t = t.bytes_rx
 let cells_tx t = t.cells_tx
 let cells_rx t = t.cells_rx
+let crc_errors t = t.crc_errors
+let route_drops t = t.route_drops

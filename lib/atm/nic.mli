@@ -14,8 +14,11 @@ type t
 val create : Config.t -> Addr.t -> t
 val addr : t -> Addr.t
 
-val set_route : t -> (Addr.t -> Link.t) -> unit
-(** Install the outbound routing function (done by {!Network}). *)
+val set_route : t -> (Addr.t -> Link.t option) -> unit
+(** Install the outbound routing function (done by {!Network}). [None]
+    means the destination is unreachable (crashed or partitioned peer):
+    the frame is counted in {!route_drops} and discarded rather than
+    aborting the simulation. *)
 
 val transmit : ?ctx:Obs.Ctx.t -> t -> dst:Addr.t -> bytes -> unit
 (** Route a payload onto the appropriate link. Does not block; wire-rate
@@ -23,7 +26,9 @@ val transmit : ?ctx:Obs.Ctx.t -> t -> dst:Addr.t -> bytes -> unit
     for tracing and opens the frame's wire span. *)
 
 val deliver : t -> Frame.t -> unit
-(** Called by links at frame arrival; queues into the receive FIFO. *)
+(** Called by links at frame arrival; queues into the receive FIFO. A
+    frame whose AAL checksum no longer matches its payload is discarded
+    as a receive error ({!crc_errors}) — corruption surfaces as loss. *)
 
 val receive : t -> Frame.t
 (** Drain the oldest received frame, blocking the calling process while
@@ -39,3 +44,9 @@ val bytes_tx : t -> int
 val bytes_rx : t -> int
 val cells_tx : t -> int
 val cells_rx : t -> int
+
+val crc_errors : t -> int
+(** Arriving frames discarded for a checksum mismatch. *)
+
+val route_drops : t -> int
+(** Outbound frames discarded for lack of a route. *)

@@ -3,17 +3,30 @@
    Each port has an uplink (node to switch) and a downlink (switch to
    node).  A frame arriving on an uplink is forwarded to the destination
    port's downlink after a fixed switching latency; contention appears as
-   queueing on the shared downlink. *)
+   queueing on the shared downlink.
+
+   A frame addressed to a port that was never attached (or whose node
+   has been cut out of the fabric) is dropped and counted, not fatal: a
+   crashed or partitioned peer must not abort the whole simulation. *)
 
 type t = {
   engine : Sim.Engine.t;
   config : Config.t;
   downlinks : (int, Link.t) Hashtbl.t;
+  mutable uplinks : (int * Link.t) list;
   mutable frames_switched : int;
+  mutable drops : int;
 }
 
 let create engine config =
-  { engine; config; downlinks = Hashtbl.create 8; frames_switched = 0 }
+  {
+    engine;
+    config;
+    downlinks = Hashtbl.create 8;
+    uplinks = [];
+    frames_switched = 0;
+    drops = 0;
+  }
 
 let attach_port t nic =
   let addr = Nic.addr nic in
@@ -28,7 +41,7 @@ let attach_port t nic =
 let forward t frame =
   let dst = Addr.to_int (Frame.dst frame) in
   match Hashtbl.find_opt t.downlinks dst with
-  | None -> failwith "Switch.forward: unknown destination port"
+  | None -> t.drops <- t.drops + 1
   | Some down ->
       t.frames_switched <- t.frames_switched + 1;
       let now = Sim.Engine.now t.engine in
@@ -38,9 +51,30 @@ let forward t frame =
         (fun () -> Link.send down frame)
 
 let uplink_for t nic_addr =
-  Link.create
-    ~name:(Printf.sprintf "up:%s" (Addr.to_string nic_addr))
-    t.engine t.config
-    ~deliver:(fun frame -> forward t frame)
+  let up =
+    Link.create
+      ~name:(Printf.sprintf "up:%s" (Addr.to_string nic_addr))
+      t.engine t.config
+      ~deliver:(fun frame -> forward t frame)
+  in
+  t.uplinks <- (Addr.to_int nic_addr, up) :: t.uplinks;
+  up
 
 let frames_switched t = t.frames_switched
+let drops t = t.drops
+
+(* Fabric edges in deterministic (port-sorted) order, for the fault
+   plane: uplink i -> switch is [(Some i, None)], downlink switch -> j
+   is [(None, Some j)]. *)
+let links t =
+  let by_port (a, _) (b, _) = compare (a : int) b in
+  let ups =
+    List.sort by_port t.uplinks
+    |> List.map (fun (i, l) -> (Some i, None, l))
+  in
+  let downs =
+    Hashtbl.fold (fun j l acc -> (j, l) :: acc) t.downlinks []
+    |> List.sort by_port
+    |> List.map (fun (j, l) -> (None, Some j, l))
+  in
+  ups @ downs

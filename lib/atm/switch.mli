@@ -2,7 +2,8 @@
 
     Frames arriving on a port's uplink are forwarded onto the destination
     port's downlink after a fixed switching latency; contention appears
-    as queueing on the shared downlink. *)
+    as queueing on the shared downlink. A frame for an unknown port is
+    dropped and counted ({!drops}), never fatal. *)
 
 type t
 
@@ -15,3 +16,11 @@ val uplink_for : t -> Addr.t -> Link.t
 (** Create the uplink a node uses to reach the switch. *)
 
 val frames_switched : t -> int
+
+val drops : t -> int
+(** Frames discarded for an unknown destination port. *)
+
+val links : t -> (int option * int option * Link.t) list
+(** Every fabric edge in deterministic port order, with its endpoints:
+    uplink [i -> switch] is [(Some i, None, link)], downlink
+    [switch -> j] is [(None, Some j, link)]. *)

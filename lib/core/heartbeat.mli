@@ -19,6 +19,7 @@ val watch :
   ?period:Sim.Time.t ->
   ?timeout:Sim.Time.t ->
   ?strikes_allowed:int ->
+  ?on_recovery:(unit -> unit) ->
   on_failure:(unit -> unit) ->
   unit ->
   t
@@ -26,8 +27,15 @@ val watch :
     (default 10 ms) with a [timeout] (default 5 ms). After more than
     [strikes_allowed] consecutive misses — timeouts, remote errors, or
     a counter that stopped moving — the state flips to [Failed] and
-    [on_failure] runs once. *)
+    [on_failure] runs once. A probe that sees the counter advance again
+    after one or more misses calls [on_recovery] (default: nothing)
+    before resetting the strike count — strikes are the retry policy
+    here; a lossy link accumulates them and a healed one clears them. *)
 
 val state : t -> state
 val probes : t -> int
+
+val strikes : t -> int
+(** Consecutive misses since the counter last advanced. *)
+
 val stop : t -> unit

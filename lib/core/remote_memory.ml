@@ -44,6 +44,7 @@ type monitor_event =
       off : int;
       count : int;
       notify : bool;
+      policied : bool;
     }
   | Issue_rejected of {
       op : Rights.op;
@@ -99,6 +100,10 @@ type t = {
   write_failures : (int * int * int, Status.t) Hashtbl.t;
   (* (remote, seg, gen) -> latest nacked WRITE status, cleared on take *)
   mutable monitor : (monitor_event -> unit) option;
+  mutable recovery_depth : int;
+  (* > 0 while a recovery policy drives the current issue: marks the
+     Issued events it produces as policied for the lint layer *)
+  mutable fault_registry : Obs.Registry.t option;
 }
 
 (* The analysis layer's hook: one match on a [None] field when disabled,
@@ -164,6 +169,8 @@ let attach node =
       crypto = None;
       write_failures = Hashtbl.create 4;
       monitor = None;
+      recovery_depth = 0;
+      fault_registry = None;
     }
   in
   List.iter
@@ -317,7 +324,16 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
   let c = costs t in
   let count = Bytes.length data in
   check_local t desc Rights.Write_op ~off ~count;
-  emit t (Issued { op = Rights.Write_op; desc; off; count; notify });
+  emit t
+    (Issued
+       {
+         op = Rights.Write_op;
+         desc;
+         off;
+         count;
+         notify;
+         policied = t.recovery_depth > 0;
+       });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"WRITE"
       ~seg:(Descriptor.segment_id desc) ~off ~count
@@ -366,7 +382,16 @@ let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
   check_local t desc Rights.Read_op ~off:soff ~count;
   if doff < 0 || doff + count > dst.len then
     raise (Status.Remote_error Status.Bounds);
-  emit t (Issued { op = Rights.Read_op; desc; off = soff; count; notify });
+  emit t
+    (Issued
+       {
+         op = Rights.Read_op;
+         desc;
+         off = soff;
+         count;
+         notify;
+         policied = t.recovery_depth > 0;
+       });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"READ"
       ~seg:(Descriptor.segment_id desc) ~off:soff ~count
@@ -427,7 +452,16 @@ let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
       if off < 0 || off + 4 > buf.len then
         raise (Status.Remote_error Status.Bounds)
   | None -> ());
-  emit t (Issued { op = Rights.Cas_op; desc; off = doff; count = 4; notify });
+  emit t
+    (Issued
+       {
+         op = Rights.Cas_op;
+         desc;
+         off = doff;
+         count = 4;
+         notify;
+         policied = t.recovery_depth > 0;
+       });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"CAS"
       ~seg:(Descriptor.segment_id desc) ~off:doff ~count:4
@@ -507,6 +541,196 @@ let cas_wait ?timeout t desc ~doff ~old_value ~new_value ?result ?notify () =
   let status, witness = Sim.Ivar.read completion in
   Status.check status;
   (Int32.equal witness old_value, witness)
+
+(* ------------------------------------------------------------------ *)
+(* Policy-driven recovery (§3.7).                                      *)
+
+let set_fault_registry t registry = t.fault_registry <- registry
+
+let fault_incr t name =
+  match t.fault_registry with
+  | None -> ()
+  | Some registry -> Obs.Registry.incr registry name
+
+(* Execute one blocking operation under a recovery policy: reissue on
+   retryable failures with exponential backoff, run the policy's
+   revalidator on stale-descriptor failures, re-raise terminal ones.
+   Attempts run with [recovery_depth] raised so the Issued events they
+   produce are marked policied (the no-retry-policy lint keys on it).
+   Must be called from a simulated process (backoff blocks). *)
+let run_policy t (policy : Recovery.policy) desc ~op attempt_fn =
+  let engine = Cluster.Node.engine t.node in
+  let scope = Obs.Trace.scope_begin ~node:(nid t) ~name:("recover:" ^ op) in
+  let started = Sim.Engine.now engine in
+  let finish v =
+    Obs.Trace.scope_end scope;
+    v
+  in
+  let rec go attempt =
+    let outcome =
+      t.recovery_depth <- t.recovery_depth + 1;
+      Fun.protect
+        ~finally:(fun () -> t.recovery_depth <- t.recovery_depth - 1)
+        (fun () ->
+          try Ok (attempt_fn ()) with
+          | Status.Timeout -> Error Status.Timed_out
+          | Status.Remote_error status -> Error status)
+    in
+    match outcome with
+    | Ok v ->
+        if attempt > 0 then begin
+          Metrics.Account.add t.errors ~category:"recovered" 1.;
+          fault_incr t "rmem.recovered";
+          match t.fault_registry with
+          | None -> ()
+          | Some registry ->
+              Obs.Registry.observe registry ~node:(nid t)
+                ~seg:(Descriptor.segment_id desc) ~op:("recover:" ^ op)
+                (Sim.Time.to_us
+                   (Sim.Time.diff (Sim.Engine.now engine) started))
+        end;
+        v
+    | Error status ->
+        let give_up () =
+          Metrics.Account.add t.errors ~category:"gave-up" 1.;
+          fault_incr t "rmem.gave_up";
+          Status.check status;
+          assert false
+        in
+        let retry () =
+          Metrics.Account.add t.errors ~category:"retry" 1.;
+          fault_incr t "rmem.retries";
+          Sim.Proc.wait (Recovery.backoff_after policy ~attempt);
+          go (attempt + 1)
+        in
+        if attempt + 1 >= policy.Recovery.attempts then give_up ()
+        else begin
+          match Recovery.classify status with
+          | Recovery.Terminal -> give_up ()
+          | Recovery.Retryable -> retry ()
+          | Recovery.Revalidate -> (
+              match policy.Recovery.revalidate with
+              | None -> give_up ()
+              | Some revalidate ->
+                  fault_incr t "rmem.revalidations";
+                  if revalidate desc then retry () else give_up ())
+        end
+  in
+  try finish (go 0)
+  with exn ->
+    Obs.Trace.scope_end scope;
+    raise exn
+
+let read_with t ~policy desc ~soff ~count ~dst ~doff ?notify ?swab () =
+  run_policy t policy desc ~op:"READ" (fun () ->
+      read_wait
+        ~timeout:(Recovery.timeout policy)
+        t desc ~soff ~count ~dst ~doff ?notify ?swab ())
+
+let write_with t ~policy desc ~off ?notify ?(swab = false) data =
+  (* WRITE is unacknowledged and a frame the fault plane drops generates
+     no nack — a bare fence round trip would sail past the gap and
+     succeed.  So each attempt deposits and then *reads the data back*
+     (the paper's "read of a known value"), treating a mismatch as loss
+     and reissuing: at-least-once deposit of idempotent data.  The
+     read-back also flushes any nack, which is re-raised.  When the
+     descriptor grants no read rights (or the data is byte-swapped in
+     transit), only the nack-flushing fence remains — loss detection
+     then needs an application-level read, as in the paper.
+     Verification assumes no concurrent writer deposits different bytes
+     into the same region mid-check (single-writer regions, the usual
+     discipline here). *)
+  let count = Bytes.length data in
+  let verifiable =
+    count > 0 && (not swab) && Rights.allows (Descriptor.rights desc) Rights.Read_op
+  in
+  run_policy t policy desc ~op:"WRITE" (fun () ->
+      write t desc ~off ~swab ?notify data;
+      if not verifiable then fence ~timeout:(Recovery.timeout policy) t desc
+      else begin
+        let space = Cluster.Node.new_address_space t.node in
+        let dst = buffer ~space ~base:0 ~len:count in
+        read_wait
+          ~timeout:(Recovery.timeout policy)
+          t desc ~soff:off ~count ~dst ~doff:0 ();
+        (match take_write_failure t desc with
+        | None -> ()
+        | Some status -> raise (Status.Remote_error status));
+        let got = Cluster.Address_space.read space ~addr:0 ~len:count in
+        if not (Bytes.equal got data) then
+          (* The deposit frame was lost on the wire (or corrupted and
+             discarded at the NIC): surface it as the timeout it would
+             eventually become. *)
+          raise (Status.Remote_error Status.Timed_out)
+      end)
+
+let cas_with t ~policy desc ~doff ~old_value ~new_value ?result ?notify () =
+  run_policy t policy desc ~op:"CAS" (fun () ->
+      cas_wait
+        ~timeout:(Recovery.timeout policy)
+        t desc ~doff ~old_value ~new_value ?result ?notify ())
+
+let fence_with t ~policy desc =
+  run_policy t policy desc ~op:"FENCE" (fun () ->
+      fence ~timeout:(Recovery.timeout policy) t desc)
+
+(* ------------------------------------------------------------------ *)
+(* Crash and restart (driven by the fault plane).                      *)
+
+(* A crashing node loses its in-flight requests: fail every pending
+   completion (in reqid order, for determinism) so local waiters
+   unblock with Timed_out rather than hanging forever, and forget any
+   recorded write nacks. *)
+let crash t =
+  let pend = Hashtbl.fold (fun reqid p acc -> (reqid, p) :: acc) t.pending [] in
+  let pend = List.sort (fun (a, _) (b, _) -> compare (a : int) b) pend in
+  Hashtbl.reset t.pending;
+  Hashtbl.reset t.write_failures;
+  List.iter
+    (fun (_, p) ->
+      match p with
+      | Pending_read p -> Sim.Ivar.fill p.completion Status.Timed_out
+      | Pending_cas p -> Sim.Ivar.fill p.completion (Status.Timed_out, 0l))
+    pend
+
+(* Restart after a crash: every export comes back under a fresh
+   generation (in segment-id order), so requests against descriptors
+   imported before the crash fail with Stale_generation until their
+   holders re-import through the name service — the paper's restart
+   safety argument.  [preserve] exempts well-known bootstrap segments,
+   whose fixed generations are the contract that lets clerks find the
+   name service again.  Write-inhibit state does not survive the
+   restart; pages stay pinned (the exporting process is assumed to
+   re-register immediately). *)
+let restart_exports ?(preserve = []) t =
+  let segs = Hashtbl.fold (fun _ segment acc -> segment :: acc) t.exported [] in
+  let segs =
+    List.sort (fun a b -> compare (Segment.id a) (Segment.id b)) segs
+  in
+  List.iter
+    (fun old ->
+      let id = Segment.id old in
+      let generation =
+        if List.mem id preserve then Segment.generation old
+        else begin
+          let g = t.next_generation in
+          t.next_generation <- Generation.next g;
+          g
+        end
+      in
+      Segment.mark_revoked old;
+      Hashtbl.remove t.exported id;
+      let segment =
+        Segment.create ~id ~name:(Segment.name old)
+          ~space:(Segment.space old) ~base:(Segment.base old)
+          ~len:(Segment.length old) ~generation
+          ~default_rights:(Segment.default_rights old)
+          ~notification:(Segment.notification old) ~policy:(Segment.policy old)
+      in
+      Hashtbl.replace t.exported id segment;
+      Metrics.Account.add t.ops ~category:"re-export" 1.;
+      emit t (Exported segment))
+    segs
 
 (* ------------------------------------------------------------------ *)
 (* Service side: incoming requests.                                    *)

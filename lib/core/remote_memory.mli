@@ -156,6 +156,95 @@ val cas_wait :
   bool * int32
 (** Blocking wrapper: returns (succeeded, witness). *)
 
+(** {1 Policy-driven recovery (§3.7)}
+
+    Blocking variants that execute under a {!Recovery.policy}: each
+    attempt uses the policy's timeout, retryable failures (timeouts —
+    i.e. loss, corruption, partitions, crashed peers) are reissued after
+    exponential backoff, [Stale_generation] / [Bad_segment] failures run
+    the policy's revalidator (typically a forced name-service re-import)
+    before the next attempt, and terminal failures ([Protection],
+    [Bounds], ...) re-raise immediately. Retries are counted in
+    {!errors} (categories "retry" / "recovered" / "gave-up") and in the
+    fault registry when one is attached. Must be called from a simulated
+    process. *)
+
+val read_with :
+  t ->
+  policy:Recovery.policy ->
+  Descriptor.t ->
+  soff:int ->
+  count:int ->
+  dst:buffer ->
+  doff:int ->
+  ?notify:bool ->
+  ?swab:bool ->
+  unit ->
+  unit
+(** Like {!read_wait}, under a policy. READ is idempotent: safe to
+    reissue blindly. *)
+
+val write_with :
+  t ->
+  policy:Recovery.policy ->
+  Descriptor.t ->
+  off:int ->
+  ?notify:bool ->
+  ?swab:bool ->
+  bytes ->
+  unit
+(** Write-then-verify per attempt: WRITE is unacknowledged and a frame
+    lost on the wire produces no nack, so each attempt reads the data
+    back (the paper's "read of a known value") and reissues on mismatch
+    — at-least-once deposit of idempotent data; a [notify] bit may
+    therefore post more than once. When the descriptor grants no read
+    rights (or [swab] is set) only a nack-flushing fence remains, and
+    silent loss must be caught by an application-level read. Assumes no
+    concurrent writer to the same region during verification. *)
+
+val cas_with :
+  t ->
+  policy:Recovery.policy ->
+  Descriptor.t ->
+  doff:int ->
+  old_value:int32 ->
+  new_value:int32 ->
+  ?result:buffer * int ->
+  ?notify:bool ->
+  unit ->
+  bool * int32
+(** Like {!cas_wait}, under a policy. Caveat: if a CAS applied but its
+    reply was lost, the reissued CAS observes [new_value] and reports
+    failure — the usual lost-reply ambiguity; callers must treat a
+    false return as "not won by this call", not "nothing happened". *)
+
+val fence_with : t -> policy:Recovery.policy -> Descriptor.t -> unit
+(** Like {!fence}, under a policy. *)
+
+(** {1 Crash and restart (driven by the fault plane)} *)
+
+val crash : t -> unit
+(** The node lost its volatile protocol state: every pending READ/CAS
+    completion fills with [Timed_out] (in request-id order, for
+    deterministic replay) so local waiters unblock, and recorded write
+    nacks are forgotten. Pair with {!Cluster.Node.set_down}. *)
+
+val restart_exports : ?preserve:int list -> t -> unit
+(** Bring the node's exports back after a crash, each under a fresh
+    generation (in segment-id order): requests against pre-crash
+    descriptors now fail [Stale_generation] until their holders
+    re-import through the name service — the paper's restart-safety
+    argument. Segment ids in [preserve] keep their old generation
+    (well-known bootstrap segments, whose fixed generations are how
+    clerks find the name service at all). Write-inhibit state does not
+    survive; notification fds and page pins do. *)
+
+val set_fault_registry : t -> Obs.Registry.t option -> unit
+(** Attach a metrics registry for recovery counters ("rmem.retries",
+    "rmem.recovered", "rmem.gave_up", "rmem.revalidations") and
+    per-(node, seg) "recover:OP" latency series measuring issue-to-
+    success across all attempts. *)
+
 (** {1 Notification and roles} *)
 
 val completion_fd : t -> Notification.t
@@ -197,6 +286,9 @@ type monitor_event =
       off : int;
       count : int;
       notify : bool;
+      policied : bool;
+          (** issued from inside a {!Recovery.policy} execution — the
+              no-retry-policy lint keys on this *)
     }  (** Local validation passed; the request is going on the wire. *)
   | Issue_rejected of {
       op : Rights.op;

@@ -46,6 +46,7 @@ let space t = t.space
 let base t = t.base
 let length t = t.len
 let generation t = t.generation
+let default_rights t = t.default_rights
 let notification t = t.notification
 let policy t = t.policy
 let set_policy t policy = t.policy <- policy

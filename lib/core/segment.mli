@@ -28,6 +28,11 @@ val space : t -> Cluster.Address_space.t
 val base : t -> int
 val length : t -> int
 val generation : t -> Generation.t
+
+val default_rights : t -> Rights.t
+(** The rights granted to importers without an explicit {!grant} — what
+    a restart re-export reproduces. *)
+
 val notification : t -> Notification.t
 
 val policy : t -> notify_policy

@@ -24,9 +24,13 @@ let scheme_to_string = function
 
 type t = {
   rmem : Rmem.Remote_memory.t;
+  names : Names.Clerk.t;
   node : Cluster.Node.t;
   server : Atm.Addr.t;
   mutable scheme : scheme;
+  mutable recovery : Rmem.Recovery.policy option;
+  (* None (default): legacy unbounded DX reads and one-way write pushes,
+     bit-identical to the fault-free build *)
   space : Cluster.Address_space.t;
   (* local cache areas *)
   l_attr : Slot_cache.t;
@@ -65,9 +69,11 @@ let create ?(scheme = Dx) ?rpc ?(export_local_cache = false) ~names ~server () =
   let t =
     {
       rmem;
+      names;
       node;
       server;
       scheme;
+      recovery = None;
       space;
       l_attr = cache Layout.attr_base Layout.attr_cache;
       l_name = cache Layout.name_base Layout.name_cache;
@@ -114,6 +120,46 @@ let node t = t.node
 let set_scheme t scheme = t.scheme <- scheme
 let scheme t = t.scheme
 let stats t = t.stats
+let set_recovery t policy = t.recovery <- policy
+
+(* Which service segment a descriptor names, for revalidation: after a
+   server crash/restart the generations change, and the recovery policy
+   heals a [Stale_generation] by re-looking the name up. *)
+let layout_name_of t desc =
+  if desc == t.d_stat then Layout.statfs_name
+  else if desc == t.d_attr then Layout.attr_name
+  else if desc == t.d_name then Layout.name_name
+  else if desc == t.d_link then Layout.link_name
+  else if desc == t.d_dir then Layout.dir_name
+  else if desc == t.d_file then Layout.file_name
+  else Layout.request_name
+
+let policy_for t base desc =
+  Rmem.Recovery.with_revalidate base
+    (Names.Api.revalidator ~hint:t.server t.names (layout_name_of t desc))
+
+let probe_buffer t =
+  Rmem.Remote_memory.buffer ~space:t.space ~base:t.probe_base ~len:16384
+
+(* DX reads and write pushes, recovery-dispatched.  The Hybrid-1 request
+   segment is exported write-only, so its writes stay one-way (the spin
+   deadline there is the timeout); everything DX touches is readable and
+   can be fenced, verified and reissued. *)
+let dx_read t desc ~soff ~count =
+  match t.recovery with
+  | None ->
+      Rmem.Remote_memory.read_wait t.rmem desc ~soff ~count
+        ~dst:(probe_buffer t) ~doff:0 ()
+  | Some base ->
+      Rmem.Remote_memory.read_with t.rmem ~policy:(policy_for t base desc) desc
+        ~soff ~count ~dst:(probe_buffer t) ~doff:0 ()
+
+let dx_write t desc ~off data =
+  match t.recovery with
+  | None -> Rmem.Remote_memory.write t.rmem desc ~off data
+  | Some base ->
+      Rmem.Remote_memory.write_with t.rmem ~policy:(policy_for t base desc)
+        desc ~off data
 
 let name_key name = Names.Record.fnv_hash name
 
@@ -157,15 +203,12 @@ let hybrid_fetch t op =
 (* ------------------------------------------------------------------ *)
 (* DX: pure data transfer against the server's cache slots.            *)
 
-let probe_buffer t = Rmem.Remote_memory.buffer ~space:t.space ~base:t.probe_base ~len:16384
-
 (* Fetch the head of a server cache slot and validate it; [len] is how
    many payload bytes we need. *)
 let dx_fetch_slot t desc config ~key1 ~key2 ~len =
   let off = Slot_cache.offset_of_key_cfg config ~key1 ~key2 in
   let fetch = Slot_cache.header_bytes + len in
-  Rmem.Remote_memory.read_wait t.rmem desc ~soff:off ~count:fetch
-    ~dst:(probe_buffer t) ~doff:0 ();
+  dx_read t desc ~soff:off ~count:fetch;
   Metrics.Account.add t.stats ~category:"dx reads" 1.;
   let slot = Cluster.Address_space.read t.space ~addr:t.probe_base ~len:fetch in
   (* Validate flag and keys; accept a stored length of at least [len]
@@ -211,12 +254,10 @@ let dx_fetch t op =
     match op with
     | Nfs_ops.Null ->
         (* Liveness probe: read a known word of the statfs area. *)
-        Rmem.Remote_memory.read_wait t.rmem t.d_stat ~soff:0 ~count:4
-          ~dst:(probe_buffer t) ~doff:0 ();
+        dx_read t t.d_stat ~soff:0 ~count:4;
         Some Nfs_ops.R_null
     | Nfs_ops.Statfs -> (
-        Rmem.Remote_memory.read_wait t.rmem t.d_stat ~soff:0 ~count:20
-          ~dst:(probe_buffer t) ~doff:0 ();
+        dx_read t t.d_stat ~soff:0 ~count:20;
         let b = Cluster.Address_space.read t.space ~addr:t.probe_base ~len:20 in
         if not (Int32.equal (Bytes.get_int32_le b 0) 1l) then miss ()
         else
@@ -322,15 +363,13 @@ let dx_fetch t op =
         in
         (* Push the block into the server's file cache: body first, then
            the header with the valid flag. *)
-        Rmem.Remote_memory.write t.rmem t.d_file
-          ~off:(slot_off + Slot_cache.header_bytes)
-          data;
+        dx_write t t.d_file ~off:(slot_off + Slot_cache.header_bytes) data;
         let header = Bytes.create Slot_cache.header_bytes in
         Bytes.set_int32_le header 0 1l;
         Bytes.set_int32_le header 4 (Int32.of_int fh);
         Bytes.set_int32_le header 8 (Int32.of_int block);
         Bytes.set_int32_le header 12 (Int32.of_int (Bytes.length data));
-        Rmem.Remote_memory.write t.rmem t.d_file ~off:slot_off header;
+        dx_write t t.d_file ~off:slot_off header;
         Metrics.Account.add t.stats ~category:"dx writes" 1.;
         Some
           (Nfs_ops.R_write

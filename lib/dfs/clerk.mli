@@ -31,6 +31,14 @@ val scheme : t -> scheme
 val set_scheme : t -> scheme -> unit
 val stats : t -> Metrics.Account.t
 
+val set_recovery : t -> Rmem.Recovery.policy option -> unit
+(** Run DX reads and file-cache write pushes under a recovery policy,
+    extended per segment with a name-service revalidator so a server
+    crash/restart's [Stale_generation] heals by forced re-import. The
+    Hybrid-1 request segment is write-only and stays one-way (its spin
+    deadline is the timeout there). The default [None] keeps the legacy
+    behavior, bit-identical to the fault-free build. *)
+
 val perform : t -> Nfs_ops.op -> Nfs_ops.result
 (** The full client path: local RPC into the clerk, local caches, then
     the remote path on a miss (installing the result locally). *)

@@ -1,0 +1,50 @@
+(** Recovery campaigns: end-to-end workloads under a fault plan.
+
+    Each workload builds its own testbed, installs a {!Plane} from the
+    given plan and seed, runs to quiescence and checks an explicit
+    final-state convergence condition. Outcomes carry the plane's event
+    digest: running the same (workload, plan, seed) twice must produce
+    equal digests — the determinism/replay contract [chaoscheck] and
+    the @faults tests assert. *)
+
+type outcome = {
+  workload : string;
+  seed : int;
+  survived : bool;  (** ran to quiescence: no deadlock, no escaped error *)
+  converged : bool;  (** the workload's final-state check passed *)
+  detail : string;  (** diagnosis when not survived/converged *)
+  digest : int;  (** {!Plane.digest} — the replay witness *)
+  events : int;  (** injected faults *)
+  retries : float;  (** policy-driven reissues ([rmem.retries]) *)
+  recovered : float;  (** ops that succeeded after retrying *)
+  revalidations : float;  (** descriptor re-imports on staleness *)
+  gave_up : float;  (** ops abandoned after exhausting a policy *)
+  counters : (string * float) list;  (** the full registry *)
+}
+
+val workloads : string list
+(** ["quickstart"; "name_service"; "producer_consumer"; "replica";
+    "crash_restart"]. *)
+
+val run : ?plan:Plan.t -> seed:int -> string -> outcome
+(** Run one workload by name (default plan: {!Plan.none}). The
+    [crash_restart] workload adds its canonical crash/restart schedule
+    when the plan carries none. Raises [Invalid_argument] on unknown
+    names. *)
+
+(** {1 Canonical CI plans} *)
+
+val loss_plan : float -> Plan.t
+(** Uniform per-frame loss at the given probability. *)
+
+val chaos_plan : float -> Plan.t
+(** Loss at the given probability plus corruption, duplication and
+    delay-jitter at half of it. *)
+
+val partition_plan : unit -> Plan.t
+(** Node 2 isolated during [10 ms, 30 ms) — matches the write schedule
+    of the [replica] workload. *)
+
+val crash_plan : unit -> Plan.t
+(** Node 1 crashes at 5 ms and restarts (generations bumped) at 8 ms —
+    the [crash_restart] workload's canonical schedule. *)

@@ -62,6 +62,28 @@ let import_with_control_transfer ~hint clerk name =
       in
       import_record clerk record ~name)
 
+(* A descriptor revalidator for recovery policies (§3.7): on a
+   Stale_generation / Bad_segment failure, force a fresh lookup of the
+   name and refresh the descriptor in place with the generation the
+   exporter now advertises.  Returns whether another attempt is
+   worthwhile: yes after a successful refresh, and also after a
+   transient lookup failure (the probe itself timed out — the next
+   attempt revalidates again); no when the name is gone or now names a
+   different segment. *)
+let revalidator ?hint clerk name desc =
+  match Clerk.lookup ~force:true ?hint clerk name with
+  | record ->
+      if
+        record.Record.node = Atm.Addr.to_int (Rmem.Descriptor.remote desc)
+        && record.Record.segment_id = Rmem.Descriptor.segment_id desc
+      then begin
+        Rmem.Descriptor.refresh desc ~generation:record.Record.generation;
+        true
+      end
+      else false
+  | exception Clerk.Name_not_found _ -> false
+  | exception (Rmem.Status.Timeout | Rmem.Status.Remote_error _) -> true
+
 let revoke clerk segment =
   let node = Clerk.node clerk in
   Cluster.Kernel.syscall node ~name:"revoke_segment" (fun () ->

@@ -30,3 +30,13 @@ val import_with_control_transfer :
 
 val revoke : Clerk.t -> Rmem.Segment.t -> unit
 (** DELETENAME then kernel revocation. *)
+
+val revalidator :
+  ?hint:Atm.Addr.t -> Clerk.t -> string -> Rmem.Descriptor.t -> bool
+(** [revalidator ?hint clerk name] is a {!Rmem.Recovery.policy}
+    revalidate function: a forced LOOKUPNAME of [name], refreshing the
+    descriptor in place with the generation the exporter now advertises
+    (so an op that failed [Stale_generation] after a crash/restart
+    succeeds on retry). Returns false — give up — when the name is gone
+    or now names a different segment; a transient lookup failure returns
+    true so the policy retries. *)

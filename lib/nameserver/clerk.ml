@@ -27,6 +27,9 @@ type t = {
   registry : Registry.t;
   request_segment : Rmem.Segment.t;
   mutable probe_policy : probe_policy;
+  mutable probe_timeout : Sim.Time.t option;
+  (* bound each remote probe READ under the fault plane; None (the
+     default) keeps the legacy unbounded wait and its exact schedule *)
   import_cache : (string, cached_import) Hashtbl.t;
   remote_registries : (int, Rmem.Descriptor.t) Hashtbl.t;
   remote_requests : (int, Rmem.Descriptor.t) Hashtbl.t;
@@ -86,6 +89,7 @@ let create ?(slots = Bootstrap.default_slots)
       registry;
       request_segment;
       probe_policy;
+      probe_timeout = None;
       import_cache = Hashtbl.create 64;
       remote_registries = Hashtbl.create 8;
       remote_requests = Hashtbl.create 8;
@@ -101,6 +105,7 @@ let rmem t = t.rmem
 let registry t = t.registry
 let stats t = t.stats
 let set_probe_policy t policy = t.probe_policy <- policy
+let set_probe_timeout t timeout = t.probe_timeout <- timeout
 
 (* ------------------------------------------------------------------ *)
 (* Lazy import of other clerks' well-known segments.                   *)
@@ -173,7 +178,7 @@ let remote_probe t desc ~probe_index ~name =
     Rmem.Remote_memory.buffer ~space:t.space
       ~base:Bootstrap.probe_buffer_base ~len:Bootstrap.probe_buffer_bytes
   in
-  Rmem.Remote_memory.read_wait t.rmem desc
+  Rmem.Remote_memory.read_wait ?timeout:t.probe_timeout t.rmem desc
     ~soff:(Registry.slot_offset t.registry index)
     ~count:Record.slot_bytes ~dst:buf ~doff:0 ();
   Metrics.Account.add t.stats ~category:"remote probes" 1.;
@@ -356,6 +361,39 @@ let refresh_once t =
         Hashtbl.remove t.import_cache name
       end)
     entries
+
+(* After a crash/restart re-exported this node's segments under fresh
+   generations, the registry still advertises the old ones.  Rewrite
+   each affected record in place so remote lookups (and the recovery
+   layer's forced re-imports) obtain the new generation — the paper's
+   re-export-re-inserts recovery step, done wholesale. *)
+let reannounce t =
+  List.iter
+    (fun segment ->
+      match Registry.lookup t.registry (Rmem.Segment.name segment) with
+      | None -> ()
+      | Some (record, _)
+        when record.Record.node = Atm.Addr.to_int (Cluster.Node.addr t.node)
+             && record.Record.segment_id = Rmem.Segment.id segment ->
+          if
+            not
+              (Rmem.Generation.equal record.Record.generation
+                 (Rmem.Segment.generation segment))
+          then begin
+            charge t (costs t).Cluster.Costs.hash_insert;
+            Metrics.Account.add t.stats ~category:"reannounced" 1.;
+            match
+              Registry.insert t.registry
+                {
+                  record with
+                  Record.generation = Rmem.Segment.generation segment;
+                }
+            with
+            | Ok (_ : int) -> ()
+            | Error `Full -> failwith "name clerk: registry full"
+          end
+      | Some _ -> ())
+    (Rmem.Remote_memory.exports t.rmem)
 
 let start_refresh_daemon t ~period =
   Cluster.Node.spawn t.node (fun () ->

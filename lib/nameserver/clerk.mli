@@ -25,6 +25,13 @@ val rmem : t -> Rmem.Remote_memory.t
 val registry : t -> Registry.t
 val set_probe_policy : t -> probe_policy -> unit
 
+val set_probe_timeout : t -> Sim.Time.t option -> unit
+(** Bound each remote probe READ. The default [None] waits forever —
+    correct on a reliable fabric and bit-identical to the legacy
+    schedule; under the fault plane a lost probe must surface as
+    {!Rmem.Status.Timeout} so lookups (and the recovery layer's
+    revalidation) can retry instead of hanging. *)
+
 (** {1 Service procedures (reached via local RPC from the kernel)} *)
 
 val add_name : t -> Record.t -> unit
@@ -53,6 +60,12 @@ val serve_lookup_requests : t -> unit
 val refresh_once : t -> unit
 (** Revalidate every cached imported name against its home registry;
     purge the gone/re-exported ones and mark their descriptors stale. *)
+
+val reannounce : t -> unit
+(** After a crash/restart re-exported this node's segments under fresh
+    generations ({!Rmem.Remote_memory.restart_exports}), rewrite the
+    local registry records that still advertise the old generations, so
+    remote lookups and forced re-imports see the new ones. *)
 
 val start_refresh_daemon : t -> period:Sim.Time.t -> unit
 val cached_names : t -> string list

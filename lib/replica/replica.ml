@@ -34,6 +34,11 @@ type t = {
   scratch_base : int;
   mutable updates_sent : int;
   mutable repairs : int;
+  mutable recovery : Rmem.Recovery.policy option;
+  (* None (default): legacy one-way pushes and unbounded anti-entropy
+     reads, bit-identical to the fault-free build *)
+  mutable push_failures : int;
+  mutable repair_failures : int;
 }
 
 let slot_of t key = Names.Record.fnv_hash key land (t.slots - 1)
@@ -89,6 +94,9 @@ let create ?(slots = 64) names =
     scratch_base = slots * slot_bytes * 2;
     updates_sent = 0;
     repairs = 0;
+    recovery = None;
+    push_failures = 0;
+    repair_failures = 0;
   }
 
 let join t ~peer =
@@ -99,6 +107,15 @@ let join t ~peer =
       (Names.Api.import ~hint:peer t.names (segment_name_for peer))
 
 let members t = Hashtbl.length t.peers + 1
+
+let set_recovery t policy = t.recovery <- policy
+
+(* The per-peer policy: the base policy plus a revalidator that
+   re-imports the peer's replica by name (forced lookup, hinted at the
+   peer), so a Stale_generation after the peer crash/restarts heals. *)
+let peer_policy t base ~peer =
+  Rmem.Recovery.with_revalidate base
+    (Names.Api.revalidator ~hint:peer t.names (segment_name_for peer))
 
 (* Is [candidate] newer than [current]?  Version, then writer id. *)
 let newer candidate current =
@@ -151,12 +168,43 @@ let set t key value =
   let body = Bytes.sub image 4 (slot_bytes - 4) in
   let version_word = Bytes.create 4 in
   Bytes.set_int32_le version_word 0 (Int32.of_int entry.version);
-  Hashtbl.iter
-    (fun _ desc ->
-      Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index + 4) body;
-      Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index) version_word;
-      t.updates_sent <- t.updates_sent + 1)
-    t.peers
+  match t.recovery with
+  | None ->
+      Hashtbl.iter
+        (fun _ desc ->
+          Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index + 4)
+            body;
+          Rmem.Remote_memory.write t.rmem desc
+            ~off:(slot_addr t index)
+            version_word;
+          t.updates_sent <- t.updates_sent + 1)
+        t.peers
+  | Some base ->
+      (* Push under policy, peers in address order for deterministic
+         replay. Each write is fenced and reissued on loss —
+         re-depositing is idempotent (same version, same bytes) — and
+         the body lands before the version word becomes visible. A peer
+         that stays unreachable costs a counted failure, not an
+         exception: anti-entropy repairs it after the heal. *)
+      let peers =
+        Hashtbl.fold (fun addr desc acc -> (addr, desc) :: acc) t.peers []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      List.iter
+        (fun (addr, desc) ->
+          let policy = peer_policy t base ~peer:(Atm.Addr.of_int addr) in
+          match
+            Rmem.Remote_memory.write_with t.rmem ~policy desc
+              ~off:(slot_addr t index + 4)
+              body;
+            Rmem.Remote_memory.write_with t.rmem ~policy desc
+              ~off:(slot_addr t index)
+              version_word
+          with
+          | () -> t.updates_sent <- t.updates_sent + 1
+          | exception (Rmem.Status.Timeout | Rmem.Status.Remote_error _) ->
+              t.push_failures <- t.push_failures + 1)
+        peers
 
 (* Anti-entropy: remote-read one peer's whole replica and adopt every
    entry newer than ours.  Cheap (one block read), server-free, and
@@ -169,8 +217,14 @@ let anti_entropy_with t ~peer =
       let buf =
         Rmem.Remote_memory.buffer ~space:t.space ~base:t.scratch_base ~len
       in
-      Rmem.Remote_memory.read_wait t.rmem desc ~soff:0 ~count:len ~dst:buf
-        ~doff:0 ();
+      (match t.recovery with
+      | None ->
+          Rmem.Remote_memory.read_wait t.rmem desc ~soff:0 ~count:len ~dst:buf
+            ~doff:0 ()
+      | Some base ->
+          let policy = peer_policy t base ~peer in
+          Rmem.Remote_memory.read_with t.rmem ~policy desc ~soff:0 ~count:len
+            ~dst:buf ~doff:0 ());
       for index = 0 to t.slots - 1 do
         let image =
           Cluster.Address_space.read t.space
@@ -196,15 +250,23 @@ let start_anti_entropy_daemon t ~period =
           in
           match peers with
           | [] -> ()
-          | _ ->
+          | _ -> (
               let target =
                 List.nth peers (Sim.Prng.int prng (List.length peers))
               in
-              anti_entropy_with t ~peer:(Atm.Addr.of_int target)
+              try anti_entropy_with t ~peer:(Atm.Addr.of_int target)
+              with (Rmem.Status.Timeout | Rmem.Status.Remote_error _) when
+                Option.is_some t.recovery ->
+                (* Under a recovery policy the daemon outlives a peer
+                   that stayed unreachable through every retry: count
+                   the failed pass and reconcile again next period. *)
+                t.repair_failures <- t.repair_failures + 1)
         end
       done);
   fun () -> stopped := true
 
 let updates_sent t = t.updates_sent
 let repairs t = t.repairs
+let push_failures t = t.push_failures
+let repair_failures t = t.repair_failures
 let node t = t.node

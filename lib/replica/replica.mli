@@ -32,6 +32,23 @@ val set : t -> string -> bytes -> unit
 val version_of : t -> string -> int
 (** 0 when absent. *)
 
+(** {1 Recovery} *)
+
+val set_recovery : t -> Rmem.Recovery.policy option -> unit
+(** Run pushes and anti-entropy reads under a recovery policy (extended
+    per peer with a name-service revalidator, so a peer crash/restart's
+    [Stale_generation] heals by forced re-import). Pushes become
+    fenced-and-reissued (idempotent redeposit) and a peer unreachable
+    through every retry is a counted failure instead of an exception.
+    The default [None] keeps the legacy one-way behavior, bit-identical
+    to the fault-free build. *)
+
+val push_failures : t -> int
+(** Updates abandoned after exhausting a recovery policy. *)
+
+val repair_failures : t -> int
+(** Anti-entropy daemon passes abandoned likewise. *)
+
 (** {1 Repair} *)
 
 val anti_entropy_with : t -> peer:Atm.Addr.t -> unit

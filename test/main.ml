@@ -20,4 +20,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("explore", Test_explore.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
     ]
