@@ -155,12 +155,60 @@ let run_bechamel tests =
       | _ -> Printf.printf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ---------------- Part 3: the PR5 pipeline bench ------------------ *)
+
+(* Full sweep -> the committed BENCH_PR5.json artifact. *)
+let emit_json path =
+  let samples = Experiments.Pipeline_bench.run () in
+  print_string (Experiments.Pipeline_bench.render samples);
+  let json = Experiments.Pipeline_bench.to_json samples in
+  if not (Experiments.Pipeline_bench.json_valid json) then begin
+    prerr_endline "BENCH: emitted JSON failed self-validation";
+    exit 1
+  end;
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (%d samples)\n" path (List.length samples);
+  match Experiments.Pipeline_bench.check samples with
+  | [] -> ()
+  | failures ->
+      List.iter (Printf.eprintf "BENCH CHECK FAILED: %s\n") failures;
+      exit 1
+
+(* Smoke sweep for CI: a few seconds, same regression gates. *)
+let ci () =
+  let samples =
+    Experiments.Pipeline_bench.run ~ops:32 ~windows:[ 1; 8 ]
+      ~batches:[ 4096; 32768 ] ~payloads:[ 4096 ] ()
+  in
+  print_string (Experiments.Pipeline_bench.render samples);
+  if not (Experiments.Pipeline_bench.json_valid
+            (Experiments.Pipeline_bench.to_json samples))
+  then begin
+    prerr_endline "BENCH: emitted JSON failed self-validation";
+    exit 1
+  end;
+  match Experiments.Pipeline_bench.check samples with
+  | [] -> print_endline "bench checks: all passed"
+  | failures ->
+      List.iter (Printf.eprintf "BENCH CHECK FAILED: %s\n") failures;
+      exit 1
+
 let () =
-  reproduce ();
-  print_endline "================================================================";
-  print_endline " Bechamel micro-benchmarks (wall clock of the implementation)";
-  print_endline "================================================================";
-  print_endline "per-table regeneration cost:";
-  run_bechamel table_tests;
-  print_endline "hot primitives:";
-  run_bechamel primitive_tests
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+      emit_json (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
+  | _ :: "--ci" :: _ -> ci ()
+  | _ ->
+      reproduce ();
+      print_endline
+        "================================================================";
+      print_endline
+        " Bechamel micro-benchmarks (wall clock of the implementation)";
+      print_endline
+        "================================================================";
+      print_endline "per-table regeneration cost:";
+      run_bechamel table_tests;
+      print_endline "hot primitives:";
+      run_bechamel primitive_tests

@@ -26,6 +26,9 @@ type agent = {
    chunk); READ and CAS are served in one event. *)
 type flight = {
   snapshot : Vclock.t;
+  policied : bool; (* issued under a Recovery policy (or a pipeline
+                      flush retrying through one): its failed CAS serves
+                      must not extend an unbounded-retry chain *)
   mutable remaining : int;
   mutable accesses : Access.t list;
   mutable acquired : Vclock.t option; (* CAS: lock clock captured at serve *)
@@ -193,7 +196,7 @@ let kind_of_op = function
    faster retries extend a failed-CAS run. *)
 let retry_backoff_floor = Sim.Time.us 150
 
-let note_cas_retry t ~agent_name ~key ~off ~success =
+let note_cas_retry t ~agent_name ~key ~off ~policied ~success =
   let chain_key = (agent_name, key, off) in
   let chain =
     match Hashtbl.find_opt t.retries chain_key with
@@ -204,6 +207,13 @@ let note_cas_retry t ~agent_name ~key ~off ~success =
         c
   in
   if success then chain.len <- 0
+  else if policied then begin
+    (* A policy-governed reissue already backs off and bounds its
+       attempts; counting it here would double-report the same retry
+       as an unbounded chain. *)
+    chain.len <- 0;
+    chain.last <- now t
+  end
   else begin
     let gap = Sim.Time.diff (now t) chain.last in
     chain.len <-
@@ -255,6 +265,7 @@ let on_rmem_event t ~self_addr event =
       let flight =
         {
           snapshot = a.clock;
+          policied;
           remaining = (if op = Rmem.Rights.Write_op then Stdlib.max count 1 else 1);
           accesses = [];
           acquired = None;
@@ -294,6 +305,7 @@ let on_rmem_event t ~self_addr event =
       (match op with
       | Rmem.Rights.Cas_op ->
           note_cas_retry t ~agent_name:issuer.name ~key ~off
+            ~policied:(match flight with Some f -> f.policied | None -> false)
             ~success:(cas_success = Some true)
       | Rmem.Rights.Read_op | Rmem.Rights.Write_op ->
           break_cas_retries t ~agent_name:issuer.name ~key);

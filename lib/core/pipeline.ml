@@ -1,0 +1,401 @@
+(* The pipelined issue engine: decoupling *when* a meta-instruction is
+   issued from *when* its effects must be visible.
+
+   The synchronous paths in {!Remote_memory} pay the paper's Table-2
+   costs per operation: one trap and one per-cell FIFO setup per WRITE
+   frame, one blocked process per READ round trip.  Once data transfer
+   carries no implicit control transfer, none of that serialization is
+   semantically required — only [flush]/[fence] points are.  So this
+   engine
+
+   - stages WRITEs per (remote node, segment, generation) and sends each
+     staging buffer as ONE scatter-gather burst frame
+     ({!Remote_memory.write_burst}): one trap, one descriptor check, one
+     FIFO setup per burst group, 48 payload bytes per cell;
+   - keeps up to [window] READ/CAS meta-instructions in flight per
+     (node, segment) instead of one, stalling only when the window
+     fills;
+   - coalesces notify bits so a flush raises at most one notification
+     per segment (the destination segment's policy still decides);
+   - preserves the synchronous path's ordering guarantees at [flush] /
+     [fence]: links are FIFO, so once the burst is on the wire a fence
+     round trip behind it proves deposit, exactly as for eager writes.
+
+   Reads forward from the staging buffer discipline: a READ overlapping
+   staged bytes flushes them first, so a process always observes its own
+   program-order writes.  With [enabled = false] every operation
+   passes straight through to {!Remote_memory} — bit-identical to not
+   having the engine at all, which the differential suite checks. *)
+
+type config = {
+  enabled : bool;
+  window : int;
+  max_batch_bytes : int;
+  max_batch_ops : int;
+  coalesce_notify : bool;
+}
+
+let default_config =
+  {
+    enabled = false;
+    window = 8;
+    max_batch_bytes = 32768;
+    max_batch_ops = 64;
+    coalesce_notify = true;
+  }
+
+let pipelined_config ?(window = 8) ?(max_batch_bytes = 32768)
+    ?(max_batch_ops = 64) ?(coalesce_notify = true) () =
+  if window < 1 then invalid_arg "Pipeline: window < 1";
+  if max_batch_bytes < 1 || max_batch_ops < 1 then
+    invalid_arg "Pipeline: empty batch bound";
+  { enabled = true; window; max_batch_bytes; max_batch_ops; coalesce_notify }
+
+type stats = {
+  mutable staged_writes : int;
+  mutable merged_extents : int;
+  mutable flushes : int;
+  mutable coalesced_notifies : int;
+  mutable window_stalls : int;
+  mutable passthrough_ops : int;
+}
+
+(* One staging buffer: the WRITEs absorbed since the last flush toward
+   one (remote, segment, generation), kept as a sorted list of merged,
+   non-overlapping extents — exactly the scatter-gather list the burst
+   frame will carry. *)
+type staged = {
+  desc : Descriptor.t;
+  swab : bool;
+  mutable extents : (int * bytes) list;
+  mutable bytes : int;
+  mutable ops : int;
+  mutable notify : bool;
+  mutable notify_requests : int;
+}
+
+(* One windowed operation in flight; [await] raises on failure. *)
+type inflight = { ready : unit -> bool; await : unit -> unit }
+
+type key = int * int * int (* remote node, segment id, generation *)
+
+type t = {
+  rmem : Remote_memory.t;
+  cfg : config;
+  staged : (key, staged) Hashtbl.t;
+  windows : (key, inflight Queue.t) Hashtbl.t;
+  stats : stats;
+  mutable registry : Obs.Registry.t option;
+}
+
+let create ?(config = default_config) rmem =
+  {
+    rmem;
+    cfg = config;
+    staged = Hashtbl.create 8;
+    windows = Hashtbl.create 8;
+    stats =
+      {
+        staged_writes = 0;
+        merged_extents = 0;
+        flushes = 0;
+        coalesced_notifies = 0;
+        window_stalls = 0;
+        passthrough_ops = 0;
+      };
+    registry = None;
+  }
+
+let config t = t.cfg
+let rmem t = t.rmem
+let set_registry t registry = t.registry <- registry
+
+let stats t =
+  {
+    staged_writes = t.stats.staged_writes;
+    merged_extents = t.stats.merged_extents;
+    flushes = t.stats.flushes;
+    coalesced_notifies = t.stats.coalesced_notifies;
+    window_stalls = t.stats.window_stalls;
+    passthrough_ops = t.stats.passthrough_ops;
+  }
+
+let reg_incr t name =
+  match t.registry with
+  | None -> ()
+  | Some registry -> Obs.Registry.incr registry name
+
+let nid t =
+  Atm.Addr.to_int (Cluster.Node.addr (Remote_memory.node t.rmem))
+
+let key_of desc : key =
+  ( Atm.Addr.to_int (Descriptor.remote desc),
+    Descriptor.segment_id desc,
+    Generation.to_int (Descriptor.generation desc) )
+
+(* Insert one write into a sorted extent list, merging every extent it
+   overlaps or abuts.  The new data is blitted last: within one staging
+   buffer the last writer wins, as it would have on the wire. *)
+let insert_extent extents ~off data ~merged =
+  let lo = off and hi = off + Bytes.length data in
+  let before, rest =
+    List.partition (fun (o, d) -> o + Bytes.length d < lo) extents
+  in
+  let touching, after = List.partition (fun (o, _) -> o <= hi) rest in
+  match touching with
+  | [] -> before @ ((off, data) :: after)
+  | _ ->
+      merged := !merged + List.length touching;
+      let new_lo = List.fold_left (fun acc (o, _) -> Stdlib.min acc o) lo touching in
+      let new_hi =
+        List.fold_left
+          (fun acc (o, d) -> Stdlib.max acc (o + Bytes.length d))
+          hi touching
+      in
+      let buf = Bytes.create (new_hi - new_lo) in
+      List.iter
+        (fun (o, d) -> Bytes.blit d 0 buf (o - new_lo) (Bytes.length d))
+        touching;
+      Bytes.blit data 0 buf (lo - new_lo) (Bytes.length data);
+      before @ ((new_lo, buf) :: after)
+
+let staged_overlaps s ~soff ~count =
+  List.exists
+    (fun (o, d) -> o < soff + count && soff < o + Bytes.length d)
+    s.extents
+
+(* Send one staging buffer as a single burst frame (under [policy] with
+   read-back verification when given). *)
+let flush_key ?policy t key =
+  match Hashtbl.find_opt t.staged key with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove t.staged key;
+      if s.extents <> [] then begin
+        let scope =
+          Obs.Trace.scope_begin ~node:(nid t) ~name:"pipeline:flush"
+        in
+        Fun.protect
+          ~finally:(fun () -> Obs.Trace.scope_end scope)
+          (fun () ->
+            match policy with
+            | None ->
+                Remote_memory.write_burst t.rmem s.desc ~notify:s.notify
+                  ~swab:s.swab s.extents
+            | Some policy ->
+                Remote_memory.write_burst_with t.rmem ~policy s.desc
+                  ~notify:s.notify ~swab:s.swab s.extents);
+        t.stats.flushes <- t.stats.flushes + 1;
+        reg_incr t "pipeline.flushes";
+        if s.notify_requests > 1 then begin
+          t.stats.coalesced_notifies <-
+            t.stats.coalesced_notifies + (s.notify_requests - 1);
+          reg_incr t "pipeline.coalesced_notifies"
+        end
+      end
+
+let flush ?policy t desc = flush_key ?policy t (key_of desc)
+
+let flush_all ?policy t =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.staged [] in
+  List.iter (flush_key ?policy t) (List.sort compare keys)
+
+let staged_for t desc ~swab =
+  let key = key_of desc in
+  match Hashtbl.find_opt t.staged key with
+  | Some s when s.swab = swab -> s
+  | Some _ ->
+      (* A swab change mid-batch: the burst's swab bit covers the whole
+         frame, so the previous batch goes out first. *)
+      flush_key t key;
+      let s =
+        { desc; swab; extents = []; bytes = 0; ops = 0; notify = false;
+          notify_requests = 0 }
+      in
+      Hashtbl.replace t.staged key s;
+      s
+  | None ->
+      let s =
+        { desc; swab; extents = []; bytes = 0; ops = 0; notify = false;
+          notify_requests = 0 }
+      in
+      Hashtbl.replace t.staged key s;
+      s
+
+let write t desc ~off ?(notify = false) ?(swab = false) data =
+  if not t.cfg.enabled then begin
+    t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
+    Remote_memory.write t.rmem desc ~off ~notify ~swab data
+  end
+  else if Bytes.length data = 0 || (notify && not t.cfg.coalesce_notify) then begin
+    (* Doorbells and — when coalescing is off — notifying writes keep
+       their own frame and their own notification; staged writes they
+       are ordered after go out first. *)
+    flush_key t (key_of desc);
+    t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
+    Remote_memory.write t.rmem desc ~off ~notify ~swab data
+  end
+  else begin
+    (* Validate eagerly so a bad write fails at the same program point
+       as on the synchronous path, not at some later flush. *)
+    Remote_memory.check_write t.rmem desc ~off ~count:(Bytes.length data);
+    let s = staged_for t desc ~swab in
+    let merged = ref 0 in
+    s.extents <- insert_extent s.extents ~off data ~merged;
+    t.stats.merged_extents <- t.stats.merged_extents + !merged;
+    s.bytes <-
+      List.fold_left (fun acc (_, d) -> acc + Bytes.length d) 0 s.extents;
+    s.ops <- s.ops + 1;
+    if notify then begin
+      s.notify <- true;
+      s.notify_requests <- s.notify_requests + 1
+    end;
+    t.stats.staged_writes <- t.stats.staged_writes + 1;
+    reg_incr t "pipeline.staged_writes";
+    if s.bytes >= t.cfg.max_batch_bytes || s.ops >= t.cfg.max_batch_ops then
+      flush_key t (key_of desc)
+  end
+
+let window_q t key =
+  match Hashtbl.find_opt t.windows key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.windows key q;
+      q
+
+(* Retire one in-flight op, remembering the first failure instead of
+   raising on the spot.  Failures must not poison the window: if a
+   retirement raised mid-queue, the entries behind it would linger as
+   stale state and the caller's *retry* would trip over them before it
+   could issue anything fresh.  So every retirement path below empties
+   what it owes first and raises the remembered failure only once the
+   window is consistent again. *)
+let retire fl first =
+  match fl.await () with
+  | () -> ()
+  | exception exn -> if Option.is_none !first then first := Some exn
+
+let clear q first =
+  while not (Queue.is_empty q) do
+    retire (Queue.pop q) first
+  done
+
+let reraise first = match !first with Some exn -> raise exn | None -> ()
+
+(* Retire completed operations from the front of the window (their
+   [await] cannot block but still raises on failure), then make room by
+   waiting on the oldest until the window has a free slot.  On failure
+   the whole window is drained before raising, so the caller retries
+   from an empty window. *)
+let window_admit t q =
+  let first = ref None in
+  while
+    Option.is_none !first
+    && (not (Queue.is_empty q))
+    && (Queue.peek q).ready ()
+  do
+    retire (Queue.pop q) first
+  done;
+  while Option.is_none !first && Queue.length q >= t.cfg.window do
+    let fl = Queue.pop q in
+    if not (fl.ready ()) then begin
+      t.stats.window_stalls <- t.stats.window_stalls + 1;
+      reg_incr t "pipeline.window_stalls"
+    end;
+    retire fl first
+  done;
+  if Option.is_some !first then begin
+    clear q first;
+    reraise first
+  end
+
+let read_submit ?timeout t desc ~soff ~count ~dst ~doff ?(swab = false) () =
+  if not t.cfg.enabled then begin
+    t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
+    Remote_memory.read_wait ?timeout t.rmem desc ~soff ~count ~dst ~doff ~swab
+      ()
+  end
+  else begin
+    let key = key_of desc in
+    (match Hashtbl.find_opt t.staged key with
+    | Some s when staged_overlaps s ~soff ~count ->
+        (* Store-buffer forwarding discipline: the read must observe the
+           process's own earlier writes, so they go out first. *)
+        flush_key t key
+    | _ -> ());
+    let q = window_q t key in
+    window_admit t q;
+    let ivar =
+      Remote_memory.read ?timeout t.rmem desc ~soff ~count ~dst ~doff ~swab ()
+    in
+    Queue.push
+      {
+        ready = (fun () -> Sim.Ivar.is_full ivar);
+        await = (fun () -> Status.check (Sim.Ivar.read ivar));
+      }
+      q
+  end
+
+let cas_submit t desc ~doff ~old_value ~new_value ?result ?notify () =
+  if not t.cfg.enabled then begin
+    t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
+    ignore
+      (Remote_memory.cas_wait t.rmem desc ~doff ~old_value ~new_value ?result
+         ?notify ())
+  end
+  else begin
+    let key = key_of desc in
+    (* CAS is a synchronization point: staged writes it releases must be
+       on the wire (FIFO links order them) before the CAS lands. *)
+    flush_key t key;
+    let q = window_q t key in
+    window_admit t q;
+    let ivar =
+      Remote_memory.cas_async t.rmem desc ~doff ~old_value ~new_value ?result
+        ?notify ()
+    in
+    Queue.push
+      {
+        ready = (fun () -> Sim.Ivar.is_full ivar);
+        await =
+          (fun () ->
+            let status, _ = Sim.Ivar.read ivar in
+            Status.check status);
+      }
+      q
+  end
+
+let cas ?timeout t desc ~doff ~old_value ~new_value ?result ?notify () =
+  if t.cfg.enabled then flush_key t (key_of desc)
+  else t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
+  Remote_memory.cas_wait ?timeout t.rmem desc ~doff ~old_value ~new_value
+    ?result ?notify ()
+
+let drain_key t key =
+  match Hashtbl.find_opt t.windows key with
+  | None -> ()
+  | Some q ->
+      let first = ref None in
+      clear q first;
+      reraise first
+
+let drain t =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.windows [] in
+  let first = ref None in
+  List.iter
+    (fun key ->
+      match drain_key t key with
+      | () -> ()
+      | exception exn -> if Option.is_none !first then first := Some exn)
+    (List.sort compare keys);
+  reraise first
+
+let fence ?timeout ?policy t desc =
+  if t.cfg.enabled then begin
+    flush_key ?policy t (key_of desc);
+    drain_key t (key_of desc)
+  end;
+  match policy with
+  | None -> Remote_memory.fence ?timeout t.rmem desc
+  | Some policy -> Remote_memory.fence_with t.rmem ~policy desc

@@ -1,0 +1,162 @@
+(** The pipelined meta-instruction issue engine.
+
+    The synchronous {!Remote_memory} paths pay the paper's Table-2 costs
+    per operation: a trap and a per-cell FIFO setup per WRITE frame, a
+    blocked process per READ round trip, a notification per notifying
+    write. Because data transfer carries no implicit control transfer,
+    none of that serialization is required between synchronization
+    points — so this engine
+
+    - {b batches} WRITEs per (remote node, segment, generation) and
+      sends each batch as one scatter-gather burst frame
+      ({!Remote_memory.write_burst}): one trap, one FIFO setup per burst
+      group, 48 payload bytes per cell instead of 40;
+    - {b windows} READs and CASes, keeping up to [window] in flight per
+      (node, segment) and stalling only when the window fills;
+    - {b coalesces} notify bits: a flush raises at most one notification
+      per segment (the destination's per-segment policy still has the
+      final word, as always);
+    - preserves the synchronous ordering guarantees at {!flush} /
+      {!fence}: links are FIFO, so a fence behind the burst proves
+      deposit exactly as it does behind eager writes.
+
+    {b Ordering model.} Within one pipeline: a staged write is observed
+    by the issuing process's own later reads (reads overlapping staged
+    bytes force a flush first); a CAS flushes the batch ahead of itself,
+    so the release-ordering of the synchronous path is kept; {!flush}
+    puts every staged byte on the wire; {!fence} additionally drains the
+    read/CAS window and runs a {!Remote_memory.fence} round trip, after
+    which every prior write has been deposited (or its nack raised).
+    Between {!flush} points, staged writes are {e not yet visible} to
+    remote readers — the race detector models this: a batched write's
+    visibility witness is its flush.
+
+    With [enabled = false] (the default) every operation passes straight
+    through to {!Remote_memory}, bit-identical to not having the engine
+    at all — the differential suite holds this path against the batched
+    one. *)
+
+type config = {
+  enabled : bool;  (** off ⇒ pure passthrough (the default) *)
+  window : int;  (** max in-flight READ/CAS per (node, segment) *)
+  max_batch_bytes : int;  (** flush a staging buffer at this many bytes *)
+  max_batch_ops : int;  (** ... or this many absorbed writes *)
+  coalesce_notify : bool;
+      (** absorb notify bits into one per-flush notification; when
+          false, notifying writes bypass staging (after a flush) so
+          notification counts match the synchronous path exactly *)
+}
+
+val default_config : config
+(** Disabled; window 8, 32 KB / 64-op batches, coalescing on. *)
+
+val pipelined_config :
+  ?window:int ->
+  ?max_batch_bytes:int ->
+  ?max_batch_ops:int ->
+  ?coalesce_notify:bool ->
+  unit ->
+  config
+(** [default_config] with [enabled = true] and any overrides. *)
+
+type t
+
+val create : ?config:config -> Remote_memory.t -> t
+val config : t -> config
+val rmem : t -> Remote_memory.t
+
+val write :
+  t -> Descriptor.t -> off:int -> ?notify:bool -> ?swab:bool -> bytes -> unit
+(** Stage a write. It reaches the wire at the next {!flush} of its
+    (node, segment) — or sooner, when the staging buffer hits a batch
+    bound, a read overlaps it, or a CAS / doorbell / non-coalescible
+    notify forces it out. Local validation (staleness, rights, bounds)
+    still happens here, so failures surface at the same program point as
+    {!Remote_memory.write}. Zero-length doorbell writes are never
+    staged. *)
+
+val read_submit :
+  ?timeout:Sim.Time.t ->
+  t ->
+  Descriptor.t ->
+  soff:int ->
+  count:int ->
+  dst:Remote_memory.buffer ->
+  doff:int ->
+  ?swab:bool ->
+  unit ->
+  unit
+(** Issue a read into the window: returns as soon as the request is on
+    the wire, blocking only while the window is full (on the oldest
+    outstanding operation). Completion failures raise at the operation
+    that retires them — {!drain} or {!fence} to collect all. Overlapping
+    staged writes are flushed first, so the read observes program
+    order. *)
+
+val cas_submit :
+  t ->
+  Descriptor.t ->
+  doff:int ->
+  old_value:int32 ->
+  new_value:int32 ->
+  ?result:Remote_memory.buffer * int ->
+  ?notify:bool ->
+  unit ->
+  unit
+(** Windowed CAS: flushes the staged batch ahead of itself (release
+    ordering), then issues without waiting for the reply. The outcome is
+    observable through the [result] success-word deposit — the paper's
+    own asynchronous-CAS signature. *)
+
+val cas :
+  ?timeout:Sim.Time.t ->
+  t ->
+  Descriptor.t ->
+  doff:int ->
+  old_value:int32 ->
+  new_value:int32 ->
+  ?result:Remote_memory.buffer * int ->
+  ?notify:bool ->
+  unit ->
+  bool * int32
+(** Blocking CAS: flushes the staged batch ahead of itself, then behaves
+    as {!Remote_memory.cas_wait}. *)
+
+val flush : ?policy:Recovery.policy -> t -> Descriptor.t -> unit
+(** Send the staging buffer for the descriptor's (node, segment) as one
+    burst frame. With [policy], the burst is verified and retried as
+    {!Remote_memory.write_burst_with}. No-op when nothing is staged. *)
+
+val flush_all : ?policy:Recovery.policy -> t -> unit
+(** {!flush} every staging buffer, in deterministic key order. *)
+
+val drain : t -> unit
+(** Wait for every windowed READ/CAS to retire, raising the first
+    failure encountered (in issue order per (node, segment)). *)
+
+val fence : ?timeout:Sim.Time.t -> ?policy:Recovery.policy -> t -> Descriptor.t -> unit
+(** Full ordering barrier toward one segment: {!flush}, drain its
+    window, then {!Remote_memory.fence} — on return every write this
+    node issued toward the segment has been deposited, or the fence
+    raised the recorded nack. Same guarantee as the synchronous path's
+    fence. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable staged_writes : int;  (** writes absorbed into staging buffers *)
+  mutable merged_extents : int;  (** extents combined by adjacency/overlap *)
+  mutable flushes : int;  (** burst frames sent *)
+  mutable coalesced_notifies : int;  (** notify bits absorbed beyond the
+                                         one each flush raises *)
+  mutable window_stalls : int;  (** submits that blocked on a full window *)
+  mutable passthrough_ops : int;  (** operations that bypassed the engine *)
+}
+
+val stats : t -> stats
+(** A snapshot copy; mutating it does not affect the engine. *)
+
+val set_registry : t -> Obs.Registry.t option -> unit
+(** Mirror the counters into an {!Obs.Registry} ("pipeline.flushes",
+    "pipeline.staged_writes", "pipeline.coalesced_notifies",
+    "pipeline.window_stalls"). *)

@@ -136,6 +136,27 @@ let rx_data_cost c len =
   Sim.Time.scale c.Cluster.Costs.io_word
     (float_of_int (words_per_data_cell * cells))
 
+(* Streaming a single AAL5 burst frame of [len] bytes into the transmit
+   FIFO.  The per-cell setup is paid once per [burst_cells]-sized group —
+   the TCA-100's block-transfer mode keeps the FIFO streaming inside a
+   group — and the word copies cover the frame exactly once.  This is
+   the batching win: one trap, one descriptor check, and 48 payload
+   bytes per cell instead of 40. *)
+let tx_burst_cost c len =
+  let cells = Atm.Aal.cells_of_len len in
+  let groups =
+    (cells + c.Cluster.Costs.burst_cells - 1) / c.Cluster.Costs.burst_cells
+  in
+  Sim.Time.add
+    (Sim.Time.scale c.Cluster.Costs.io_cell_overhead (float_of_int groups))
+    (Sim.Time.scale c.Cluster.Costs.io_word
+       (float_of_int (Atm.Aal.words_of_len len)))
+
+(* Draining a burst frame out of the receive FIFO: word copies only. *)
+let rx_burst_cost c len =
+  Sim.Time.scale c.Cluster.Costs.io_word
+    (float_of_int (Atm.Aal.words_of_len len))
+
 let tx_ctrl_cost c payload_bytes = Cluster.Costs.cell_copy_cost c ~payload_bytes
 
 let rx_ctrl_cost c payload_bytes =
@@ -302,6 +323,9 @@ let check_local t desc op ~off ~count =
   if off < 0 || count < 0 || off + count > Descriptor.size desc then
     reject Status.Bounds
 
+let check_write t desc ~off ~count =
+  check_local t desc Rights.Write_op ~off ~count
+
 let alloc_reqid t =
   let rec probe attempts candidate =
     if attempts > 0x10000 then failwith "Remote_memory: out of request ids"
@@ -376,6 +400,72 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
     send 0
   end
 
+(* A scatter-gather WRITE burst: several extents of one segment framed
+   once at the AAL layer, so the whole batch costs one trap, one
+   descriptor check and one FIFO setup per [burst_cells] group instead
+   of per 40-byte-payload cell.  The monitor sees one Issued covering
+   the total byte count; the serve side emits one Served per extent,
+   which sum back to it.  Extents must be non-empty; overlapping
+   extents deposit in list order (last writer wins). *)
+let write_burst t desc ?(notify = false) ?(swab = false) extents =
+  if extents = [] then invalid_arg "Remote_memory.write_burst: empty burst";
+  let c = costs t in
+  let items =
+    List.map
+      (fun (off, data) ->
+        if Bytes.length data = 0 then
+          invalid_arg "Remote_memory.write_burst: empty extent";
+        { Wire.off; data })
+      extents
+  in
+  List.iter
+    (fun it ->
+      check_local t desc Rights.Write_op ~off:it.Wire.off
+        ~count:(Bytes.length it.Wire.data))
+    items;
+  let total = Wire.burst_payload_bytes items in
+  let first_off = (List.hd items).Wire.off in
+  emit t
+    (Issued
+       {
+         op = Rights.Write_op;
+         desc;
+         off = first_off;
+         count = total;
+         notify;
+         policied = t.recovery_depth > 0;
+       });
+  let fl =
+    Obs.Trace.issue_begin ~node:(nid t) ~op:"WRITE_BURST"
+      ~seg:(Descriptor.segment_id desc) ~off:first_off ~count:total
+  in
+  Obs.Trace.phase fl "trap";
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (Sim.Time.add c.Cluster.Costs.trap c.Cluster.Costs.descriptor_check);
+  Obs.Trace.phase_end fl;
+  Metrics.Account.add t.ops ~category:"write burst" 1.;
+  Metrics.Account.add t.data_bytes ~category:"write" (float_of_int total);
+  let items =
+    List.map (fun it -> { it with Wire.data = crypto_out t it.Wire.data }) items
+  in
+  Obs.Trace.phase fl "nic";
+  Cluster.Cpu.use (cpu t) ~category:t.client_category
+    (tx_burst_cost c (Wire.burst_frame_bytes items));
+  Obs.Trace.phase_end fl;
+  Cluster.Node.transmit
+    ?ctx:(Obs.Trace.wire_ctx fl)
+    t.node
+    ~dst:(Descriptor.remote desc)
+    (Wire.encode
+       (Wire.Write_burst
+          {
+            seg = Descriptor.segment_id desc;
+            gen = Descriptor.generation desc;
+            notify;
+            swab;
+            items;
+          }))
+
 let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
     ?(swab = false) () =
   let c = costs t in
@@ -425,10 +515,7 @@ let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
           }));
   (reqid, completion)
 
-let read t desc ~soff ~count ~dst ~doff ?notify ?swab () =
-  snd (read_async t desc ~soff ~count ~dst ~doff ?notify ?swab ())
-
-let read_wait ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
+let read ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
   let reqid, completion =
     read_async t desc ~soff ~count ~dst ~doff ?notify ?swab ()
   in
@@ -442,7 +529,11 @@ let read_wait ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
             Metrics.Account.add t.errors ~category:"timeout" 1.;
             Sim.Ivar.fill completion Status.Timed_out
           end));
-  Status.check (Sim.Ivar.read completion)
+  completion
+
+let read_wait ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab () =
+  Status.check
+    (Sim.Ivar.read (read ?timeout t desc ~soff ~count ~dst ~doff ?notify ?swab ()))
 
 let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
   let c = costs t in
@@ -664,6 +755,48 @@ let write_with t ~policy desc ~off ?notify ?(swab = false) data =
           raise (Status.Remote_error Status.Timed_out)
       end)
 
+(* Burst variant of {!write_with}: each attempt sends the whole burst,
+   then reads back the covering span and compares every extent (or falls
+   back to the nack-flushing fence when unverifiable).  Extents must not
+   overlap — an overwritten extent would fail verification forever. *)
+let write_burst_with t ~policy desc ?notify ?(swab = false) extents =
+  if extents = [] then
+    invalid_arg "Remote_memory.write_burst_with: empty burst";
+  let lo =
+    List.fold_left (fun acc (off, _) -> Stdlib.min acc off) max_int extents
+  in
+  let hi =
+    List.fold_left
+      (fun acc (off, data) -> Stdlib.max acc (off + Bytes.length data))
+      0 extents
+  in
+  let span = hi - lo in
+  let verifiable =
+    (not swab) && Rights.allows (Descriptor.rights desc) Rights.Read_op
+  in
+  run_policy t policy desc ~op:"WRITE" (fun () ->
+      write_burst t desc ?notify ~swab extents;
+      if not verifiable then fence ~timeout:(Recovery.timeout policy) t desc
+      else begin
+        let space = Cluster.Node.new_address_space t.node in
+        let dst = buffer ~space ~base:0 ~len:span in
+        read_wait
+          ~timeout:(Recovery.timeout policy)
+          t desc ~soff:lo ~count:span ~dst ~doff:0 ();
+        (match take_write_failure t desc with
+        | None -> ()
+        | Some status -> raise (Status.Remote_error status));
+        List.iter
+          (fun (off, data) ->
+            let got =
+              Cluster.Address_space.read space ~addr:(off - lo)
+                ~len:(Bytes.length data)
+            in
+            if not (Bytes.equal got data) then
+              raise (Status.Remote_error Status.Timed_out))
+          extents
+      end)
+
 let cas_with t ~policy desc ~doff ~old_value ~new_value ?result ?notify () =
   run_policy t policy desc ~op:"CAS" (fun () ->
       cas_wait
@@ -833,6 +966,104 @@ let handle_write t ~src (w : Wire.write_req) =
              });
         Obs.Trace.serve_end sv
       end
+
+(* Serving a burst: one interrupt and one FIFO drain for the whole
+   frame, every extent validated before any byte is deposited (the burst
+   applies atomically or not at all — a single nack names the first
+   offending extent), then all deposits happen back-to-back with no CPU
+   charge in between, so in simulated time the burst lands as a unit.
+   At most one notification is raised, covering the whole burst. *)
+let handle_write_burst t ~src (b : Wire.write_burst) =
+  let c = costs t in
+  let total = Wire.burst_payload_bytes b.items in
+  let sv = Obs.Trace.serve_begin ~node:(nid t) ~name:"serve" in
+  Cluster.Cpu.use (cpu t) ~category:t.rx_request_category
+    (Sim.Time.add
+       (Sim.Time.add c.Cluster.Costs.rx_interrupt
+          (rx_burst_cost c (Wire.burst_frame_bytes b.items)))
+       c.Cluster.Costs.vm_deliver);
+  let drop status ~off ~count =
+    record_error t status;
+    emit t
+      (Serve_rejected
+         { op = Rights.Write_op; src; seg = b.seg; gen = b.gen; off; count;
+           status });
+    Obs.Trace.serve_arg sv "status" (Status.to_string status);
+    Cluster.Cpu.use (cpu t) ~category:t.tx_reply_category (tx_ctrl_cost c 12);
+    Cluster.Node.transmit
+      ?ctx:(Obs.Trace.serve_ctx sv ~label:"nack")
+      t.node ~dst:src
+      (Wire.encode
+         (Wire.Write_nack { status; seg = b.seg; gen = b.gen; off; count }));
+    Obs.Trace.serve_end sv
+  in
+  let rec validate = function
+    | [] -> Ok ()
+    | it :: rest -> (
+        let count = Bytes.length it.Wire.data in
+        match
+          validate_segment t ~src ~seg:b.seg ~gen:b.gen ~off:it.Wire.off ~count
+            Rights.Write_op
+        with
+        | Error status -> Error (status, it.Wire.off, count)
+        | Ok segment ->
+            if Segment.write_inhibited segment then
+              Error (Status.Write_inhibited, it.Wire.off, count)
+            else if rest = [] then Ok () else validate rest)
+  in
+  match b.items with
+  | [] -> drop Status.Bounds ~off:0 ~count:0
+  | first :: _ -> (
+      match validate b.items with
+      | Error (status, off, count) -> drop status ~off ~count
+      | Ok () ->
+          let segment = Hashtbl.find t.exported b.seg in
+          let extents =
+            List.map
+              (fun it ->
+                let data =
+                  crypto_in t ~category:t.rx_request_category it.Wire.data
+                in
+                let data = if b.swab then Wire.swap_words data else data in
+                (it.Wire.off, data))
+              b.items
+          in
+          let n = List.length extents in
+          let notified = Segment.should_notify segment ~requested:b.notify in
+          List.iteri
+            (fun i (off, data) ->
+              Cluster.Address_space.write (Segment.space segment)
+                ~addr:(Segment.base segment + off)
+                data;
+              let count = Bytes.length data in
+              Metrics.Account.add t.data_bytes ~category:"write served"
+                (float_of_int count);
+              emit t
+                (Served
+                   {
+                     op = Rights.Write_op;
+                     src;
+                     segment;
+                     off;
+                     count;
+                     notified = notified && i = n - 1;
+                     cas_success = None;
+                   });
+              match t.delivery_probe with
+              | Some probe -> probe Notification.Write_arrived ~count
+              | None -> ())
+            extents;
+          (if notified then
+             Notification.post
+               ?ctx:(Obs.Trace.serve_ctx sv ~label:"notify")
+               (Segment.notification segment)
+               {
+                 Notification.src;
+                 kind = Notification.Write_arrived;
+                 off = first.Wire.off;
+                 count = total;
+               });
+          Obs.Trace.serve_end sv)
 
 let handle_read t ~src (r : Wire.read_req) =
   let c = costs t in
@@ -1153,3 +1384,4 @@ let () =
       | Wire.Read_reply r -> handle_read_reply t ~src r
       | Wire.Cas_reply r -> handle_cas_reply t ~src r
       | Wire.Write_nack n -> handle_write_nack t ~src n
+      | Wire.Write_burst b -> handle_write_burst t ~src b

@@ -81,7 +81,34 @@ val write :
     bit: the receiving side byte-swaps the data words during the FIFO
     copy. *)
 
+val check_write :
+  t -> Descriptor.t -> off:int -> count:int -> unit
+(** Run only the local (issue-side) WRITE validation — staleness,
+    rights, bounds — raising {!Status.Remote_error} as {!write} would.
+    The pipeline engine uses it to fail a staged write at the same
+    program point as the synchronous path, instead of at some later
+    flush. *)
+
+val write_burst :
+  t ->
+  Descriptor.t ->
+  ?notify:bool ->
+  ?swab:bool ->
+  (int * bytes) list ->
+  unit
+(** Scatter-gather remote write: every [(off, data)] extent targets the
+    same segment and the whole batch is framed {e once} at the AAL layer
+    — one trap, one descriptor check, one FIFO setup per burst group and
+    48 payload bytes per cell, amortizing the per-frame costs {!write}
+    pays per 40-byte-payload cell. The destination validates every
+    extent before depositing any (the burst applies atomically or not at
+    all; one nack names the first offending extent) and raises at most
+    one notification covering the whole burst. Extents must be
+    non-empty; overlapping extents deposit in list order. Raises
+    [Invalid_argument] on an empty burst or extent. *)
+
 val read :
+  ?timeout:Sim.Time.t ->
   t ->
   Descriptor.t ->
   soff:int ->
@@ -95,7 +122,10 @@ val read :
 (** Non-blocking remote read: data is deposited into [dst] as reply
     bursts arrive; the returned ivar fills with the final status. With
     [notify], completion also posts on {!completion_fd}. With [swab],
-    the reply data words are byte-swapped before deposit. *)
+    the reply data words are byte-swapped before deposit. With
+    [timeout], the ivar fills with [Timed_out] if the reply has not
+    completed in time (late replies are then dropped) — this is what
+    lets a pipelined window of reads bound loss without blocking. *)
 
 val read_wait :
   ?timeout:Sim.Time.t ->
@@ -201,6 +231,20 @@ val write_with :
     rights (or [swab] is set) only a nack-flushing fence remains, and
     silent loss must be caught by an application-level read. Assumes no
     concurrent writer to the same region during verification. *)
+
+val write_burst_with :
+  t ->
+  policy:Recovery.policy ->
+  Descriptor.t ->
+  ?notify:bool ->
+  ?swab:bool ->
+  (int * bytes) list ->
+  unit
+(** Like {!write_burst}, under a policy: each attempt sends the burst
+    and then reads back the covering span, comparing every extent
+    (falling back to a nack-flushing fence when unverifiable, as in
+    {!write_with}). Extents must not overlap — an overwritten extent
+    could never verify. *)
 
 val cas_with :
   t ->

@@ -58,6 +58,16 @@ type write_nack = {
   count : int;
 }
 
+type burst_item = { off : int; data : bytes }
+
+type write_burst = {
+  seg : int;
+  gen : Generation.t;
+  notify : bool;
+  swab : bool;
+  items : burst_item list;
+}
+
 type message =
   | Write of write_req
   | Read of read_req
@@ -65,6 +75,7 @@ type message =
   | Cas of cas_req
   | Cas_reply of cas_reply
   | Write_nack of write_nack
+  | Write_burst of write_burst
 
 let tag_base = 0x10
 let tag_base_swab = 0x30
@@ -79,6 +90,7 @@ let op_read_reply = 3
 let op_cas = 4
 let op_cas_reply = 5
 let op_write_nack = 6
+let op_write_burst = 7
 
 let tag ~op ~notify ~swab =
   (if swab then tag_base_swab else tag_base)
@@ -108,6 +120,22 @@ let data_bytes_per_cell = Atm.Aal.cell_payload_bytes - header_bytes (* 40 *)
 let data_cells len =
   if len <= 0 then 1
   else (len + data_bytes_per_cell - 1) / data_bytes_per_cell
+
+(* A burst frame is framed ONCE at the AAL layer: one 6-byte burst
+   header, then an 8-byte (offset, length) descriptor per extent ahead
+   of its data.  Unlike the per-cell WRITE header, extent data streams
+   at the full 48 payload bytes per cell — that, plus the single trap,
+   is the batching win the pipeline engine buys. *)
+let burst_header_bytes = 6
+let burst_item_header_bytes = 8
+
+let burst_payload_bytes items =
+  List.fold_left (fun acc item -> acc + Bytes.length item.data) 0 items
+
+let burst_frame_bytes items =
+  List.fold_left
+    (fun acc item -> acc + burst_item_header_bytes + Bytes.length item.data)
+    burst_header_bytes items
 
 let encode message =
   let w = Atm.Codec.writer ~capacity:64 () in
@@ -150,7 +178,18 @@ let encode message =
       Atm.Codec.put_u8 w seg;
       Atm.Codec.put_u16 w (Generation.to_int gen);
       Atm.Codec.put_u32 w off;
-      Atm.Codec.put_u32 w count);
+      Atm.Codec.put_u32 w count
+  | Write_burst { seg; gen; notify; swab; items } ->
+      Atm.Codec.put_u8 w (tag ~op:op_write_burst ~notify ~swab);
+      Atm.Codec.put_u8 w seg;
+      Atm.Codec.put_u16 w (Generation.to_int gen);
+      Atm.Codec.put_u16 w (List.length items);
+      List.iter
+        (fun { off; data } ->
+          Atm.Codec.put_u32 w off;
+          Atm.Codec.put_u32 w (Bytes.length data);
+          Atm.Codec.put_bytes w data)
+        items);
   Atm.Codec.contents w
 
 exception Bad_message of string
@@ -200,4 +239,19 @@ let decode payload =
     let off = Atm.Codec.get_u32 r in
     let count = Atm.Codec.get_u32 r in
     Write_nack { status; seg; gen; off; count }
+  else if op = op_write_burst then begin
+    let seg = Atm.Codec.get_u8 r in
+    let gen = Generation.of_int (Atm.Codec.get_u16 r) in
+    let n = Atm.Codec.get_u16 r in
+    (* The reader is stateful: decode extents explicitly in frame order. *)
+    let rec decode_items k acc =
+      if k = 0 then List.rev acc
+      else begin
+        let off = Atm.Codec.get_u32 r in
+        let len = Atm.Codec.get_u32 r in
+        decode_items (k - 1) ({ off; data = Atm.Codec.get_bytes r len } :: acc)
+      end
+    in
+    Write_burst { seg; gen; notify; swab; items = decode_items n [] }
+  end
   else raise (Bad_message (Printf.sprintf "op %d" op))

@@ -56,6 +56,21 @@ type write_nack = {
     inhibit — reports the drop back so the issuer can surface it instead
     of silently losing data. *)
 
+type burst_item = { off : int; data : bytes }
+
+type write_burst = {
+  seg : int;
+  gen : Generation.t;
+  notify : bool;
+  swab : bool;
+  items : burst_item list;
+}
+(** A scatter-gather WRITE: several (offset, data) extents of one
+    segment framed {e once} at the AAL layer. One frame means one trap,
+    one FIFO setup and one checksum for the whole burst, which is where
+    the pipeline engine's batching win comes from. The notify bit covers
+    the burst as a whole — at most one notification per frame. *)
+
 type message =
   | Write of write_req
   | Read of read_req
@@ -63,6 +78,7 @@ type message =
   | Cas of cas_req
   | Cas_reply of cas_reply
   | Write_nack of write_nack
+  | Write_burst of write_burst
 
 exception Bad_message of string
 
@@ -77,6 +93,18 @@ val data_bytes_per_cell : int
 
 val data_cells : int -> int
 (** Cells needed to carry [len] data bytes at 40 per cell (min 1). *)
+
+val burst_header_bytes : int
+(** 6 — tag, segment, generation and extent count of a burst frame. *)
+
+val burst_item_header_bytes : int
+(** 8 — the (offset, length) descriptor ahead of each extent's data. *)
+
+val burst_payload_bytes : burst_item list -> int
+(** Total data bytes carried by the extents, excluding framing. *)
+
+val burst_frame_bytes : burst_item list -> int
+(** Full frame size of a burst: header + per-extent descriptors + data. *)
 
 val encode : message -> bytes
 val decode : bytes -> message

@@ -39,6 +39,16 @@ val set_recovery : t -> Rmem.Recovery.policy option -> unit
     deadline is the timeout there). The default [None] keeps the legacy
     behavior, bit-identical to the fault-free build. *)
 
+val set_pipeline : t -> Rmem.Pipeline.t option -> unit
+(** Route DX block transfer through a pipelined issue engine. Reads of
+    multi-block files issue a window of slot READs concurrently into
+    stripes of a gather buffer (engaged only without a recovery policy
+    — policied reads retry in their own blocking loop). Write pushes
+    stage the block body and its header as adjacent extents that merge
+    into one burst frame, deposited as a unit, so the valid flag can
+    never precede its data; the flush composes with {!set_recovery}.
+    [None] or a disabled engine keeps the serial path. *)
+
 val perform : t -> Nfs_ops.op -> Nfs_ops.result
 (** The full client path: local RPC into the clerk, local caches, then
     the remote path on a miss (installing the result locally). *)

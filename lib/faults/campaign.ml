@@ -52,6 +52,26 @@ let clerk_for rmem =
   Names.Clerk.set_probe_timeout clerk (Some (Sim.Time.ms 2));
   clerk
 
+(* Pipelined mode: the same workloads with their remote writes routed
+   through the batching issue engine (and lookup probes through its
+   window). The convergence checks are unchanged — that equivalence is
+   what the differential suite asserts. *)
+let pipeline_for ~pipelined rmem =
+  if pipelined then
+    Some (Rmem.Pipeline.create ~config:(Rmem.Pipeline.pipelined_config ()) rmem)
+  else None
+
+let push ?policy ?pipeline rmem desc ~off data =
+  match pipeline with
+  | Some p ->
+      Rmem.Pipeline.write p desc ~off data;
+      Rmem.Pipeline.flush ?policy p desc
+  | None -> (
+      match policy with
+      | Some policy ->
+          Rmem.Remote_memory.write_with rmem ~policy desc ~off data
+      | None -> Rmem.Remote_memory.write rmem desc ~off data)
+
 let outcome ~workload ~seed ~plane ~survived ~converged ~detail =
   let registry = Plane.registry plane in
   let c name = Obs.Registry.counter registry name in
@@ -92,7 +112,7 @@ let guarded ~workload ~seed ~plane testbed body =
 (* ------------------------------------------------------------------ *)
 (* quickstart: 2 nodes, named export/import, WRITE, READ back, CAS.    *)
 
-let quickstart ~plan ~seed =
+let quickstart ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:2 () in
   let node0 = Cluster.Testbed.node testbed 0 in
   let node1 = Cluster.Testbed.node testbed 1 in
@@ -104,6 +124,8 @@ let quickstart ~plan ~seed =
   guarded ~workload:"quickstart" ~seed ~plane testbed (fun converged detail ->
       let names0 = clerk_for rmem0 in
       let names1 = clerk_for rmem1 in
+      let pipeline = pipeline_for ~pipelined rmem0 in
+      Names.Clerk.set_pipeline names0 pipeline;
       let space1 = Cluster.Node.new_address_space node1 in
       let (_ : Rmem.Segment.t) =
         Names.Api.export names1 ~space:space1 ~base:0 ~len:4096
@@ -118,7 +140,7 @@ let quickstart ~plan ~seed =
           (Names.Api.revalidator ~hint names0 "shared.buffer")
       in
       let message = Bytes.of_string "hello, remote memory" in
-      Rmem.Remote_memory.write_with rmem0 ~policy desc ~off:0 message;
+      push ~policy ?pipeline rmem0 desc ~off:0 message;
       let space0 = Cluster.Node.new_address_space node0 in
       let buf = Rmem.Remote_memory.buffer ~space:space0 ~base:0 ~len:4096 in
       Rmem.Remote_memory.read_with rmem0 ~policy desc ~soff:0
@@ -150,7 +172,7 @@ let quickstart ~plan ~seed =
 (* ------------------------------------------------------------------ *)
 (* name_service: batch export, imports, revoke/re-export recovery.     *)
 
-let name_service ~plan ~seed =
+let name_service ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let rmems =
     Array.init 3 (fun i ->
@@ -163,6 +185,8 @@ let name_service ~plan ~seed =
   in
   guarded ~workload:"name_service" ~seed ~plane testbed (fun converged detail ->
       let clerks = Array.map clerk_for rmems in
+      let pipeline = pipeline_for ~pipelined rmems.(0) in
+      Names.Clerk.set_pipeline clerks.(0) pipeline;
       let exporter = Cluster.Testbed.node testbed 2 in
       let hint = Cluster.Node.addr exporter in
       let space = Cluster.Node.new_address_space exporter in
@@ -193,8 +217,7 @@ let name_service ~plan ~seed =
         retrying (fun () -> Names.Api.import ~force:true ~hint clerks.(0) name0)
       in
       let payload = Bytes.of_string "shard zero, first generation" in
-      Rmem.Remote_memory.write_with rmems.(0) ~policy:(policy name0) stale
-        ~off:0 payload;
+      push ~policy:(policy name0) ?pipeline rmems.(0) stale ~off:0 payload;
       (* The exporter revokes and re-exports shard-00: a NEW segment id,
          so the stale descriptor is beyond revalidation (the revalidator
          correctly refuses to splice a different segment under it) and
@@ -239,7 +262,7 @@ let name_service ~plan ~seed =
 (* producer_consumer: two producers fill disjoint slots, one CAS race,
    a polling consumer.                                                 *)
 
-let producer_consumer ~plan ~seed =
+let producer_consumer ~plan ~seed ~pipelined =
   let slots = 8 in
   let slot_base = 256 in
   let slot_bytes = 64 in
@@ -271,15 +294,32 @@ let producer_consumer ~plan ~seed =
             in
             (* Producer 0 owns even slots, producer 2 odd ones. *)
             let mine = if idx = 0 then 0 else 1 in
-            for slot = 0 to slots - 1 do
-              if slot mod 2 = mine then begin
-                let item = Bytes.make slot_bytes '\000' in
-                Bytes.set_int32_le item 0 (Int32.of_int (100 + slot));
-                Rmem.Remote_memory.write_with rmems.(idx) ~policy desc
-                  ~off:(slot_base + (slot * slot_bytes))
-                  item
-              end
-            done;
+            let pipeline = pipeline_for ~pipelined rmems.(idx) in
+            (match pipeline with
+            | Some p ->
+                (* All four slot writes stage into one scatter-gather
+                   burst per producer; the flush verifies and retries
+                   under the policy. *)
+                for slot = 0 to slots - 1 do
+                  if slot mod 2 = mine then begin
+                    let item = Bytes.make slot_bytes '\000' in
+                    Bytes.set_int32_le item 0 (Int32.of_int (100 + slot));
+                    Rmem.Pipeline.write p desc
+                      ~off:(slot_base + (slot * slot_bytes))
+                      item
+                  end
+                done;
+                Rmem.Pipeline.flush ~policy p desc
+            | None ->
+                for slot = 0 to slots - 1 do
+                  if slot mod 2 = mine then begin
+                    let item = Bytes.make slot_bytes '\000' in
+                    Bytes.set_int32_le item 0 (Int32.of_int (100 + slot));
+                    Rmem.Remote_memory.write_with rmems.(idx) ~policy desc
+                      ~off:(slot_base + (slot * slot_bytes))
+                      item
+                  end
+                done);
             (* Race for the winner word; memory decides, not the
                (ambiguous under loss) return value. *)
             let (_ : bool * int32) =
@@ -331,7 +371,7 @@ let producer_consumer ~plan ~seed =
 (* ------------------------------------------------------------------ *)
 (* replica: anti-entropy convergence across a partition heal.          *)
 
-let replica ~plan ~seed =
+let replica ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let nodes = Array.init 3 (Cluster.Testbed.node testbed) in
   let rmems = Array.map Rmem.Remote_memory.attach nodes in
@@ -343,6 +383,10 @@ let replica ~plan ~seed =
   guarded ~workload:"replica" ~seed ~plane testbed (fun converged detail ->
       let clerks = Array.map clerk_for rmems in
       let members = Array.map Replica.create clerks in
+      Array.iteri
+        (fun i member ->
+          Replica.set_pipeline member (pipeline_for ~pipelined rmems.(i)))
+        members;
       Array.iteri
         (fun i member ->
           (* Anti-entropy remote-reads the whole replica — 19 reply
@@ -401,7 +445,7 @@ let replica ~plan ~seed =
 (* ------------------------------------------------------------------ *)
 (* crash_restart: generation bump, Stale_generation, clerk re-import.  *)
 
-let crash_restart ~plan ~seed =
+let crash_restart ~plan ~seed ~pipelined =
   (* The point of this workload is the crash; supply the canonical one
      if the caller's plan has none. *)
   let plan =
@@ -440,6 +484,8 @@ let crash_restart ~plan ~seed =
       let names0 = clerk_for rmem0 in
       let names1 = clerk_for rmem1 in
       clerk1 := Some names1;
+      let pipeline = pipeline_for ~pipelined rmem0 in
+      Names.Clerk.set_pipeline names0 pipeline;
       let space1 = Cluster.Node.new_address_space node1 in
       let (_ : Rmem.Segment.t) =
         Names.Api.export names1 ~space:space1 ~base:0 ~len:4096
@@ -452,7 +498,7 @@ let crash_restart ~plan ~seed =
           (Names.Api.revalidator ~hint names0 "store")
       in
       let payload = Bytes.of_string "written before the crash" in
-      Rmem.Remote_memory.write_with rmem0 ~policy desc ~off:0 payload;
+      push ~policy ?pipeline rmem0 desc ~off:0 payload;
       let generation_before = Rmem.Descriptor.generation desc in
       let engine = Cluster.Testbed.engine testbed in
       (* Sit out the crash [5 ms] and restart [8 ms], then read through
@@ -482,13 +528,13 @@ let crash_restart ~plan ~seed =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(plan = Plan.none) ~seed workload =
+let run ?(plan = Plan.none) ?(pipelined = false) ~seed workload =
   match workload with
-  | "quickstart" -> quickstart ~plan ~seed
-  | "name_service" -> name_service ~plan ~seed
-  | "producer_consumer" -> producer_consumer ~plan ~seed
-  | "replica" -> replica ~plan ~seed
-  | "crash_restart" -> crash_restart ~plan ~seed
+  | "quickstart" -> quickstart ~plan ~seed ~pipelined
+  | "name_service" -> name_service ~plan ~seed ~pipelined
+  | "producer_consumer" -> producer_consumer ~plan ~seed ~pipelined
+  | "replica" -> replica ~plan ~seed ~pipelined
+  | "crash_restart" -> crash_restart ~plan ~seed ~pipelined
   | other -> invalid_arg ("Faults.Campaign.run: unknown workload " ^ other)
 
 (* The canonical CI plans. *)

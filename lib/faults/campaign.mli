@@ -26,11 +26,14 @@ val workloads : string list
 (** ["quickstart"; "name_service"; "producer_consumer"; "replica";
     "crash_restart"]. *)
 
-val run : ?plan:Plan.t -> seed:int -> string -> outcome
+val run : ?plan:Plan.t -> ?pipelined:bool -> seed:int -> string -> outcome
 (** Run one workload by name (default plan: {!Plan.none}). The
     [crash_restart] workload adds its canonical crash/restart schedule
-    when the plan carries none. Raises [Invalid_argument] on unknown
-    names. *)
+    when the plan carries none. With [pipelined] (default false) the
+    workload's remote writes route through a {!Rmem.Pipeline} engine
+    (and lookup probes through its read window); the convergence checks
+    are identical — the differential suite holds the two modes against
+    each other. Raises [Invalid_argument] on unknown names. *)
 
 (** {1 Canonical CI plans} *)
 

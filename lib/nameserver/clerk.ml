@@ -30,6 +30,9 @@ type t = {
   mutable probe_timeout : Sim.Time.t option;
   (* bound each remote probe READ under the fault plane; None (the
      default) keeps the legacy unbounded wait and its exact schedule *)
+  mutable pipeline : Rmem.Pipeline.t option;
+  (* when set (and enabled), lookup probe chains issue a window of
+     concurrent probe READs instead of one round trip per probe *)
   import_cache : (string, cached_import) Hashtbl.t;
   remote_registries : (int, Rmem.Descriptor.t) Hashtbl.t;
   remote_requests : (int, Rmem.Descriptor.t) Hashtbl.t;
@@ -90,6 +93,7 @@ let create ?(slots = Bootstrap.default_slots)
       request_segment;
       probe_policy;
       probe_timeout = None;
+      pipeline = None;
       import_cache = Hashtbl.create 64;
       remote_registries = Hashtbl.create 8;
       remote_requests = Hashtbl.create 8;
@@ -106,6 +110,7 @@ let registry t = t.registry
 let stats t = t.stats
 let set_probe_policy t policy = t.probe_policy <- policy
 let set_probe_timeout t timeout = t.probe_timeout <- timeout
+let set_pipeline t pipeline = t.pipeline <- pipeline
 
 (* ------------------------------------------------------------------ *)
 (* Lazy import of other clerks' well-known segments.                   *)
@@ -186,6 +191,84 @@ let remote_probe t desc ~probe_index ~name =
   Record.decode
     (Cluster.Address_space.read t.space ~addr:Bootstrap.probe_buffer_base
        ~len:Record.slot_bytes)
+
+(* Windowed probing: instead of one blocked round trip per probe, issue
+   a window of concurrent probe READs into distinct probe-buffer slots,
+   drain, and scan the results in probe order.  The chain semantics are
+   unchanged — an empty slot still terminates the chain, a foreign
+   record still moves to the next probe — the window only overlaps the
+   wire latency of probes the serial path would have issued one by one
+   (probing a few slots past the end of a short chain is the price of
+   the overlap).
+
+   Under fault pressure the overlap inverts into a liability: a batch
+   issues a window of round trips where a short chain needed one or
+   two, so the chance that at least one frame is lost grows with the
+   window, not the chain.  When a batch drain fails we therefore fall
+   back to serial probing for the rest of the lookup — one round trip
+   of exposure per probe, the same as the unpipelined path. *)
+let by_probing_serial t desc ~name ~start limit =
+  let rec go i =
+    if i >= limit then None
+    else
+      match remote_probe t desc ~probe_index:i ~name with
+      | None -> Some None (* chain ended: definitely absent *)
+      | Some record ->
+          if String.equal record.Record.name name then Some (Some record)
+          else go (i + 1)
+  in
+  go start
+
+let by_probing_windowed t pipeline desc ~name limit =
+  let window = (Rmem.Pipeline.config pipeline).Rmem.Pipeline.window in
+  let slot_cap = Bootstrap.probe_buffer_bytes / Record.slot_bytes in
+  let batch_size = Stdlib.max 1 (Stdlib.min window slot_cap) in
+  let buf =
+    Rmem.Remote_memory.buffer ~space:t.space
+      ~base:Bootstrap.probe_buffer_base ~len:Bootstrap.probe_buffer_bytes
+  in
+  let rec batch start =
+    if start >= limit then None
+    else begin
+      let n = Stdlib.min batch_size (limit - start) in
+      match
+        for j = 0 to n - 1 do
+          let index = Registry.slot_index t.registry name (start + j) in
+          Rmem.Pipeline.read_submit ?timeout:t.probe_timeout pipeline desc
+            ~soff:(Registry.slot_offset t.registry index)
+            ~count:Record.slot_bytes ~dst:buf
+            ~doff:(j * Record.slot_bytes)
+            ();
+          Metrics.Account.add t.stats ~category:"remote probes" 1.
+        done;
+        Rmem.Pipeline.drain pipeline
+      with
+      | exception (Rmem.Status.Timeout | Rmem.Status.Remote_error _) ->
+          (* A lost probe invalidates the whole batch (the buffer slot it
+             owned is stale); the drain above left the window empty, so
+             serial probing resumes from this batch's first slot. *)
+          by_probing_serial t desc ~name ~start limit
+      | () ->
+      let rec scan j =
+        if j >= n then batch (start + n)
+        else begin
+          charge t (costs t).Cluster.Costs.hash_lookup;
+          match
+            Record.decode
+              (Cluster.Address_space.read t.space
+                 ~addr:(Bootstrap.probe_buffer_base + (j * Record.slot_bytes))
+                 ~len:Record.slot_bytes)
+          with
+          | None -> Some None (* chain ended: definitely absent *)
+          | Some record ->
+              if String.equal record.Record.name name then Some (Some record)
+              else scan (j + 1)
+        end
+      in
+      scan 0
+    end
+  in
+  batch 0
 
 (* The control-transfer fallback: write the lookup arguments (with
    notification) into the exporter clerk's request segment and spin on a
@@ -298,17 +381,10 @@ let lookup ?(force = false) ?hint t name =
       | Some remote -> (
           let desc = registry_descriptor t ~remote in
           let by_probing limit =
-            let rec go i =
-              if i >= limit then None
-              else
-                match remote_probe t desc ~probe_index:i ~name with
-                | None -> Some None (* chain ended: definitely absent *)
-                | Some record ->
-                    if String.equal record.Record.name name then
-                      Some (Some record)
-                    else go (i + 1)
-            in
-            go 0
+            match t.pipeline with
+            | Some p when (Rmem.Pipeline.config p).Rmem.Pipeline.enabled ->
+                by_probing_windowed t p desc ~name limit
+            | Some _ | None -> by_probing_serial t desc ~name ~start:0 limit
           in
           let result =
             match t.probe_policy with

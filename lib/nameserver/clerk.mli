@@ -32,6 +32,14 @@ val set_probe_timeout : t -> Sim.Time.t option -> unit
     {!Rmem.Status.Timeout} so lookups (and the recovery layer's
     revalidation) can retry instead of hanging. *)
 
+val set_pipeline : t -> Rmem.Pipeline.t option -> unit
+(** Route lookup probe chains through a pipelined issue engine: up to
+    [window] probe READs go out concurrently into distinct probe-buffer
+    slots and are scanned in probe order, overlapping the round trips
+    the serial path pays one by one. Chain semantics are unchanged; a
+    short chain may cost a few probes past its end (the price of the
+    overlap). [None] or a disabled engine keeps the serial path. *)
+
 (** {1 Service procedures (reached via local RPC from the kernel)} *)
 
 val add_name : t -> Record.t -> unit

@@ -39,6 +39,9 @@ type t = {
      reads, bit-identical to the fault-free build *)
   mutable push_failures : int;
   mutable repair_failures : int;
+  mutable pipeline : Rmem.Pipeline.t option;
+  (* when set, pushes go through the batching engine: body and version
+     word of one update merge into a single burst extent per peer *)
 }
 
 let slot_of t key = Names.Record.fnv_hash key land (t.slots - 1)
@@ -97,6 +100,7 @@ let create ?(slots = 64) names =
     recovery = None;
     push_failures = 0;
     repair_failures = 0;
+    pipeline = None;
   }
 
 let join t ~peer =
@@ -109,6 +113,7 @@ let join t ~peer =
 let members t = Hashtbl.length t.peers + 1
 
 let set_recovery t policy = t.recovery <- policy
+let set_pipeline t pipeline = t.pipeline <- pipeline
 
 (* The per-peer policy: the base policy plus a revalidator that
    re-imports the peer's replica by name (forced lookup, hinted at the
@@ -168,8 +173,38 @@ let set t key value =
   let body = Bytes.sub image 4 (slot_bytes - 4) in
   let version_word = Bytes.create 4 in
   Bytes.set_int32_le version_word 0 (Int32.of_int entry.version);
-  match t.recovery with
-  | None ->
+  match (t.pipeline, t.recovery) with
+  | Some pipeline, recovery ->
+      (* Batched push: body and version word stage as adjacent extents
+         and merge, so each peer receives the whole update in one burst
+         frame — deposited as a unit, the version word can never become
+         visible ahead of its body (the discipline the two-write order
+         exists for, made structural). *)
+      let peers =
+        Hashtbl.fold (fun addr desc acc -> (addr, desc) :: acc) t.peers []
+        |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      in
+      List.iter
+        (fun (addr, desc) ->
+          let policy =
+            Option.map
+              (fun base -> peer_policy t base ~peer:(Atm.Addr.of_int addr))
+              recovery
+          in
+          match
+            Rmem.Pipeline.write pipeline desc
+              ~off:(slot_addr t index + 4)
+              body;
+            Rmem.Pipeline.write pipeline desc ~off:(slot_addr t index)
+              version_word;
+            Rmem.Pipeline.flush ?policy pipeline desc
+          with
+          | () -> t.updates_sent <- t.updates_sent + 1
+          | exception (Rmem.Status.Timeout | Rmem.Status.Remote_error _)
+            when Option.is_some recovery ->
+              t.push_failures <- t.push_failures + 1)
+        peers
+  | None, None ->
       Hashtbl.iter
         (fun _ desc ->
           Rmem.Remote_memory.write t.rmem desc ~off:(slot_addr t index + 4)
@@ -179,7 +214,7 @@ let set t key value =
             version_word;
           t.updates_sent <- t.updates_sent + 1)
         t.peers
-  | Some base ->
+  | None, Some base ->
       (* Push under policy, peers in address order for deterministic
          replay. Each write is fenced and reissued on loss —
          re-depositing is idempotent (same version, same bytes) — and

@@ -43,6 +43,15 @@ val set_recovery : t -> Rmem.Recovery.policy option -> unit
     The default [None] keeps the legacy one-way behavior, bit-identical
     to the fault-free build. *)
 
+val set_pipeline : t -> Rmem.Pipeline.t option -> unit
+(** Route pushes through a pipelined issue engine: an update's body and
+    version word stage as adjacent extents, merge, and reach each peer
+    as one burst frame, deposited as a unit — the body-before-version
+    torn-read discipline made structural. Composes with {!set_recovery}
+    (the flush then verifies and retries under the per-peer policy).
+    With a disabled engine this is passthrough, identical to the
+    legacy path. *)
+
 val push_failures : t -> int
 (** Updates abandoned after exhausting a recovery policy. *)
 

@@ -21,4 +21,5 @@ let () =
       ("explore", Test_explore.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("pipeline", Test_pipeline.suite);
     ]
