@@ -25,7 +25,8 @@ let outcome_json (o : Faults.Campaign.outcome) =
     |> String.concat ","
   in
   Printf.sprintf
-    "{\"workload\":\"%s\",\"seed\":%d,\"survived\":%b,\"converged\":%b,\"detail\":\"%s\",\"digest\":%d,\"events\":%d,\"retries\":%g,\"recovered\":%g,\"revalidations\":%g,\"gave_up\":%g,\"counters\":{%s}}"
+    "{\"schema\":%d,\"workload\":\"%s\",\"seed\":%d,\"survived\":%b,\"converged\":%b,\"detail\":\"%s\",\"digest\":%d,\"events\":%d,\"retries\":%g,\"recovered\":%g,\"revalidations\":%g,\"gave_up\":%g,\"counters\":{%s}}"
+    Analysis.Report.schema_version
     (escape o.workload) o.seed o.survived o.converged (escape o.detail)
     o.digest o.events o.retries o.recovered o.revalidations o.gave_up counters
 

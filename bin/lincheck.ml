@@ -1,0 +1,335 @@
+(* lincheck — linearizability (and per-cell sequential-consistency)
+   checking of the operation histories the monitor captures.
+
+     dune exec bin/lincheck.exe --                      # everything, FIFO
+     dune exec bin/lincheck.exe -- -w kv_store
+     dune exec bin/lincheck.exe -- --sc                 # SC-fallback mode
+     dune exec bin/lincheck.exe -- -w cas_double_apply --explore
+     dune exec bin/lincheck.exe -- -w cas_double_apply \
+         --replay "0/4,0/3,0/2,0/3,0/2,0/2,0/2,1/2,0/2"
+     dune exec bin/lincheck.exe -- --ci --json
+
+   Sources of histories:
+
+   - the example workloads ({!Analysis.Scenarios}), run under the
+     default FIFO schedule;
+   - the fault-free recovery-campaign workloads ({!Faults.Campaign}
+     with the empty plan; crash_restart is excluded — restarts tear
+     down endpoints mid-history), observed through the campaign's
+     rmem probe.
+
+   In --ci mode every FIFO history and every fault-free campaign
+   history must be linearizable, and exploring the seeded
+   cas_double_apply workload must surface a non-linearizable schedule
+   whose certificate replays to the same failure kind — the lost-reply
+   double-apply that no single-schedule checker can see. *)
+
+open Cmdliner
+
+let escape = Analysis.Report.json_escape
+
+(* The campaign workloads whose fault-free histories are checked.
+   crash_restart kills and reattaches endpoints, which orphans
+   in-flight operations by design. *)
+let campaign_workloads =
+  [ "quickstart"; "name_service"; "producer_consumer"; "replica" ]
+
+type source = Scenario | Campaign
+
+let source_to_string = function
+  | Scenario -> "scenario"
+  | Campaign -> "campaign"
+
+type check = {
+  workload : string;
+  source : source;
+  mode : Analysis.Linearize.mode;
+  verdict : Analysis.Linearize.verdict;
+  detail : string;  (* non-verdict trouble, e.g. campaign divergence *)
+}
+
+let scenario_check ~mode name =
+  let monitor = Analysis.Scenarios.run name in
+  {
+    workload = name;
+    source = Scenario;
+    mode;
+    verdict = Analysis.Linearize.check ~mode (Analysis.Monitor.history monitor);
+    detail = "";
+  }
+
+(* Run one campaign workload fault-free with a monitor subscribed to
+   every endpoint through the campaign's rmem probe. *)
+let campaign_check ~mode name =
+  let monitor = ref None in
+  Faults.Campaign.set_rmem_probe
+    (Some
+       (fun rmem ->
+         let m =
+           match !monitor with
+           | Some m -> m
+           | None ->
+               let m =
+                 Analysis.Monitor.create
+                   (Cluster.Node.engine (Rmem.Remote_memory.node rmem))
+               in
+               monitor := Some m;
+               m
+         in
+         Analysis.Monitor.attach_rmem m rmem));
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Faults.Campaign.set_rmem_probe None)
+      (fun () -> Faults.Campaign.run ~seed:1 name)
+  in
+  let monitor =
+    match !monitor with
+    | Some m -> m
+    | None -> failwith (name ^ ": campaign attached no endpoint")
+  in
+  {
+    workload = name;
+    source = Campaign;
+    mode;
+    verdict = Analysis.Linearize.check ~mode (Analysis.Monitor.history monitor);
+    detail =
+      (if outcome.Faults.Campaign.survived && outcome.Faults.Campaign.converged
+       then ""
+       else "campaign did not converge: " ^ outcome.Faults.Campaign.detail);
+  }
+
+let check_ok c =
+  c.detail = ""
+  && match c.verdict with Analysis.Linearize.Pass _ -> true | _ -> false
+
+let verdict_stats = function
+  | Analysis.Linearize.Pass stats -> stats
+  | Analysis.Linearize.Fail { stats; _ } -> stats
+
+let print_check c =
+  let stats = verdict_stats c.verdict in
+  Printf.printf "== %-22s (%s, %s): %s  [%d cell(s), %d event(s), %d state(s)%s]\n"
+    c.workload (source_to_string c.source)
+    (Analysis.Linearize.mode_to_string c.mode)
+    (if check_ok c then "ok"
+     else if c.detail <> "" then c.detail
+     else Analysis.Linearize.describe c.verdict)
+    stats.Analysis.Linearize.cells stats.Analysis.Linearize.events
+    stats.Analysis.Linearize.explored
+    (if stats.Analysis.Linearize.skipped > 0 then
+       Printf.sprintf ", %d skipped" stats.Analysis.Linearize.skipped
+     else "")
+
+let witness_json events =
+  events
+  |> List.map (fun e ->
+         Printf.sprintf "\"%s\"" (escape (Analysis.History.event_to_string e)))
+  |> String.concat ","
+
+let check_json c =
+  let stats = verdict_stats c.verdict in
+  let status, witness =
+    match c.verdict with
+    | Analysis.Linearize.Pass _ ->
+        ((if c.detail = "" then "ok" else "error"), "")
+    | Analysis.Linearize.Fail { witness; _ } -> ("violation", witness_json witness)
+  in
+  Printf.sprintf
+    "{\"schema\":%d,\"tool\":\"lincheck\",\"workload\":\"%s\",\"source\":\"%s\",\"mode\":\"%s\",\"status\":\"%s\",\"detail\":\"%s\",\"witness\":[%s],\"stats\":{\"cells\":%d,\"events\":%d,\"explored\":%d,\"skipped\":%d}}"
+    Analysis.Report.schema_version (escape c.workload)
+    (source_to_string c.source)
+    (escape (Analysis.Linearize.mode_to_string c.mode))
+    status
+    (escape
+       (if c.detail <> "" then c.detail
+        else
+          match c.verdict with
+          | Analysis.Linearize.Pass _ -> ""
+          | v -> Analysis.Linearize.describe v))
+    witness stats.Analysis.Linearize.cells stats.Analysis.Linearize.events
+    stats.Analysis.Linearize.explored stats.Analysis.Linearize.skipped
+
+(* ---------------- exploration (the seeded bug) ---------------- *)
+
+let explore_outcome_json (o : Analysis.Explore.outcome) =
+  let kind, detail =
+    match o.failure with
+    | None -> ("ok", "")
+    | Some f ->
+        (Analysis.Explore.failure_kind f, Analysis.Explore.describe_failure f)
+  in
+  Printf.sprintf
+    "{\"schema\":%d,\"tool\":\"lincheck\",\"schedule\":\"%s\",\"choice_points\":%d,\"status\":\"%s\",\"detail\":\"%s\"}"
+    Analysis.Report.schema_version
+    (escape (Analysis.Schedule.to_string o.schedule))
+    o.choice_points (escape kind) (escape detail)
+
+let print_explore_outcome ~label (o : Analysis.Explore.outcome) =
+  let kind, detail =
+    match o.failure with
+    | None -> ("ok", "")
+    | Some f ->
+        (Analysis.Explore.failure_kind f, Analysis.Explore.describe_failure f)
+  in
+  Printf.printf "   %s: %s%s  [schedule %s]\n" label kind
+    (if detail = "" then "" else " — " ^ detail)
+    (Analysis.Schedule.to_string o.schedule)
+
+let lin_failures (r : Analysis.Explore.result) =
+  List.filter
+    (fun (o : Analysis.Explore.outcome) ->
+      match o.failure with
+      | Some (Analysis.Explore.Non_linearizable _) -> true
+      | _ -> false)
+    r.failures
+
+let run_explore name ~json ~out =
+  let r = Analysis.Explore.explore name in
+  let lin = lin_failures r in
+  if json then
+    List.iter (fun o -> print_endline (explore_outcome_json o)) lin
+  else begin
+    Printf.printf
+      "== %s: %d schedule(s), %d distinct, %d non-linearizable\n" name
+      r.stats.executed r.stats.distinct (List.length lin);
+    List.iter (fun o -> print_explore_outcome ~label:"violation" o) lin
+  end;
+  (* The exploration contract: a linearizability failure exists and its
+     certificate replays to the same kind. *)
+  match lin with
+  | [] ->
+      Printf.fprintf out "   FAIL %s: no non-linearizable schedule found\n" name;
+      false
+  | (first : Analysis.Explore.outcome) :: _ -> (
+      let replayed = Analysis.Explore.replay name first.schedule in
+      match replayed.failure with
+      | Some (Analysis.Explore.Non_linearizable _) -> true
+      | _ ->
+          Printf.fprintf out
+            "   FAIL %s: certificate %s did not replay to a linearizability \
+             failure\n"
+            name
+            (Analysis.Schedule.to_string first.schedule);
+          false)
+
+let run_replay name cert ~json =
+  let schedule =
+    try Analysis.Schedule.of_string cert
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let outcome = Analysis.Explore.replay name schedule in
+  if json then print_endline (explore_outcome_json outcome)
+  else print_explore_outcome ~label:(Printf.sprintf "replay %s" name) outcome;
+  if outcome.failure <> None then exit 1
+
+(* ---------------- driver ---------------- *)
+
+let main workload sc json ci explore replay =
+  let mode =
+    if sc then Analysis.Linearize.Sequential else Analysis.Linearize.Linearizable
+  in
+  let out = if json then stderr else stdout in
+  match replay with
+  | Some cert ->
+      if List.mem workload Analysis.Scenarios.checked then
+        run_replay workload cert ~json
+      else begin
+        Printf.eprintf "--replay needs -w naming one of: %s\n"
+          (String.concat ", " Analysis.Scenarios.checked);
+        exit 2
+      end
+  | None ->
+      if explore then begin
+        let name = if workload = "all" then "cas_double_apply" else workload in
+        if not (run_explore name ~json ~out) then exit 1
+      end
+      else begin
+        let scenarios, campaigns =
+          if workload = "all" then (Analysis.Scenarios.checked, campaign_workloads)
+          else if List.mem workload Analysis.Scenarios.checked then
+            ([ workload ], [])
+          else if List.mem workload campaign_workloads then ([], [ workload ])
+          else begin
+            Printf.eprintf "unknown workload %S (have: %s, all)\n" workload
+              (String.concat ", "
+                 (Analysis.Scenarios.checked @ campaign_workloads));
+            exit 2
+          end
+        in
+        let checks =
+          List.map (scenario_check ~mode) scenarios
+          @ List.map (campaign_check ~mode) campaigns
+        in
+        if json then List.iter (fun c -> print_endline (check_json c)) checks
+        else List.iter print_check checks;
+        let fifo_ok = List.for_all check_ok checks in
+        if ci then begin
+          (* Also require the seeded double-apply bug to be caught (and
+             its certificate to replay) when checking the full set. *)
+          let explored_ok =
+            workload <> "all" || run_explore "cas_double_apply" ~json ~out
+          in
+          if fifo_ok && explored_ok then
+            Printf.fprintf out
+              "lincheck: all histories linearizable; seeded bug caught\n"
+          else begin
+            Printf.fprintf out "lincheck: expectation mismatch\n";
+            exit 1
+          end
+        end
+        else if not fifo_ok then exit 1
+      end
+
+let workload =
+  let doc =
+    "Workload to check (a scenario, a campaign workload, or $(b,all))."
+  in
+  Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let sc =
+  let doc =
+    "Check per-cell sequential consistency (program order only) instead \
+     of linearizability. Per-cell SC is a necessary condition for \
+     whole-history SC, not sufficient — SC does not compose."
+  in
+  Arg.(value & flag & info [ "sc" ] ~doc)
+
+let json =
+  let doc =
+    "Emit one JSON object per check on stdout (diagnostics to stderr)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci =
+  let doc =
+    "Assert expectations: every FIFO and fault-free campaign history is \
+     linearizable, and exploration catches the seeded cas_double_apply \
+     bug with a replayable certificate."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let explore =
+  let doc =
+    "Explore the workload's schedule space (default: cas_double_apply) \
+     and report the non-linearizable schedules; exits 1 if none is \
+     found or the first certificate does not replay."
+  in
+  Arg.(value & flag & info [ "explore" ] ~doc)
+
+let replay =
+  let doc =
+    "Replay one schedule certificate ($(b,index/count) pairs joined by \
+     commas, or $(b,-) for FIFO) against the $(b,-w) workload and \
+     report its outcome."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CERT" ~doc)
+
+let cmd =
+  let doc = "Linearizability checker for captured operation histories" in
+  Cmd.v
+    (Cmd.info "lincheck" ~doc)
+    Term.(const main $ workload $ sc $ json $ ci $ explore $ replay)
+
+let () = exit (Cmd.eval cmd)

@@ -54,7 +54,8 @@ let outcome_json (o : Analysis.Explore.outcome) =
 let result_json (r : Analysis.Explore.result) =
   let s = r.stats in
   Printf.sprintf
-    "{\"workload\":\"%s\",\"stats\":{\"executed\":%d,\"distinct\":%d,\"redundant\":%d,\"pruned_dpor\":%d,\"pruned_sleep\":%d,\"deferred\":%d,\"failing\":%d,\"max_choice_points\":%d,\"budget_exhausted\":%b},\"baseline\":%s,\"failures\":[%s]}"
+    "{\"schema\":%d,\"workload\":\"%s\",\"stats\":{\"executed\":%d,\"distinct\":%d,\"redundant\":%d,\"pruned_dpor\":%d,\"pruned_sleep\":%d,\"deferred\":%d,\"failing\":%d,\"max_choice_points\":%d,\"budget_exhausted\":%b},\"baseline\":%s,\"failures\":[%s]}"
+    Analysis.Report.schema_version
     (Analysis.Report.json_escape r.workload)
     s.executed s.distinct s.redundant s.pruned_dpor s.pruned_sleep s.deferred
     s.failing s.max_choice_points s.budget_exhausted
@@ -122,7 +123,10 @@ let run_explore names ~config ~json ~ci =
     List.iter (fun r -> print_endline (result_json r)) results
   else List.iter print_result results;
   if ci then begin
-    let ok = List.for_all (assert_result ~config ~out) results in
+    (* Assert every workload before combining: a short-circuiting
+       for_all would swallow the diagnostics of later mismatches. *)
+    let checked = List.map (assert_result ~config ~out) results in
+    let ok = List.for_all Fun.id checked in
     if ok then output_string out "modelcheck: all workloads match expectations\n"
     else begin
       output_string out "modelcheck: expectation mismatch\n";
@@ -141,7 +145,12 @@ let run_replay name cert ~config ~json =
       exit 2
   in
   let outcome = Analysis.Explore.replay ~config name schedule in
-  if json then print_endline (outcome_json outcome)
+  if json then
+    print_endline
+      (Printf.sprintf "{\"schema\":%d,\"workload\":\"%s\",\"replay\":%s}"
+         Analysis.Report.schema_version
+         (Analysis.Report.json_escape name)
+         (outcome_json outcome))
   else print_outcome ~label:(Printf.sprintf "replay %s" name) outcome;
   if outcome.failure <> None then exit 1
 

@@ -52,7 +52,11 @@ let main workload ci json =
       exit 2
     end
   in
-  let ok = List.for_all (fun name -> check name ~ci ~json) names in
+  (* Run and report every workload before combining verdicts: a
+     short-circuiting for_all would silently skip everything after the
+     first mismatch. *)
+  let results = List.map (fun name -> check name ~ci ~json) names in
+  let ok = List.for_all Fun.id results in
   let out = if json then stderr else stdout in
   if ci then
     if ok then output_string out "racecheck: all workloads match expectations\n"

@@ -39,6 +39,7 @@ type failure =
   | Exception of string
   | Diverged
   | Invariant_violated of string
+  | Non_linearizable of string
   | New_race of string
   | New_finding of string
 
@@ -47,6 +48,7 @@ let describe_failure = function
   | Exception msg -> "uncaught exception: " ^ msg
   | Diverged -> "diverged: per-run event bound exceeded (livelock?)"
   | Invariant_violated name -> "invariant violated: " ^ name
+  | Non_linearizable desc -> "history not linearizable: " ^ desc
   | New_race desc -> "race not present under FIFO: " ^ desc
   | New_finding desc -> "finding not present under FIFO: " ^ desc
 
@@ -55,6 +57,7 @@ let failure_kind = function
   | Exception _ -> "exception"
   | Diverged -> "diverged"
   | Invariant_violated _ -> "invariant"
+  | Non_linearizable _ -> "linearizability"
   | New_race _ -> "race"
   | New_finding _ -> "finding"
 
@@ -87,9 +90,17 @@ let max_reported = 16
 
 (* ---------------- access summaries and conflicts ---------------- *)
 
-(* What DPOR needs of an access: where and whether it can write. *)
+(* What DPOR needs of an access: where and whether it can write, plus
+   the acting agent and kind — not for the conflict relation, but as
+   the event label in trace hashing: two traces are Mazurkiewicz
+   -equivalent only as permutations of the same *labeled* events, and
+   without the agent two different agents' CASes on one word would
+   alias, collapsing genuinely different serve orders into one
+   "redundant" class. *)
 type touch = {
   key : Access.seg_key;
+  agent : int;
+  kind : Access.kind;
   writes : bool;
   off : int;
   count : int;
@@ -102,6 +113,8 @@ let summarize accesses =
     (fun (a : Access.t) ->
       {
         key = a.key;
+        agent = a.agent;
+        kind = a.kind;
         writes = (match a.kind with Access.Load -> false | _ -> true);
         off = a.off;
         count = a.count;
@@ -142,6 +155,7 @@ type run = {
   cones : (int, summary) Hashtbl.t;  (* seq -> causal-cone accesses *)
   status : run_status;
   invariant_failures : string list;
+  lin_failure : string option;  (* Linearize verdict on the history *)
   races : Race.t list;
   findings : Lint.finding list;
 }
@@ -248,15 +262,19 @@ let execute name ~directed ~sleep:branch_sleep ~max_events =
             charge e.seq
           end)
         events;
-      let races, findings, invariant_failures =
+      let races, findings, invariant_failures, lin_failure =
         match !status with
         | Completed ->
             ( Race.find monitor,
               Lint.check monitor,
               List.filter_map
                 (fun (name, check) -> if check () then None else Some name)
-                prep.invariants )
-        | _ -> ([], [], [])
+                prep.invariants,
+              match Linearize.check (Monitor.history monitor) with
+              | Linearize.Pass _ -> None
+              | Linearize.Fail _ as verdict ->
+                  Some (Linearize.describe verdict) )
+        | _ -> ([], [], [], None)
       in
       {
         decisions = List.rev !decisions;
@@ -265,6 +283,7 @@ let execute name ~directed ~sleep:branch_sleep ~max_events =
         cones;
         status = !status;
         invariant_failures;
+        lin_failure;
         races;
         findings;
       })
@@ -279,7 +298,11 @@ let hash_touch h t =
   let h = mix h t.key.Access.home in
   let h = mix h t.key.Access.seg in
   let h = mix h t.key.Access.gen in
-  let h = mix h (if t.writes then 7 else 3) in
+  let h = mix h t.agent in
+  let h =
+    mix h
+      (match t.kind with Access.Load -> 3 | Access.Store -> 7 | Access.Atomic -> 11)
+  in
   let h = mix h t.off in
   mix h t.count
 
@@ -332,6 +355,9 @@ let classify run ~baseline_races ~baseline_rules =
       match run.invariant_failures with
       | name :: _ -> Some (Invariant_violated name)
       | [] -> (
+          match run.lin_failure with
+          | Some desc -> Some (Non_linearizable desc)
+          | None -> (
           match
             if baseline_races then []
             else run.races
@@ -345,7 +371,7 @@ let classify run ~baseline_races ~baseline_rules =
                   run.findings
               with
               | f :: _ -> Some (New_finding (Lint.describe f))
-              | [] -> None)))
+              | [] -> None))))
 
 let outcome_of run ~baseline_races ~baseline_rules =
   {

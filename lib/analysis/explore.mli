@@ -21,9 +21,11 @@
     Each distinct execution is checked for deadlock (drained queue,
     unfinished workload — reported with the engine's blocked-waiter
     registry), uncaught exceptions, divergence, workload invariant
-    violations, and — relative to the FIFO baseline — new races and
-    new lint findings.  Failures carry a {!Schedule.t} certificate that
-    {!replay} re-executes deterministically. *)
+    violations, linearizability of the captured operation history
+    ({!Linearize} over {!Monitor.history}), and — relative to the FIFO
+    baseline — new races and new lint findings.  Failures carry a
+    {!Schedule.t} certificate that {!replay} re-executes
+    deterministically. *)
 
 type config = {
   budget : int;  (** maximum schedules to execute *)
@@ -39,13 +41,16 @@ type failure =
   | Exception of string
   | Diverged
   | Invariant_violated of string  (** the violated invariant's name *)
+  | Non_linearizable of string
+      (** {!Linearize} found no valid linearization of the execution's
+          operation history; carries the minimized witness *)
   | New_race of string  (** a race the FIFO baseline does not have *)
   | New_finding of string  (** a lint rule the FIFO baseline does not fire *)
 
 val describe_failure : failure -> string
 val failure_kind : failure -> string
 (** Short tag: ["deadlock"], ["exception"], ["diverged"],
-    ["invariant"], ["race"], ["finding"]. *)
+    ["invariant"], ["linearizability"], ["race"], ["finding"]. *)
 
 type outcome = {
   schedule : Schedule.t;  (** certificate reproducing this execution *)

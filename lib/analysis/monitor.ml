@@ -29,18 +29,25 @@ type flight = {
   policied : bool; (* issued under a Recovery policy (or a pipeline
                       flush retrying through one): its failed CAS serves
                       must not extend an unbounded-retry chain *)
+  issued_at : Sim.Time.t; (* the history event's invocation time *)
+  cas : (int32 * int32) option; (* CAS (expected, desired) arguments *)
+  batch : int option; (* pipeline window cycle carrying the issue *)
   mutable remaining : int;
   mutable accesses : Access.t list;
   mutable acquired : Vclock.t option; (* CAS: lock clock captured at serve *)
+  mutable hist : History.handle; (* serve-time events awaiting their resp *)
 }
 
 (* One run of consecutive failed CAS attempts by one agent on one word.
    [len] is the current run, [worst] the longest seen; a success, an
    intervening non-CAS access to the segment by the same agent, or a
-   pause longer than [retry_backoff_floor] resets [len]. *)
+   pause longer than [retry_backoff_floor] resets [len].  Reissues
+   sharing one pipeline batch (one window cycle) are one logical
+   attempt: they extend the run once, not per issue. *)
 type retry_chain = {
   mutable len : int;
   mutable last : Sim.Time.t;
+  mutable last_batch : int option;
   mutable worst : int;
 }
 
@@ -74,6 +81,10 @@ type t = {
   (* (agent name, segment, word offset) -> failed-CAS run lengths *)
   unpolicied : (string * Access.seg_key * Rmem.Rights.op, int ref) Hashtbl.t;
   (* issues seen outside any recovery policy, per (agent, segment, op) *)
+  unpolicied_batch : (string * Access.seg_key * Rmem.Rights.op, int) Hashtbl.t;
+  (* last pipeline batch already counted in [unpolicied] per key: a
+     windowed group of issues is one logical attempt *)
+  history : History.t;
   mutable rejections : rejection list;
   mutable nacks : int;
   mutable lrpc_calls : int;
@@ -95,6 +106,8 @@ let create engine =
     policies = Hashtbl.create 8;
     retries = Hashtbl.create 8;
     unpolicied = Hashtbl.create 8;
+    unpolicied_batch = Hashtbl.create 8;
+    history = History.create ();
     rejections = [];
     nacks = 0;
     lrpc_calls = 0;
@@ -196,13 +209,15 @@ let kind_of_op = function
    faster retries extend a failed-CAS run. *)
 let retry_backoff_floor = Sim.Time.us 150
 
-let note_cas_retry t ~agent_name ~key ~off ~policied ~success =
+let note_cas_retry t ~agent_name ~key ~off ~policied ~batch ~success =
   let chain_key = (agent_name, key, off) in
   let chain =
     match Hashtbl.find_opt t.retries chain_key with
     | Some c -> c
     | None ->
-        let c = { len = 0; last = Sim.Time.zero; worst = 0 } in
+        let c =
+          { len = 0; last = Sim.Time.zero; last_batch = None; worst = 0 }
+        in
         Hashtbl.replace t.retries chain_key c;
         c
   in
@@ -215,13 +230,26 @@ let note_cas_retry t ~agent_name ~key ~off ~policied ~success =
     chain.last <- now t
   end
   else begin
-    let gap = Sim.Time.diff (now t) chain.last in
-    chain.len <-
-      (if chain.len > 0 && Sim.Time.(gap <= retry_backoff_floor) then
-         chain.len + 1
-       else 1);
-    chain.last <- now t;
-    if chain.len > chain.worst then chain.worst <- chain.len
+    let same_batch =
+      match (batch, chain.last_batch) with
+      | Some b, Some b' -> b = b'
+      | _ -> false
+    in
+    if same_batch && chain.len > 0 then
+      (* Another failure out of the same pipeline window cycle: the
+         caller made one logical attempt, however many issues the
+         window carried. *)
+      chain.last <- now t
+    else begin
+      let gap = Sim.Time.diff (now t) chain.last in
+      chain.len <-
+        (if chain.len > 0 && Sim.Time.(gap <= retry_backoff_floor) then
+           chain.len + 1
+         else 1);
+      chain.last <- now t;
+      chain.last_batch <- batch;
+      if chain.len > chain.worst then chain.worst <- chain.len
+    end
   end
 
 let break_cas_retries t ~agent_name ~key =
@@ -244,6 +272,18 @@ let on_delivery t ~key (_ : Rmem.Notification.record) =
 let on_export t ~home segment =
   let key = key_of_segment ~home segment in
   Hashtbl.replace t.policies key (Rmem.Segment.policy segment);
+  (* Libraries that mutate their own exported memory locally, outside
+     any hook (the name-service clerk's well-known segments, the
+     replica store), produce incomplete operation histories; checking
+     those would report phantom violations, so they are excluded by
+     name. *)
+  let locally_mutated =
+    List.exists
+      (fun prefix -> String.starts_with ~prefix (Rmem.Segment.name segment))
+      [ "wk:"; "replica:" ]
+  in
+  if locally_mutated then History.exclude t.history ~key
+  else History.note_export t.history ~key segment;
   Rmem.Notification.set_monitor
     (Rmem.Segment.notification segment)
     (Some (fun record -> on_delivery t ~key record))
@@ -252,23 +292,36 @@ let on_rmem_event t ~self_addr event =
   let self () = agent_for t self_addr in
   match event with
   | Rmem.Remote_memory.Exported segment -> on_export t ~home:self_addr segment
-  | Rmem.Remote_memory.Issued { op; desc; off = _; count; notify = _; policied }
-    ->
+  | Rmem.Remote_memory.Issued
+      { op; desc; off = _; count; notify = _; policied; cas; batch } ->
       let a = self () in
       tick a;
       let key = key_of_desc desc in
       (if not policied then
          let uk = (a.name, key, op) in
-         match Hashtbl.find_opt t.unpolicied uk with
-         | Some n -> incr n
-         | None -> Hashtbl.replace t.unpolicied uk (ref 1));
+         let counted_already =
+           (* Issues sharing a pipeline batch are one logical attempt:
+              count the batch once, not each windowed issue. *)
+           match batch with
+           | None -> false
+           | Some b -> Hashtbl.find_opt t.unpolicied_batch uk = Some b
+         in
+         Option.iter (Hashtbl.replace t.unpolicied_batch uk) batch;
+         if not counted_already then
+           match Hashtbl.find_opt t.unpolicied uk with
+           | Some n -> incr n
+           | None -> Hashtbl.replace t.unpolicied uk (ref 1));
       let flight =
         {
           snapshot = a.clock;
           policied;
+          issued_at = now t;
+          cas;
+          batch;
           remaining = (if op = Rmem.Rights.Write_op then Stdlib.max count 1 else 1);
           accesses = [];
           acquired = None;
+          hist = History.no_handle;
         }
       in
       push t.issue_q (a.id, key, op) flight;
@@ -306,9 +359,22 @@ let on_rmem_event t ~self_addr event =
       | Rmem.Rights.Cas_op ->
           note_cas_retry t ~agent_name:issuer.name ~key ~off
             ~policied:(match flight with Some f -> f.policied | None -> false)
+            ~batch:(match flight with Some f -> f.batch | None -> None)
             ~success:(cas_success = Some true)
       | Rmem.Rights.Read_op | Rmem.Rights.Write_op ->
           break_cas_retries t ~agent_name:issuer.name ~key);
+      (let inv =
+         match flight with Some f -> f.issued_at | None -> now t
+       in
+       let handle =
+         History.record_serve t.history ~agent:issuer.name ~key ~segment ~op
+           ~off ~count
+           ~cas:(match flight with Some f -> f.cas | None -> None)
+           ~cas_success ~inv ~now:(now t)
+       in
+       match flight with
+       | Some f when op <> Rmem.Rights.Write_op -> f.hist <- handle
+       | _ -> ());
       (match flight with
       | None -> ()
       | Some f -> (
@@ -373,6 +439,9 @@ let on_rmem_event t ~self_addr event =
       tick a;
       let key = key_of_desc desc in
       let flight = pop t.completion_q (a.id, key, op) in
+      (match flight with
+      | Some f -> History.complete t.history f.hist ~now:(now t)
+      | None -> ());
       (match (op, cas_success, flight) with
       | Rmem.Rights.Cas_op, Some true, Some { acquired = Some held; _ } ->
           a.clock <- Vclock.join a.clock held
@@ -404,6 +473,8 @@ let attach_svm t svm =
        (fun { Svm.kind; addr; len } ->
          let a = agent_for t self_addr in
          tick a;
+         History.record_local t.history ~agent:a.name ~key ~kind ~off:addr
+           ~count:len ~now:(now t) ();
          let kind =
            match kind with `Load -> Access.Load | `Store -> Access.Store
          in
@@ -420,14 +491,25 @@ let attach_lrpc t =
          tick a;
          t.lrpc_calls <- t.lrpc_calls + 1))
 
-let local_access t ~node ~segment ~kind ~off ~count =
+let local_access t ~node ~segment ~kind ~off ~count ?value () =
   let home = Atm.Addr.to_int (Cluster.Node.addr node) in
   let a = agent_for t home in
   tick a;
+  let key = key_of_segment ~home segment in
+  History.record_local t.history ~agent:a.name ~key
+    ~kind:(match kind with Access.Store -> `Store | _ -> `Load)
+    ~off ~count ?value ~now:(now t) ();
   ignore
-    (record_access t ~agent:a ~key:(key_of_segment ~home segment)
-       ~seg_name:(Rmem.Segment.name segment) ~kind ~off ~count ~stamp:a.clock
-       ~vis:[ a.clock ] ~origin:Access.Local)
+    (record_access t ~agent:a ~key ~seg_name:(Rmem.Segment.name segment) ~kind
+       ~off ~count ~stamp:a.clock ~vis:[ a.clock ] ~origin:Access.Local)
+
+let history t = t.history
+
+let logical_begin t ~agent_name =
+  History.scope_begin t.history ~agent:agent_name ~now:(now t)
+
+let logical_commit t ~agent_name ~cell ~op =
+  History.scope_end t.history ~agent:agent_name ~cell ~op ~now:(now t)
 
 let declare_sync_word t ~key ~off =
   Hashtbl.replace t.declared_sync (key, off) ()

@@ -37,10 +37,29 @@ val local_access :
   kind:Access.kind ->
   off:int ->
   count:int ->
+  ?value:int32 ->
+  unit ->
   unit
 (** Record a direct touch of exported memory on its home node (the
     address-space loads/stores the hooks cannot see). Call it where the
-    workload touches the segment. *)
+    workload touches the segment. With [value] and a single fully
+    covered word, the history records the known word value; without it
+    the touched cells record {!History.Unknown}. *)
+
+(** {1 Operation history (linearizability)} *)
+
+val history : t -> History.t
+(** The client-observed operation history captured alongside the access
+    trace — {!Linearize} checks it. *)
+
+val logical_begin : t -> agent_name:string -> unit
+(** Open a {!History.scope_begin} logical-operation scope for an agent
+    (names are ["node<addr>"]): its physical operations are suppressed
+    until {!logical_commit} replaces them with one logical event. *)
+
+val logical_commit :
+  t -> agent_name:string -> cell:History.cell -> op:History.operation -> unit
+(** Close the scope with the wrapper's client-facing result. *)
 
 val declare_sync_word : t -> key:Access.seg_key -> off:int -> unit
 (** Mark the aligned word at [off] as a synchronization word: races

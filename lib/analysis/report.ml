@@ -42,6 +42,8 @@ let findings_table findings =
     findings;
   Metrics.Table.render table
 
+let schema_version = 1
+
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -81,8 +83,8 @@ let finding_json (f : Lint.finding) =
 
 let json ~title monitor ~races ~findings =
   Printf.sprintf
-    "{\"workload\":%s,\"agents\":%d,\"accesses\":%d,\"lrpc_calls\":%d,\"races\":[%s],\"findings\":[%s]}"
-    (json_string title)
+    "{\"schema\":%d,\"workload\":%s,\"agents\":%d,\"accesses\":%d,\"lrpc_calls\":%d,\"races\":[%s],\"findings\":[%s]}"
+    schema_version (json_string title)
     (Monitor.agent_count monitor)
     (List.length (Monitor.accesses monitor))
     (Monitor.lrpc_calls monitor)

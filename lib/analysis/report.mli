@@ -13,6 +13,11 @@ val json_escape : string -> string
 (** Escape a string for inclusion inside a JSON string literal (without
     the surrounding quotes). *)
 
+val schema_version : int
+(** Version of the JSON shapes the analysis CLIs emit ([racecheck],
+    [modelcheck], [chaoscheck], [lincheck]); every top-level object
+    carries it as ["schema"]. Bump on any incompatible change. *)
+
 val json :
   title:string -> Monitor.t -> races:Race.t list -> findings:Lint.finding list -> string
 (** One JSON object per workload run: totals plus full race and finding

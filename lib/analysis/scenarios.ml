@@ -29,9 +29,10 @@ let all =
     "racy";
     "torn_record";
     "cas_missing_release";
+    "cas_double_apply";
   ]
 
-let seeded_bugs = [ "torn_record"; "cas_missing_release" ]
+let seeded_bugs = [ "torn_record"; "cas_missing_release"; "cas_double_apply" ]
 
 let checked =
   [
@@ -41,6 +42,7 @@ let checked =
     "name_service";
     "torn_record";
     "cas_missing_release";
+    "cas_double_apply";
   ]
 
 let expectation = function
@@ -51,7 +53,8 @@ let expectation = function
   (* The seeded schedule bugs: clean under the default FIFO schedule —
      that is the point; only the model checker's exploration exposes
      them. *)
-  | "torn_record" | "cas_missing_release" -> { races = false; findings = false }
+  | "torn_record" | "cas_missing_release" | "cas_double_apply" ->
+      { races = false; findings = false }
   | name -> invalid_arg ("Scenarios.expectation: " ^ name)
 
 let setup ~nodes =
@@ -174,7 +177,7 @@ let producer_consumer () =
               Cluster.Address_space.read space ~addr:(slot + 4) ~len
             in
             Monitor.local_access monitor ~node:consumer_node ~segment:ring
-              ~kind:Access.Load ~off:slot ~count:pc_slot_bytes
+              ~kind:Access.Load ~off:slot ~count:pc_slot_bytes ()
           done;
           Sim.Ivar.fill done_ ());
       let finished = ref 0 in
@@ -423,13 +426,14 @@ let torn_record () =
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Never ~name:"record" ()
       in
       let read_word off =
+        let v = Cluster.Address_space.read_word space ~addr:off in
         Monitor.local_access monitor ~node ~segment:record ~kind:Access.Load
-          ~off ~count:4;
-        Int32.to_int (Cluster.Address_space.read_word space ~addr:off)
+          ~off ~count:4 ~value:v ();
+        Int32.to_int v
       in
       let write_word off v =
         Monitor.local_access monitor ~node ~segment:record ~kind:Access.Store
-          ~off ~count:4;
+          ~off ~count:4 ~value:(Int32.of_int v) ();
         Cluster.Address_space.write_word space ~addr:off (Int32.of_int v)
       in
       let reader_done = Sim.Ivar.create ~name:"reader done" () in
@@ -466,16 +470,18 @@ let cas_missing_release () =
   wrap ~testbed ~monitor (fun () ->
       let server = Cluster.Testbed.node testbed 0 in
       let space = Cluster.Node.new_address_space server in
+      (* The lock word starts held by the setup (value 9); [init]
+         releases it once the clients are parked on their first
+         attempt.  Written before the export — the history layer
+         snapshots exported memory as its initial value — and directly,
+         not through the monitor: the word must stay CAS-only for the
+         sync-word exemption. *)
+      Cluster.Address_space.write_word space ~addr:0 9l;
       let lock =
         Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
           ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
           ~name:"lock table" ()
       in
-      (* The lock word starts held by the setup (value 9); [init]
-         releases it once the clients are parked on their first
-         attempt.  Written directly, not through the monitor: the word
-         must stay CAS-only for the sync-word exemption. *)
-      Cluster.Address_space.write_word space ~addr:0 9l;
       let rmem = rmems.(1) in
       let desc =
         import_segment rmem ~from:(Cluster.Node.addr server) lock
@@ -524,6 +530,102 @@ let cas_missing_release () =
           Sim.Mailbox.send baton ());
       Sim.Ivar.read done_)
 
+(* cas_double_apply: a lost-reply CAS retry wrapper that can apply its
+   operation twice.  Client A's wrapper issues CAS(0->1), decides the
+   reply may have been lost, and reissues the same CAS once the
+   coordinator releases it, reporting success to its caller if either
+   attempt won.  Under the default FIFO schedule the retry runs before
+   client B touches the word, fails harmlessly, and every observation
+   is consistent.  But if B's CAS(1->0) slips between the two attempts,
+   the retry wins a second time: the caller saw *one* successful
+   CAS(0->1), yet memory absorbed two, and B's follow-up CAS(0->5)
+   fails with witness 1 — a history with no valid linearization.  The
+   word is CAS-only so there is no race, nothing deadlocks, and no lint
+   rule fires: only exploration plus the linearizability checker
+   catches it. *)
+
+let cas_double_apply () =
+  let testbed, rmems, monitor = setup ~nodes:3 in
+  let engine = Cluster.Testbed.engine testbed in
+  wrap ~testbed ~monitor (fun () ->
+      let server = Cluster.Testbed.node testbed 0 in
+      let space = Cluster.Node.new_address_space server in
+      let word =
+        Rmem.Remote_memory.export rmems.(0) ~space ~base:0 ~len:4096
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"shared word" ()
+      in
+      let cell =
+        {
+          History.key =
+            {
+              Access.home = Atm.Addr.to_int (Cluster.Node.addr server);
+              seg = Rmem.Segment.id word;
+              gen = Rmem.Generation.to_int (Rmem.Segment.generation word);
+            };
+          word = 0;
+        }
+      in
+      let import c =
+        import_segment rmems.(c) ~from:(Cluster.Node.addr server) word
+          ~rights:Rmem.Rights.all
+      in
+      let desc_a = import 1 in
+      let desc_b = import 2 in
+      let a1_done = Sim.Ivar.create ~name:"attempt1 done" () in
+      let go_a = Sim.Ivar.create ~name:"go a" () in
+      let go_b = Sim.Ivar.create ~name:"go b" () in
+      let done_ = Sim.Ivar.create ~name:"done" () in
+      let finished = ref 0 in
+      let finish () =
+        incr finished;
+        if !finished = 2 then Sim.Ivar.fill done_ ()
+      in
+      let node_a = Cluster.Testbed.node testbed 1 in
+      let agent_a =
+        Printf.sprintf "node%d" (Atm.Addr.to_int (Cluster.Node.addr node_a))
+      in
+      Cluster.Node.spawn node_a (fun () ->
+          (* The wrapper: one logical CAS(0->1) as far as its caller can
+             tell, however many requests it put on the wire. *)
+          Monitor.logical_begin monitor ~agent_name:agent_a;
+          let s1, _ =
+            Rmem.Remote_memory.cas_wait rmems.(1) desc_a ~doff:0 ~old_value:0l
+              ~new_value:1l ()
+          in
+          Sim.Ivar.fill a1_done ();
+          Sim.Ivar.read go_a;
+          (* THE BUG: the wrapper reissues the CAS as if the first reply
+             had been lost, and treats a second win as the same win. *)
+          let s2, w2 =
+            Rmem.Remote_memory.cas_wait rmems.(1) desc_a ~doff:0 ~old_value:0l
+              ~new_value:1l ()
+          in
+          let success = s1 || s2 in
+          let witness = if success then History.Known 0l else History.Known w2 in
+          Monitor.logical_commit monitor ~agent_name:agent_a ~cell
+            ~op:(History.Cas { expected = 0l; desired = 1l; success; witness });
+          finish ());
+      Cluster.Node.spawn (Cluster.Testbed.node testbed 2) (fun () ->
+          Sim.Ivar.read go_b;
+          let _took, _ =
+            Rmem.Remote_memory.cas_wait rmems.(2) desc_b ~doff:0 ~old_value:1l
+              ~new_value:0l ()
+          in
+          let _reused, _ =
+            Rmem.Remote_memory.cas_wait rmems.(2) desc_b ~doff:0 ~old_value:0l
+              ~new_value:5l ()
+          in
+          finish ());
+      Sim.Proc.spawn ~name:"coordinator" engine (fun () ->
+          Sim.Ivar.read a1_done;
+          (* Released in this order, the default FIFO schedule runs the
+             (failing) retry before B's first CAS; the two wake-ups land
+             at the same instant, so exploration gets to flip them. *)
+          Sim.Ivar.fill go_a ();
+          Sim.Ivar.fill go_b ());
+      Sim.Ivar.read done_)
+
 let prepare name =
   match name with
   | "kv_store" -> kv_store ()
@@ -534,6 +636,7 @@ let prepare name =
   | "racy" -> racy ()
   | "torn_record" -> torn_record ()
   | "cas_missing_release" -> cas_missing_release ()
+  | "cas_double_apply" -> cas_double_apply ()
   | name -> invalid_arg ("Scenarios.prepare: " ^ name)
 
 let run name =

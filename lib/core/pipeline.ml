@@ -84,6 +84,10 @@ type t = {
   cfg : config;
   staged : (key, staged) Hashtbl.t;
   windows : (key, inflight Queue.t) Hashtbl.t;
+  batches : (key, int) Hashtbl.t;
+  (* the current window cycle's batch tag per key: a fresh batch opens
+     whenever a submit finds its window empty, so every issue sharing a
+     window cycle carries the same batch id in its Issued event *)
   stats : stats;
   mutable registry : Obs.Registry.t option;
 }
@@ -94,6 +98,7 @@ let create ?(config = default_config) rmem =
     cfg = config;
     staged = Hashtbl.create 8;
     windows = Hashtbl.create 8;
+    batches = Hashtbl.create 8;
     stats =
       {
         staged_writes = 0;
@@ -310,6 +315,25 @@ let window_admit t q =
     reraise first
   end
 
+(* The batch tag for the next windowed issue toward [key]: reuse the
+   window cycle's tag while operations are still in flight, open a fresh
+   one when the window has gone empty (each cycle of a caller's retry
+   loop drains the window first, so one cycle = one batch = one logical
+   attempt for the lint layer). *)
+let window_batch t ~key ~q =
+  if Queue.is_empty q then begin
+    let b = Remote_memory.fresh_batch t.rmem in
+    Hashtbl.replace t.batches key b;
+    b
+  end
+  else
+    match Hashtbl.find_opt t.batches key with
+    | Some b -> b
+    | None ->
+        let b = Remote_memory.fresh_batch t.rmem in
+        Hashtbl.replace t.batches key b;
+        b
+
 let read_submit ?timeout t desc ~soff ~count ~dst ~doff ?(swab = false) () =
   if not t.cfg.enabled then begin
     t.stats.passthrough_ops <- t.stats.passthrough_ops + 1;
@@ -326,8 +350,11 @@ let read_submit ?timeout t desc ~soff ~count ~dst ~doff ?(swab = false) () =
     | _ -> ());
     let q = window_q t key in
     window_admit t q;
+    let batch = window_batch t ~key ~q in
     let ivar =
-      Remote_memory.read ?timeout t.rmem desc ~soff ~count ~dst ~doff ~swab ()
+      Remote_memory.with_batch t.rmem ~batch (fun () ->
+          Remote_memory.read ?timeout t.rmem desc ~soff ~count ~dst ~doff ~swab
+            ())
     in
     Queue.push
       {
@@ -351,9 +378,11 @@ let cas_submit t desc ~doff ~old_value ~new_value ?result ?notify () =
     flush_key t key;
     let q = window_q t key in
     window_admit t q;
+    let batch = window_batch t ~key ~q in
     let ivar =
-      Remote_memory.cas_async t.rmem desc ~doff ~old_value ~new_value ?result
-        ?notify ()
+      Remote_memory.with_batch t.rmem ~batch (fun () ->
+          Remote_memory.cas_async t.rmem desc ~doff ~old_value ~new_value
+            ?result ?notify ())
     in
     Queue.push
       {

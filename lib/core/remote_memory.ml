@@ -45,6 +45,8 @@ type monitor_event =
       count : int;
       notify : bool;
       policied : bool;
+      cas : (int32 * int32) option;
+      batch : int option;
     }
   | Issue_rejected of {
       op : Rights.op;
@@ -103,6 +105,10 @@ type t = {
   mutable recovery_depth : int;
   (* > 0 while a recovery policy drives the current issue: marks the
      Issued events it produces as policied for the lint layer *)
+  mutable batch : int option;
+  (* the {!with_batch} context: Issued events carry it so the analysis
+     layer can treat a pipelined window of issues as one logical attempt *)
+  mutable next_batch : int;
   mutable fault_registry : Obs.Registry.t option;
 }
 
@@ -191,6 +197,8 @@ let attach node =
       write_failures = Hashtbl.create 4;
       monitor = None;
       recovery_depth = 0;
+      batch = None;
+      next_batch = 1;
       fault_registry = None;
     }
   in
@@ -220,6 +228,20 @@ let set_server_role t =
 
 let set_delivery_probe t probe = t.delivery_probe <- probe
 let set_monitor t monitor = t.monitor <- monitor
+
+let fresh_batch t =
+  let id = t.next_batch in
+  t.next_batch <- id + 1;
+  id
+
+(* Tag every Issued event raised inside [f] with [batch].  The pipeline
+   engine opens one batch per window cycle so the analysis layer can
+   fold a window of reissues into one logical attempt; nesting keeps the
+   innermost tag. *)
+let with_batch t ~batch f =
+  let saved = t.batch in
+  t.batch <- Some batch;
+  Fun.protect ~finally:(fun () -> t.batch <- saved) f
 
 let set_crypto t crypto = t.crypto <- crypto
 
@@ -357,6 +379,8 @@ let write t desc ~off ?(notify = false) ?(swab = false) data =
          count;
          notify;
          policied = t.recovery_depth > 0;
+         cas = None;
+         batch = t.batch;
        });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"WRITE"
@@ -434,6 +458,8 @@ let write_burst t desc ?(notify = false) ?(swab = false) extents =
          count = total;
          notify;
          policied = t.recovery_depth > 0;
+         cas = None;
+         batch = t.batch;
        });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"WRITE_BURST"
@@ -481,6 +507,8 @@ let read_async t desc ~soff ~count ~dst ~doff ?(notify = false)
          count;
          notify;
          policied = t.recovery_depth > 0;
+         cas = None;
+         batch = t.batch;
        });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"READ"
@@ -552,6 +580,8 @@ let cas_submit t desc ~doff ~old_value ~new_value ?result ?(notify = false) () =
          count = 4;
          notify;
          policied = t.recovery_depth > 0;
+         cas = Some (old_value, new_value);
+         batch = t.batch;
        });
   let fl =
     Obs.Trace.issue_begin ~node:(nid t) ~op:"CAS"

@@ -333,6 +333,13 @@ type monitor_event =
       policied : bool;
           (** issued from inside a {!Recovery.policy} execution — the
               no-retry-policy lint keys on this *)
+      cas : (int32 * int32) option;
+          (** CAS only: the (expected, desired) argument pair, so a
+              history checker can reconstruct the operation's semantics
+              without reading the wire *)
+      batch : int option;
+          (** the enclosing {!with_batch} context, if any — issues
+              sharing a batch id are one logical attempt *)
     }  (** Local validation passed; the request is going on the wire. *)
   | Issue_rejected of {
       op : Rights.op;
@@ -380,6 +387,15 @@ type monitor_event =
 val set_monitor : t -> (monitor_event -> unit) option -> unit
 (** Install (or clear) the event hook. When unset the instrumented paths
     cost a single [None] field test. *)
+
+val fresh_batch : t -> int
+(** Allocate a batch id for {!with_batch} (unique per node). *)
+
+val with_batch : t -> batch:int -> (unit -> 'a) -> 'a
+(** Run [f] with every [Issued] event it raises tagged [batch = Some
+    id]: the {!Rmem.Pipeline} engine opens one batch per window cycle so
+    the analysis layer counts a windowed group of issues as one logical
+    attempt. Nested calls keep the innermost tag. *)
 
 (** {1 Statistics} *)
 

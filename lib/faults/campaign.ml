@@ -24,6 +24,18 @@ type outcome = {
 let workloads =
   [ "quickstart"; "name_service"; "producer_consumer"; "replica"; "crash_restart" ]
 
+(* External observer hook: every remote-memory endpoint a workload
+   attaches is offered to the probe, so an analysis tool can subscribe
+   its monitor without this library depending on it (the dependency
+   points analysis -> faults, not back). *)
+let rmem_probe : (Rmem.Remote_memory.t -> unit) option ref = ref None
+let set_rmem_probe p = rmem_probe := p
+
+let attach node =
+  let rmem = Rmem.Remote_memory.attach node in
+  Option.iter (fun f -> f rmem) !rmem_probe;
+  rmem
+
 (* Generous enough for 10% frame loss: per-attempt failure is a few
    tenths, ten attempts leave no realistic seed stranded. *)
 let campaign_policy () =
@@ -116,8 +128,8 @@ let quickstart ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:2 () in
   let node0 = Cluster.Testbed.node testbed 0 in
   let node1 = Cluster.Testbed.node testbed 1 in
-  let rmem0 = Rmem.Remote_memory.attach node0 in
-  let rmem1 = Rmem.Remote_memory.attach node1 in
+  let rmem0 = attach node0 in
+  let rmem1 = attach node1 in
   let plane =
     Plane.create ~plan ~rmems:[ (0, rmem0); (1, rmem1) ] ~seed testbed
   in
@@ -176,7 +188,7 @@ let name_service ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let rmems =
     Array.init 3 (fun i ->
-        Rmem.Remote_memory.attach (Cluster.Testbed.node testbed i))
+        attach (Cluster.Testbed.node testbed i))
   in
   let plane =
     Plane.create ~plan
@@ -268,7 +280,7 @@ let producer_consumer ~plan ~seed ~pipelined =
   let slot_bytes = 64 in
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let nodes = Array.init 3 (Cluster.Testbed.node testbed) in
-  let rmems = Array.map Rmem.Remote_memory.attach nodes in
+  let rmems = Array.map attach nodes in
   let plane =
     Plane.create ~plan
       ~rmems:(Array.to_list (Array.mapi (fun i r -> (i, r)) rmems))
@@ -374,7 +386,7 @@ let producer_consumer ~plan ~seed ~pipelined =
 let replica ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let nodes = Array.init 3 (Cluster.Testbed.node testbed) in
-  let rmems = Array.map Rmem.Remote_memory.attach nodes in
+  let rmems = Array.map attach nodes in
   let plane =
     Plane.create ~plan
       ~rmems:(Array.to_list (Array.mapi (fun i r -> (i, r)) rmems))
@@ -466,8 +478,8 @@ let crash_restart ~plan ~seed ~pipelined =
   let testbed = Cluster.Testbed.create ~nodes:2 () in
   let node0 = Cluster.Testbed.node testbed 0 in
   let node1 = Cluster.Testbed.node testbed 1 in
-  let rmem0 = Rmem.Remote_memory.attach node0 in
-  let rmem1 = Rmem.Remote_memory.attach node1 in
+  let rmem0 = attach node0 in
+  let rmem1 = attach node1 in
   let clerk1 = ref None in
   let plane =
     Plane.create ~plan

@@ -26,6 +26,13 @@ val workloads : string list
 (** ["quickstart"; "name_service"; "producer_consumer"; "replica";
     "crash_restart"]. *)
 
+val set_rmem_probe : (Rmem.Remote_memory.t -> unit) option -> unit
+(** Observe every remote-memory endpoint the campaign workloads attach
+    (called once per endpoint, before the workload issues anything).
+    Lets an analysis tool subscribe its monitor without a dependency
+    from this library back onto the analyzer; global — set it to [None]
+    when done. *)
+
 val run : ?plan:Plan.t -> ?pipelined:bool -> seed:int -> string -> outcome
 (** Run one workload by name (default plan: {!Plan.none}). The
     [crash_restart] workload adds its canonical crash/restart schedule

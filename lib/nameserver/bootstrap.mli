@@ -1,0 +1,44 @@
+(** Well-known constants that let the name service bootstrap itself.
+
+    Every clerk is the first exporter on its node and always exports the
+    same three segments in the same order, so their ids {e and}
+    generation numbers are cluster-wide constants — this is what
+    "certain well-known segment names have been reserved on each
+    machine" amounts to. *)
+
+val registry_segment_id : int
+val request_segment_id : int
+val scratch_segment_id : int
+
+val registry_generation : Rmem.Generation.t
+val request_generation : Rmem.Generation.t
+val scratch_generation : Rmem.Generation.t
+
+val default_slots : int
+(** Registry slots per clerk. *)
+
+val max_nodes : int
+(** Bound on cluster size implied by the request table layout. *)
+
+val request_slot_bytes : int
+(** [name 32][reply node 4][reply offset 4][pad 8]; the useful 40 bytes
+    ride in a single ATM cell. *)
+
+val scratch_slots : int
+
+val scratch_slot_bytes : int
+(** [flag 4][record 64][pad 4]. *)
+
+(** Scratch-slot reply flags. *)
+
+val reply_pending : int32
+val reply_found : int32
+val reply_absent : int32
+
+(** Clerk address-space layout. *)
+
+val registry_base : int
+val request_base : int
+val scratch_base : int
+val probe_buffer_base : int
+val probe_buffer_bytes : int

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Static discipline gate (the @check alias).
+#
+# The project builds every library with all warnings promoted to
+# errors; this script fails the build if that discipline is weakened
+# instead of fixed, and keeps the abstraction boundary honest by
+# requiring an explicit interface for every library module.
+set -eu
+
+fail() {
+  echo "static gate: $*" >&2
+  exit 1
+}
+
+# 1. The root env still promotes every warning to an error.
+grep -q -- '-warn-error +a' dune ||
+  fail "root dune env no longer carries '-warn-error +a'"
+
+# 2. No library dune file quietly overrides the warning discipline.
+for d in $(find lib -name dune); do
+  if grep -Eq -- '(-w |warn-error)' "$d"; then
+    fail "$d overrides the project-wide warning flags"
+  fi
+done
+
+# 3. Every library module declares its interface.
+missing=0
+for f in $(find lib -name '*.ml'); do
+  if [ ! -f "${f}i" ]; then
+    echo "static gate: $f has no interface (.mli)" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ] || fail "every lib/ module must have an .mli"
+
+echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces"

@@ -19,6 +19,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
       ("explore", Test_explore.suite);
+      ("linearize", Test_linearize.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);

@@ -63,6 +63,25 @@ let vclock_compare_matches_leq =
       | V.After -> ge && not le
       | V.Concurrent -> (not le) && not ge)
 
+let vclock_tick_strictly_increases =
+  QCheck.Test.make ~name:"vclock tick strictly increases" ~count:300
+    QCheck.(pair vclock_gen (int_bound 4))
+    (fun (ta, i) ->
+      let module V = Analysis.Vclock in
+      let a = vclock_of_ticks ta in
+      let a' = V.tick a i in
+      V.compare a a' = V.Before && V.get a' i = V.get a i + 1)
+
+let vclock_join_is_monotone =
+  QCheck.Test.make ~name:"vclock join is monotone in each argument" ~count:300
+    QCheck.(triple vclock_gen vclock_gen vclock_gen)
+    (fun (ta, tb, tc) ->
+      let module V = Analysis.Vclock in
+      let a = vclock_of_ticks ta
+      and b = vclock_of_ticks tb
+      and c = vclock_of_ticks tc in
+      (not (V.leq a b)) || V.leq (V.join a c) (V.join b c))
+
 let vclock_ragged_lengths () =
   (* Clocks over different agent-id ranges compare by padding with
      zeros; a missing component is exactly a zero component. *)
@@ -318,6 +337,8 @@ let suite =
     Alcotest.test_case "vclock ragged lengths" `Quick vclock_ragged_lengths;
     QCheck_alcotest.to_alcotest vclock_join_is_lub;
     QCheck_alcotest.to_alcotest vclock_compare_matches_leq;
+    QCheck_alcotest.to_alcotest vclock_tick_strictly_increases;
+    QCheck_alcotest.to_alcotest vclock_join_is_monotone;
     Alcotest.test_case "schedule certificates round trip" `Quick
       schedule_roundtrip;
     Alcotest.test_case "notify-storm flagged" `Quick notify_storm_flagged;

@@ -330,6 +330,56 @@ let policied_cas_not_flagged () =
   check_int "policied retries are not an unbounded chain" 0
     (List.length (spin ~policied:true))
 
+(* Failed CAS issues sharing one pipeline window cycle are ONE logical
+   attempt (the client issued them before seeing any reply), not a
+   retry chain: a full window of failures must not trip the
+   unbounded-retry lint, and each window cycle counts once toward the
+   unpolicied-issue tally. *)
+let windowed_cas_failures_are_one_attempt () =
+  let d = Rig.duo () in
+  let monitor = Analysis.Monitor.create d.Rig.engine in
+  Analysis.Monitor.attach_rmem monitor d.Rig.rmem0;
+  Analysis.Monitor.attach_rmem monitor d.Rig.rmem1;
+  let window = Analysis.Lint.poll_threshold in
+  let cycles = 2 in
+  Rig.run d (fun () ->
+      let _, desc = Rig.shared_segment d in
+      let p =
+        Rmem.Pipeline.create
+          ~config:(Rmem.Pipeline.pipelined_config ~window ())
+          d.Rig.rmem0
+      in
+      for _ = 1 to cycles do
+        (* The word is 0, so old_value 9 always fails; the window
+           swallows every issue without blocking, so all [window] of
+           them ride one batch. *)
+        for _ = 1 to window do
+          Rmem.Pipeline.cas_submit p desc ~doff:4096 ~old_value:9l
+            ~new_value:1l ()
+        done;
+        Rmem.Pipeline.drain p
+      done);
+  let flagged =
+    List.filter
+      (fun f -> String.equal f.Analysis.Lint.rule "unbounded-retry")
+      (Analysis.Lint.check monitor)
+  in
+  check_int "a window of async CAS failures is not an unbounded chain" 0
+    (List.length flagged);
+  List.iter
+    (fun (_, worst) ->
+      check_bool "worst chain counts batches, not issues" true
+        (worst <= cycles))
+    (Analysis.Monitor.worst_cas_retries monitor);
+  let cas_issues =
+    List.filter_map
+      (fun ((_, _, op), n) ->
+        if op = Rmem.Rights.Cas_op then Some n else None)
+      (Analysis.Monitor.unpolicied_issues monitor)
+  in
+  check_int "one unpolicied tally per window cycle" cycles
+    (List.fold_left ( + ) 0 cas_issues)
+
 (* Burst writes issued inside a recovery policy count as policied for
    the fault-capable lint too. *)
 let policied_flush_no_retry_finding () =
@@ -392,6 +442,8 @@ let suite =
     QCheck_alcotest.to_alcotest burst_frame_arithmetic;
     Alcotest.test_case "policied CAS retries are not an unbounded chain"
       `Quick policied_cas_not_flagged;
+    Alcotest.test_case "windowed CAS failures count as one attempt" `Quick
+      windowed_cas_failures_are_one_attempt;
     Alcotest.test_case "policied flush satisfies fault-capable lint" `Quick
       policied_flush_no_retry_finding;
     Alcotest.test_case "bench JSON artifact parses" `Quick bench_json_parses;
