@@ -195,10 +195,40 @@ let ci () =
       List.iter (Printf.eprintf "BENCH CHECK FAILED: %s\n") failures;
       exit 1
 
+(* ---------------- Part 4: the PR7 host-time baseline -------------- *)
+
+(* Full run -> the committed BENCH_PR7.json artifact; with --ci a
+   shorter stream, same bands, no file. *)
+let host ~ci rest =
+  let phases =
+    if ci then Experiments.Host_bench.run ~ops:64 ()
+    else Experiments.Host_bench.run ()
+  in
+  print_string (Experiments.Host_bench.render phases);
+  let json = Experiments.Host_bench.to_json phases in
+  if not (Experiments.Host_bench.json_valid json) then begin
+    prerr_endline "BENCH: emitted host JSON failed self-validation";
+    exit 1
+  end;
+  if not ci then begin
+    let path = match rest with path :: _ -> path | [] -> "BENCH_PR7.json" in
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote %s (%d phases)\n" path (List.length phases)
+  end;
+  match Experiments.Host_bench.check phases with
+  | [] -> if ci then print_endline "host bench checks: all passed"
+  | failures ->
+      List.iter (Printf.eprintf "HOST BENCH CHECK FAILED: %s\n") failures;
+      exit 1
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
       emit_json (match rest with path :: _ -> path | [] -> "BENCH_PR5.json")
+  | _ :: "--host" :: "--ci" :: _ -> host ~ci:true []
+  | _ :: "--host" :: rest -> host ~ci:false rest
   | _ :: "--ci" :: _ -> ci ()
   | _ ->
       reproduce ();

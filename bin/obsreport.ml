@@ -1,0 +1,233 @@
+(* obsreport — run example workloads under the live telemetry sampler
+   and evaluate declarative SLOs against what it saw.
+
+     dune exec bin/obsreport.exe --                          # all workloads
+     dune exec bin/obsreport.exe -- -w quickstart --loss 0.10 --seed 3
+     dune exec bin/obsreport.exe -- -w replica --chaos --pipelined
+     dune exec bin/obsreport.exe -- --slo gates.spec --ci
+     dune exec bin/obsreport.exe -- --json
+
+   Each workload runs under a time-series sampler (provably free of
+   perturbation: the fault digest is bit-identical with sampling off),
+   then the SLO spec — percentile latencies from the registry, counter
+   totals and rates, gauge max/mean/last over the run or a trailing
+   window — is evaluated against the recorded series.  Text mode prints
+   per-gauge sparklines and one ok/FAIL line per clause; --json emits
+   one schema-versioned object per workload.  With --ci any violation
+   (or a workload dying) makes the exit status nonzero — the SLO file
+   is the merge gate. *)
+
+open Cmdliner
+
+let escape = Analysis.Report.json_escape
+
+(* The built-in gate when no --slo file is given: the run must reach
+   quiescence fully drained and fully recovered. *)
+let default_slo =
+  String.concat "\n"
+    [
+      "# built-in: quiescent and fully recovered";
+      "counter rmem.gave_up <= 0";
+      "last rmem.0.inflight <= 0";
+    ]
+
+(* Every gauge is read at every tick, so any one ring's newest sample
+   carries the run's last sampled instant. *)
+let duration_of ts =
+  match Obs.Timeseries.gauges ts with
+  | [] -> Sim.Time.zero
+  | gauge :: _ -> (
+      match List.rev (Obs.Timeseries.samples ts gauge) with
+      | (t_us, _) :: _ -> Sim.Time.of_us_float t_us
+      | [] -> Sim.Time.zero)
+
+let run_one ~plan ~pipelined ~seed ~interval ~spec workload =
+  let outcome =
+    Faults.Campaign.run ~plan ~pipelined ~sampler:interval ~seed workload
+  in
+  let ts = Option.get outcome.Faults.Campaign.timeseries in
+  let ctx =
+    {
+      Obs.Slo.registry = Some outcome.Faults.Campaign.registry;
+      series = Some ts;
+      duration = duration_of ts;
+    }
+  in
+  (outcome, ts, Obs.Slo.eval ctx spec)
+
+let healthy (outcome, _, verdicts) =
+  outcome.Faults.Campaign.survived
+  && outcome.Faults.Campaign.converged
+  && Obs.Slo.violations verdicts = []
+
+(* ---------------- Text report ---------------- *)
+
+let print_text (outcome, ts, verdicts) =
+  Printf.printf "== %-17s seed %-4d %s%s  [%d fault(s), digest %x, %d tick(s)]\n"
+    outcome.Faults.Campaign.workload outcome.Faults.Campaign.seed
+    (if outcome.Faults.Campaign.survived && outcome.Faults.Campaign.converged
+     then "ok"
+     else if outcome.Faults.Campaign.survived then "DIVERGED"
+     else "DIED")
+    (if outcome.Faults.Campaign.detail = "" then ""
+     else " — " ^ outcome.Faults.Campaign.detail)
+    outcome.Faults.Campaign.events outcome.Faults.Campaign.digest
+    (Obs.Timeseries.ticks ts);
+  print_string (Obs.Timeseries.report ts);
+  print_string (Obs.Slo.render verdicts);
+  print_newline ()
+
+(* ---------------- JSON report ---------------- *)
+
+let verdict_json (v : Obs.Slo.verdict) =
+  Printf.sprintf "{\"clause\":\"%s\",\"ok\":%b,\"value\":%s,\"detail\":\"%s\"}"
+    (escape (Obs.Slo.clause_to_string v.Obs.Slo.clause))
+    v.Obs.Slo.ok
+    (match v.Obs.Slo.value with
+    | Some f -> Printf.sprintf "%g" f
+    | None -> "null")
+    (escape v.Obs.Slo.detail)
+
+let gauge_json ts name =
+  match Obs.Timeseries.stat ts name with
+  | None -> Printf.sprintf "\"%s\":null" (escape name)
+  | Some st ->
+      Printf.sprintf
+        "\"%s\":{\"count\":%d,\"last\":%g,\"max\":%g,\"mean\":%g}"
+        (escape name) st.Obs.Timeseries.count st.Obs.Timeseries.last
+        st.Obs.Timeseries.max st.Obs.Timeseries.mean
+
+let report_json (outcome, ts, verdicts) =
+  let o = outcome in
+  Printf.sprintf
+    "{\"schema\":%d,\"tool\":\"obsreport\",\"workload\":\"%s\",\"seed\":%d,\"survived\":%b,\"converged\":%b,\"detail\":\"%s\",\"digest\":%d,\"faults\":%d,\"ticks\":%d,\"interval_us\":%g,\"slo_passed\":%b,\"slo\":[%s],\"gauges\":{%s}}"
+    Analysis.Report.schema_version
+    (escape o.Faults.Campaign.workload)
+    o.Faults.Campaign.seed o.Faults.Campaign.survived
+    o.Faults.Campaign.converged
+    (escape o.Faults.Campaign.detail)
+    o.Faults.Campaign.digest o.Faults.Campaign.events
+    (Obs.Timeseries.ticks ts)
+    (Sim.Time.to_us (Obs.Timeseries.config ts).Obs.Timeseries.interval)
+    (Obs.Slo.violations verdicts = [])
+    (String.concat "," (List.map verdict_json verdicts))
+    (String.concat "," (List.map (gauge_json ts) (Obs.Timeseries.gauges ts)))
+
+let print_json report =
+  let line = report_json report in
+  (match Metrics.Json.parse line with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "obsreport: emitted JSON failed self-validation: %s\n" e;
+      exit 1);
+  print_endline line
+
+(* ---------------- Driver ---------------- *)
+
+let main workload pipelined seed loss chaos interval_us slo_file json ci =
+  let plan =
+    if chaos then Faults.Campaign.chaos_plan loss
+    else Faults.Campaign.loss_plan loss
+  in
+  let spec_text =
+    match slo_file with
+    | None -> default_slo
+    | Some path -> In_channel.with_open_text path In_channel.input_all
+  in
+  let spec =
+    match Obs.Slo.parse spec_text with
+    | Ok spec -> spec
+    | Error e ->
+        Printf.eprintf "obsreport: bad SLO spec:\n%s\n" e;
+        exit 2
+  in
+  let names =
+    if workload = "all" then Faults.Campaign.workloads
+    else if List.mem workload Faults.Campaign.workloads then [ workload ]
+    else begin
+      Printf.eprintf "unknown workload %S (have: %s, all)\n" workload
+        (String.concat ", " Faults.Campaign.workloads);
+      exit 2
+    end
+  in
+  let interval = Sim.Time.of_us_float interval_us in
+  let reports =
+    List.map (run_one ~plan ~pipelined ~seed ~interval ~spec) names
+  in
+  List.iter (if json then print_json else print_text) reports;
+  let out = if json then stderr else stdout in
+  List.iter
+    (fun ((outcome, _, verdicts) as report) ->
+      if not (healthy report) then begin
+        let o = outcome.Faults.Campaign.workload in
+        if not outcome.Faults.Campaign.survived then
+          Printf.fprintf out "   FAIL %s: did not survive — %s\n" o
+            outcome.Faults.Campaign.detail
+        else if not outcome.Faults.Campaign.converged then
+          Printf.fprintf out "   FAIL %s: did not converge — %s\n" o
+            outcome.Faults.Campaign.detail;
+        List.iter
+          (fun v ->
+            Printf.fprintf out "   FAIL %s: SLO %s (%s)\n" o
+              (Obs.Slo.clause_to_string v.Obs.Slo.clause)
+              v.Obs.Slo.detail)
+          (Obs.Slo.violations verdicts)
+      end)
+    reports;
+  if ci then
+    if List.for_all healthy reports then
+      Printf.fprintf out "obsreport: %d workload(s) within SLO\n"
+        (List.length reports)
+    else begin
+      Printf.fprintf out "obsreport: SLO violations\n";
+      exit 1
+    end
+
+let workload =
+  let doc = "Workload to sample (or $(b,all))." in
+  Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let pipelined =
+  let doc = "Route remote writes through the batching issue engine." in
+  Arg.(value & flag & info [ "pipelined" ] ~doc)
+
+let seed =
+  let doc = "PRNG seed for the fault plane." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let loss =
+  let doc = "Per-frame loss probability on every link." in
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P" ~doc)
+
+let chaos =
+  let doc =
+    "Add corruption, duplication and delay-jitter on top of the loss rate."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let interval_us =
+  let doc = "Sampling interval in microseconds." in
+  Arg.(value & opt float 50.0 & info [ "interval-us" ] ~docv:"US" ~doc)
+
+let slo_file =
+  let doc = "SLO spec file (default: the built-in quiescence gate)." in
+  Arg.(
+    value & opt (some string) None & info [ "slo" ] ~docv:"FILE" ~doc)
+
+let json =
+  let doc = "Emit one schema-versioned JSON object per workload on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci =
+  let doc = "Exit nonzero on any SLO violation or workload failure." in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let cmd =
+  let doc = "live-telemetry sampling report with declarative SLO gates" in
+  let info = Cmd.info "obsreport" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ workload $ pipelined $ seed $ loss $ chaos $ interval_us
+      $ slo_file $ json $ ci)
+
+let () = exit (Cmd.eval cmd)

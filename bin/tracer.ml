@@ -3,14 +3,22 @@
 
      dune exec bin/tracer.exe -- examples/quickstart
      dune exec bin/tracer.exe -- --ci      # assert span-tree invariants
+     dune exec bin/tracer.exe -- --ci --json
 
    In --ci mode every replay's span tree must validate (no orphans, no
    open spans, monotone timestamps), the quickstart WRITE must decompose
    into its trap/nic/wire/serve children summing to the end-to-end
    latency within 1%, and the span-derived Table 1 decomposition must
-   agree with direct engine-clock accounting within 1%. *)
+   agree with direct engine-clock accounting within 1%.
+
+   --json replaces the text output with one schema-versioned JSON object
+   per workload on stdout (diagnostics on stderr) and, like --ci, makes
+   any finding fatal: a tree that fails to validate exits 1 whether or
+   not --ci was given. *)
 
 open Cmdliner
+
+let escape = Analysis.Report.json_escape
 
 let normalize name =
   match String.index_opt name '/' with
@@ -20,15 +28,9 @@ let normalize name =
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("   FAIL " ^ s); false) fmt
 
-let check_validates name (run : Experiments.Traced.run) =
-  match Obs.Trace.validate run.trace with
-  | Ok () -> true
-  | Error problems ->
-      List.for_all (fun p -> fail "%s: %s" name p) problems
-
 (* The acceptance check: a WRITE root whose phase children (trap, nic,
    wire, serve, ...) are contiguous and sum to its end-to-end latency. *)
-let check_write_decomposition (run : Experiments.Traced.run) =
+let write_decomposes (run : Experiments.Traced.run) =
   let writes =
     List.filter
       (fun (s : Obs.Span.t) -> s.Obs.Span.name = "WRITE")
@@ -49,11 +51,23 @@ let check_write_decomposition (run : Experiments.Traced.run) =
     && Float.abs (sum -. e2e) <= 0.01 *. e2e
   in
   List.exists decomposes writes
-  || fail "quickstart: no WRITE root decomposes into >= 4 contiguous phases"
 
-let check_decompose_agreement () =
+(* Every problem a replay's trace can exhibit, as data — the text and
+   JSON reporters render the same list. *)
+let problems_of name (run : Experiments.Traced.run) =
+  let validation =
+    match Obs.Trace.validate run.trace with Ok () -> [] | Error ps -> ps
+  in
+  let decomposition =
+    if name = "quickstart" && not (write_decomposes run) then
+      [ "no WRITE root decomposes into >= 4 contiguous phases" ]
+    else []
+  in
+  validation @ decomposition
+
+let check_decompose_agreement ~quiet =
   let d = Experiments.Table1a.decompose () in
-  print_string (Experiments.Table1a.render_decomposition d);
+  if not quiet then print_string (Experiments.Table1a.render_decomposition d);
   List.for_all
     (fun (r : Experiments.Table1a.phase_row) ->
       Float.abs (r.Experiments.Table1a.span_us -. r.Experiments.Table1a.direct_us)
@@ -75,13 +89,55 @@ let emit name ~out ~tree (run : Experiments.Traced.run) =
   if tree then print_string (Obs.Export.render_tree run.trace);
   print_string (Obs.Registry.report run.registry)
 
-let run_one name ~ci ~out ~tree =
+(* ---------------- JSON report ---------------- *)
+
+let run_json name (run : Experiments.Traced.run) problems =
+  Printf.sprintf
+    "{\"schema\":%d,\"tool\":\"tracer\",\"workload\":\"%s\",\"spans\":%d,\"roots\":%d,\"valid\":%b,\"write_decomposition\":%s,\"problems\":[%s]}"
+    Analysis.Report.schema_version (escape name)
+    (Obs.Trace.span_count run.trace)
+    (List.length (Obs.Trace.roots run.trace))
+    (problems = [])
+    (if name = "quickstart" then string_of_bool (write_decomposes run)
+     else "null")
+    (String.concat ","
+       (List.map (fun p -> Printf.sprintf "\"%s\"" (escape p)) problems))
+
+let decompose_json ok =
+  let d = Experiments.Table1a.decompose () in
+  Printf.sprintf
+    "{\"schema\":%d,\"tool\":\"tracer\",\"check\":\"decompose_agreement\",\"ok\":%b,\"phases\":[%s]}"
+    Analysis.Report.schema_version ok
+    (String.concat ","
+       (List.map
+          (fun (r : Experiments.Table1a.phase_row) ->
+            Printf.sprintf "{\"op\":\"%s\",\"span_us\":%g,\"direct_us\":%g}"
+              (escape r.Experiments.Table1a.op) r.Experiments.Table1a.span_us
+              r.Experiments.Table1a.direct_us)
+          d.Experiments.Table1a.phase_rows))
+
+let print_json line =
+  (match Metrics.Json.parse line with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "tracer: emitted JSON failed self-validation: %s\n" e;
+      exit 1);
+  print_endline line
+
+(* ---------------- Driver ---------------- *)
+
+let run_one name ~ci ~json ~out ~tree =
   let run = Experiments.Traced.replay name in
-  if ci then begin
-    let ok = check_validates name run in
-    let ok =
-      ok && (name <> "quickstart" || check_write_decomposition run)
-    in
+  if json then begin
+    let problems = problems_of name run in
+    print_json (run_json name run problems);
+    List.iter (fun p -> Printf.eprintf "   FAIL %s: %s\n" name p) problems;
+    problems = []
+  end
+  else if ci then begin
+    let problems = problems_of name run in
+    List.iter (fun p -> ignore (fail "%s: %s" name p)) problems;
+    let ok = problems = [] in
     Printf.printf "%s: %d spans, %s\n" name
       (Obs.Trace.span_count run.trace)
       (if ok then "valid" else "INVALID");
@@ -92,7 +148,7 @@ let run_one name ~ci ~out ~tree =
     true
   end
 
-let main workload ci out tree =
+let main workload ci json out tree =
   let name = normalize workload in
   let names =
     if name = "all" then Experiments.Traced.all
@@ -103,12 +159,22 @@ let main workload ci out tree =
       exit 2
     end
   in
-  let ok = List.for_all (fun name -> run_one name ~ci ~out ~tree) names in
-  let ok = ok && ((not ci) || check_decompose_agreement ()) in
-  if ci then
-    if ok then print_endline "tracer: all span trees valid"
+  let ok = List.for_all (fun name -> run_one name ~ci ~json ~out ~tree) names in
+  let ok =
+    ok
+    &&
+    if ci || json then begin
+      let agree = check_decompose_agreement ~quiet:json in
+      if json then print_json (decompose_json agree);
+      agree
+    end
+    else true
+  in
+  if ci || json then
+    if ok then (
+      if not json then print_endline "tracer: all span trees valid")
     else begin
-      print_endline "tracer: check failed";
+      Printf.eprintf "tracer: check failed\n";
       exit 1
     end
 
@@ -128,6 +194,13 @@ let ci =
   in
   Arg.(value & flag & info [ "ci" ] ~doc)
 
+let json =
+  let doc =
+    "Emit one schema-versioned JSON object per workload on stdout \
+     (diagnostics on stderr); any invalid tree still exits nonzero."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let out =
   let doc = "Directory for the emitted $(i,NAME).trace.json files." in
   Arg.(value & opt string "." & info [ "o"; "out" ] ~docv:"DIR" ~doc)
@@ -140,6 +213,6 @@ let cmd =
   let doc = "span tracer for the remote-memory example workloads" in
   Cmd.v
     (Cmd.info "tracer" ~doc)
-    Term.(const main $ workload $ ci $ out $ tree)
+    Term.(const main $ workload $ ci $ json $ out $ tree)
 
 let () = exit (Cmd.eval cmd)

@@ -107,6 +107,7 @@ let send t frame =
           done
       | Delay jitter -> enqueue t frame ~jitter)
 
+let queue_depth t = t.queued
 let frames_sent t = t.frames_sent
 let cells_sent t = t.cells_sent
 let wire_bytes t = t.wire_bytes

@@ -46,6 +46,10 @@ val name : t -> string
 
 (** {1 Statistics} *)
 
+val queue_depth : t -> int
+(** Frames accepted but not yet delivered — the instantaneous wire-side
+    backlog a telemetry sampler reads as a gauge. *)
+
 val frames_sent : t -> int
 val cells_sent : t -> int
 val wire_bytes : t -> int

@@ -63,6 +63,11 @@ let uplink_for t nic_addr =
 let frames_switched t = t.frames_switched
 let drops t = t.drops
 
+(* Instantaneous backlog across every downlink: where output-queued
+   contention shows up, and what the telemetry sampler gauges. *)
+let queue_depth t =
+  Hashtbl.fold (fun _ down acc -> acc + Link.queue_depth down) t.downlinks 0
+
 (* Fabric edges in deterministic (port-sorted) order, for the fault
    plane: uplink i -> switch is [(Some i, None)], downlink switch -> j
    is [(None, Some j)]. *)

@@ -20,6 +20,10 @@ val frames_switched : t -> int
 val drops : t -> int
 (** Frames discarded for an unknown destination port. *)
 
+val queue_depth : t -> int
+(** Instantaneous frames queued across every downlink — output-queued
+    contention, as sampled by the telemetry plane. *)
+
 val links : t -> (int option * int option * Link.t) list
 (** Every fabric edge in deterministic port order, with its endpoints:
     uplink [i -> switch] is [(Some i, None, link)], downlink

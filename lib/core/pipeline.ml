@@ -125,6 +125,17 @@ let stats t =
     passthrough_ops = t.stats.passthrough_ops;
   }
 
+(* Instantaneous occupancy, for the telemetry sampler (and, later, an
+   adaptive controller): how full the engine is right now, as opposed to
+   the cumulative [stats]. *)
+let window_occupancy t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.windows 0
+
+let staged_extents t =
+  Hashtbl.fold (fun _ s acc -> acc + List.length s.extents) t.staged 0
+
+let staged_bytes t = Hashtbl.fold (fun _ s acc -> acc + s.bytes) t.staged 0
+
 let reg_incr t name =
   match t.registry with
   | None -> ()

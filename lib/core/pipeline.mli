@@ -156,6 +156,23 @@ type stats = {
 val stats : t -> stats
 (** A snapshot copy; mutating it does not affect the engine. *)
 
+(** {1 Instantaneous occupancy}
+
+    Unlike the cumulative {!stats}, these read the engine's state {e right
+    now} — the gauges the telemetry sampler ({!Obs.Timeseries}) scrapes,
+    and the inputs a future adaptive controller re-tunes the knobs from. *)
+
+val window_occupancy : t -> int
+(** READ/CAS operations currently in flight across every
+    (node, segment) window. *)
+
+val staged_extents : t -> int
+(** Merged extents currently sitting in staging buffers, not yet on the
+    wire. *)
+
+val staged_bytes : t -> int
+(** Bytes currently staged across all buffers. *)
+
 val set_registry : t -> Obs.Registry.t option -> unit
 (** Mirror the counters into an {!Obs.Registry} ("pipeline.flushes",
     "pipeline.staged_writes", "pipeline.coalesced_notifies",

@@ -215,6 +215,15 @@ let ops t = t.ops
 let data_bytes t = t.data_bytes
 let errors t = t.errors
 
+(* Instantaneous state for the telemetry sampler. *)
+let inflight t = Hashtbl.length t.pending
+
+let notification_backlog t =
+  Hashtbl.fold
+    (fun _ segment acc -> acc + Notification.pending (Segment.notification segment))
+    t.exported
+    (Notification.pending t.completion_fd)
+
 let set_categories t ?rx_request ?tx_reply ?client () =
   Option.iter (fun c -> t.rx_request_category <- c) rx_request;
   Option.iter (fun c -> t.tx_reply_category <- c) tx_reply;

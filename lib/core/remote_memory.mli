@@ -402,3 +402,13 @@ val with_batch : t -> batch:int -> (unit -> 'a) -> 'a
 val ops : t -> Metrics.Account.t
 val data_bytes : t -> Metrics.Account.t
 val errors : t -> Metrics.Account.t
+
+val inflight : t -> int
+(** READ/CAS requests this node has issued whose replies have not yet
+    arrived (or timed out) — an instantaneous gauge for the telemetry
+    sampler. *)
+
+val notification_backlog : t -> int
+(** Notification records posted but not yet consumed across this node's
+    completion descriptor and every exported segment's descriptor — the
+    per-node control-transfer backlog gauge. *)

@@ -1,0 +1,221 @@
+(* Host-time baseline: how fast does the *simulator* run, on this
+   machine, in events per wall-clock second and allocated words per
+   event?
+
+   Everything else in this directory measures the modeled system on the
+   virtual clock; this module is the one place the host clock is
+   allowed, because its subject is the simulation engine itself.  The
+   numbers it emits (BENCH_PR7.json) are the baseline the batched-engine
+   roadmap work must improve on — its >=10x events/sec goal is measured
+   against exactly these phases.
+
+   Three phases, in increasing scheduler stress:
+
+   - write_stream_sync:      N unbatched 4 KB remote writes, two nodes
+   - write_stream_pipelined: the same stream through the issue engine
+   - chaos_campaign:         the producer_consumer recovery workload
+                             under the canonical chaos plan, sampled by
+                             the telemetry plane (so the baseline prices
+                             the sampler in, not around)
+
+   The self-checks are deliberately loose bands: they exist to catch a
+   10x regression or a meaningless reading (zero events, zero wall
+   time), not to flake on a loaded CI machine. *)
+
+type phase = {
+  name : string;
+  wall_s : float;
+  sim_events : int;
+  events_per_sec : float;
+  alloc_words : float;
+  words_per_event : float;
+}
+
+type result = phase list
+
+let schema_version = 1
+
+let phase_of ~name ~sim_events (sample : Obs.Profile.sample) =
+  let alloc = Obs.Profile.total_words sample in
+  let events = float_of_int sim_events in
+  {
+    name;
+    wall_s = sample.Obs.Profile.wall_s;
+    sim_events;
+    events_per_sec =
+      (if sample.Obs.Profile.wall_s > 0. then events /. sample.Obs.Profile.wall_s
+       else 0.);
+    alloc_words = alloc;
+    words_per_event = (if sim_events > 0 then alloc /. events else 0.);
+  }
+
+let segment_len = 1 lsl 20
+
+(* The Table-2 write-stream shape: [ops] payload-sized blocks to
+   sequential offsets, two nodes back to back.  Returns the total
+   engine events the run fired. *)
+let stream ~pipelined ~ops ~payload () =
+  let testbed = Cluster.Testbed.create ~nodes:2 () in
+  let engine = Cluster.Testbed.engine testbed in
+  let n0 = Cluster.Testbed.node testbed 0 in
+  let n1 = Cluster.Testbed.node testbed 1 in
+  let r0 = Rmem.Remote_memory.attach n0 in
+  let r1 = Rmem.Remote_memory.attach n1 in
+  let space1 = Cluster.Node.new_address_space n1 in
+  Cluster.Testbed.run testbed (fun () ->
+      let segment =
+        Rmem.Remote_memory.export r1 ~space:space1 ~base:0 ~len:segment_len
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"host.bench" ()
+      in
+      let desc =
+        Rmem.Remote_memory.import r0 ~remote:(Cluster.Node.addr n1)
+          ~segment_id:(Rmem.Segment.id segment)
+          ~generation:(Rmem.Segment.generation segment)
+          ~size:segment_len ~rights:Rmem.Rights.all ()
+      in
+      let block = Bytes.make payload 'h' in
+      if pipelined then begin
+        let p =
+          Rmem.Pipeline.create ~config:(Rmem.Pipeline.pipelined_config ()) r0
+        in
+        for i = 0 to ops - 1 do
+          Rmem.Pipeline.write p desc ~off:(i * payload mod segment_len) block
+        done;
+        Rmem.Pipeline.flush p desc
+      end
+      else
+        for i = 0 to ops - 1 do
+          Rmem.Remote_memory.write r0 desc ~off:(i * payload mod segment_len)
+            block
+        done);
+  Sim.Engine.events_fired engine
+
+let run ?(ops = 256) () =
+  let profile = Obs.Profile.create () in
+  let sync_events =
+    Obs.Profile.record profile "write_stream_sync" (fun () ->
+        stream ~pipelined:false ~ops ~payload:4096 ())
+  in
+  let piped_events =
+    Obs.Profile.record profile "write_stream_pipelined" (fun () ->
+        stream ~pipelined:true ~ops ~payload:4096 ())
+  in
+  let chaos_events =
+    Obs.Profile.record profile "chaos_campaign" (fun () ->
+        let outcome =
+          Faults.Campaign.run
+            ~plan:(Faults.Campaign.chaos_plan 0.05)
+            ~sampler:(Sim.Time.us 50) ~seed:7 "producer_consumer"
+        in
+        outcome.Faults.Campaign.engine_events)
+  in
+  List.map2
+    (fun (name, sim_events) sample -> phase_of ~name ~sim_events sample)
+    [
+      ("write_stream_sync", sync_events);
+      ("write_stream_pipelined", piped_events);
+      ("chaos_campaign", chaos_events);
+    ]
+    (List.map snd (Obs.Profile.phases profile))
+
+(* ------------------------------------------------------------------ *)
+(* Self-validating bands.                                              *)
+
+(* Deliberately loose: today's readings clear the events/sec floor by
+   10-700x (the pipelined stream fires few events by design, so it sits
+   lowest); tripping it means the engine got catastrophically slower or
+   the reading is garbage. *)
+let min_events_per_sec = 1_000.
+let max_words_per_event = 200_000.
+
+let check phases =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if List.length phases <> 3 then
+    fail "expected 3 phases, got %d" (List.length phases);
+  List.iter
+    (fun p ->
+      if p.sim_events <= 0 then fail "%s: no engine events fired" p.name;
+      if p.wall_s <= 0. then fail "%s: non-positive wall time" p.name;
+      if p.events_per_sec < min_events_per_sec then
+        fail "%s: %.0f events/s below the %.0f floor" p.name p.events_per_sec
+          min_events_per_sec;
+      if p.words_per_event > max_words_per_event then
+        fail "%s: %.0f words/event above the %.0f ceiling" p.name
+          p.words_per_event max_words_per_event)
+    phases;
+  (* Determinstic on the virtual side: batching must strictly shrink
+     the event count of the identical stream. *)
+  (match
+     ( List.find_opt (fun p -> p.name = "write_stream_sync") phases,
+       List.find_opt (fun p -> p.name = "write_stream_pipelined") phases )
+   with
+  | Some sync, Some piped ->
+      if piped.sim_events >= sync.sim_events then
+        fail "pipelined stream fired %d events, sync only %d — batching gone"
+          piped.sim_events sync.sim_events
+  | _ -> fail "missing stream phases");
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Emission.                                                           *)
+
+let json_of_phase p =
+  Printf.sprintf
+    "    {\"name\": \"%s\", \"wall_s\": %.6f, \"sim_events\": %d, \
+     \"events_per_sec\": %.1f, \"alloc_words\": %.0f, \"words_per_event\": \
+     %.1f}"
+    p.name p.wall_s p.sim_events p.events_per_sec p.alloc_words
+    p.words_per_event
+
+let to_json phases =
+  let failures = check phases in
+  String.concat "\n"
+    ([
+       "{";
+       "  \"bench\": \"host\",";
+       Printf.sprintf "  \"schema_version\": %d," schema_version;
+       Printf.sprintf "  \"min_events_per_sec\": %.0f," min_events_per_sec;
+       Printf.sprintf "  \"max_words_per_event\": %.0f," max_words_per_event;
+       Printf.sprintf "  \"checks_passed\": %b," (failures = []);
+       Printf.sprintf "  \"failures\": [%s],"
+         (String.concat ", "
+            (List.map (fun f -> Printf.sprintf "\"%s\"" f) failures));
+       "  \"phases\": [";
+     ]
+    @ [ String.concat ",\n" (List.map json_of_phase phases) ]
+    @ [ "  ]"; "}"; "" ])
+
+let json_valid text =
+  match Metrics.Json.parse text with Ok _ -> true | Error _ -> false
+
+let render phases =
+  let table =
+    Metrics.Table.create
+      ~title:"Host-time baseline: simulator events/sec and allocs/event (PR7)"
+      [
+        ("Phase", Metrics.Table.Left);
+        ("Wall ms", Metrics.Table.Right);
+        ("Events", Metrics.Table.Right);
+        ("Events/s", Metrics.Table.Right);
+        ("Words/event", Metrics.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Metrics.Table.add_row table
+        [
+          p.name;
+          Printf.sprintf "%.2f" (p.wall_s *. 1e3);
+          string_of_int p.sim_events;
+          Printf.sprintf "%.0f" p.events_per_sec;
+          Printf.sprintf "%.1f" p.words_per_event;
+        ])
+    phases;
+  let failures = check phases in
+  Metrics.Table.render table
+  ^ (match failures with
+    | [] -> "  host bench checks: all passed\n"
+    | fs ->
+        String.concat "" (List.map (Printf.sprintf "  CHECK FAILED: %s\n") fs))

@@ -1,0 +1,37 @@
+(** Host-time baseline: the simulator's own speed — events per
+    wall-clock second and allocated words per event, per phase.
+
+    The one module allowed to read the host clock, because its subject
+    is the engine, not the modeled system. Emitted as [BENCH_PR7.json]
+    by [bench --host]; the batched-engine roadmap item's >=10x goal is
+    measured against these phases. *)
+
+type phase = {
+  name : string;
+  wall_s : float;
+  sim_events : int;  (** {!Sim.Engine.events_fired} over the phase *)
+  events_per_sec : float;
+  alloc_words : float;  (** GC words allocated, promoted counted once *)
+  words_per_event : float;
+}
+
+type result = phase list
+
+val schema_version : int
+
+val run : ?ops:int -> unit -> result
+(** Three phases: unbatched 4 KB write stream, the same stream through
+    the issue engine, and the producer_consumer chaos campaign sampled
+    by the telemetry plane. [ops] (default 256) sizes the streams. *)
+
+val check : result -> string list
+(** Band violations, empty when healthy. Bands are deliberately loose —
+    they catch order-of-magnitude regressions and garbage readings, not
+    machine-load noise. *)
+
+val min_events_per_sec : float
+val max_words_per_event : float
+
+val to_json : result -> string
+val json_valid : string -> bool
+val render : result -> string

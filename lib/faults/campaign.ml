@@ -19,6 +19,9 @@ type outcome = {
   revalidations : float;
   gave_up : float;
   counters : (string * float) list;
+  registry : Obs.Registry.t;
+  timeseries : Obs.Timeseries.t option;
+  engine_events : int;
 }
 
 let workloads =
@@ -35,6 +38,90 @@ let attach node =
   let rmem = Rmem.Remote_memory.attach node in
   Option.iter (fun f -> f rmem) !rmem_probe;
   rmem
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: when a sampling interval is given, each workload gets a
+   time-series sampler on its testbed engine with every layer's gauges
+   registered.  All thunks are read-only — the perturbation contract
+   {!Obs.Timeseries} documents and the @faults digest test enforces:
+   the plane's event digest must be bit-identical with sampling on or
+   off. *)
+
+(* Pipelines are created mid-run (sometimes per spawned producer), so
+   their gauges register against the current run's sampler through this
+   run-scoped state — same shape as [rmem_probe] above. *)
+let current_sampler : Obs.Timeseries.t option ref = ref None
+let pipeline_seq = ref 0
+
+let fgauge ts name read =
+  Obs.Timeseries.register ts name (fun () -> float_of_int (read ()))
+
+let wire_gauges ts testbed ~rmems plane =
+  let net = Cluster.Testbed.network testbed in
+  List.iter
+    (fun (_, _, link) ->
+      let prefix = "link." ^ Atm.Link.name link in
+      fgauge ts (prefix ^ ".depth") (fun () -> Atm.Link.queue_depth link);
+      fgauge ts (prefix ^ ".drops") (fun () ->
+          Atm.Link.drops link + Atm.Link.overflow_drops link))
+    (Atm.Network.links net);
+  Option.iter
+    (fun switch ->
+      fgauge ts "switch.depth" (fun () -> Atm.Switch.queue_depth switch);
+      fgauge ts "switch.drops" (fun () -> Atm.Switch.drops switch))
+    (Atm.Network.switch net);
+  List.iter
+    (fun node ->
+      let nic = Cluster.Node.nic node in
+      let i = Atm.Addr.to_int (Cluster.Node.addr node) in
+      fgauge ts
+        (Printf.sprintf "nic.%d.rx_fifo" i)
+        (fun () -> Atm.Nic.pending_frames nic))
+    (Cluster.Testbed.nodes testbed);
+  List.iter
+    (fun (i, rmem) ->
+      fgauge ts
+        (Printf.sprintf "rmem.%d.inflight" i)
+        (fun () -> Rmem.Remote_memory.inflight rmem);
+      fgauge ts
+        (Printf.sprintf "rmem.%d.notify_backlog" i)
+        (fun () -> Rmem.Remote_memory.notification_backlog rmem))
+    rmems;
+  (* Cumulative plane/recovery counters as gauges, so [rate] SLO clauses
+     can see bursts the end-of-run totals average away. *)
+  let registry = Plane.registry plane in
+  List.iter
+    (fun name ->
+      Obs.Timeseries.register ts name (fun () ->
+          Obs.Registry.counter registry name))
+    [
+      "faults.frames";
+      "faults.drops";
+      "faults.corruptions";
+      "faults.duplicates";
+      "faults.delays";
+      "faults.partition_drops";
+      "rmem.retries";
+      "rmem.recovered";
+      "rmem.gave_up";
+    ]
+
+let sampler_for ~sampler testbed ~rmems plane =
+  pipeline_seq := 0;
+  let ts =
+    Option.map
+      (fun interval ->
+        let config = { Obs.Timeseries.default_config with interval } in
+        let ts =
+          Obs.Timeseries.create ~config (Cluster.Testbed.engine testbed)
+        in
+        wire_gauges ts testbed ~rmems plane;
+        Obs.Timeseries.start ts;
+        ts)
+      sampler
+  in
+  current_sampler := ts;
+  ts
 
 (* Generous enough for 10% frame loss: per-attempt failure is a few
    tenths, ten attempts leave no realistic seed stranded. *)
@@ -69,8 +156,23 @@ let clerk_for rmem =
    window). The convergence checks are unchanged — that equivalence is
    what the differential suite asserts. *)
 let pipeline_for ~pipelined rmem =
-  if pipelined then
-    Some (Rmem.Pipeline.create ~config:(Rmem.Pipeline.pipelined_config ()) rmem)
+  if pipelined then begin
+    let p =
+      Rmem.Pipeline.create ~config:(Rmem.Pipeline.pipelined_config ()) rmem
+    in
+    Option.iter
+      (fun ts ->
+        let k = !pipeline_seq in
+        incr pipeline_seq;
+        let g suffix read =
+          fgauge ts (Printf.sprintf "pipeline.%d.%s" k suffix) read
+        in
+        g "window" (fun () -> Rmem.Pipeline.window_occupancy p);
+        g "staged_extents" (fun () -> Rmem.Pipeline.staged_extents p);
+        g "staged_bytes" (fun () -> Rmem.Pipeline.staged_bytes p))
+      !current_sampler;
+    Some p
+  end
   else None
 
 let push ?policy ?pipeline rmem desc ~off data =
@@ -84,7 +186,8 @@ let push ?policy ?pipeline rmem desc ~off data =
           Rmem.Remote_memory.write_with rmem ~policy desc ~off data
       | None -> Rmem.Remote_memory.write rmem desc ~off data)
 
-let outcome ~workload ~seed ~plane ~survived ~converged ~detail =
+let outcome ~workload ~seed ~plane ~timeseries ~engine_events ~survived
+    ~converged ~detail =
   let registry = Plane.registry plane in
   let c name = Obs.Registry.counter registry name in
   {
@@ -100,12 +203,15 @@ let outcome ~workload ~seed ~plane ~survived ~converged ~detail =
     revalidations = c "rmem.revalidations";
     gave_up = c "rmem.gave_up";
     counters = Obs.Registry.counters registry;
+    registry;
+    timeseries;
+    engine_events;
   }
 
 (* Run a workload body to quiescence, translating the two failure modes
    a fault plan can force — a deadlocked wait or an escaped status —
    into a non-survival verdict instead of a crash of the harness. *)
-let guarded ~workload ~seed ~plane testbed body =
+let guarded ~workload ~seed ~plane ~timeseries testbed body =
   let detail = ref "" in
   let converged = ref false in
   let survived =
@@ -118,22 +224,25 @@ let guarded ~workload ~seed ~plane testbed body =
         detail := Printexc.to_string exn;
         false
   in
-  outcome ~workload ~seed ~plane ~survived ~converged:!converged
-    ~detail:!detail
+  current_sampler := None;
+  outcome ~workload ~seed ~plane ~timeseries
+    ~engine_events:(Sim.Engine.events_fired (Cluster.Testbed.engine testbed))
+    ~survived ~converged:!converged ~detail:!detail
 
 (* ------------------------------------------------------------------ *)
 (* quickstart: 2 nodes, named export/import, WRITE, READ back, CAS.    *)
 
-let quickstart ~plan ~seed ~pipelined =
+let quickstart ~plan ~seed ~pipelined ~sampler =
   let testbed = Cluster.Testbed.create ~nodes:2 () in
   let node0 = Cluster.Testbed.node testbed 0 in
   let node1 = Cluster.Testbed.node testbed 1 in
   let rmem0 = attach node0 in
   let rmem1 = attach node1 in
-  let plane =
-    Plane.create ~plan ~rmems:[ (0, rmem0); (1, rmem1) ] ~seed testbed
-  in
-  guarded ~workload:"quickstart" ~seed ~plane testbed (fun converged detail ->
+  let rmems = [ (0, rmem0); (1, rmem1) ] in
+  let plane = Plane.create ~plan ~rmems ~seed testbed in
+  let timeseries = sampler_for ~sampler testbed ~rmems plane in
+  guarded ~workload:"quickstart" ~seed ~plane ~timeseries testbed
+    (fun converged detail ->
       let names0 = clerk_for rmem0 in
       let names1 = clerk_for rmem1 in
       let pipeline = pipeline_for ~pipelined rmem0 in
@@ -184,18 +293,17 @@ let quickstart ~plan ~seed ~pipelined =
 (* ------------------------------------------------------------------ *)
 (* name_service: batch export, imports, revoke/re-export recovery.     *)
 
-let name_service ~plan ~seed ~pipelined =
+let name_service ~plan ~seed ~pipelined ~sampler =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let rmems =
     Array.init 3 (fun i ->
         attach (Cluster.Testbed.node testbed i))
   in
-  let plane =
-    Plane.create ~plan
-      ~rmems:(Array.to_list (Array.mapi (fun i r -> (i, r)) rmems))
-      ~seed testbed
-  in
-  guarded ~workload:"name_service" ~seed ~plane testbed (fun converged detail ->
+  let indexed = Array.to_list (Array.mapi (fun i r -> (i, r)) rmems) in
+  let plane = Plane.create ~plan ~rmems:indexed ~seed testbed in
+  let timeseries = sampler_for ~sampler testbed ~rmems:indexed plane in
+  guarded ~workload:"name_service" ~seed ~plane ~timeseries testbed
+    (fun converged detail ->
       let clerks = Array.map clerk_for rmems in
       let pipeline = pipeline_for ~pipelined rmems.(0) in
       Names.Clerk.set_pipeline clerks.(0) pipeline;
@@ -274,19 +382,17 @@ let name_service ~plan ~seed ~pipelined =
 (* producer_consumer: two producers fill disjoint slots, one CAS race,
    a polling consumer.                                                 *)
 
-let producer_consumer ~plan ~seed ~pipelined =
+let producer_consumer ~plan ~seed ~pipelined ~sampler =
   let slots = 8 in
   let slot_base = 256 in
   let slot_bytes = 64 in
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let nodes = Array.init 3 (Cluster.Testbed.node testbed) in
   let rmems = Array.map attach nodes in
-  let plane =
-    Plane.create ~plan
-      ~rmems:(Array.to_list (Array.mapi (fun i r -> (i, r)) rmems))
-      ~seed testbed
-  in
-  guarded ~workload:"producer_consumer" ~seed ~plane testbed
+  let indexed = Array.to_list (Array.mapi (fun i r -> (i, r)) rmems) in
+  let plane = Plane.create ~plan ~rmems:indexed ~seed testbed in
+  let timeseries = sampler_for ~sampler testbed ~rmems:indexed plane in
+  guarded ~workload:"producer_consumer" ~seed ~plane ~timeseries testbed
     (fun converged detail ->
       let clerks = Array.map clerk_for rmems in
       let ring_space = Cluster.Node.new_address_space nodes.(1) in
@@ -383,16 +489,15 @@ let producer_consumer ~plan ~seed ~pipelined =
 (* ------------------------------------------------------------------ *)
 (* replica: anti-entropy convergence across a partition heal.          *)
 
-let replica ~plan ~seed ~pipelined =
+let replica ~plan ~seed ~pipelined ~sampler =
   let testbed = Cluster.Testbed.create ~nodes:3 () in
   let nodes = Array.init 3 (Cluster.Testbed.node testbed) in
   let rmems = Array.map attach nodes in
-  let plane =
-    Plane.create ~plan
-      ~rmems:(Array.to_list (Array.mapi (fun i r -> (i, r)) rmems))
-      ~seed testbed
-  in
-  guarded ~workload:"replica" ~seed ~plane testbed (fun converged detail ->
+  let indexed = Array.to_list (Array.mapi (fun i r -> (i, r)) rmems) in
+  let plane = Plane.create ~plan ~rmems:indexed ~seed testbed in
+  let timeseries = sampler_for ~sampler testbed ~rmems:indexed plane in
+  guarded ~workload:"replica" ~seed ~plane ~timeseries testbed
+    (fun converged detail ->
       let clerks = Array.map clerk_for rmems in
       let members = Array.map Replica.create clerks in
       Array.iteri
@@ -457,7 +562,7 @@ let replica ~plan ~seed ~pipelined =
 (* ------------------------------------------------------------------ *)
 (* crash_restart: generation bump, Stale_generation, clerk re-import.  *)
 
-let crash_restart ~plan ~seed ~pipelined =
+let crash_restart ~plan ~seed ~pipelined ~sampler =
   (* The point of this workload is the crash; supply the canonical one
      if the caller's plan has none. *)
   let plan =
@@ -481,9 +586,9 @@ let crash_restart ~plan ~seed ~pipelined =
   let rmem0 = attach node0 in
   let rmem1 = attach node1 in
   let clerk1 = ref None in
+  let rmems = [ (0, rmem0); (1, rmem1) ] in
   let plane =
-    Plane.create ~plan
-      ~rmems:[ (0, rmem0); (1, rmem1) ]
+    Plane.create ~plan ~rmems
         (* The clerks' well-known bootstrap segments keep their
            generations across the restart, so probing keeps working. *)
       ~preserve:[ 0; 1; 2 ]
@@ -491,7 +596,8 @@ let crash_restart ~plan ~seed ~pipelined =
         if n = 1 then Option.iter Names.Clerk.reannounce !clerk1)
       ~seed testbed
   in
-  guarded ~workload:"crash_restart" ~seed ~plane testbed
+  let timeseries = sampler_for ~sampler testbed ~rmems plane in
+  guarded ~workload:"crash_restart" ~seed ~plane ~timeseries testbed
     (fun converged detail ->
       let names0 = clerk_for rmem0 in
       let names1 = clerk_for rmem1 in
@@ -540,13 +646,13 @@ let crash_restart ~plan ~seed ~pipelined =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(plan = Plan.none) ?(pipelined = false) ~seed workload =
+let run ?(plan = Plan.none) ?(pipelined = false) ?sampler ~seed workload =
   match workload with
-  | "quickstart" -> quickstart ~plan ~seed ~pipelined
-  | "name_service" -> name_service ~plan ~seed ~pipelined
-  | "producer_consumer" -> producer_consumer ~plan ~seed ~pipelined
-  | "replica" -> replica ~plan ~seed ~pipelined
-  | "crash_restart" -> crash_restart ~plan ~seed ~pipelined
+  | "quickstart" -> quickstart ~plan ~seed ~pipelined ~sampler
+  | "name_service" -> name_service ~plan ~seed ~pipelined ~sampler
+  | "producer_consumer" -> producer_consumer ~plan ~seed ~pipelined ~sampler
+  | "replica" -> replica ~plan ~seed ~pipelined ~sampler
+  | "crash_restart" -> crash_restart ~plan ~seed ~pipelined ~sampler
   | other -> invalid_arg ("Faults.Campaign.run: unknown workload " ^ other)
 
 (* The canonical CI plans. *)

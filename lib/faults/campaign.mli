@@ -20,6 +20,13 @@ type outcome = {
   revalidations : float;  (** descriptor re-imports on staleness *)
   gave_up : float;  (** ops abandoned after exhausting a policy *)
   counters : (string * float) list;  (** the full registry *)
+  registry : Obs.Registry.t;
+      (** the live registry — latency series included, for SLO gates *)
+  timeseries : Obs.Timeseries.t option;
+      (** the run's sampler, when one was requested *)
+  engine_events : int;
+      (** every simulator event the run fired — the denominator of the
+          host-time events/sec baseline ([bench --host]) *)
 }
 
 val workloads : string list
@@ -33,14 +40,30 @@ val set_rmem_probe : (Rmem.Remote_memory.t -> unit) option -> unit
     from this library back onto the analyzer; global — set it to [None]
     when done. *)
 
-val run : ?plan:Plan.t -> ?pipelined:bool -> seed:int -> string -> outcome
+val run :
+  ?plan:Plan.t ->
+  ?pipelined:bool ->
+  ?sampler:Sim.Time.t ->
+  seed:int ->
+  string ->
+  outcome
 (** Run one workload by name (default plan: {!Plan.none}). The
     [crash_restart] workload adds its canonical crash/restart schedule
     when the plan carries none. With [pipelined] (default false) the
     workload's remote writes route through a {!Rmem.Pipeline} engine
     (and lookup probes through its read window); the convergence checks
     are identical — the differential suite holds the two modes against
-    each other. Raises [Invalid_argument] on unknown names. *)
+    each other.
+
+    With [sampler] the workload runs under an {!Obs.Timeseries} sampler
+    at that interval, every layer's gauges registered (link/switch
+    depth and drops, NIC receive FIFOs, per-node in-flight and
+    notification backlog, pipeline occupancy, cumulative fault and
+    recovery counters); the outcome carries it for SLO evaluation.
+    Sampling is perturbation-free: the digest is bit-identical with or
+    without it — asserted by the @faults tests.
+
+    Raises [Invalid_argument] on unknown names. *)
 
 (** {1 Canonical CI plans} *)
 

@@ -33,6 +33,7 @@ type t = {
   mutable next_token : int;
   mutable detect_deadlock : bool;
   mutable spawns : int;
+  mutable fired : int; (* events executed since [create] *)
   mutable firing : int; (* seq of the event being fired, -1 outside [fire] *)
   mutable track_parents : bool;
   parents : (int, int) Hashtbl.t; (* event seq -> scheduling event's seq *)
@@ -49,6 +50,7 @@ let create () =
     next_token = 0;
     detect_deadlock = true;
     spawns = 0;
+    fired = 0;
     firing = -1;
     track_parents = false;
     parents = Hashtbl.create 64;
@@ -57,6 +59,7 @@ let create () =
 let now t = t.now
 
 let pending t = Heap.length t.queue
+let events_fired t = t.fired
 
 let schedule_at t time thunk =
   if Time.(time < t.now) then
@@ -110,6 +113,7 @@ let set_deadlock_detection t on = t.detect_deadlock <- on
 
 let fire t (entry : (unit -> unit) Heap.entry) =
   t.now <- entry.Heap.time;
+  t.fired <- t.fired + 1;
   let previous = t.firing in
   t.firing <- entry.Heap.seq;
   Fun.protect ~finally:(fun () -> t.firing <- previous) entry.Heap.payload

@@ -29,6 +29,10 @@ val now : t -> Time.t
 val pending : t -> int
 (** Number of events still queued. *)
 
+val events_fired : t -> int
+(** Total events executed since [create] — the denominator of the
+    host-time events/sec baseline ([bench --host]). *)
+
 val schedule : ?after:Time.t -> t -> (unit -> unit) -> unit
 (** [schedule ~after t thunk] runs [thunk] [after] nanoseconds from now
     (default: at the current instant, after already-queued same-time

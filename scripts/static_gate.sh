@@ -33,4 +33,26 @@ for f in $(find lib -name '*.ml'); do
 done
 [ "$missing" -eq 0 ] || fail "every lib/ module must have an .mli"
 
-echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces"
+# 4. The telemetry plane observes the stack without depending on it.
+# lib/obs may use only sim (the virtual clock), metrics (histograms,
+# tables, JSON) and unix (host wall clock for Obs.Profile); gauge
+# wiring against the instrumented layers lives in Faults.Campaign so
+# the dependency arrow keeps pointing one way.  If sampling ever needs
+# a protocol type, invert the gauge instead of adding the edge here.
+obs_deps=$(sed -n 's/.*(libraries \([^)]*\)).*/\1/p' lib/obs/dune)
+[ -n "$obs_deps" ] || fail "could not read the (libraries ...) stanza of lib/obs/dune"
+for dep in $obs_deps; do
+  case "$dep" in
+    sim | metrics | unix) ;;
+    *) fail "lib/obs depends on '$dep' — the telemetry plane may only use sim, metrics, unix" ;;
+  esac
+done
+
+# 5. The telemetry plane's module surface is complete: losing any of
+# these (e.g. a refactor that folds the sampler into the registry)
+# silently removes a layer the SLO gates and host bench stand on.
+for m in span ctx trace export registry timeseries slo profile; do
+  [ -f "lib/obs/$m.mli" ] || fail "telemetry module lib/obs/$m.mli is missing"
+done
+
+echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact"

@@ -405,6 +405,266 @@ let lrpc_monitor_compose () =
       Alcotest.(check int) "legacy still fires" 2 !legacy;
       Alcotest.(check int) "removed monitor silent" 1 !extra)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry plane: time-series sampler, SLO gates, host profiling,    *)
+(* and the JSON reader that round-trips the emitted artifacts.         *)
+
+let timeseries_sampling () =
+  let engine = Sim.Engine.create () in
+  let ts =
+    Obs.Timeseries.create
+      ~config:{ Obs.Timeseries.interval = Sim.Time.us 10; capacity = 4 }
+      engine
+  in
+  let v = ref 0. in
+  Obs.Timeseries.register ts "g" (fun () -> !v);
+  Obs.Timeseries.start ts;
+  Sim.Proc.run engine (fun () ->
+      for i = 1 to 10 do
+        v := float_of_int i;
+        Sim.Proc.wait (Sim.Time.us 10)
+      done);
+  let st = Option.get (Obs.Timeseries.stat ts "g") in
+  Alcotest.(check bool) "sampled repeatedly" true (st.Obs.Timeseries.count >= 10);
+  Alcotest.check feps "whole-run max survives ring eviction" 10.
+    st.Obs.Timeseries.max;
+  Alcotest.check feps "first sample predates the workload" 0.
+    st.Obs.Timeseries.first;
+  Alcotest.(check int)
+    "ring keeps only capacity samples" 4
+    (List.length (Obs.Timeseries.samples ts "g"));
+  Alcotest.(check bool)
+    "sampler parked itself at quiescence" false
+    (Obs.Timeseries.running ts);
+  Alcotest.(check bool)
+    "sparkline renders" true
+    (Obs.Timeseries.sparkline ts "g" <> "");
+  Alcotest.(check bool)
+    "report mentions the gauge" true
+    (contains (Obs.Timeseries.report ts) "g")
+
+let timeseries_window_and_rate () =
+  let engine = Sim.Engine.create () in
+  let ts =
+    Obs.Timeseries.create
+      ~config:{ Obs.Timeseries.interval = Sim.Time.us 10; capacity = 64 }
+      engine
+  in
+  (* A gauge that reads the virtual clock in microseconds: its slope is
+     exactly one million per second. *)
+  Obs.Timeseries.register ts "clk" (fun () ->
+      Sim.Time.to_us (Sim.Engine.now engine));
+  Obs.Timeseries.start ts;
+  Sim.Proc.run engine (fun () -> Sim.Proc.wait (Sim.Time.us 100));
+  let rate = Option.get (Obs.Timeseries.rate ts "clk") in
+  Alcotest.check (Alcotest.float 1.) "clock slope is 1e6/s" 1_000_000. rate;
+  let windowed = Obs.Timeseries.window ts "clk" (Sim.Time.us 30) in
+  Alcotest.(check int) "trailing 30us window holds 4 ticks" 4
+    (List.length windowed);
+  Alcotest.(check bool)
+    "unknown gauge reads empty" true
+    (Obs.Timeseries.samples ts "nope" = []
+    && Obs.Timeseries.stat ts "nope" = None)
+
+let slo_spec =
+  String.concat "\n"
+    [
+      "# latency and counters from the registry";
+      "p99 read < 400 us";
+      "counter faults.drops <= 0";
+      "max clk < 200";
+      "last clk >= 100";
+      "rate clk < 1500000 over 50 us";
+    ]
+
+let slo_context () =
+  let engine = Sim.Engine.create () in
+  let ts =
+    Obs.Timeseries.create
+      ~config:{ Obs.Timeseries.interval = Sim.Time.us 10; capacity = 64 }
+      engine
+  in
+  Obs.Timeseries.register ts "clk" (fun () ->
+      Sim.Time.to_us (Sim.Engine.now engine));
+  Obs.Timeseries.start ts;
+  Sim.Proc.run engine (fun () -> Sim.Proc.wait (Sim.Time.us 100));
+  let registry = Obs.Registry.create () in
+  Obs.Registry.observe registry ~node:0 ~seg:1 ~op:"read" 120.;
+  Obs.Registry.observe registry ~node:1 ~seg:1 ~op:"read" 180.;
+  {
+    Obs.Slo.registry = Some registry;
+    series = Some ts;
+    duration = Sim.Time.us 100;
+  }
+
+let slo_parse_and_pass () =
+  let spec =
+    match Obs.Slo.parse slo_spec with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec did not parse: %s" e
+  in
+  Alcotest.(check int) "five clauses" 5 (List.length spec);
+  let verdicts = Obs.Slo.eval (slo_context ()) spec in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clause passes: %s (%s)"
+           (Obs.Slo.clause_to_string v.Obs.Slo.clause)
+           v.Obs.Slo.detail)
+        true v.Obs.Slo.ok)
+    verdicts;
+  Alcotest.(check int) "no violations" 0
+    (List.length (Obs.Slo.violations verdicts))
+
+let slo_violations_and_fail_closed () =
+  let ctx = slo_context () in
+  let spec =
+    match
+      Obs.Slo.parse
+        "p99 read < 100 us\nmax clk < 50\nmax never.sampled < 5\ncounter \
+         untouched > 3\np50 unknown_op < 10 us"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec did not parse: %s" e
+  in
+  let verdicts = Obs.Slo.eval ctx spec in
+  Alcotest.(check int) "every clause violated" 5
+    (List.length (Obs.Slo.violations verdicts));
+  (* The last three are fail-closed: no measurement at all. *)
+  List.iteri
+    (fun i v ->
+      if i >= 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "clause %d fails closed" i)
+          true
+          (v.Obs.Slo.value = None))
+    verdicts;
+  Alcotest.(check bool)
+    "render marks failures" true
+    (contains (Obs.Slo.render verdicts) "FAIL");
+  (match Obs.Slo.parse "bogus clause here" with
+  | Ok _ -> Alcotest.fail "nonsense parsed"
+  | Error e ->
+      Alcotest.(check bool) "parse error names the line" true
+        (contains e "bogus"));
+  match Obs.Slo.parse "counter x <= 0 over 5 ms" with
+  | Ok _ -> Alcotest.fail "counter clause accepted a window"
+  | Error _ -> ()
+
+let profile_records_phases () =
+  let p = Obs.Profile.create () in
+  let n =
+    Obs.Profile.record p "alloc" (fun () ->
+        (* Minor-heap churn: boxed pairs, not one big major-heap array,
+           so the precise minor-words counter is what moves. *)
+        let l = ref [] in
+        for i = 1 to 2048 do
+          l := (i, i) :: !l
+        done;
+        List.length (Sys.opaque_identity !l) * 2)
+  in
+  Alcotest.(check int) "body result returned" 4096 n;
+  (match Obs.Profile.phase p "alloc" with
+  | None -> Alcotest.fail "phase not recorded"
+  | Some s ->
+      Alcotest.(check bool) "wall time non-negative" true (s.Obs.Profile.wall_s >= 0.);
+      Alcotest.(check bool)
+        "allocation observed" true
+        (Obs.Profile.total_words s > 0.));
+  Alcotest.(check bool)
+    "exceptions still record" true
+    (match Obs.Profile.record p "boom" (fun () -> failwith "x") with
+    | exception Failure _ -> Obs.Profile.phase p "boom" <> None
+    | _ -> false);
+  Alcotest.(check int) "two phases" 2 (List.length (Obs.Profile.phases p));
+  Alcotest.(check bool) "report lists them" true
+    (contains (Obs.Profile.report p) "alloc")
+
+let json_reader () =
+  let src =
+    "{\"a\": [1, 2.5, true, null, \"x\\u00e9\\n\"], \"b\": {\"c\": -3e2}}"
+  in
+  (match Metrics.Json.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+      Alcotest.(check (option (float 1e-9)))
+        "nested number" (Some (-300.))
+        (Option.bind (Metrics.Json.find v [ "b"; "c" ]) Metrics.Json.to_number);
+      let a = Option.get (Metrics.Json.member "a" v) in
+      Alcotest.(check int) "list length" 5
+        (List.length (Option.get (Metrics.Json.to_list a)));
+      Alcotest.(check (option string))
+        "utf8 escape decodes"
+        (Some "x\xc3\xa9\n")
+        (Option.bind (Metrics.Json.index 4 a) Metrics.Json.to_string));
+  List.iter
+    (fun bad ->
+      match Metrics.Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted invalid %S" bad
+      | Error _ -> ())
+    [ "{"; "1 2"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "" ]
+
+let chrome_trace_roundtrip () =
+  let run = Lazy.force quickstart in
+  let json = Obs.Export.chrome_json run.Experiments.Traced.trace in
+  match Metrics.Json.parse json with
+  | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+  | Ok v ->
+      Alcotest.(check (option string))
+        "displayTimeUnit" (Some "ns")
+        (Option.bind
+           (Metrics.Json.member "displayTimeUnit" v)
+           Metrics.Json.to_string);
+      let events =
+        Option.get
+          (Option.bind (Metrics.Json.member "traceEvents" v) Metrics.Json.to_list)
+      in
+      Alcotest.(check bool) "has events" true (events <> []);
+      List.iter
+        (fun e ->
+          match
+            Option.bind (Metrics.Json.member "ph" e) Metrics.Json.to_string
+          with
+          | Some ("X" | "M") -> ()
+          | other ->
+              Alcotest.failf "unexpected event phase %s"
+                (Option.value ~default:"<none>" other))
+        events
+
+(* The tentpole contract: a chaos campaign's fault-plane digest — the
+   replay witness — is bit-identical with the sampler on or off, and
+   the sampler nevertheless observed the run. *)
+let sampling_is_free () =
+  let plan = Faults.Campaign.chaos_plan 0.05 in
+  let base = Faults.Campaign.run ~plan ~seed:11 "producer_consumer" in
+  let sampled =
+    Faults.Campaign.run ~plan ~sampler:(Sim.Time.us 20) ~seed:11
+      "producer_consumer"
+  in
+  Alcotest.(check int)
+    "fault digest identical under sampling" base.Faults.Campaign.digest
+    sampled.Faults.Campaign.digest;
+  Alcotest.(check int)
+    "same injected fault count" base.Faults.Campaign.events
+    sampled.Faults.Campaign.events;
+  Alcotest.(check bool)
+    "same verdict" true
+    (base.Faults.Campaign.survived = sampled.Faults.Campaign.survived
+    && base.Faults.Campaign.converged = sampled.Faults.Campaign.converged);
+  Alcotest.(check bool)
+    "unsampled run carries no series" true
+    (base.Faults.Campaign.timeseries = None);
+  let ts = Option.get sampled.Faults.Campaign.timeseries in
+  Alcotest.(check bool) "sampler ticked" true (Obs.Timeseries.ticks ts > 0);
+  Alcotest.(check bool)
+    "frames gauge saw traffic" true
+    (match Obs.Timeseries.stat ts "faults.frames" with
+    | Some st -> st.Obs.Timeseries.last > 0.
+    | None -> false);
+  Alcotest.(check bool)
+    "sampling adds engine events" true
+    (sampled.Faults.Campaign.engine_events > base.Faults.Campaign.engine_events)
+
 let suite =
   [
     Alcotest.test_case "WRITE span tree decomposes" `Quick write_tree;
@@ -430,4 +690,17 @@ let suite =
       histogram_merge_layout_mismatch;
     Alcotest.test_case "histogram underflow" `Quick histogram_underflow;
     Alcotest.test_case "lrpc monitors compose" `Quick lrpc_monitor_compose;
+    Alcotest.test_case "timeseries sampling and ring" `Quick
+      timeseries_sampling;
+    Alcotest.test_case "timeseries window and rate" `Quick
+      timeseries_window_and_rate;
+    Alcotest.test_case "slo spec parses and passes" `Quick slo_parse_and_pass;
+    Alcotest.test_case "slo violations and fail-closed" `Quick
+      slo_violations_and_fail_closed;
+    Alcotest.test_case "host profile records phases" `Quick
+      profile_records_phases;
+    Alcotest.test_case "json reader round-trips" `Quick json_reader;
+    Alcotest.test_case "chrome trace round-trips" `Quick
+      chrome_trace_roundtrip;
+    Alcotest.test_case "sampling is perturbation-free" `Quick sampling_is_free;
   ]
