@@ -58,7 +58,9 @@ let healthy v = v.outcome.survived && v.outcome.converged && v.replayed
 
 let report ~json ~out verdicts =
   if json then
-    List.iter (fun v -> print_endline (outcome_json v.outcome)) verdicts
+    List.iter
+      (fun v -> Analysis.Report.emit ~tool:"chaoscheck" (outcome_json v.outcome))
+      verdicts
   else List.iter (fun v -> print_outcome ~label:v.label v.outcome) verdicts;
   List.iter
     (fun v ->

@@ -187,7 +187,9 @@ let run_explore name ~json ~out =
   let r = Analysis.Explore.explore name in
   let lin = lin_failures r in
   if json then
-    List.iter (fun o -> print_endline (explore_outcome_json o)) lin
+    List.iter
+      (fun o -> Analysis.Report.emit ~tool:"lincheck" (explore_outcome_json o))
+      lin
   else begin
     Printf.printf
       "== %s: %d schedule(s), %d distinct, %d non-linearizable\n" name
@@ -220,7 +222,7 @@ let run_replay name cert ~json =
       exit 2
   in
   let outcome = Analysis.Explore.replay name schedule in
-  if json then print_endline (explore_outcome_json outcome)
+  if json then Analysis.Report.emit ~tool:"lincheck" (explore_outcome_json outcome)
   else print_explore_outcome ~label:(Printf.sprintf "replay %s" name) outcome;
   if outcome.failure <> None then exit 1
 
@@ -262,7 +264,10 @@ let main workload sc json ci explore replay =
           List.map (scenario_check ~mode) scenarios
           @ List.map (campaign_check ~mode) campaigns
         in
-        if json then List.iter (fun c -> print_endline (check_json c)) checks
+        if json then
+          List.iter
+            (fun c -> Analysis.Report.emit ~tool:"lincheck" (check_json c))
+            checks
         else List.iter print_check checks;
         let fifo_ok = List.for_all check_ok checks in
         if ci then begin

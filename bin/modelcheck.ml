@@ -120,7 +120,9 @@ let run_explore names ~config ~json ~ci =
   in
   let out = if json then stderr else stdout in
   if json then
-    List.iter (fun r -> print_endline (result_json r)) results
+    List.iter
+      (fun r -> Analysis.Report.emit ~tool:"modelcheck" (result_json r))
+      results
   else List.iter print_result results;
   if ci then begin
     (* Assert every workload before combining: a short-circuiting
@@ -146,7 +148,7 @@ let run_replay name cert ~config ~json =
   in
   let outcome = Analysis.Explore.replay ~config name schedule in
   if json then
-    print_endline
+    Analysis.Report.emit ~tool:"modelcheck"
       (Printf.sprintf "{\"schema\":%d,\"workload\":\"%s\",\"replay\":%s}"
          Analysis.Report.schema_version
          (Analysis.Report.json_escape name)

@@ -2,9 +2,12 @@
 
    A small operator tool around the workload library: summarize a
    trace's operation mix, dump individual events, or compute its
-   control/data traffic split. *)
+   control/data traffic split.  Every subcommand takes --json (one
+   self-validated object on stdout) and --ci (sanity-assert the trace,
+   exit 1 on violation). *)
 
 open Cmdliner
+module J = Analysis.Report.Json
 
 let make_trace ~scale ~seed =
   let prng = Sim.Prng.create seed in
@@ -19,28 +22,83 @@ let seed_arg =
   let doc = "PRNG seed (same seed, same trace)." in
   Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let summary scale seed =
+let json_arg =
+  let doc = "Emit a self-validated JSON object instead of a table." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci_arg =
+  let doc = "Sanity-assert the generated trace; exit 1 on violation." in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let header ~command ~scale ~seed =
+  [
+    ("schema", J.int Analysis.Report.schema_version);
+    ("tool", J.str "nfstrace");
+    ("command", J.str command);
+    ("scale", J.int scale);
+    ("seed", J.int seed);
+  ]
+
+(* --ci leg shared by the subcommands: the mix must be non-empty and
+   its counts must account for every generated event exactly once. *)
+let assert_trace ~command events =
+  let counts = Workload.Trace.counts_by_label events in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  if Array.length events = 0 then begin
+    Printf.eprintf "nfstrace: %s: generated an empty trace\n" command;
+    exit 1
+  end;
+  if total <> Array.length events then begin
+    Printf.eprintf
+      "nfstrace: %s: mix accounts for %d of %d events\n" command total
+      (Array.length events);
+    exit 1
+  end;
+  Printf.eprintf "nfstrace: %s ok (%d events, %d activities)\n" command
+    (Array.length events) (List.length counts)
+
+let summary scale seed json ci =
   let _, events = make_trace ~scale ~seed in
-  let table =
-    Metrics.Table.create
-      ~title:(Printf.sprintf "Trace summary (%d events)" (Array.length events))
-      [
-        ("Activity", Metrics.Table.Left);
-        ("Calls", Metrics.Table.Right);
-        ("%", Metrics.Table.Right);
-      ]
-  in
-  List.iter
-    (fun (label, count) ->
-      Metrics.Table.add_row table
+  let counts = Workload.Trace.counts_by_label events in
+  if json then
+    Analysis.Report.emit ~tool:"nfstrace"
+      (J.to_string
+         (J.obj
+            (header ~command:"summary" ~scale ~seed
+            @ [
+                ("events", J.int (Array.length events));
+                ( "mix",
+                  J.list
+                    (List.map
+                       (fun (label, count) ->
+                         J.obj
+                           [ ("activity", J.str label); ("calls", J.int count) ])
+                       counts) );
+              ])))
+  else begin
+    let table =
+      Metrics.Table.create
+        ~title:
+          (Printf.sprintf "Trace summary (%d events)" (Array.length events))
         [
-          label;
-          string_of_int count;
-          Printf.sprintf "%.1f"
-            (100. *. float_of_int count /. float_of_int (Array.length events));
-        ])
-    (Workload.Trace.counts_by_label events);
-  Metrics.Table.print table
+          ("Activity", Metrics.Table.Left);
+          ("Calls", Metrics.Table.Right);
+          ("%", Metrics.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (label, count) ->
+        Metrics.Table.add_row table
+          [
+            label;
+            string_of_int count;
+            Printf.sprintf "%.1f"
+              (100. *. float_of_int count /. float_of_int (Array.length events));
+          ])
+      counts;
+    Metrics.Table.print table
+  end;
+  if ci then assert_trace ~command:"summary" events
 
 let describe_op (op : Dfs.Nfs_ops.op) =
   match op with
@@ -64,51 +122,113 @@ let describe_op (op : Dfs.Nfs_ops.op) =
   | Dfs.Nfs_ops.Mkdir { dir; name } -> Printf.sprintf "mkdir dir=%d %S" dir name
   | Dfs.Nfs_ops.Rmdir { dir; name } -> Printf.sprintf "rmdir dir=%d %S" dir name
 
-let dump scale seed count =
+let dump scale seed count json ci =
   let _, events = make_trace ~scale ~seed in
-  Array.iteri
-    (fun i (e : Workload.Trace.event) ->
-      if i < count then
-        Printf.printf "%6d  %-26s %s\n" i e.Workload.Trace.label
-          (describe_op e.Workload.Trace.op))
-    events
+  if json then
+    Analysis.Report.emit ~tool:"nfstrace"
+      (J.to_string
+         (J.obj
+            (header ~command:"dump" ~scale ~seed
+            @ [
+                ("events", J.int (Array.length events));
+                ( "head",
+                  J.list
+                    (List.filteri
+                       (fun i _ -> i < count)
+                       (Array.to_list events)
+                    |> List.mapi (fun i (e : Workload.Trace.event) ->
+                           J.obj
+                             [
+                               ("index", J.int i);
+                               ("activity", J.str e.Workload.Trace.label);
+                               ("op", J.str (describe_op e.Workload.Trace.op));
+                             ])) );
+              ])))
+  else
+    Array.iteri
+      (fun i (e : Workload.Trace.event) ->
+        if i < count then
+          Printf.printf "%6d  %-26s %s\n" i e.Workload.Trace.label
+            (describe_op e.Workload.Trace.op))
+      events;
+  if ci then assert_trace ~command:"dump" events
 
-let traffic scale seed =
+let traffic scale seed json ci =
   let tree, events = make_trace ~scale ~seed in
   let rows = Workload.Traffic.of_trace (Workload.File_tree.store tree) events in
-  let table =
-    Metrics.Table.create ~title:"Traffic split (per the paper's Table 1b rules)"
-      [
-        ("Activity", Metrics.Table.Left);
-        ("Control (KB)", Metrics.Table.Right);
-        ("Data (KB)", Metrics.Table.Right);
-      ]
-  in
-  List.iter
-    (fun (r : Workload.Traffic.row) ->
-      Metrics.Table.add_row table
-        [
-          r.Workload.Traffic.label;
-          Printf.sprintf "%.1f" (float_of_int r.Workload.Traffic.control /. 1024.);
-          Printf.sprintf "%.1f" (float_of_int r.Workload.Traffic.data /. 1024.);
-        ])
-    rows;
   let total = Workload.Traffic.totals rows in
-  Metrics.Table.add_separator table;
-  Metrics.Table.add_row table
-    [
-      "Total";
-      Printf.sprintf "%.1f" (float_of_int total.Workload.Traffic.control /. 1024.);
-      Printf.sprintf "%.1f" (float_of_int total.Workload.Traffic.data /. 1024.);
-    ];
-  Metrics.Table.print table;
-  Printf.printf "overall control/data ratio: %.3f\n"
-    (Workload.Traffic.ratio total)
+  if json then
+    Analysis.Report.emit ~tool:"nfstrace"
+      (J.to_string
+         (J.obj
+            (header ~command:"traffic" ~scale ~seed
+            @ [
+                ( "rows",
+                  J.list
+                    (List.map
+                       (fun (r : Workload.Traffic.row) ->
+                         J.obj
+                           [
+                             ("activity", J.str r.Workload.Traffic.label);
+                             ( "control_bytes",
+                               J.int r.Workload.Traffic.control );
+                             ("data_bytes", J.int r.Workload.Traffic.data);
+                           ])
+                       rows) );
+                ("control_bytes", J.int total.Workload.Traffic.control);
+                ("data_bytes", J.int total.Workload.Traffic.data);
+                ( "control_data_ratio",
+                  J.raw
+                    (Printf.sprintf "%.3f" (Workload.Traffic.ratio total)) );
+              ])))
+  else begin
+    let table =
+      Metrics.Table.create
+        ~title:"Traffic split (per the paper's Table 1b rules)"
+        [
+          ("Activity", Metrics.Table.Left);
+          ("Control (KB)", Metrics.Table.Right);
+          ("Data (KB)", Metrics.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (r : Workload.Traffic.row) ->
+        Metrics.Table.add_row table
+          [
+            r.Workload.Traffic.label;
+            Printf.sprintf "%.1f"
+              (float_of_int r.Workload.Traffic.control /. 1024.);
+            Printf.sprintf "%.1f" (float_of_int r.Workload.Traffic.data /. 1024.);
+          ])
+      rows;
+    Metrics.Table.add_separator table;
+    Metrics.Table.add_row table
+      [
+        "Total";
+        Printf.sprintf "%.1f"
+          (float_of_int total.Workload.Traffic.control /. 1024.);
+        Printf.sprintf "%.1f" (float_of_int total.Workload.Traffic.data /. 1024.);
+      ];
+    Metrics.Table.print table;
+    Printf.printf "overall control/data ratio: %.3f\n"
+      (Workload.Traffic.ratio total)
+  end;
+  if ci then begin
+    assert_trace ~command:"traffic" events;
+    (* Both sides of the split must be present: a trace whose data side
+       is zero would make the paper's ratio argument vacuous. *)
+    if total.Workload.Traffic.control <= 0 || total.Workload.Traffic.data <= 0
+    then begin
+      Printf.eprintf "nfstrace: traffic: degenerate split (control=%d data=%d)\n"
+        total.Workload.Traffic.control total.Workload.Traffic.data;
+      exit 1
+    end
+  end
 
 let summary_cmd =
   Cmd.v
     (Cmd.info "summary" ~doc:"Operation mix of a generated trace.")
-    Term.(const summary $ scale_arg $ seed_arg)
+    Term.(const summary $ scale_arg $ seed_arg $ json_arg $ ci_arg)
 
 let dump_cmd =
   let count_arg =
@@ -116,12 +236,12 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Print the first events of a generated trace.")
-    Term.(const dump $ scale_arg $ seed_arg $ count_arg)
+    Term.(const dump $ scale_arg $ seed_arg $ count_arg $ json_arg $ ci_arg)
 
 let traffic_cmd =
   Cmd.v
     (Cmd.info "traffic" ~doc:"Control/data traffic split of a trace.")
-    Term.(const traffic $ scale_arg $ seed_arg)
+    Term.(const traffic $ scale_arg $ seed_arg $ json_arg $ ci_arg)
 
 let main =
   Cmd.group

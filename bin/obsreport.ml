@@ -114,13 +114,7 @@ let report_json (outcome, ts, verdicts) =
     (String.concat "," (List.map (gauge_json ts) (Obs.Timeseries.gauges ts)))
 
 let print_json report =
-  let line = report_json report in
-  (match Metrics.Json.parse line with
-  | Ok _ -> ()
-  | Error e ->
-      Printf.eprintf "obsreport: emitted JSON failed self-validation: %s\n" e;
-      exit 1);
-  print_endline line
+  Analysis.Report.emit ~tool:"obsreport" (report_json report)
 
 (* ---------------- Driver ---------------- *)
 

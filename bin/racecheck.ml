@@ -16,7 +16,8 @@ let check name ~ci ~json =
   let races = Analysis.Race.find monitor in
   let findings = Analysis.Lint.check monitor in
   if json then
-    print_endline (Analysis.Report.json ~title:name monitor ~races ~findings)
+    Analysis.Report.emit ~tool:"racecheck"
+      (Analysis.Report.json ~title:name monitor ~races ~findings)
   else Analysis.Report.print ~title:name monitor ~races ~findings;
   if ci then begin
     let expect = Analysis.Scenarios.expectation name in

@@ -1,97 +1,132 @@
 (* repro — regenerate every table and figure of the paper.
 
    One subcommand per experiment; `repro all` runs the lot in the
-   paper's order. *)
+   paper's order.  --json wraps each rendered report in a
+   schema-versioned status object; --ci suppresses the report and
+   asserts the experiment runs to completion. *)
 
 open Cmdliner
-
-let print_result render run () = print_string (render (run ()))
 
 let experiments =
   [
     ( "table1a",
       "Table 1a: summary of NFS RPC activity",
-      fun () -> print_string (Experiments.Table1a.render (Experiments.Table1a.run ())) );
+      fun () -> Experiments.Table1a.render (Experiments.Table1a.run ()) );
     ( "table1b",
       "Table 1b: control vs data traffic breakdown",
-      fun () -> print_string (Experiments.Table1b.render (Experiments.Table1b.run ())) );
+      fun () -> Experiments.Table1b.render (Experiments.Table1b.run ()) );
     ( "table2",
       "Table 2: remote memory operation performance",
-      print_result Experiments.Table2.render Experiments.Table2.run );
+      fun () -> Experiments.Table2.render (Experiments.Table2.run ()) );
     ( "table3",
       "Table 3: name server performance",
-      print_result Experiments.Table3.render Experiments.Table3.run );
+      fun () -> Experiments.Table3.render (Experiments.Table3.run ()) );
     ( "fig2",
       "Figure 2: client latency, HY vs DX",
-      fun () -> print_string (Experiments.Fig2.render (Experiments.Fig2.run ())) );
+      fun () -> Experiments.Fig2.render (Experiments.Fig2.run ()) );
     ( "fig3",
       "Figure 3: server CPU breakdown, HY vs DX",
-      fun () -> print_string (Experiments.Fig3.render (Experiments.Fig3.run ())) );
+      fun () -> Experiments.Fig3.render (Experiments.Fig3.run ()) );
     ( "headline",
       "The 50% server-load reduction headline",
-      fun () ->
-        print_string (Experiments.Headline.render (Experiments.Headline.run ())) );
+      fun () -> Experiments.Headline.render (Experiments.Headline.run ()) );
     ( "scale",
       "Ablation A: scalability with client count",
-      fun () ->
-        print_string
-          (Experiments.Scalability.render (Experiments.Scalability.run ())) );
+      fun () -> Experiments.Scalability.render (Experiments.Scalability.run ())
+    );
     ( "blocksize",
       "Ablation B: latency vs transfer size",
-      fun () ->
-        print_string (Experiments.Blocksize.render (Experiments.Blocksize.run ())) );
+      fun () -> Experiments.Blocksize.render (Experiments.Blocksize.run ()) );
     ( "probes",
       "Ablation C: probing vs control transfer in name lookup",
       fun () ->
-        print_string
-          (Experiments.Probe_policy.render (Experiments.Probe_policy.run ())) );
+        Experiments.Probe_policy.render (Experiments.Probe_policy.run ()) );
     ( "coherence",
       "Ablation D: CAS vs RPC token coherence",
       fun () ->
-        print_string
-          (Experiments.Coherence_bench.render (Experiments.Coherence_bench.run ()))
+        Experiments.Coherence_bench.render (Experiments.Coherence_bench.run ())
     );
     ( "security",
       "Ablation E: the cost of link encryption",
-      fun () ->
-        print_string (Experiments.Security.render (Experiments.Security.run ()))
-    );
+      fun () -> Experiments.Security.render (Experiments.Security.run ()) );
     ( "svm",
       "Ablation F: SVM vs remote memory (false sharing)",
-      fun () ->
-        print_string (Experiments.Svm_bench.render (Experiments.Svm_bench.run ()))
-    );
+      fun () -> Experiments.Svm_bench.render (Experiments.Svm_bench.run ()) );
     ( "amsg",
       "Ablation G: remote reads vs active messages vs RPC",
-      fun () ->
-        print_string (Experiments.Amsg_bench.render (Experiments.Amsg_bench.run ()))
-    );
+      fun () -> Experiments.Amsg_bench.render (Experiments.Amsg_bench.run ()) );
     ( "technology",
       "Ablation H: the trade-off across technology generations",
-      fun () ->
-        print_string (Experiments.Technology.render (Experiments.Technology.run ()))
-    );
+      fun () -> Experiments.Technology.render (Experiments.Technology.run ()) );
     ( "burst",
       "Ablation I: block-transfer burst size",
-      fun () -> print_string (Experiments.Burst.render (Experiments.Burst.run ())) );
+      fun () -> Experiments.Burst.render (Experiments.Burst.run ()) );
   ]
 
+(* Run one experiment under the output mode; false on failure. *)
+let run_one name body ~json ~ci =
+  let module J = Analysis.Report.Json in
+  match body () with
+  | rendered ->
+      if json then
+        Analysis.Report.emit ~tool:"repro"
+          (J.to_string
+             (J.obj
+                [
+                  ("schema", J.int Analysis.Report.schema_version);
+                  ("tool", J.str "repro");
+                  ("experiment", J.str name);
+                  ("status", J.str "ok");
+                  ("report", J.str (if ci then "" else rendered));
+                ]))
+      else if ci then Printf.printf "repro: %s ok\n" name
+      else print_string rendered;
+      true
+  | exception exn ->
+      if json then
+        Analysis.Report.emit ~tool:"repro"
+          (J.to_string
+             (J.obj
+                [
+                  ("schema", J.int Analysis.Report.schema_version);
+                  ("tool", J.str "repro");
+                  ("experiment", J.str name);
+                  ("status", J.str "error");
+                  ("detail", J.str (Printexc.to_string exn));
+                ]));
+      Printf.eprintf "repro: %s failed: %s\n" name (Printexc.to_string exn);
+      false
+
+let json_flag =
+  let doc = "Emit a self-validated JSON status object per experiment." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci_flag =
+  let doc =
+    "Gate mode: suppress the rendered report, assert the experiment \
+     completes, exit 1 otherwise."
+  in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
 let command_of (name, doc, body) =
-  Cmd.v (Cmd.info name ~doc)
-    Term.(const (fun () -> body ()) $ const ())
+  let go json ci = if not (run_one name body ~json ~ci) then exit 1 in
+  Cmd.v (Cmd.info name ~doc) Term.(const go $ json_flag $ ci_flag)
 
 let all_cmd =
   let doc = "Run every experiment in the paper's order." in
-  Cmd.v (Cmd.info "all" ~doc)
-    Term.(
-      const (fun () ->
-          List.iter
-            (fun (name, _, body) ->
-              Printf.printf "==== %s ====\n%!" name;
-              body ();
-              print_newline ())
-            experiments)
-      $ const ())
+  let go json ci =
+    let ok =
+      List.map
+        (fun (name, _, body) ->
+          if not (json || ci) then Printf.printf "==== %s ====\n%!" name;
+          let ok = run_one name body ~json ~ci in
+          if not (json || ci) then print_newline ();
+          ok)
+        experiments
+    in
+    if not (List.for_all Fun.id ok) then exit 1
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const go $ json_flag $ ci_flag)
 
 let main =
   let doc =

@@ -116,13 +116,7 @@ let decompose_json ok =
               r.Experiments.Table1a.direct_us)
           d.Experiments.Table1a.phase_rows))
 
-let print_json line =
-  (match Metrics.Json.parse line with
-  | Ok _ -> ()
-  | Error e ->
-      Printf.eprintf "tracer: emitted JSON failed self-validation: %s\n" e;
-      exit 1);
-  print_endline line
+let print_json line = Analysis.Report.emit ~tool:"tracer" line
 
 (* ---------------- Driver ---------------- *)
 

@@ -88,6 +88,9 @@ type t = {
   mutable rejections : rejection list;
   mutable nacks : int;
   mutable lrpc_calls : int;
+  lrpc_monitor_baseline : int;
+      (* live add_monitor registrations when this monitor was created;
+         anything above it at check time was leaked by the workload *)
 }
 
 let create engine =
@@ -111,7 +114,11 @@ let create engine =
     rejections = [];
     nacks = 0;
     lrpc_calls = 0;
+    lrpc_monitor_baseline = Cluster.Lrpc.live_monitor_count ();
   }
+
+let leaked_lrpc_monitors t =
+  max 0 (Cluster.Lrpc.live_monitor_count () - t.lrpc_monitor_baseline)
 
 let now t = Sim.Engine.now t.engine
 

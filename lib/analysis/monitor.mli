@@ -112,3 +112,8 @@ val policy_of : t -> Access.seg_key -> Rmem.Segment.notify_policy option
 val is_declared_sync : t -> key:Access.seg_key -> off:int -> bool
 val agent_count : t -> int
 val lrpc_calls : t -> int
+
+val leaked_lrpc_monitors : t -> int
+(** LRPC monitors registered via {!Cluster.Lrpc.add_monitor} since this
+    monitor was created and never removed — the monitor-leak lint's
+    evidence. *)

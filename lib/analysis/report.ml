@@ -62,6 +62,32 @@ let json_escape s =
 
 let json_string s = "\"" ^ json_escape s ^ "\""
 
+module Json = struct
+  (* Tiny writer combinators so every CLI hand-assembles the same
+     shapes the same way instead of each re-deriving Printf idioms. *)
+  type t = string
+
+  let str s = json_string s
+  let int n = string_of_int n
+  let bool b = if b then "true" else "false"
+  let raw s = s
+  let list items = "[" ^ String.concat "," items ^ "]"
+  let obj fields =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+    ^ "}"
+  let to_string t = t
+end
+
+let emit ~tool line =
+  (match Metrics.Json.parse line with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "%s: emitted JSON failed self-validation: %s\n" tool e;
+      exit 1);
+  print_endline line
+
 let access_json (a : Access.t) =
   Printf.sprintf "{\"agent\":%s,\"kind\":%s,\"off\":%d,\"count\":%d,\"at\":%s}"
     (json_string a.agent_name)

@@ -30,9 +30,11 @@ let all =
     "torn_record";
     "cas_missing_release";
     "cas_double_apply";
+    "frame_overrun";
   ]
 
-let seeded_bugs = [ "torn_record"; "cas_missing_release"; "cas_double_apply" ]
+let seeded_bugs =
+  [ "torn_record"; "cas_missing_release"; "cas_double_apply"; "frame_overrun" ]
 
 let checked =
   [
@@ -43,6 +45,7 @@ let checked =
     "torn_record";
     "cas_missing_release";
     "cas_double_apply";
+    "frame_overrun";
   ]
 
 let expectation = function
@@ -53,7 +56,8 @@ let expectation = function
   (* The seeded schedule bugs: clean under the default FIFO schedule —
      that is the point; only the model checker's exploration exposes
      them. *)
-  | "torn_record" | "cas_missing_release" | "cas_double_apply" ->
+  | "torn_record" | "cas_missing_release" | "cas_double_apply"
+  | "frame_overrun" ->
       { races = false; findings = false }
   | name -> invalid_arg ("Scenarios.expectation: " ^ name)
 
@@ -626,6 +630,105 @@ let cas_double_apply () =
           Sim.Ivar.fill go_b ());
       Sim.Ivar.read done_)
 
+(* frame_overrun: a forwarder snapshots a frame descriptor — (offset,
+   length) words its own node's writer updates in place — and passes
+   the snapshot to a remote reader, which issues a READ of exactly
+   those bytes from an 8-byte data segment.  Under the default FIFO
+   schedule the snapshot is always consistent ((0,8) or (4,4)) and the
+   READ is in bounds; a torn snapshot pairs the new offset with the old
+   length, and the reader's READ of [4..12) overruns the extent — a
+   Bounds rejection the reader absorbs, which only the "bounds" lint
+   rule (and the static verifier, from the program text alone) sees.
+   All header traffic is one agent, so the race detector is blind to
+   the tear. *)
+
+let frame_overrun () =
+  let testbed, rmems, monitor = setup ~nodes:2 in
+  let engine = Cluster.Testbed.engine testbed in
+  wrap ~testbed ~monitor (fun () ->
+      let node0 = Cluster.Testbed.node testbed 0 in
+      let node1 = Cluster.Testbed.node testbed 1 in
+      let space0 = Cluster.Node.new_address_space node0 in
+      let space1 = Cluster.Node.new_address_space node1 in
+      (* Initial descriptor (off=0, len=8), written before the export so
+         the history layer snapshots it as the initial value. *)
+      Cluster.Address_space.write_word space0 ~addr:0 0l;
+      Cluster.Address_space.write_word space0 ~addr:4 8l;
+      let header =
+        Rmem.Remote_memory.export rmems.(0) ~space:space0 ~base:0 ~len:64
+          ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Never
+          ~name:"frame.header" ()
+      in
+      let data =
+        Rmem.Remote_memory.export rmems.(0) ~space:space0 ~base:1024 ~len:8
+          ~rights:Rmem.Rights.read_only ~policy:Rmem.Segment.Conditional
+          ~name:"frame.data" ()
+      in
+      let req =
+        Rmem.Remote_memory.export rmems.(1) ~space:space1 ~base:0 ~len:8
+          ~rights:Rmem.Rights.all ~policy:Rmem.Segment.Conditional
+          ~name:"frame.req" ()
+      in
+      let read_header off =
+        let v = Cluster.Address_space.read_word space0 ~addr:off in
+        Monitor.local_access monitor ~node:node0 ~segment:header
+          ~kind:Access.Load ~off ~count:4 ~value:v ();
+        v
+      in
+      let write_header off v =
+        Monitor.local_access monitor ~node:node0 ~segment:header
+          ~kind:Access.Store ~off ~count:4 ~value:v ();
+        Cluster.Address_space.write_word space0 ~addr:off v
+      in
+      let done_ = Sim.Ivar.create ~name:"frame done" () in
+      let forwarded = Sim.Ivar.create ~name:"forwarded" () in
+      Cluster.Node.spawn node1 (fun () ->
+          let fd = Rmem.Segment.notification req in
+          let (_ : Rmem.Notification.record) = Rmem.Notification.wait fd in
+          let read_req addr =
+            let v = Cluster.Address_space.read_word space1 ~addr in
+            Monitor.local_access monitor ~node:node1 ~segment:req
+              ~kind:Access.Load ~off:addr ~count:4 ~value:v ();
+            Int32.to_int v
+          in
+          let off = read_req 0 in
+          let len = read_req 4 in
+          let desc =
+            import_segment rmems.(1) ~from:(Cluster.Node.addr node0) data
+              ~rights:Rmem.Rights.read_only
+          in
+          let my_space = Cluster.Node.new_address_space node1 in
+          let buf = Rmem.Remote_memory.buffer ~space:my_space ~base:0 ~len:16 in
+          (* The overrun: a torn (new-off, old-len) snapshot reaches
+             past the extent; the exporter's Bounds nack is absorbed. *)
+          (match
+             Rmem.Remote_memory.read_wait rmems.(1) desc ~soff:off ~count:len
+               ~dst:buf ~doff:0 ()
+           with
+          | () -> ()
+          | exception Rmem.Status.Remote_error Rmem.Status.Bounds -> ());
+          Sim.Ivar.fill done_ ());
+      Sim.Proc.spawn ~name:"writer" engine (fun () ->
+          (* Retarget the descriptor to (off=4, len=4), word by word. *)
+          write_header 0 4l;
+          Sim.Proc.yield ();
+          write_header 4 4l);
+      Sim.Proc.spawn ~name:"forwarder" engine (fun () ->
+          let off = read_header 0 in
+          Sim.Proc.yield ();
+          let len = read_header 4 in
+          let desc =
+            import_segment rmems.(0) ~from:(Cluster.Node.addr node1) req
+              ~rights:Rmem.Rights.all
+          in
+          let snapshot = Bytes.create 8 in
+          Bytes.set_int32_le snapshot 0 off;
+          Bytes.set_int32_le snapshot 4 len;
+          Rmem.Remote_memory.write rmems.(0) desc ~off:0 ~notify:true snapshot;
+          Sim.Ivar.fill forwarded ());
+      Sim.Ivar.read forwarded;
+      Sim.Ivar.read done_)
+
 let prepare name =
   match name with
   | "kv_store" -> kv_store ()
@@ -637,7 +740,13 @@ let prepare name =
   | "torn_record" -> torn_record ()
   | "cas_missing_release" -> cas_missing_release ()
   | "cas_double_apply" -> cas_double_apply ()
+  | "frame_overrun" -> frame_overrun ()
   | name -> invalid_arg ("Scenarios.prepare: " ^ name)
+
+(* The declared access program of each scenario, for the static
+   verifier; the @protocheck cross-validation holds these declarations
+   against what exploration observes. *)
+let program = Workload.Programs.scenario
 
 let run name =
   let prep = prepare name in

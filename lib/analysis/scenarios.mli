@@ -52,6 +52,10 @@ val expectation : string -> expectation
 (** Single-schedule (FIFO) expectation. Raises [Invalid_argument] on an
     unknown workload name. *)
 
+val program : string -> Workload.Program.t option
+(** The scenario's declared access program ({!Workload.Programs}),
+    checked statically by [protocheck]. [None] for unknown names. *)
+
 val prepare : string -> prep
 (** Build a fresh testbed, attach a monitor, and spawn the workload
     without running it: the caller drives the engine — [Sim.Engine.run]

@@ -1,0 +1,7 @@
+(* Re-export of the static protocol verifier so clients write
+   [Analysis.Static.Verify.check] alongside the dynamic checkers. *)
+
+module Interval = Analysis_static.Interval
+module Finding = Analysis_static.Finding
+module Verify = Analysis_static.Verify
+module Pipesafe = Analysis_static.Pipesafe

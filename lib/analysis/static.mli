@@ -1,0 +1,13 @@
+(** Static protocol verification — abstract interpretation of
+    {!Workload.Program} meta-instruction programs, surfaced next to the
+    dynamic checkers ({!Explore}, {!Monitor}, {!Lint}).
+
+    The static pass proves rights/bounds at map time and flags
+    fence-ordering and retry-discipline hazards from the program text
+    alone; the model checker then confirms each hazard with a
+    replayable schedule certificate. *)
+
+module Interval = Analysis_static.Interval
+module Finding = Analysis_static.Finding
+module Verify = Analysis_static.Verify
+module Pipesafe = Analysis_static.Pipesafe

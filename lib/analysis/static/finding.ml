@@ -1,0 +1,29 @@
+type t = {
+  rule : string;
+  program : string;
+  node : int;
+  node_name : string;
+  seg : string;
+  detail : string;
+}
+
+let rules =
+  [
+    "static-bounds";
+    "static-rights";
+    "static-unknown-segment";
+    "static-unbound-var";
+    "static-unfenced-release";
+    "static-unfenced-publish";
+    "static-cas-reissue";
+    "static-unbounded-retry";
+    "static-lock-leak";
+  ]
+
+let make ~rule ~program ~node ~node_name ~seg detail =
+  assert (List.mem rule rules);
+  { rule; program; node; node_name; seg; detail }
+
+let describe f =
+  Printf.sprintf "[%s] %s node %d (%s) on %s: %s" f.rule f.program f.node
+    f.node_name f.seg f.detail

@@ -1,0 +1,84 @@
+(* Pipelining-safety classifier.
+
+   The pipelined issue engine (PR 5) stages WRITEs and flushes a batch
+   at the next ordering point.  A program is batch-equivalent exactly
+   when no instruction *observes* a staged write before an intervening
+   fence: replies to blocking ops would witness writes the batch has
+   not sent yet, and a doorbell could overtake the data it announces.
+
+   The walk mirrors the engine's staging rule — Writes stage, only a
+   Fence (or the engine's own flush at a blocking op) drains — and
+   reports every ordering obligation it finds.  [Ordered] is not a
+   defect: it tells the runtime which programs must run with batching
+   off (or with the engine's conservative flush-on-sync), while
+   [Batchable] programs may enjoy the full pipelining win. *)
+
+module P = Workload.Program
+
+type verdict = Batchable | Ordered of string list
+
+let classify (p : P.t) =
+  let reasons = ref [] in
+  let note node_name fmt =
+    Printf.ksprintf
+      (fun s ->
+        let line = Printf.sprintf "%s: %s" node_name s in
+        if not (List.mem line !reasons) then reasons := line :: !reasons)
+      fmt
+  in
+  let exporter_of seg =
+    match Rmem.Manifest.exporter p.P.manifest seg with
+    | Some e -> e
+    | None -> -1
+  in
+  List.iter
+    (fun (np : P.node_program) ->
+      (* staged: (seg, exporter) of writes the batch still holds *)
+      let staged = ref [] in
+      let drain exporter =
+        staged := List.filter (fun (_, e) -> e <> exporter) !staged
+      in
+      let rec walk (i : P.instr) =
+        match i with
+        | P.Write { seg; notify; _ } ->
+            let e = exporter_of seg in
+            if notify && List.exists (fun (_, x) -> x <> e) !staged then
+              note np.P.name
+                "doorbell on %s may overtake staged writes to %s" seg
+                (String.concat ", "
+                   (List.sort_uniq compare
+                      (List.filter_map
+                         (fun (s, x) -> if x <> e then Some s else None)
+                         !staged)));
+            staged := (seg, e) :: !staged
+        | P.Read { seg; _ } | P.Read_word { seg; _ } ->
+            let e = exporter_of seg in
+            if np.P.node <> e then begin
+              if List.exists (fun (s, _) -> s = seg) !staged then
+                note np.P.name
+                  "reads %s while its own write to it is still staged" seg;
+              drain e
+            end
+        | P.Cas { seg; _ } ->
+            let e = exporter_of seg in
+            if !staged <> [] then
+              note np.P.name
+                "atomic op on %s must order staged writes to %s" seg
+                (String.concat ", "
+                   (List.sort_uniq compare (List.map fst !staged)));
+            drain e
+        | P.Fence { seg } -> drain (exporter_of seg)
+        | P.Wait _ | P.Local_read _ | P.Local_write _ -> ()
+        | P.For { body; _ } ->
+            (* twice, as in {!Verify}: catch cross-iteration staging *)
+            List.iter walk body;
+            List.iter walk body
+        | P.Retry { body; _ } -> List.iter walk body
+      in
+      List.iter walk np.P.body)
+    p.P.nodes;
+  match List.rev !reasons with [] -> Batchable | rs -> Ordered rs
+
+let verdict_to_string = function
+  | Batchable -> "batchable"
+  | Ordered _ -> "ordered"

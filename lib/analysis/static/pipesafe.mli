@@ -1,0 +1,14 @@
+(** Pipelining-safety classifier: is a program equivalent under the
+    batched issue engine's write staging?
+
+    [Batchable] programs never observe their own staged writes before a
+    fence, so the engine may coalesce their WRITEs freely. [Ordered]
+    carries the list of ordering obligations — each names the node and
+    the instruction that would witness a staged write — and means the
+    program must run with batching off or rely on the engine's
+    conservative flush at every sync point. *)
+
+type verdict = Batchable | Ordered of string list
+
+val classify : Workload.Program.t -> verdict
+val verdict_to_string : verdict -> string

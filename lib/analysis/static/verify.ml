@@ -1,0 +1,286 @@
+(* The abstract interpreter over {!Workload.Program}.
+
+   Three analyses share one walk of each node program:
+
+   - an interval evaluation of offset/extent expressions (loop
+     variables and declared-range word reads bound in an environment),
+     checked against the manifest's extents and per-importer rights —
+     the map-time pre-validation story;
+   - a fence-order automaton tracking this node's unflushed remote
+     WRITEs per exporter: a release-role CAS issued while any remain is
+     the paper's missing-fence hazard (the release publishes the
+     *issue-time* clock, so in-flight writes are unwitnessed even
+     though the CAS itself blocks), and a doorbell raised while writes
+     to a *different* exporter are unflushed may overtake the data it
+     announces.  A completed blocking reply from an exporter witnesses
+     every earlier write to it (links are FIFO), so reads and CAS
+     clear that exporter's pending set;
+   - structural checks on the retry combinators: a reply-trusting
+     reissue wrapper around a CAS (the lost-reply double-apply class),
+     a blind unbounded spin with neither backoff nor a fresh
+     observation in its body, and an acquire-role CAS never matched by
+     a release (lock leak).
+
+   Loop bodies are interpreted twice so cross-iteration hazards (an
+   unflushed write from iteration [i] meeting a sync point in [i+1])
+   are seen; retry bodies once — a retried acquire still acquires
+   exactly once. *)
+
+module P = Workload.Program
+
+type state = {
+  mutable env : (string * Interval.t) list;
+  mutable unflushed : (string * int) list;
+      (* (segment, exporter) of own WRITEs not yet witnessed *)
+  mutable held : (string * string) list; (* (segment, offset) locks *)
+}
+
+type ctx = {
+  program : string;
+  node : int;
+  node_name : string;
+  manifest : Rmem.Manifest.t;
+  mutable findings : Finding.t list;
+  seen : (string * string * string, unit) Hashtbl.t;
+}
+
+let report ctx ~rule ~seg detail =
+  if not (Hashtbl.mem ctx.seen (rule, ctx.node_name, seg)) then begin
+    Hashtbl.replace ctx.seen (rule, ctx.node_name, seg) ();
+    ctx.findings <-
+      Finding.make ~rule ~program:ctx.program ~node:ctx.node
+        ~node_name:ctx.node_name ~seg detail
+      :: ctx.findings
+  end
+
+let rec eval ctx st (e : P.expr) =
+  match e with
+  | P.Const n -> Some (Interval.exact n)
+  | P.Var x -> (
+      match List.assoc_opt x st.env with
+      | Some i -> Some i
+      | None ->
+          report ctx ~rule:"static-unbound-var" ~seg:"-"
+            (Printf.sprintf "expression uses undeclared variable %s" x);
+          None)
+  | P.Add (a, b) -> (
+      match (eval ctx st a, eval ctx st b) with
+      | Some a, Some b -> Some (Interval.add a b)
+      | _ -> None)
+  | P.Mul (a, b) -> (
+      match (eval ctx st a, eval ctx st b) with
+      | Some a, Some b -> Some (Interval.mul a b)
+      | _ -> None)
+
+let export_of ctx seg =
+  match Rmem.Manifest.find ctx.manifest seg with
+  | Some e -> Some e
+  | None ->
+      report ctx ~rule:"static-unknown-segment" ~seg
+        "segment is not in the export manifest";
+      None
+
+let check_bounds ctx ~seg ~extent off len =
+  match (off, len) with
+  | Some (off : Interval.t), Some (len : Interval.t) ->
+      if off.Interval.lo < 0 || off.Interval.hi + len.Interval.hi > extent
+      then
+        report ctx ~rule:"static-bounds" ~seg
+          (Printf.sprintf
+             "access at %s of %s byte(s) can reach [%d..%d), outside the \
+              %d-byte extent"
+             (Interval.to_string off) (Interval.to_string len)
+             (min 0 off.Interval.lo)
+             (off.Interval.hi + len.Interval.hi)
+             extent)
+  | _ -> ()
+
+let check_rights ctx (e : Rmem.Manifest.export) op op_name =
+  if ctx.node <> e.Rmem.Manifest.exporter then
+    match
+      Rmem.Manifest.rights_for ctx.manifest ~seg:e.Rmem.Manifest.seg
+        ~importer:ctx.node
+    with
+    | Some r when Rmem.Rights.allows r op -> ()
+    | _ ->
+        report ctx ~rule:"static-rights" ~seg:e.Rmem.Manifest.seg
+          (Printf.sprintf "%s issued without the %s right (holds %s)" op_name
+             op_name
+             (match
+                Rmem.Manifest.rights_for ctx.manifest
+                  ~seg:e.Rmem.Manifest.seg ~importer:ctx.node
+              with
+             | Some r -> Rmem.Manifest.rights_to_string r
+             | None -> "none"))
+
+(* A completed reply from an exporter witnesses every earlier write
+   this node sent it: FIFO links deposit them first. *)
+let witness st exporter =
+  st.unflushed <- List.filter (fun (_, e) -> e <> exporter) st.unflushed
+
+let require_local ctx (e : Rmem.Manifest.export) what =
+  if ctx.node <> e.Rmem.Manifest.exporter then
+    report ctx ~rule:"static-rights" ~seg:e.Rmem.Manifest.seg
+      (Printf.sprintf
+         "%s of a segment exported by node %d — home-node accesses only"
+         what e.Rmem.Manifest.exporter)
+
+let rec has_observation body =
+  List.exists
+    (fun (i : P.instr) ->
+      match i with
+      | P.Read _ | P.Read_word _ | P.Local_read _ | P.Wait _ -> true
+      | P.For { body; _ } | P.Retry { body; _ } -> has_observation body
+      | _ -> false)
+    body
+
+let rec first_cas_seg body =
+  List.find_map
+    (fun (i : P.instr) ->
+      match i with
+      | P.Cas { seg; _ } -> Some seg
+      | P.For { body; _ } | P.Retry { body; _ } -> first_cas_seg body
+      | _ -> None)
+    body
+
+let rec instr ctx st (i : P.instr) =
+  match i with
+  | P.Read { seg; off; len } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (eval ctx st len);
+          check_rights ctx e Rmem.Rights.Read_op "READ";
+          witness st e.Rmem.Manifest.exporter)
+        (export_of ctx seg)
+  | P.Read_word { seg; off; var; lo; hi } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (Some (Interval.exact P.word));
+          if ctx.node <> e.Rmem.Manifest.exporter then begin
+            check_rights ctx e Rmem.Rights.Read_op "READ";
+            witness st e.Rmem.Manifest.exporter
+          end)
+        (export_of ctx seg);
+      if lo <= hi then st.env <- (var, Interval.make lo hi) :: st.env
+  | P.Write { seg; off; len; notify } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (eval ctx st len);
+          check_rights ctx e Rmem.Rights.Write_op "WRITE";
+          if notify then begin
+            let elsewhere =
+              List.filter (fun (_, x) -> x <> e.Rmem.Manifest.exporter)
+                st.unflushed
+            in
+            if elsewhere <> [] then
+              report ctx ~rule:"static-unfenced-publish" ~seg
+                (Printf.sprintf
+                   "doorbell raised while writes to %s are unfenced — the \
+                    notification may overtake the data it announces"
+                   (String.concat ", " (List.map fst elsewhere)))
+          end;
+          st.unflushed <- (seg, e.Rmem.Manifest.exporter) :: st.unflushed)
+        (export_of ctx seg)
+  | P.Cas { seg; off; role } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (Some (Interval.exact P.word));
+          check_rights ctx e Rmem.Rights.Cas_op "CAS";
+          let off_name =
+            match eval ctx st off with
+            | Some i -> Interval.to_string i
+            | None -> P.expr_to_string off
+          in
+          (match role with
+          | P.Release ->
+              if st.unflushed <> [] then
+                report ctx ~rule:"static-unfenced-release" ~seg
+                  (Printf.sprintf
+                     "release CAS issued with writes to %s unfenced — the \
+                      release publishes its issue-time clock, so those \
+                      writes are unwitnessed when the lock moves on"
+                     (String.concat ", "
+                        (List.sort_uniq compare (List.map fst st.unflushed))));
+              st.held <-
+                (match st.held with
+                | (s, o) :: rest when s = seg && o = off_name -> rest
+                | held -> List.filter (fun (s, o) -> not (s = seg && o = off_name)) held)
+          | P.Acquire -> st.held <- (seg, off_name) :: st.held
+          | P.Plain -> ());
+          witness st e.Rmem.Manifest.exporter)
+        (export_of ctx seg)
+  | P.Fence { seg } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          witness st e.Rmem.Manifest.exporter)
+        (export_of ctx seg)
+  | P.Wait { seg } -> ignore (export_of ctx seg)
+  | P.Local_read { seg; off; len } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          require_local ctx e "local read";
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (eval ctx st len))
+        (export_of ctx seg)
+  | P.Local_write { seg; off; len } ->
+      Option.iter
+        (fun (e : Rmem.Manifest.export) ->
+          require_local ctx e "local write";
+          check_bounds ctx ~seg ~extent:e.Rmem.Manifest.len (eval ctx st off)
+            (eval ctx st len))
+        (export_of ctx seg)
+  | P.For { var; lo; hi; body } ->
+      if lo <= hi then begin
+        st.env <- (var, Interval.make lo hi) :: st.env;
+        (* Twice: cross-iteration hazards (iteration i's unflushed
+           writes meeting iteration i+1's sync points). *)
+        List.iter (instr ctx st) body;
+        List.iter (instr ctx st) body
+      end
+  | P.Retry { attempts; backoff; verified; body } ->
+      let cas_seg = first_cas_seg body in
+      (if (not verified) && attempts <> Some 1 then
+         match cas_seg with
+         | Some seg ->
+             report ctx ~rule:"static-cas-reissue" ~seg
+               "reply-trusting CAS reissue: a lost reply makes two \
+                applications look like one win — verify against the word \
+                instead"
+         | None -> ());
+      if attempts = None && (not backoff) && not (has_observation body) then
+        report ctx ~rule:"static-unbounded-retry"
+          ~seg:(Option.value cas_seg ~default:"-")
+          "unbounded retry with no backoff and no fresh observation in its \
+           body";
+      (* Once: a retried acquire still acquires exactly once. *)
+      List.iter (instr ctx st) body
+
+let check_node ~program ~manifest seen (np : P.node_program) =
+  let ctx =
+    {
+      program;
+      node = np.P.node;
+      node_name = np.P.name;
+      manifest;
+      findings = [];
+      seen;
+    }
+  in
+  let st = { env = []; unflushed = []; held = [] } in
+  List.iter (instr ctx st) np.P.body;
+  List.iter
+    (fun (seg, off) ->
+      report ctx ~rule:"static-lock-leak" ~seg
+        (Printf.sprintf
+           "lock word %s[%s] acquired but never released on this path" seg off))
+    st.held;
+  List.rev ctx.findings
+
+let check (p : P.t) =
+  let seen = Hashtbl.create 16 in
+  List.concat_map (check_node ~program:p.P.name ~manifest:p.P.manifest seen)
+    p.P.nodes

@@ -1,0 +1,15 @@
+(** The abstract interpreter: proves rights, bounds, fence ordering and
+    retry-combinator discipline over a {!Workload.Program} without
+    executing it.
+
+    Offsets and extents evaluate in an interval domain ({!Interval})
+    against the program's export manifest; a fence-order automaton
+    tracks each node's unflushed remote WRITEs per exporter (a blocking
+    reply witnesses earlier writes on the same FIFO link); retry
+    combinators are checked structurally for the lost-reply CAS
+    double-apply class, unbounded blind spinning, and leaked
+    acquire-role locks. *)
+
+val check : Workload.Program.t -> Finding.t list
+(** All findings over every node program, in program order, deduplicated
+    by (rule, node, segment). Empty means statically clean. *)

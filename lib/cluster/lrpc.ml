@@ -27,6 +27,8 @@ let add_monitor f =
 let remove_monitor id =
   registered := List.filter (fun (i, _) -> i <> id) !registered
 
+let live_monitor_count () = List.length !registered
+
 let notify node =
   (match !legacy with None -> () | Some observe -> observe node);
   match !registered with

@@ -23,3 +23,7 @@ val add_monitor : (Node.t -> unit) -> monitor_id
 
 val remove_monitor : monitor_id -> unit
 (** Deregister; unknown ids are ignored. *)
+
+val live_monitor_count : unit -> int
+(** Number of {!add_monitor} registrations not yet removed — the
+    analyzer's monitor-leak lint compares this against its baseline. *)

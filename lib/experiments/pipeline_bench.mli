@@ -45,3 +45,9 @@ val json_valid : string -> bool
     to prove the emitted artifact parses. *)
 
 val render : result -> string
+
+val access_programs : Workload.Program.t list
+(** The three stream shapes as declared access programs
+    (write_stream, read_stream, doorbell). protocheck verifies them
+    against the manifest and proves each {e batchable} — the license
+    for the pipelined mode this bench measures. *)

@@ -684,3 +684,8 @@ let crash_plan () =
     ~crashes:
       [ { Plan.node = 1; at = Sim.Time.ms 5; restart_at = Some (Sim.Time.ms 8) } ]
     ()
+
+(* The declared access program of each campaign workload, for the
+   static protocol verifier.  Kept beside the workloads themselves so
+   a shape change here is a one-file diff with its declaration. *)
+let program = Workload.Programs.campaign

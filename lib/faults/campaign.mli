@@ -33,6 +33,11 @@ val workloads : string list
 (** ["quickstart"; "name_service"; "producer_consumer"; "replica";
     "crash_restart"]. *)
 
+val program : string -> Workload.Program.t option
+(** The workload's declared access program ({!Workload.Programs}) —
+    what the static verifier ([protocheck]) holds against the manifest
+    before the campaign issues anything. [None] for unknown names. *)
+
 val set_rmem_probe : (Rmem.Remote_memory.t -> unit) option -> unit
 (** Observe every remote-memory endpoint the campaign workloads attach
     (called once per endpoint, before the workload issues anything).

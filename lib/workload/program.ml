@@ -1,0 +1,145 @@
+(* The typed IR for per-node meta-instruction programs.
+
+   A program is the declarative skeleton of a workload's data-transfer
+   protocol: which segments each node touches, with which operations,
+   at which (possibly loop- or value-dependent) offsets, under which
+   retry discipline.  It deliberately has no general control flow —
+   the paper's observation is that data-transfer code is a short,
+   straight-line sequence of meta-instructions, which is exactly what
+   makes it statically analyzable. *)
+
+type expr =
+  | Const of int
+  | Var of string
+  | Add of expr * expr
+  | Mul of expr * expr
+
+type role = Plain | Acquire | Release
+
+type instr =
+  | Read of { seg : string; off : expr; len : expr }
+  | Read_word of { seg : string; off : expr; var : string; lo : int; hi : int }
+  | Write of { seg : string; off : expr; len : expr; notify : bool }
+  | Cas of { seg : string; off : expr; role : role }
+  | Fence of { seg : string }
+  | Wait of { seg : string }
+  | Local_read of { seg : string; off : expr; len : expr }
+  | Local_write of { seg : string; off : expr; len : expr }
+  | For of { var : string; lo : int; hi : int; body : instr list }
+  | Retry of {
+      attempts : int option;
+      backoff : bool;
+      verified : bool;
+      body : instr list;
+    }
+
+type node_program = { node : int; name : string; body : instr list }
+
+type t = {
+  name : string;
+  manifest : Rmem.Manifest.t;
+  nodes : node_program list;
+}
+
+let word = 4
+
+(* Constructors terse enough that the catalog reads like the protocol
+   it declares. *)
+let c n = Const n
+let v name = Var name
+let ( + ) a b = Add (a, b)
+let ( * ) a b = Mul (a, b)
+
+let read ~seg ~off ~len = Read { seg; off; len }
+
+let read_word ~seg ~off ~var ~lo ~hi = Read_word { seg; off; var; lo; hi }
+
+let write ?(notify = false) ~seg ~off ~len () = Write { seg; off; len; notify }
+
+let cas ?(role = Plain) seg ~off = Cas { seg; off; role }
+
+let fence seg = Fence { seg }
+let wait seg = Wait { seg }
+let local_read ~seg ~off ~len = Local_read { seg; off; len }
+let local_write ~seg ~off ~len = Local_write { seg; off; len }
+let for_ var ~lo ~hi body = For { var; lo; hi; body }
+
+let retry ?attempts ?(backoff = false) ?(verified = true) body =
+  Retry { attempts; backoff; verified; body }
+
+let rec expr_to_string = function
+  | Const n -> string_of_int n
+  | Var x -> x
+  | Add (a, b) ->
+      Printf.sprintf "%s+%s" (expr_to_string a) (expr_to_string b)
+  | Mul (a, b) ->
+      Printf.sprintf "%s*%s" (expr_to_string a) (expr_to_string b)
+
+let role_to_string = function
+  | Plain -> "plain"
+  | Acquire -> "acquire"
+  | Release -> "release"
+
+let rec instr_to_string = function
+  | Read { seg; off; len } ->
+      Printf.sprintf "read %s[%s..+%s)" seg (expr_to_string off)
+        (expr_to_string len)
+  | Read_word { seg; off; var; lo; hi } ->
+      Printf.sprintf "%s := read-word %s[%s] in [%d,%d]" var seg
+        (expr_to_string off) lo hi
+  | Write { seg; off; len; notify } ->
+      Printf.sprintf "write%s %s[%s..+%s)"
+        (if notify then "+notify" else "")
+        seg (expr_to_string off) (expr_to_string len)
+  | Cas { seg; off; role } ->
+      Printf.sprintf "cas(%s) %s[%s]" (role_to_string role) seg
+        (expr_to_string off)
+  | Fence { seg } -> Printf.sprintf "fence %s" seg
+  | Wait { seg } -> Printf.sprintf "wait %s" seg
+  | Local_read { seg; off; len } ->
+      Printf.sprintf "local-read %s[%s..+%s)" seg (expr_to_string off)
+        (expr_to_string len)
+  | Local_write { seg; off; len } ->
+      Printf.sprintf "local-write %s[%s..+%s)" seg (expr_to_string off)
+        (expr_to_string len)
+  | For { var; lo; hi; body } ->
+      Printf.sprintf "for %s in %d..%d { %s }" var lo hi
+        (String.concat "; " (List.map instr_to_string body))
+  | Retry { attempts; backoff; verified; body } ->
+      Printf.sprintf "retry%s%s%s { %s }"
+        (match attempts with
+        | None -> ""
+        | Some n -> Printf.sprintf " x%d" n)
+        (if backoff then " backoff" else "")
+        (if verified then " verified" else " reply-trusting")
+        (String.concat "; " (List.map instr_to_string body))
+
+let rec instr_count body =
+  List.fold_left
+    (fun acc i ->
+      Stdlib.( + ) acc
+        (match i with
+        | For { body; _ } | Retry { body; _ } ->
+            Stdlib.( + ) 1 (instr_count body)
+        | _ -> 1))
+    0 body
+
+let describe t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "program %s\n" t.name);
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "  export %s\n" (Rmem.Manifest.describe e)))
+    t.manifest;
+  List.iter
+    (fun np ->
+      Buffer.add_string b
+        (Printf.sprintf "  node %d (%s):\n" np.node np.name);
+      List.iter
+        (fun i ->
+          Buffer.add_string b
+            (Printf.sprintf "    %s\n" (instr_to_string i)))
+        np.body)
+    t.nodes;
+  Buffer.contents b

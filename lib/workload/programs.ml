@@ -1,0 +1,467 @@
+(* The catalog of declared access programs: one {!Program.t} per
+   analysis scenario and per recovery-campaign workload, mirroring the
+   protocols in [Analysis.Scenarios] and [Faults.Campaign].
+
+   These are declarations, not extractions-by-tracing: each names the
+   segments, offsets, extents and retry disciplines the workload is
+   *supposed* to use, the way a map-time manifest would.  The static
+   verifier checks the declarations; the @protocheck cross-validation
+   holds them against what the dynamic checkers see, in both
+   directions. *)
+
+open Program
+
+let seg ?(rights = Rmem.Rights.all) ?(grants = [])
+    ?(policy = Rmem.Segment.Conditional) ~exporter ~len name =
+  { Rmem.Manifest.seg = name; exporter; len; rights; grants; policy }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario programs (Analysis.Scenarios shapes).                      *)
+
+(* kv_store: clients 1 and 2 own disjoint 64-byte slots of the server
+   table and put/fence/get them. *)
+let kv_store =
+  let client node =
+    let base = c (Stdlib.( * ) node 512) in
+    {
+      node;
+      name = "client";
+      body =
+        [
+          for_ "k" ~lo:0 ~hi:3
+            [
+              write ~seg:"kv table"
+                ~off:(base + (v "k" * c 64))
+                ~len:(c 64) ();
+              fence "kv table";
+              read ~seg:"kv table" ~off:(base + (v "k" * c 64)) ~len:(c 64);
+            ];
+        ];
+    }
+  in
+  {
+    name = "kv_store";
+    manifest = [ seg ~exporter:0 ~len:4096 "kv table" ];
+    nodes = [ client 1; client 2 ];
+  }
+
+(* producer_consumer: CAS-ticket slot claims, WRITE deliveries, notify
+   doorbells; the consumer touches the slot each doorbell names. *)
+let producer_consumer =
+  let ring_len = 576 (* 64 + 8 slots x 64 *) in
+  let slot = c 64 + (v "seq" * c 64) in
+  let producer node =
+    {
+      node;
+      name = "producer";
+      body =
+        [
+          for_ "i" ~lo:1 ~hi:4
+            [
+              (* Ticket claim: each attempt re-reads the ticket word, so
+                 the loop observes progress — not a blind spin. *)
+              retry
+                [
+                  read_word ~seg:"ring" ~off:(c 0) ~var:"seq" ~lo:0 ~hi:7;
+                  cas "ring" ~off:(c 0);
+                ];
+              write ~seg:"ring" ~off:(slot + c 4) ~len:(c 60) ();
+              (* Length word last, doorbell on it. *)
+              write ~notify:true ~seg:"ring" ~off:slot ~len:(c 4) ();
+            ];
+        ];
+    }
+  in
+  let consumer =
+    {
+      node = 0;
+      name = "consumer";
+      body =
+        [
+          (* Each doorbell names one distinct slot; the loop variable
+             stands in for the announced slot number. *)
+          for_ "n" ~lo:0 ~hi:7
+            [
+              wait "ring";
+              local_read ~seg:"ring" ~off:(c 64 + (v "n" * c 64)) ~len:(c 64);
+            ];
+        ];
+    }
+  in
+  {
+    name = "producer_consumer";
+    manifest = [ seg ~exporter:0 ~len:ring_len "ring" ];
+    nodes = [ consumer; producer 1; producer 2 ];
+  }
+
+(* file_service: the same block updated under a CAS lock, with the
+   paper's fence before release. *)
+let file_service_program ~fenced name =
+  let client node =
+    {
+      node;
+      name = "client";
+      body =
+        [
+          for_ "round" ~lo:1 ~hi:2
+            ([
+               retry ~backoff:true [ cas ~role:Acquire "file blocks" ~off:(c 0) ];
+               write ~seg:"file blocks" ~off:(c 1024) ~len:(c 256) ();
+             ]
+            @ (if fenced then [ fence "file blocks" ] else [])
+            @ [ cas ~role:Release "file blocks" ~off:(c 0) ]);
+        ];
+    }
+  in
+  {
+    name;
+    manifest = [ seg ~exporter:0 ~len:4096 "file blocks" ];
+    nodes = [ client 1; client 2 ];
+  }
+
+let file_service = file_service_program ~fenced:true "file_service"
+
+let file_service_nofence =
+  file_service_program ~fenced:false "file_service_nofence"
+
+(* name_service: reads of the epoch segment and a status poll loop.
+   The scenario's sins (a stale descriptor, polling notify:never) are
+   dynamic-state misuses the lint catches at runtime; the declared
+   access pattern itself is statically sound. *)
+let name_service =
+  {
+    name = "name_service";
+    manifest =
+      [
+        seg ~exporter:0 ~len:256 ~rights:Rmem.Rights.read_only
+          ~policy:Rmem.Segment.Never "status";
+        seg ~exporter:0 ~len:256 ~rights:Rmem.Rights.read_only "epoch";
+      ];
+    nodes =
+      [
+        {
+          node = 1;
+          name = "client";
+          body =
+            [
+              read ~seg:"epoch" ~off:(c 0) ~len:(c 32);
+              read ~seg:"epoch" ~off:(c 0) ~len:(c 32);
+              for_ "n" ~lo:1 ~hi:12 [ read ~seg:"status" ~off:(c 0) ~len:(c 4) ];
+            ];
+        };
+      ];
+  }
+
+(* racy: two unsynchronized writers to one range — a schedule property
+   (the race detector's job), statically in-bounds and in-rights. *)
+let racy =
+  let writer node =
+    {
+      node;
+      name = "writer";
+      body =
+        [
+          write ~seg:"shared" ~off:(c 1024) ~len:(c 256) (); fence "shared";
+        ];
+    }
+  in
+  {
+    name = "racy";
+    manifest = [ seg ~exporter:0 ~len:4096 "shared" ];
+    nodes = [ writer 1; writer 2 ];
+  }
+
+(* torn_record: single-agent local word traffic; tearing is a schedule
+   property only exploration can surface — statically clean by design
+   (the division-of-labor example). *)
+let torn_record =
+  {
+    name = "torn_record";
+    manifest = [ seg ~exporter:0 ~len:64 ~policy:Rmem.Segment.Never "record" ];
+    nodes =
+      [
+        {
+          node = 0;
+          name = "reader";
+          body =
+            [
+              for_ "n" ~lo:1 ~hi:2
+                [
+                  local_read ~seg:"record" ~off:(c 0) ~len:(c 4);
+                  local_read ~seg:"record" ~off:(c 4) ~len:(c 4);
+                ];
+            ];
+        };
+        {
+          node = 0;
+          name = "writer";
+          body =
+            [
+              local_write ~seg:"record" ~off:(c 0) ~len:(c 4);
+              local_write ~seg:"record" ~off:(c 4) ~len:(c 4);
+            ];
+        };
+      ];
+  }
+
+(* cas_missing_release: the buggy fast path — win the lock on the first
+   attempt, write, and walk away without fence or release. *)
+let cas_missing_release =
+  {
+    name = "cas_missing_release";
+    manifest = [ seg ~exporter:0 ~len:4096 "lock table" ];
+    nodes =
+      [
+        {
+          node = 1;
+          name = "client (fast path)";
+          body =
+            [
+              retry ~backoff:true [ cas ~role:Acquire "lock table" ~off:(c 0) ];
+              write ~seg:"lock table" ~off:(c 64) ~len:(c 32) ();
+              (* THE BUG: no fence, no release CAS on the fast path. *)
+            ];
+        };
+      ];
+  }
+
+(* cas_double_apply: the lost-reply wrapper reissues the same CAS and
+   trusts the disjunction of reply statuses — one logical win, two
+   possible applications. *)
+let cas_double_apply =
+  {
+    name = "cas_double_apply";
+    manifest = [ seg ~exporter:0 ~len:4096 "shared word" ];
+    nodes =
+      [
+        {
+          node = 1;
+          name = "wrapper";
+          body =
+            [
+              (* THE BUG: reissue on suspected loss, outcome decided by
+                 s1 || s2 instead of re-reading the word. *)
+              retry ~attempts:2 ~verified:false
+                [ cas "shared word" ~off:(c 0) ];
+            ];
+        };
+        {
+          node = 2;
+          name = "peer";
+          body =
+            [ cas "shared word" ~off:(c 0); cas "shared word" ~off:(c 0) ];
+        };
+      ];
+  }
+
+(* frame_overrun: a torn two-word (off, len) header forwarded to a
+   remote frame reader.  Each field's declared range is individually
+   sane — (0,8) and (4,4) both describe in-bounds frames — but nothing
+   makes the pair atomic, so the combined worst case [0+hi(off),
+   hi(off)+hi(len)) = [4,12) overruns the 8-byte data segment.  The
+   interval analysis proves it from the declaration; dynamically only
+   an adversarial schedule tears the header. *)
+let frame_overrun =
+  {
+    name = "frame_overrun";
+    manifest =
+      [
+        seg ~exporter:0 ~len:64 ~policy:Rmem.Segment.Never "frame.header";
+        seg ~exporter:0 ~len:8 ~rights:Rmem.Rights.read_only "frame.data";
+        seg ~exporter:1 ~len:8 "frame.req";
+      ];
+    nodes =
+      [
+        {
+          node = 0;
+          name = "writer";
+          body =
+            [
+              local_write ~seg:"frame.header" ~off:(c 0) ~len:(c 4);
+              local_write ~seg:"frame.header" ~off:(c 4) ~len:(c 4);
+            ];
+        };
+        {
+          node = 0;
+          name = "forwarder";
+          body =
+            [
+              local_read ~seg:"frame.header" ~off:(c 0) ~len:(c 4);
+              local_read ~seg:"frame.header" ~off:(c 4) ~len:(c 4);
+              write ~notify:true ~seg:"frame.req" ~off:(c 0) ~len:(c 8) ();
+            ];
+        };
+        {
+          node = 1;
+          name = "reader";
+          body =
+            [
+              wait "frame.req";
+              read_word ~seg:"frame.req" ~off:(c 0) ~var:"off" ~lo:0 ~hi:4;
+              read_word ~seg:"frame.req" ~off:(c 4) ~var:"len" ~lo:4 ~hi:8;
+              read ~seg:"frame.data" ~off:(v "off") ~len:(v "len");
+            ];
+        };
+      ];
+  }
+
+let scenarios =
+  [
+    kv_store;
+    producer_consumer;
+    file_service;
+    file_service_nofence;
+    name_service;
+    racy;
+    torn_record;
+    cas_missing_release;
+    cas_double_apply;
+    frame_overrun;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaign programs (Faults.Campaign shapes).  Policied writes verify
+   by read-back, declared as write-then-fence; policied CAS wrappers
+   re-read the authoritative word, declared verified. *)
+
+let campaign_quickstart =
+  {
+    name = "quickstart";
+    manifest = [ seg ~exporter:1 ~len:4096 "shared.buffer" ];
+    nodes =
+      [
+        {
+          node = 0;
+          name = "client";
+          body =
+            [
+              write ~seg:"shared.buffer" ~off:(c 0) ~len:(c 20) ();
+              fence "shared.buffer";
+              read ~seg:"shared.buffer" ~off:(c 0) ~len:(c 20);
+              retry ~attempts:10 ~backoff:true
+                [ cas "shared.buffer" ~off:(c 1024) ];
+              retry ~attempts:10 ~backoff:true
+                [ cas "shared.buffer" ~off:(c 1024) ];
+              read ~seg:"shared.buffer" ~off:(c 1024) ~len:(c 4);
+            ];
+        };
+      ];
+  }
+
+let campaign_name_service =
+  let shard i = Printf.sprintf "service/db/shard-%02d" i in
+  {
+    name = "name_service";
+    manifest = List.init 4 (fun i -> seg ~exporter:2 ~len:8192 (shard i));
+    nodes =
+      [
+        {
+          node = 0;
+          name = "client";
+          body =
+            [
+              write ~seg:(shard 0) ~off:(c 0) ~len:(c 28) ();
+              fence (shard 0);
+              read ~seg:(shard 0) ~off:(c 0) ~len:(c 28);
+            ];
+        };
+      ];
+  }
+
+let campaign_producer_consumer =
+  let slot = c 256 + (v "slot" * c 64) in
+  let producer node =
+    {
+      node;
+      name = "producer";
+      body =
+        [
+          (* Even/odd slot split: 4 of the 8 slots each, disjoint. *)
+          for_ "slot" ~lo:0 ~hi:7 [ write ~seg:"pc.ring" ~off:slot ~len:(c 64) () ];
+          fence "pc.ring";
+          retry ~attempts:10 ~backoff:true [ cas "pc.ring" ~off:(c 8) ];
+        ];
+    }
+  in
+  let consumer =
+    {
+      node = 1;
+      name = "consumer";
+      body = [ for_ "slot" ~lo:0 ~hi:7 [ local_read ~seg:"pc.ring" ~off:slot ~len:(c 4) ] ];
+    }
+  in
+  {
+    name = "producer_consumer";
+    manifest = [ seg ~exporter:1 ~len:4096 "pc.ring" ];
+    nodes = [ producer 0; producer 2; consumer ];
+  }
+
+let campaign_replica =
+  let store i = Printf.sprintf "replica.store.%d" i in
+  let store_len = 7168 (* 64 slots x 112 bytes *) in
+  let member node =
+    {
+      node;
+      name = "member";
+      body =
+        List.concat_map
+          (fun peer ->
+            if peer = node then []
+            else
+              [
+                (* anti-entropy: read the peer's whole table, push
+                   fresher slots back under the campaign policy. *)
+                read ~seg:(store peer) ~off:(c 0) ~len:(c store_len);
+                write ~seg:(store peer) ~off:(v "slot" * c 112) ~len:(c 112) ();
+                fence (store peer);
+              ])
+          [ 0; 1; 2 ];
+    }
+  in
+  {
+    name = "replica";
+    manifest =
+      List.init 3 (fun i -> seg ~exporter:i ~len:store_len (store i));
+    nodes =
+      List.map
+        (fun n ->
+          let m = member n in
+          {
+            m with
+            body = [ for_ "slot" ~lo:0 ~hi:63 m.body ];
+          })
+        [ 0; 1; 2 ];
+  }
+
+let campaign_crash_restart =
+  {
+    name = "crash_restart";
+    manifest = [ seg ~exporter:1 ~len:4096 "store" ];
+    nodes =
+      [
+        {
+          node = 0;
+          name = "client";
+          body =
+            [
+              write ~seg:"store" ~off:(c 0) ~len:(c 24) ();
+              fence "store";
+              read ~seg:"store" ~off:(c 0) ~len:(c 24);
+            ];
+        };
+      ];
+  }
+
+let campaigns =
+  [
+    campaign_quickstart;
+    campaign_name_service;
+    campaign_producer_consumer;
+    campaign_replica;
+    campaign_crash_restart;
+  ]
+
+let find list name = List.find_opt (fun (p : Program.t) -> p.name = name) list
+
+let scenario name = find scenarios name
+let campaign name = find campaigns name

@@ -1,0 +1,24 @@
+(** The catalog of declared access programs: one {!Program.t} per
+    analysis scenario ({!Analysis.Scenarios} shapes, including the
+    seeded-bug workloads) and per recovery-campaign workload
+    ({!Faults.Campaign} shapes).
+
+    Each program declares the segments, offsets, extents, value ranges
+    and retry disciplines its workload is supposed to use.  The static
+    verifier checks the declarations at map time; the @protocheck
+    cross-validation holds them against the dynamic checkers in both
+    directions (seeded static findings confirmed by exploration
+    certificates, campaign programs statically clean). *)
+
+val scenarios : Program.t list
+(** Programs for every {!Analysis.Scenarios} workload plus
+    [frame_overrun], in scenario order. *)
+
+val campaigns : Program.t list
+(** Programs for the five {!Faults.Campaign} workloads.  Policied
+    writes verify by read-back and are declared write-then-fence;
+    policied CAS wrappers re-read the authoritative word and are
+    declared [verified]. *)
+
+val scenario : string -> Program.t option
+val campaign : string -> Program.t option

@@ -55,4 +55,22 @@ for m in span ctx trace export registry timeseries slo profile; do
   [ -f "lib/obs/$m.mli" ] || fail "telemetry module lib/obs/$m.mli is missing"
 done
 
-echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact"
+# 6. The static verifier's module surface is complete: the abstract
+# interpreter (verify), its interval domain, the finding vocabulary
+# and the pipelining classifier are each load-bearing for the
+# @protocheck gate — losing one silently narrows what the gate checks.
+for m in interval finding verify pipesafe; do
+  [ -f "lib/analysis/static/$m.mli" ] ||
+    fail "static verifier module lib/analysis/static/$m.mli is missing"
+done
+
+# 7. Every CLI speaks the common reporting contract: a --json mode
+# (self-validated, schema-versioned objects) and a --ci mode (assert
+# expectations, nonzero exit on violation).  Grep is crude but catches
+# the real failure mode — a new tool added without either flag.
+for b in $(find bin -name '*.ml'); do
+  grep -q '"json"' "$b" || fail "$b has no --json flag"
+  grep -q '"ci"' "$b" || fail "$b has no --ci flag"
+done
+
+echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact, static verifier surface complete, $(find bin -name '*.ml' | wc -l) CLIs all speak --json/--ci"

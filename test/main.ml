@@ -18,6 +18,7 @@ let () =
       ("stress", Test_stress.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("static", Test_static.suite);
       ("explore", Test_explore.suite);
       ("linearize", Test_linearize.suite);
       ("obs", Test_obs.suite);
