@@ -11,7 +11,7 @@
 
    In --ci mode the catalog must match expectations exactly: each
    seeded-bug program yields precisely its expected rule(s), every
-   other scenario, campaign and bench program is statically clean
+   other scenario, campaign, bench and shard program is statically clean
    (zero false positives), the pipelining verdicts match, and the two
    headline static findings that FIFO runs pass — the frame_overrun
    interval overrun and the cas_double_apply reply-trusting reissue —
@@ -41,6 +41,9 @@ let catalog () =
       List.map
         (fun p -> { kind = "bench"; program = p })
         Experiments.Pipeline_bench.access_programs;
+      List.map
+        (fun p -> { kind = "shard"; program = p })
+        Workload.Programs.shard_programs;
     ]
 
 (* The seeded-bug programs and the exact rule(s) each must trip. *)
@@ -49,10 +52,12 @@ let expected_rules = function
   | "scenario", "cas_missing_release" -> [ "static-lock-leak" ]
   | "scenario", "cas_double_apply" -> [ "static-cas-reissue" ]
   | "scenario", "frame_overrun" -> [ "static-bounds" ]
+  | "shard", "shard_map_publish_unfenced" -> [ "static-unfenced-publish" ]
   | _ -> []
 
 let expected_ordered = function
   | "scenario", ("producer_consumer" | "file_service_nofence") -> true
+  | "shard", "shard_map_publish_unfenced" -> true
   | _ -> false
 
 let analyze e =

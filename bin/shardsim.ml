@@ -1,0 +1,103 @@
+(* shardsim — the scale-out campaign: sharded name service vs a single
+   registry on a Clos fabric, at equal Zipf-keyed load.
+
+     dune exec bin/shardsim.exe --                    # full 128-node campaign
+     dune exec bin/shardsim.exe -- --smoke            # golden-file config
+     dune exec bin/shardsim.exe -- --json             # machine-readable
+     dune exec bin/shardsim.exe -- --ci               # gates, exit 1 on breach
+     dune exec bin/shardsim.exe -- --out BENCH_PR9.json
+
+   Gates (--ci): sharded p99 lookup latency below the single-registry
+   baseline, zero switch drops at the gated operating point, a
+   mid-campaign rebalance that converges, and no lost or stale-served
+   registrations on either leg. *)
+
+open Cmdliner
+
+let main smoke spines leaves hosts_per_leaf shard_hosts clients names lookups
+    zipf seed json ci out =
+  let result =
+    if smoke then Experiments.Shard_bench.smoke ~seed ()
+    else
+      Experiments.Shard_bench.run ~spines ~leaves ~hosts_per_leaf ~shard_hosts
+        ~clients ~names ~lookups_per_client:lookups ~zipf ~seed ()
+  in
+  let failures = Experiments.Shard_bench.check result in
+  let text =
+    if json then Experiments.Shard_bench.to_json result
+    else Experiments.Shard_bench.render result
+  in
+  print_string text;
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Experiments.Shard_bench.to_json result);
+      close_out oc;
+      Printf.eprintf "shardsim: wrote %s\n" path);
+  if ci && failures <> [] then begin
+    List.iter (Printf.eprintf "   GATE FAILED: %s\n") failures;
+    exit 1
+  end
+
+let smoke =
+  let doc = "Run the small golden-file configuration (12-node Clos)." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let spines =
+  let doc = "Spine switches in the Clos fabric." in
+  Arg.(value & opt int 4 & info [ "spines" ] ~docv:"N" ~doc)
+
+let leaves =
+  let doc = "Leaf switches in the Clos fabric." in
+  Arg.(value & opt int 8 & info [ "leaves" ] ~docv:"N" ~doc)
+
+let hosts_per_leaf =
+  let doc = "Hosts per leaf (fabric size = leaves * hosts-per-leaf)." in
+  Arg.(value & opt int 16 & info [ "hosts-per-leaf" ] ~docv:"N" ~doc)
+
+let shard_hosts =
+  let doc = "Registry shard hosts in the sharded leg." in
+  Arg.(value & opt int 8 & info [ "shard-hosts" ] ~docv:"N" ~doc)
+
+let clients =
+  let doc = "Concurrent lookup clients." in
+  Arg.(value & opt int 48 & info [ "clients" ] ~docv:"N" ~doc)
+
+let names =
+  let doc = "Registered service names." in
+  Arg.(value & opt int 256 & info [ "names" ] ~docv:"N" ~doc)
+
+let lookups =
+  let doc = "Lookups per client (half before the rebalance, half after)." in
+  Arg.(value & opt int 16 & info [ "lookups" ] ~docv:"N" ~doc)
+
+let zipf =
+  let doc = "Zipf exponent of the lookup key mix." in
+  Arg.(value & opt float 1.5 & info [ "zipf" ] ~docv:"S" ~doc)
+
+let seed =
+  let doc = "PRNG seed for the key mix and think times." in
+  Arg.(value & opt int 9 & info [ "seed" ] ~docv:"N" ~doc)
+
+let json =
+  let doc = "Emit the schema-versioned JSON report on stdout." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let ci =
+  let doc = "Fail (exit 1) when any latency/drop/convergence gate breaks." in
+  Arg.(value & flag & info [ "ci" ] ~doc)
+
+let out =
+  let doc = "Also write the JSON report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "scale-out sharded name service campaign over a Clos fabric" in
+  let info = Cmd.info "shardsim" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ smoke $ spines $ leaves $ hosts_per_leaf $ shard_hosts
+      $ clients $ names $ lookups $ zipf $ seed $ json $ ci $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,32 +1,44 @@
-(* An output-queued ATM switch for star topologies.
+(* An output-queued ATM switch.
 
-   Each port has an uplink (node to switch) and a downlink (switch to
-   node).  A frame arriving on an uplink is forwarded to the destination
-   port's downlink after a fixed switching latency; contention appears as
-   queueing on the shared downlink.
+   Each attached host port has an uplink (node to switch) and a downlink
+   (switch to node).  A frame arriving on any input is forwarded to the
+   destination's downlink — or, in a multi-switch fabric, onto the trunk
+   the switch's route table names for that destination — after a fixed
+   switching latency; contention appears as queueing on the shared
+   output link.
 
-   A frame addressed to a port that was never attached (or whose node
-   has been cut out of the fabric) is dropped and counted, not fatal: a
-   crashed or partitioned peer must not abort the whole simulation. *)
+   A frame addressed to a destination that was never attached and has no
+   route (or whose node has been cut out of the fabric) is dropped and
+   counted, not fatal: a crashed or partitioned peer must not abort the
+   whole simulation. *)
 
 type t = {
   engine : Sim.Engine.t;
   config : Config.t;
+  name : string;
   downlinks : (int, Link.t) Hashtbl.t;
-  mutable uplinks : (int * Link.t) list;
+  uplinks : (int, Link.t) Hashtbl.t;
+  routes : (int, Link.t) Hashtbl.t;
+  (* outgoing inter-switch trunks, in creation order (kept reversed) *)
+  mutable trunks : Link.t list;
   mutable frames_switched : int;
   mutable drops : int;
 }
 
-let create engine config =
+let create ?(name = "switch") engine config =
   {
     engine;
     config;
+    name;
     downlinks = Hashtbl.create 8;
-    uplinks = [];
+    uplinks = Hashtbl.create 8;
+    routes = Hashtbl.create 8;
+    trunks = [];
     frames_switched = 0;
     drops = 0;
   }
+
+let name t = t.name
 
 let attach_port t nic =
   let addr = Nic.addr nic in
@@ -40,15 +52,20 @@ let attach_port t nic =
 
 let forward t frame =
   let dst = Addr.to_int (Frame.dst frame) in
-  match Hashtbl.find_opt t.downlinks dst with
+  let out =
+    match Hashtbl.find_opt t.downlinks dst with
+    | Some _ as hit -> hit
+    | None -> Hashtbl.find_opt t.routes dst
+  in
+  match out with
   | None -> t.drops <- t.drops + 1
-  | Some down ->
+  | Some link ->
       t.frames_switched <- t.frames_switched + 1;
       let now = Sim.Engine.now t.engine in
-      Obs.Trace.link_hop (Frame.ctx frame) ~name:"switch" ~start:now
+      Obs.Trace.link_hop (Frame.ctx frame) ~name:t.name ~start:now
         ~finish:(Sim.Time.add now t.config.Config.switch_latency);
       Sim.Engine.schedule ~after:t.config.Config.switch_latency t.engine
-        (fun () -> Link.send down frame)
+        (fun () -> Link.send link frame)
 
 let uplink_for t nic_addr =
   let up =
@@ -57,29 +74,43 @@ let uplink_for t nic_addr =
       t.engine t.config
       ~deliver:(fun frame -> forward t frame)
   in
-  t.uplinks <- (Addr.to_int nic_addr, up) :: t.uplinks;
+  Hashtbl.replace t.uplinks (Addr.to_int nic_addr) up;
   up
+
+let trunk_to t peer =
+  let link =
+    Link.create
+      ~name:(Printf.sprintf "trunk:%s->%s" t.name peer.name)
+      t.engine t.config
+      ~deliver:(fun frame -> forward peer frame)
+  in
+  t.trunks <- link :: t.trunks;
+  link
+
+let add_route t ~dst link = Hashtbl.replace t.routes dst link
 
 let frames_switched t = t.frames_switched
 let drops t = t.drops
 
-(* Instantaneous backlog across every downlink: where output-queued
-   contention shows up, and what the telemetry sampler gauges. *)
+(* Instantaneous backlog across every output this switch drives — host
+   downlinks and outgoing trunks: where output-queued contention shows
+   up, and what the telemetry sampler gauges. *)
 let queue_depth t =
   Hashtbl.fold (fun _ down acc -> acc + Link.queue_depth down) t.downlinks 0
+  + List.fold_left (fun acc trunk -> acc + Link.queue_depth trunk) 0 t.trunks
 
-(* Fabric edges in deterministic (port-sorted) order, for the fault
-   plane: uplink i -> switch is [(Some i, None)], downlink switch -> j
-   is [(None, Some j)]. *)
+(* Fabric edges in deterministic (port-sorted, then trunk-creation)
+   order, for the fault plane: uplink i -> switch is [(Some i, None)],
+   downlink switch -> j is [(None, Some j)], an inter-switch trunk is
+   [(None, None)]. *)
 let links t =
   let by_port (a, _) (b, _) = compare (a : int) b in
-  let ups =
-    List.sort by_port t.uplinks
-    |> List.map (fun (i, l) -> (Some i, None, l))
+  let sorted table =
+    Hashtbl.fold (fun i l acc -> (i, l) :: acc) table [] |> List.sort by_port
   in
+  let ups = sorted t.uplinks |> List.map (fun (i, l) -> (Some i, None, l)) in
   let downs =
-    Hashtbl.fold (fun j l acc -> (j, l) :: acc) t.downlinks []
-    |> List.sort by_port
-    |> List.map (fun (j, l) -> (None, Some j, l))
+    sorted t.downlinks |> List.map (fun (j, l) -> (None, Some j, l))
   in
-  ups @ downs
+  let trunks = List.rev_map (fun l -> (None, None, l)) t.trunks in
+  ups @ downs @ trunks

@@ -19,6 +19,10 @@ val node : t -> int -> Node.t
 val nodes : t -> Node.t list
 val size : t -> int
 
+val node_of_addr : t -> Atm.Addr.t -> Node.t option
+(** Constant-time (hash-indexed) lookup of the node owning a network
+    address — the fabric-scale replacement for scanning {!nodes}. *)
+
 val run : t -> (unit -> 'a) -> 'a
 (** Run a body as a process and drive the simulation to quiescence
     (see {!Sim.Proc.run}). *)

@@ -70,6 +70,21 @@ let wire_gauges ts testbed ~rmems plane =
       fgauge ts "switch.depth" (fun () -> Atm.Switch.queue_depth switch);
       fgauge ts "switch.drops" (fun () -> Atm.Switch.drops switch))
     (Atm.Network.switch net);
+  (* Per-switch gauges for multi-switch fabrics, plus always-present
+     fabric aggregates so one SLO spec line covers every topology (a
+     mesh reads 0 — the clean gate an author means, not a missing
+     source). *)
+  let switches = Atm.Network.switches net in
+  List.iter
+    (fun switch ->
+      let prefix = "switch." ^ Atm.Switch.name switch in
+      fgauge ts (prefix ^ ".depth") (fun () -> Atm.Switch.queue_depth switch);
+      fgauge ts (prefix ^ ".drops") (fun () -> Atm.Switch.drops switch))
+    switches;
+  fgauge ts "fabric.switch_depth" (fun () ->
+      List.fold_left (fun acc s -> acc + Atm.Switch.queue_depth s) 0 switches);
+  fgauge ts "fabric.switch_drops" (fun () ->
+      List.fold_left (fun acc s -> acc + Atm.Switch.drops s) 0 switches);
   List.iter
     (fun node ->
       let nic = Cluster.Node.nic node in

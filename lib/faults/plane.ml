@@ -81,7 +81,11 @@ let install t root (_, _, link) =
   t.installed <- link :: t.installed
 
 let schedule_crashes t testbed ~rmems ~preserve ~on_restart =
-  let rmem_of n = List.assoc_opt n rmems in
+  (* Hash-indexed: crash plans on fabric-scale testbeds would otherwise
+     rescan the endpoint list per scheduled event. *)
+  let by_node = Hashtbl.create (2 * List.length rmems + 1) in
+  List.iter (fun (n, rmem) -> Hashtbl.replace by_node n rmem) rmems;
+  let rmem_of n = Hashtbl.find_opt by_node n in
   let at time thunk =
     (* A process, not a bare event: restart re-exports segments, which
        charges CPU and must run in process context. *)

@@ -115,14 +115,15 @@ let set_pipeline t pipeline = t.pipeline <- pipeline
 (* ------------------------------------------------------------------ *)
 (* Lazy import of other clerks' well-known segments.                   *)
 
-let well_known t table ~remote ~segment_id ~generation ~size =
+let well_known ?(rights = Rmem.Rights.make ~read:true ~write:true ()) t table
+    ~remote ~segment_id ~generation ~size =
   let key = Atm.Addr.to_int remote in
   match Hashtbl.find_opt table key with
   | Some desc -> desc
   | None ->
       let desc =
         Rmem.Remote_memory.import t.rmem ~remote ~segment_id ~generation ~size
-          ~rights:(Rmem.Rights.make ~read:true ~write:true ()) ()
+          ~rights ()
       in
       Hashtbl.replace table key desc;
       desc
@@ -140,7 +141,10 @@ let request_descriptor t ~remote =
     ~size:(Bootstrap.max_nodes * Bootstrap.request_slot_bytes)
 
 let scratch_descriptor t ~remote =
-  well_known t t.remote_scratches ~remote
+  (* The exporter grants write-only; claiming read locally would make
+     policied writes attempt a verify read-back the remote rejects.
+     Loss of an unverifiable ack heals by the requester's reissue. *)
+  well_known ~rights:Rmem.Rights.write_only t t.remote_scratches ~remote
     ~segment_id:Bootstrap.scratch_segment_id
     ~generation:Bootstrap.scratch_generation
     ~size:(Bootstrap.scratch_slots * Bootstrap.scratch_slot_bytes)
@@ -270,30 +274,24 @@ let by_probing_windowed t pipeline desc ~name limit =
   in
   batch 0
 
-(* The control-transfer fallback: write the lookup arguments (with
-   notification) into the exporter clerk's request segment and spin on a
-   local scratch slot until the exporter's reply write lands. *)
-let lookup_by_control_transfer t ~remote name =
-  Metrics.Account.add t.stats ~category:"control-transfer lookups" 1.;
+(* Scratch-slot rendezvous, shared by this clerk's control-transfer
+   lookup and any other control-plane exchange (the sharding layer's
+   registration path) whose reply is a remote WRITE into our scratch
+   segment: allocate a slot (arming its flag word to pending), then spin
+   on the flag until the reply lands or the deadline passes. *)
+let alloc_scratch_slot t =
   let slot = t.next_scratch_slot in
   t.next_scratch_slot <- (slot + 1) mod Bootstrap.scratch_slots;
-  let reply_off = slot * Bootstrap.scratch_slot_bytes in
   Cluster.Address_space.write_word t.space
-    ~addr:(Bootstrap.scratch_base + reply_off)
+    ~addr:(Bootstrap.scratch_base + (slot * Bootstrap.scratch_slot_bytes))
     Bootstrap.reply_pending;
-  let request = Bytes.make 40 '\000' in
-  Bytes.blit_string name 0 request 0 (String.length name);
-  Bytes.set_int32_le request 32
-    (Int32.of_int (Atm.Addr.to_int (Cluster.Node.addr t.node)));
-  Bytes.set_int32_le request 36 (Int32.of_int reply_off);
-  let req_desc = request_descriptor t ~remote in
-  let my_slot =
-    Atm.Addr.to_int (Cluster.Node.addr t.node) * Bootstrap.request_slot_bytes
-  in
-  Rmem.Remote_memory.write t.rmem req_desc ~off:my_slot ~notify:true request;
+  slot
+
+let await_scratch_reply ?(timeout = Sim.Time.ms 50) t ~slot =
+  let reply_off = slot * Bootstrap.scratch_slot_bytes in
   (* User-level spin wait on the flag word. *)
   let deadline =
-    Sim.Time.add (Sim.Engine.now (Cluster.Node.engine t.node)) (Sim.Time.ms 50)
+    Sim.Time.add (Sim.Engine.now (Cluster.Node.engine t.node)) timeout
   in
   let rec spin () =
     let flag =
@@ -314,6 +312,25 @@ let lookup_by_control_transfer t ~remote name =
     else None
   in
   spin ()
+
+(* The control-transfer fallback: write the lookup arguments (with
+   notification) into the exporter clerk's request segment and spin on a
+   local scratch slot until the exporter's reply write lands. *)
+let lookup_by_control_transfer t ~remote name =
+  Metrics.Account.add t.stats ~category:"control-transfer lookups" 1.;
+  let slot = alloc_scratch_slot t in
+  let reply_off = slot * Bootstrap.scratch_slot_bytes in
+  let request = Bytes.make 40 '\000' in
+  Bytes.blit_string name 0 request 0 (String.length name);
+  Bytes.set_int32_le request 32
+    (Int32.of_int (Atm.Addr.to_int (Cluster.Node.addr t.node)));
+  Bytes.set_int32_le request 36 (Int32.of_int reply_off);
+  let req_desc = request_descriptor t ~remote in
+  let my_slot =
+    Atm.Addr.to_int (Cluster.Node.addr t.node) * Bootstrap.request_slot_bytes
+  in
+  Rmem.Remote_memory.write t.rmem req_desc ~off:my_slot ~notify:true request;
+  await_scratch_reply t ~slot
 
 (* Exporter-side handler for control-transfer lookups, attached to the
    request segment's notification descriptor as a signal handler. *)

@@ -63,6 +63,28 @@ val serve_lookup_requests : t -> unit
 (** Install the exporter-side signal handler answering control-transfer
     lookups on this clerk's request segment. *)
 
+(** {1 Scratch-slot rendezvous}
+
+    The clerk's well-known scratch segment is the reply channel for any
+    control-plane exchange answered by a remote WRITE — its own
+    control-transfer lookups, and the sharding layer's registrations. *)
+
+val alloc_scratch_slot : t -> int
+(** Claim the next scratch slot (round-robin), arming its flag word to
+    pending; the returned index times {!Bootstrap.scratch_slot_bytes} is
+    the reply offset a request should advertise. *)
+
+val await_scratch_reply : ?timeout:Sim.Time.t -> t -> slot:int -> Record.t option
+(** Spin (5 us steps, default 50 ms deadline) on the slot's flag word
+    until a reply lands: [Some record] on a found reply carrying a
+    decodable record, [None] on an absent/refused reply. Raises
+    {!Rmem.Status.Timeout} at the deadline. *)
+
+val scratch_descriptor : t -> remote:Atm.Addr.t -> Rmem.Descriptor.t
+(** Import (lazily, cached) the well-known scratch segment of [remote]'s
+    clerk — where a server writes its reply for {!await_scratch_reply}
+    to observe. *)
+
 (** {1 Cache refresh} *)
 
 val refresh_once : t -> unit

@@ -12,6 +12,16 @@ let name_bytes = 32
 let flag_invalid = 0l
 let flag_valid = 1l
 
+let flag_moved = 2l
+(* The sharding layer's tombstone: the record migrated to another shard
+   segment.  Unlike [flag_invalid] — which ends every probe chain — a
+   moved slot is skipped, so tombstoning one name cannot orphan
+   colliding names that probed past it, and a remote reader that meets
+   one knows its shard map may be stale. *)
+
+let flag_of_slot slot =
+  if Bytes.length slot < 4 then flag_invalid else Bytes.get_int32_le slot 0
+
 type t = {
   name : string;
   node : int;  (* exporter's network address *)
@@ -78,3 +88,60 @@ let decode slot =
   end
 
 let invalid_slot () = Bytes.make slot_bytes '\000'
+
+(* A forwarding tombstone: the 60 bytes a moved slot no longer needs
+   carry the destination shard's coordinates, its bucket range, and the
+   epoch that published the migration.  A reader that trips on one can
+   patch its cached shard map locally and retry against the new owner
+   directly — no round trip to the map host, so an epoch change never
+   convoys the healing clients behind one segment.
+
+   Layout: [flag=moved 4][epoch 4][lo 4][hi 4][node 4][seg 4][gen 4]
+   [slots 4] = 32 bytes, rest zero.  A bare 4-byte tombstone (epoch 0)
+   decodes to [None] and the reader falls back to a map refetch. *)
+
+type forward = {
+  fwd_epoch : int;
+  fwd_lo : int;
+  fwd_hi : int;  (* inclusive bucket range of the destination shard *)
+  fwd_node : int;
+  fwd_segment_id : int;
+  fwd_generation : Rmem.Generation.t;
+  fwd_slots : int;
+}
+
+let encode_forward f =
+  let b = Bytes.make slot_bytes '\000' in
+  Bytes.set_int32_le b 0 flag_moved;
+  Bytes.set_int32_le b 4 (Int32.of_int f.fwd_epoch);
+  Bytes.set_int32_le b 8 (Int32.of_int f.fwd_lo);
+  Bytes.set_int32_le b 12 (Int32.of_int f.fwd_hi);
+  Bytes.set_int32_le b 16 (Int32.of_int f.fwd_node);
+  Bytes.set_int32_le b 20 (Int32.of_int f.fwd_segment_id);
+  Bytes.set_int32_le b 24 (Int32.of_int (Rmem.Generation.to_int f.fwd_generation));
+  Bytes.set_int32_le b 28 (Int32.of_int f.fwd_slots);
+  b
+
+let decode_forward slot =
+  if Bytes.length slot < 32 then None
+  else if not (Int32.equal (Bytes.get_int32_le slot 0) flag_moved) then None
+  else begin
+    let field off = Int32.to_int (Bytes.get_int32_le slot off) in
+    let f =
+      {
+        fwd_epoch = field 4;
+        fwd_lo = field 8;
+        fwd_hi = field 12;
+        fwd_node = field 16;
+        fwd_segment_id = field 20;
+        fwd_generation = Rmem.Generation.of_int (field 24);
+        fwd_slots = field 28;
+      }
+    in
+    if
+      f.fwd_epoch > 0 && f.fwd_lo >= 0 && f.fwd_hi >= f.fwd_lo && f.fwd_node >= 0
+      && f.fwd_segment_id >= 0 && f.fwd_slots > 0
+      && f.fwd_slots land (f.fwd_slots - 1) = 0
+    then Some f
+    else None
+  end

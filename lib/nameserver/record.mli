@@ -18,7 +18,14 @@ val name_bytes : int
 
 val flag_invalid : int32
 val flag_valid : int32
-(** Values of the slot's leading flag word. *)
+
+val flag_moved : int32
+(** The sharding layer's tombstone: the record migrated to another shard
+    segment. Probe chains skip (rather than end at) a moved slot, and a
+    remote reader that meets one knows its shard map may be stale. *)
+
+val flag_of_slot : bytes -> int32
+(** The slot's leading flag word ([flag_invalid] on a short slot). *)
 
 val make :
   name:string ->
@@ -40,3 +47,25 @@ val decode : bytes -> t option
 
 val is_valid : bytes -> bool
 val invalid_slot : unit -> bytes
+
+type forward = {
+  fwd_epoch : int;  (** the epoch that published the migration *)
+  fwd_lo : int;
+  fwd_hi : int;  (** inclusive bucket range of the destination shard *)
+  fwd_node : int;
+  fwd_segment_id : int;
+  fwd_generation : Rmem.Generation.t;
+  fwd_slots : int;
+}
+(** A forwarding tombstone: a moved slot's spare 60 bytes carry the
+    destination shard's coordinates, so a reader that trips on one can
+    patch its cached shard map locally and retry against the new owner
+    directly — no convoy at the map host after a rebalance. *)
+
+val encode_forward : forward -> bytes
+(** A full 64-byte slot image, flag word [flag_moved]. *)
+
+val decode_forward : bytes -> forward option
+(** [None] unless the slot is a well-formed forwarding tombstone — in
+    particular a bare flag-only tombstone (epoch 0) yields [None] and
+    the reader falls back to a map refetch. *)

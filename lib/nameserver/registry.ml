@@ -34,22 +34,30 @@ let read_slot t index =
 
 (* Insert: find the first invalid slot along the probe sequence (or a
    valid slot already holding this name, which is overwritten — re-export
-   replaces).  Write the body first, flag last. *)
+   replaces).  A moved tombstone is reusable but does not end the chain,
+   so the scan must keep going in case the name lives further on; the
+   first tombstone seen is remembered and used only if the chain ends
+   without finding the name.  Write the body first, flag last. *)
 let insert t record =
   let name = record.Record.name in
-  let rec probe i =
-    if i >= t.slots then Error `Full
+  let rec probe i reuse =
+    if i >= t.slots then
+      match reuse with None -> Error `Full | Some index -> Ok index
     else begin
       let index = slot_index t name i in
       let slot = read_slot t index in
-      match Record.decode slot with
-      | None -> Ok index
-      | Some existing ->
-          if String.equal existing.Record.name name then Ok index
-          else probe (i + 1)
+      let flag = Record.flag_of_slot slot in
+      if Int32.equal flag Record.flag_invalid then
+        Ok (match reuse with Some r -> r | None -> index)
+      else if Int32.equal flag Record.flag_moved then
+        probe (i + 1) (match reuse with None -> Some index | some -> some)
+      else
+        match Record.decode slot with
+        | Some existing when String.equal existing.Record.name name -> Ok index
+        | Some _ | None -> probe (i + 1) reuse
     end
   in
-  match probe 0 with
+  match probe 0 None with
   | Error `Full -> Error `Full
   | Ok index ->
       let slot = Record.encode record in
@@ -75,11 +83,14 @@ let lookup t name =
     else begin
       let index = slot_index t name i in
       let slot = read_slot t index in
-      match Record.decode slot with
-      | None -> None (* an invalid slot ends the probe chain *)
-      | Some record ->
-          if String.equal record.Record.name name then Some (record, i)
-          else probe (i + 1)
+      if Int32.equal (Record.flag_of_slot slot) Record.flag_moved then
+        probe (i + 1) (* a tombstone is skipped, not chain-ending *)
+      else
+        match Record.decode slot with
+        | None -> None (* an invalid slot ends the probe chain *)
+        | Some record ->
+            if String.equal record.Record.name name then Some (record, i)
+            else probe (i + 1)
     end
   in
   probe 0
@@ -106,3 +117,25 @@ let delete t name =
         Record.flag_invalid;
       t.live <- t.live - 1;
       true
+
+(* The sharding layer's deletion: mark the slot moved rather than
+   invalid, so probe chains running past it stay intact and remote
+   readers learn the record migrated.  Returns the slot index so the
+   caller can mirror the single flag word remotely. *)
+let tombstone t name =
+  match lookup t name with
+  | None -> None
+  | Some (_, i) ->
+      let index = slot_index t name i in
+      Cluster.Address_space.write_word t.space
+        ~addr:(t.base + slot_offset t index)
+        Record.flag_moved;
+      t.live <- t.live - 1;
+      Some index
+
+let iter t f =
+  for index = 0 to t.slots - 1 do
+    match Record.decode (read_slot t index) with
+    | None -> ()
+    | Some record -> f index record
+  done

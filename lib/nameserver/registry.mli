@@ -36,6 +36,16 @@ val lookup : t -> string -> (Record.t * int) option
 
 val delete : t -> string -> bool
 
+val tombstone : t -> string -> int option
+(** Mark a name's slot moved ({!Record.flag_moved}) instead of invalid:
+    probe chains skip the slot (nothing is orphaned) and remote readers
+    that meet it know the record migrated to another shard. Returns the
+    slot index tombstoned so the caller can mirror the flag word
+    remotely, or [None] if the name is absent. *)
+
+val iter : t -> (int -> Record.t -> unit) -> unit
+(** Apply to every live (decodable) slot, in slot order. *)
+
 val well_formed : t -> bool
 (** Structural consistency of the serialized table: the live counter
     matches the number of decodable slots and no valid slot carries a

@@ -461,7 +461,91 @@ let campaigns =
     campaign_crash_restart;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sharded name-service programs (Names.Shard_clerk / Names.Reconciler
+   shapes).  Node 0 exports the shard map, nodes 2 and 3 export shard
+   registry segments (256 slots x 64 bytes); node 1 is the reconciler,
+   node 4 a lookup client.  The two publish variants differ by exactly
+   one fence — the one that makes the migrated records durable at the
+   destination before the map doorbell can route readers there. *)
+
+let shard_reg_len = 16384 (* 256 slots x 64 bytes *)
+
+(* A clerk lookup is pure data transfer: read the map epoch word and
+   the owning entry, then walk a bounded probe chain in the registry
+   segment the entry names.  The probe start comes out of the entry,
+   so its declared range caps the chain inside the segment. *)
+let sharded_lookup =
+  {
+    name = "sharded_lookup";
+    manifest =
+      [
+        seg ~rights:Rmem.Rights.read_only ~exporter:0 ~len:2048 "shard.map";
+        seg ~rights:Rmem.Rights.read_only ~exporter:2 ~len:shard_reg_len
+          "shard.reg.0";
+      ];
+    nodes =
+      [
+        {
+          node = 4;
+          name = "clerk";
+          body =
+            [
+              read_word ~seg:"shard.map" ~off:(c 0) ~var:"epoch" ~lo:0
+                ~hi:255;
+              read ~seg:"shard.map" ~off:(c 8) ~len:(c 40);
+              read_word ~seg:"shard.map" ~off:(c 16) ~var:"slot" ~lo:0
+                ~hi:253;
+              for_ "probe" ~lo:0 ~hi:2
+                [
+                  read ~seg:"shard.reg.0"
+                    ~off:((v "slot" + v "probe") * c 64)
+                    ~len:(c 64);
+                ];
+            ];
+        };
+      ];
+  }
+
+(* The reconciler's split publication: copy the moved records into the
+   destination registry, fence that segment so the copies are durable,
+   then publish the map body and flip the epoch word last with the
+   doorbell on it. *)
+let shard_publish_body ~fenced =
+  [
+    for_ "r" ~lo:0 ~hi:11
+      [ write ~seg:"shard.reg.1" ~off:(v "r" * c 64) ~len:(c 64) () ];
+  ]
+  @ (if fenced then [ fence "shard.reg.1" ] else [])
+  @ [
+      write ~seg:"shard.map" ~off:(c 8) ~len:(c 320) ();
+      write ~notify:true ~seg:"shard.map" ~off:(c 0) ~len:(c 8) ();
+    ]
+
+let shard_publish ~name ~fenced =
+  {
+    name;
+    manifest =
+      [
+        seg ~exporter:0 ~len:2048 "shard.map";
+        seg ~exporter:3 ~len:shard_reg_len "shard.reg.1";
+      ];
+    nodes = [ { node = 1; name = "reconciler"; body = shard_publish_body ~fenced } ];
+  }
+
+let shard_map_publish = shard_publish ~name:"shard_map_publish" ~fenced:true
+
+(* Seeded bug: the doorbell is raised while the record copies are still
+   unfenced at the destination exporter — a freshly routed reader can
+   probe slots the migration has not yet made durable. *)
+let shard_map_publish_unfenced =
+  shard_publish ~name:"shard_map_publish_unfenced" ~fenced:false
+
+let shard_programs =
+  [ sharded_lookup; shard_map_publish; shard_map_publish_unfenced ]
+
 let find list name = List.find_opt (fun (p : Program.t) -> p.name = name) list
 
 let scenario name = find scenarios name
 let campaign name = find campaigns name
+let shard name = find shard_programs name

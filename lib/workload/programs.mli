@@ -20,5 +20,15 @@ val campaigns : Program.t list
     policied CAS wrappers re-read the authoritative word and are
     declared [verified]. *)
 
+val shard_programs : Program.t list
+(** Programs for the sharded name service: [sharded_lookup] (the
+    clerk's pure-data probe chain against the registry segment the
+    cached map names), [shard_map_publish] (the reconciler's split
+    publication — record copies, destination fence, map body, epoch
+    word last with the doorbell), and [shard_map_publish_unfenced]
+    (the seeded bug: doorbell raised while the record copies are still
+    unfenced at the destination, tripping [static-unfenced-publish]). *)
+
 val scenario : string -> Program.t option
 val campaign : string -> Program.t option
+val shard : string -> Program.t option

@@ -73,4 +73,17 @@ for b in $(find bin -name '*.ml'); do
   grep -q '"ci"' "$b" || fail "$b has no --ci flag"
 done
 
-echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact, static verifier surface complete, $(find bin -name '*.ml' | wc -l) CLIs all speak --json/--ci"
+# 8. The scale-out surface is complete: the multi-switch fabric
+# (switch, network) and the sharded name service's three-module split
+# (map codec / control-plane reconciler / data-plane clerk) each carry
+# the @shardsim gate — folding the reconciler into the clerk would
+# quietly erase the control/data-plane boundary the design pins.
+for m in switch network; do
+  [ -f "lib/atm/$m.mli" ] || fail "fabric module lib/atm/$m.mli is missing"
+done
+for m in shardmap reconciler shard_clerk; do
+  [ -f "lib/nameserver/$m.mli" ] ||
+    fail "sharding module lib/nameserver/$m.mli is missing"
+done
+
+echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact, static verifier surface complete, fabric + sharding surface complete, $(find bin -name '*.ml' | wc -l) CLIs all speak --json/--ci"

@@ -24,4 +24,5 @@ let () =
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);
+      ("shard", Test_shard.suite);
     ]
