@@ -16,13 +16,18 @@
    - the fault-free recovery-campaign workloads ({!Faults.Campaign}
      with the empty plan; crash_restart is excluded — restarts tear
      down endpoints mid-history), observed through the campaign's
-     rmem probe.
+     rmem probe;
+   - the distributed data structures ({!Dds}: hashtable, queue, ABD
+     register), each driven by clients in all three structurings at
+     once, observed through the logical-operation hook.
 
    In --ci mode every FIFO history and every fault-free campaign
-   history must be linearizable, and exploring the seeded
-   cas_double_apply workload must surface a non-linearizable schedule
-   whose certificate replays to the same failure kind — the lost-reply
-   double-apply that no single-schedule checker can see. *)
+   history must be linearizable, and exploring the seeded workloads —
+   cas_double_apply (the lost-reply double-apply) and
+   dds_register_no_writeback (the ABD register whose read skips the
+   write-back phase) — must surface non-linearizable schedules whose
+   certificates replay to the same failure kind; neither bug is
+   visible to any single-schedule checker. *)
 
 open Cmdliner
 
@@ -34,11 +39,17 @@ let escape = Analysis.Report.json_escape
 let campaign_workloads =
   [ "quickstart"; "name_service"; "producer_consumer"; "replica" ]
 
-type source = Scenario | Campaign
+(* The distributed data structures ({!Dds}), each driven by clients in
+   all three structurings at once with the logical-operation hook
+   feeding the monitor. *)
+let dds_workloads = [ "dds_hashtable"; "dds_queue"; "dds_register" ]
+
+type source = Scenario | Campaign | Dds
 
 let source_to_string = function
   | Scenario -> "scenario"
   | Campaign -> "campaign"
+  | Dds -> "dds"
 
 type check = {
   workload : string;
@@ -96,6 +107,124 @@ let campaign_check ~mode name =
       (if outcome.Faults.Campaign.survived && outcome.Faults.Campaign.converged
        then ""
        else "campaign did not converge: " ^ outcome.Faults.Campaign.detail);
+  }
+
+(* ---------------- dds histories ---------------- *)
+
+(* A fresh testbed with rmem + amsg on every node and a monitor
+   subscribed to every endpoint; [body] receives the rig and the
+   logical-operation hook and must run to quiescence. *)
+let dds_rig n body =
+  let testbed = Cluster.Testbed.create ~nodes:n () in
+  let nodes = Array.init n (Cluster.Testbed.node testbed) in
+  let rmems = Array.map Rmem.Remote_memory.attach nodes in
+  let monitor = Analysis.Monitor.create (Cluster.Testbed.engine testbed) in
+  Array.iter (Analysis.Monitor.attach_rmem monitor) rmems;
+  let amsgs = Array.map Amsg.attach nodes in
+  let hook = Analysis.Monitor.dds_hook monitor in
+  Cluster.Testbed.run testbed (fun () ->
+      body ~nodes ~rmems ~amsgs ~hook);
+  monitor
+
+let dds_join ~target counter =
+  let rec join () =
+    if !counter < target then begin
+      Sim.Proc.wait (Sim.Time.ms 1);
+      join ()
+    end
+  in
+  join ()
+
+(* Three clients — one per structuring — hammer a shared key and a
+   private key of one server table. *)
+let dds_hashtable () =
+  dds_rig 4 (fun ~nodes ~rmems ~amsgs ~hook ->
+      let s = Dds.Hashtable.server ~rmem:rmems.(0) ~amsg:amsgs.(0) ~slots:64 () in
+      let done_ = ref 0 in
+      for c = 1 to 3 do
+        Cluster.Node.spawn nodes.(c) (fun () ->
+            let t =
+              Dds.Hashtable.client ~rmem:rmems.(c) ~amsg:amsgs.(c)
+                ~kind:(List.nth Dds.Kind.all (c - 1))
+                ~hook s
+            in
+            for i = 1 to 5 do
+              Dds.Hashtable.insert t ~key:9l
+                ~value:(Int32.of_int ((c * 10) + i));
+              ignore (Dds.Hashtable.lookup t 9l);
+              Dds.Hashtable.insert t ~key:(Int32.of_int (100 + c))
+                ~value:(Int32.of_int i)
+            done;
+            incr done_)
+      done;
+      dds_join ~target:3 done_)
+
+(* Two mixed-kind producers, one hybrid consumer draining everything. *)
+let dds_queue () =
+  dds_rig 4 (fun ~nodes ~rmems ~amsgs ~hook ->
+      let s = Dds.Queue.server ~rmem:rmems.(0) ~amsg:amsgs.(0) ~capacity:64 () in
+      let consumed = ref 0 in
+      for p = 1 to 2 do
+        Cluster.Node.spawn nodes.(p) (fun () ->
+            let t =
+              Dds.Queue.client ~rmem:rmems.(p) ~amsg:amsgs.(p)
+                ~kind:(if p = 1 then Dds.Kind.Dx else Dds.Kind.Rpc)
+                ~hook s
+            in
+            for i = 0 to 9 do
+              ignore (Dds.Queue.enqueue t (Int32.of_int ((p * 100) + i)))
+            done;
+            Dds.Queue.flush t)
+      done;
+      Cluster.Node.spawn nodes.(3) (fun () ->
+          let t =
+            Dds.Queue.client ~rmem:rmems.(3) ~amsg:amsgs.(3)
+              ~kind:Dds.Kind.Hybrid ~hook s
+          in
+          for _ = 1 to 20 do
+            ignore (Dds.Queue.dequeue t);
+            incr consumed
+          done);
+      dds_join ~target:20 consumed)
+
+(* Three writer/reader clients — one per structuring — over one
+   3-replica ABD register. *)
+let dds_register () =
+  dds_rig 6 (fun ~nodes ~rmems ~amsgs ~hook ->
+      let reps =
+        Array.init 3 (fun k ->
+            Dds.Register.replica ~rmem:rmems.(k) ~amsg:amsgs.(k) ())
+      in
+      let done_ = ref 0 in
+      List.iteri
+        (fun i (c, kind) ->
+          Cluster.Node.spawn nodes.(c) (fun () ->
+              let t =
+                Dds.Register.client ~rmem:rmems.(c) ~amsg:amsgs.(c) ~kind
+                  ~rank:(i + 1) ~hook reps
+              in
+              for v = 1 to 4 do
+                ignore (Dds.Register.write t (Int32.of_int ((c * 10) + v)));
+                ignore (Dds.Register.read t)
+              done;
+              incr done_))
+        [ (3, Dds.Kind.Dx); (4, Dds.Kind.Rpc); (5, Dds.Kind.Hybrid) ];
+      dds_join ~target:3 done_)
+
+let dds_check ~mode name =
+  let monitor =
+    match name with
+    | "dds_hashtable" -> dds_hashtable ()
+    | "dds_queue" -> dds_queue ()
+    | "dds_register" -> dds_register ()
+    | _ -> invalid_arg ("dds_check: " ^ name)
+  in
+  {
+    workload = name;
+    source = Dds;
+    mode;
+    verdict = Analysis.Linearize.check ~mode (Analysis.Monitor.history monitor);
+    detail = "";
   }
 
 let check_ok c =
@@ -248,21 +377,25 @@ let main workload sc json ci explore replay =
         if not (run_explore name ~json ~out) then exit 1
       end
       else begin
-        let scenarios, campaigns =
-          if workload = "all" then (Analysis.Scenarios.checked, campaign_workloads)
+        let scenarios, campaigns, dds =
+          if workload = "all" then
+            (Analysis.Scenarios.checked, campaign_workloads, dds_workloads)
           else if List.mem workload Analysis.Scenarios.checked then
-            ([ workload ], [])
-          else if List.mem workload campaign_workloads then ([], [ workload ])
+            ([ workload ], [], [])
+          else if List.mem workload campaign_workloads then ([], [ workload ], [])
+          else if List.mem workload dds_workloads then ([], [], [ workload ])
           else begin
             Printf.eprintf "unknown workload %S (have: %s, all)\n" workload
               (String.concat ", "
-                 (Analysis.Scenarios.checked @ campaign_workloads));
+                 (Analysis.Scenarios.checked @ campaign_workloads
+                @ dds_workloads));
             exit 2
           end
         in
         let checks =
           List.map (scenario_check ~mode) scenarios
           @ List.map (campaign_check ~mode) campaigns
+          @ List.map (dds_check ~mode) dds
         in
         if json then
           List.iter
@@ -271,14 +404,19 @@ let main workload sc json ci explore replay =
         else List.iter print_check checks;
         let fifo_ok = List.for_all check_ok checks in
         if ci then begin
-          (* Also require the seeded double-apply bug to be caught (and
-             its certificate to replay) when checking the full set. *)
+          (* Also require the seeded schedule bugs to be caught (and
+             their certificates to replay) when checking the full set:
+             the lost-reply double-apply, and the dds register whose
+             read skips the write-back phase. *)
           let explored_ok =
-            workload <> "all" || run_explore "cas_double_apply" ~json ~out
+            workload <> "all"
+            || List.for_all
+                 (fun name -> run_explore name ~json ~out)
+                 [ "cas_double_apply"; "dds_register_no_writeback" ]
           in
           if fifo_ok && explored_ok then
             Printf.fprintf out
-              "lincheck: all histories linearizable; seeded bug caught\n"
+              "lincheck: all histories linearizable; seeded bugs caught\n"
           else begin
             Printf.fprintf out "lincheck: expectation mismatch\n";
             exit 1
@@ -289,7 +427,8 @@ let main workload sc json ci explore replay =
 
 let workload =
   let doc =
-    "Workload to check (a scenario, a campaign workload, or $(b,all))."
+    "Workload to check (a scenario, a campaign workload, a dds \
+     workload, or $(b,all))."
   in
   Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
 
@@ -309,9 +448,10 @@ let json =
 
 let ci =
   let doc =
-    "Assert expectations: every FIFO and fault-free campaign history is \
-     linearizable, and exploration catches the seeded cas_double_apply \
-     bug with a replayable certificate."
+    "Assert expectations: every FIFO, fault-free campaign and dds \
+     history is linearizable, and exploration catches the seeded \
+     cas_double_apply and dds_register_no_writeback bugs with \
+     replayable certificates."
   in
   Arg.(value & flag & info [ "ci" ] ~doc)
 

@@ -44,6 +44,9 @@ let catalog () =
       List.map
         (fun p -> { kind = "shard"; program = p })
         Workload.Programs.shard_programs;
+      List.map
+        (fun p -> { kind = "dds"; program = p })
+        Workload.Programs.dds_programs;
     ]
 
 (* The seeded-bug programs and the exact rule(s) each must trip. *)

@@ -521,6 +521,23 @@ let logical_commit t ~agent_name ~cell ~op =
 let declare_sync_word t ~key ~off =
   Hashtbl.replace t.declared_sync (key, off) ()
 
+(* Adapter for the distributed data structures' instrumentation hooks:
+   every client operation becomes one logical event on the structure's
+   designated cell, with the physical traffic suppressed inside the
+   scope. *)
+let dds_hook t : Dds.Hook.t = function
+  | Dds.Hook.Begin { node } ->
+      logical_begin t ~agent_name:(Printf.sprintf "node%d" node)
+  | Dds.Hook.Commit { node; home; seg; gen; word; op } ->
+      let cell = { History.key = { Access.home; seg; gen }; word } in
+      let op =
+        match op with
+        | Dds.Hook.Read v -> History.Read (History.Known v)
+        | Dds.Hook.Write v -> History.Write (History.Known v)
+        | Dds.Hook.Sync -> History.Read History.Unknown
+      in
+      logical_commit t ~agent_name:(Printf.sprintf "node%d" node) ~cell ~op
+
 let accesses t = List.rev t.accesses
 let access_count t = t.next_access_id
 

@@ -61,6 +61,11 @@ val logical_commit :
   t -> agent_name:string -> cell:History.cell -> op:History.operation -> unit
 (** Close the scope with the wrapper's client-facing result. *)
 
+val dds_hook : t -> Dds.Hook.t
+(** Adapter for {!Dds.Hook}: [Begin] opens a logical-operation scope
+    for agent ["node<addr>"], [Commit] closes it with the operation's
+    designated cell and result. *)
+
 val declare_sync_word : t -> key:Access.seg_key -> off:int -> unit
 (** Mark the aligned word at [off] as a synchronization word: races
     confined to it are exempt (in addition to the inferred CAS-only

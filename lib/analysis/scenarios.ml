@@ -31,10 +31,17 @@ let all =
     "cas_missing_release";
     "cas_double_apply";
     "frame_overrun";
+    "dds_register_no_writeback";
   ]
 
 let seeded_bugs =
-  [ "torn_record"; "cas_missing_release"; "cas_double_apply"; "frame_overrun" ]
+  [
+    "torn_record";
+    "cas_missing_release";
+    "cas_double_apply";
+    "frame_overrun";
+    "dds_register_no_writeback";
+  ]
 
 let checked =
   [
@@ -46,6 +53,7 @@ let checked =
     "cas_missing_release";
     "cas_double_apply";
     "frame_overrun";
+    "dds_register_no_writeback";
   ]
 
 let expectation = function
@@ -57,7 +65,7 @@ let expectation = function
      that is the point; only the model checker's exploration exposes
      them. *)
   | "torn_record" | "cas_missing_release" | "cas_double_apply"
-  | "frame_overrun" ->
+  | "frame_overrun" | "dds_register_no_writeback" ->
       { races = false; findings = false }
   | name -> invalid_arg ("Scenarios.expectation: " ^ name)
 
@@ -729,6 +737,155 @@ let frame_overrun () =
       Sim.Ivar.read forwarded;
       Sim.Ivar.read done_)
 
+(* dds_register_no_writeback: the dds suite's ABD register with the
+   read's write-back phase disabled ([~write_back:false]) — the seeded
+   protocol bug of PR 10.  A first writer (a real [Dds.Register]
+   client) installs 10 on every replica; then a second writer pushes
+   42 through majority {0,1}, claim-CAS plus atomic cell deposit per
+   replica — the store phase is spelled out with raw remote-memory
+   ops so the coordinator can hold it between replicas, exactly the
+   in-flight partial write ABD is defensive about.  Two
+   write-back-free reader clients, each restricted to a different
+   majority ({0,2}, then {1,2}), read in sequence from one node: R1
+   adopts 42 from replica 0 and — the bug — does not write it back to
+   replica 2.  The coordinator then releases W2's replica-1 claim and
+   R2's collect at the same instant.  Under FIFO the claim is served
+   first, R2 retries against the busy cell and adopts 42 — clean, and
+   the race detector sees nothing because both replica-cell words are
+   declared sync words (quorum-replicated copies are the protocol,
+   not a race).  Exploration flips the order: R2 decodes the stale
+   cell on both of its replicas and returns 10 after R1 already
+   returned 42 — a committed-write history with no linearization, the
+   new/old inversion the write-back phase exists to prevent. *)
+
+let reg_read_align = Sim.Time.ns 550
+
+let dds_register_no_writeback () =
+  let testbed, rmems, monitor = setup ~nodes:5 in
+  let engine = Cluster.Testbed.engine testbed in
+  let node i = Cluster.Testbed.node testbed i in
+  let amsgs = Array.init 5 (fun i -> Amsg.attach (node i)) in
+  wrap ~testbed ~monitor (fun () ->
+      let hook = Monitor.dds_hook monitor in
+      let reps =
+        Array.init 3 (fun k ->
+            Dds.Register.replica ~rmem:rmems.(k) ~amsg:amsgs.(k) ())
+      in
+      Array.iter
+        (fun r ->
+          let home, seg, gen = Dds.Register.replica_key r in
+          let key = { Access.home; seg; gen } in
+          Monitor.declare_sync_word monitor ~key ~off:0;
+          Monitor.declare_sync_word monitor ~key ~off:4)
+        reps;
+      let spaces = Array.map Dds.Register.replica_space reps in
+      (* The register's designated history cell: replica 0's value
+         word, the same one [Dds.Register]'s own hook commits to. *)
+      let cell =
+        let home, seg, gen = Dds.Register.replica_key reps.(0) in
+        { History.key = { Access.home; seg; gen }; word = 4 }
+      in
+      let w1_done = Sim.Ivar.create ~name:"w1 done" () in
+      let go_w2 = Sim.Ivar.create ~name:"go w2" () in
+      let go_r1 = Sim.Ivar.create ~name:"go r1" () in
+      let r1_done = Sim.Ivar.create ~name:"r1 done" () in
+      let go_claim1 = Sim.Ivar.create ~name:"go claim rep1" () in
+      let go_r2 = Sim.Ivar.create ~name:"go r2" () in
+      let done_ = Sim.Ivar.create ~name:"reg done" () in
+      let finished = ref 0 in
+      let finish () =
+        incr finished;
+        if !finished = 2 then Sim.Ivar.fill done_ ()
+      in
+      let agent_w = Printf.sprintf "node%d" (Atm.Addr.to_int (Cluster.Node.addr (node 3))) in
+      let old_tag = Dds.Tag.pack { Dds.Tag.ts = 1; wr = 1 } in
+      let new_cell = Dds.Tag.encode { Dds.Tag.ts = 2; wr = 2 } 42l in
+      Cluster.Node.spawn (node 3) (fun () ->
+          let w1 =
+            Dds.Register.client ~rmem:rmems.(3) ~amsg:amsgs.(3)
+              ~kind:Dds.Kind.Dx ~rank:1 ~hook reps
+          in
+          let desc k =
+            import_segment rmems.(3)
+              ~from:(Cluster.Node.addr (Dds.Register.replica_node reps.(k)))
+              (Dds.Register.replica_segment reps.(k))
+              ~rights:Rmem.Rights.all
+          in
+          let desc0 = desc 0 and desc1 = desc 1 in
+          ignore (Dds.Register.write w1 10l);
+          Sim.Ivar.fill w1_done ();
+          Sim.Ivar.read go_w2;
+          (* W2: one logical write of 42 through majority {0,1} — tag
+             (2, rank 2) — whose store phase pauses between replicas. *)
+          Monitor.logical_begin monitor ~agent_name:agent_w;
+          let store desc =
+            let won, _ =
+              Rmem.Remote_memory.cas_wait rmems.(3) desc ~doff:0
+                ~old_value:old_tag ~new_value:(Dds.Tag.busy_for 2) ()
+            in
+            assert won;
+            Rmem.Remote_memory.write rmems.(3) desc ~off:0 new_cell
+          in
+          store desc0;
+          Sim.Ivar.read go_claim1;
+          store desc1;
+          Monitor.logical_commit monitor ~agent_name:agent_w ~cell
+            ~op:(History.Write (History.Known 42l));
+          finish ());
+      Cluster.Node.spawn (node 4) (fun () ->
+          let client ~quorum rank =
+            Dds.Register.client ~rmem:rmems.(4) ~amsg:amsgs.(4)
+              ~kind:Dds.Kind.Dx ~rank ~hook ~write_back:false ~quorum reps
+          in
+          let r1 = client ~quorum:[ 0; 2 ] 3 in
+          let r2 = client ~quorum:[ 1; 2 ] 4 in
+          Sim.Ivar.read go_r1;
+          ignore (Dds.Register.read r1);
+          Sim.Ivar.fill r1_done ();
+          Sim.Ivar.read go_r2;
+          (* Calibrated: a CAS leaves the issuing NIC this much later
+             than a READ, so R2's collect is held just long enough
+             that its replica-1 READ and W2's claim arrive at the same
+             instant — with the claim's frame enqueued first.  Moves
+             with the cost model; revalidate with [bin/modelcheck]. *)
+          Sim.Proc.wait reg_read_align;
+          ignore (Dds.Register.read r2);
+          finish ());
+      Sim.Proc.spawn ~name:"coordinator" engine (fun () ->
+          (* The settle polls read replica memory directly — off the
+             books, so the gating itself leaves no trace in the
+             history. *)
+          let settled k tagw v =
+            Int32.equal (Cluster.Address_space.read_word spaces.(k) ~addr:0)
+              tagw
+            && Int32.equal
+                 (Cluster.Address_space.read_word spaces.(k) ~addr:4)
+                 v
+          in
+          let rec await k tagw v =
+            if not (settled k tagw v) then begin
+              Sim.Proc.wait (Sim.Time.us 1);
+              await k tagw v
+            end
+          in
+          Sim.Ivar.read w1_done;
+          (* W1's blind deposits must all have landed, so phase 2
+             starts from a rigid, replicated 10. *)
+          for k = 0 to 2 do
+            await k old_tag 10l
+          done;
+          Sim.Ivar.fill go_w2 ();
+          (* Replica 0 holds the committed half of W2's write... *)
+          await 0 (Dds.Tag.pack { Dds.Tag.ts = 2; wr = 2 }) 42l;
+          Sim.Ivar.fill go_r1 ();
+          Sim.Ivar.read r1_done;
+          (* ...and these two wake-ups land at the same instant: under
+             FIFO W2's replica-1 claim is served before R2's collect
+             READ; exploration gets to flip them. *)
+          Sim.Ivar.fill go_claim1 ();
+          Sim.Ivar.fill go_r2 ());
+      Sim.Ivar.read done_)
+
 let prepare name =
   match name with
   | "kv_store" -> kv_store ()
@@ -741,6 +898,7 @@ let prepare name =
   | "cas_missing_release" -> cas_missing_release ()
   | "cas_double_apply" -> cas_double_apply ()
   | "frame_overrun" -> frame_overrun ()
+  | "dds_register_no_writeback" -> dds_register_no_writeback ()
   | name -> invalid_arg ("Scenarios.prepare: " ^ name)
 
 (* The declared access program of each scenario, for the static

@@ -23,7 +23,12 @@
       schedule tears the reader's snapshot.
     - [cas_missing_release]: a CAS lock whose first-attempt-win fast
       path forgets the release and the baton handoff. Clean under FIFO;
-      an adversarial schedule deadlocks two processes. *)
+      an adversarial schedule deadlocks two processes.
+    - [dds_register_no_writeback]: the dds ABD register with the
+      read's write-back phase disabled, driven through partial-majority
+      quorums. Clean under FIFO; an adversarial schedule serves a
+      reader's collect before a committed writer's claim and two
+      sequential reads return new-then-old — non-linearizable. *)
 
 type expectation = { races : bool; findings : bool }
 

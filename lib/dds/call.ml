@@ -1,0 +1,131 @@
+(* Request/response RPC over active messages — the control-transfer
+   plane of the RPC-structured data structures.
+
+   Wire format: every request and reply frame starts with a 4-byte
+   little-endian request id, followed by the operation payload.  The
+   client stamps a fresh id per logical call and reuses it across
+   retransmissions; the server remembers the last few (id, reply) pairs
+   per source and resends the cached reply on a duplicate, so retried
+   calls are at-most-once even when the operation is not idempotent.
+
+   Timeouts are the client's only failure signal (the paper's §3.7
+   argument): each attempt arms a one-shot timer that fills the reply
+   ivar with [None]; a late reply for attempt [k] finds attempt [k+1]'s
+   ivar under the same request id and — because the server dedups — fills
+   it with the identical answer. *)
+
+let reply_id = 0xC7
+let header_bytes = 4
+
+type endpoint = {
+  amsg : Amsg.t;
+  node : Cluster.Node.t;
+  mutable next_req : int;
+  pending : (int32, bytes option Sim.Ivar.t) Hashtbl.t;
+  mutable timeouts : int;
+}
+
+(* One endpoint per active-message plane, keyed by physical identity so
+   distinct testbeds never collide; the reply handler is registered
+   exactly once per plane. *)
+let endpoints : (Amsg.t * endpoint) list ref = ref []
+
+let endpoint amsg =
+  match List.find_opt (fun (a, _) -> a == amsg) !endpoints with
+  | Some (_, ep) -> ep
+  | None ->
+      let ep =
+        {
+          amsg;
+          node = Amsg.node amsg;
+          next_req = 1;
+          pending = Hashtbl.create 16;
+          timeouts = 0;
+        }
+      in
+      Amsg.register amsg ~id:reply_id (fun ~src:_ body ->
+          if Bytes.length body >= header_bytes then begin
+            let req = Bytes.get_int32_le body 0 in
+            match Hashtbl.find_opt ep.pending req with
+            | None -> ()
+            | Some iv ->
+                Hashtbl.remove ep.pending req;
+                ignore
+                  (Sim.Ivar.try_fill iv
+                     (Some
+                        (Bytes.sub body header_bytes
+                           (Bytes.length body - header_bytes))))
+          end);
+      endpoints := (amsg, ep) :: !endpoints;
+      ep
+
+let node ep = ep.node
+let timeouts ep = ep.timeouts
+
+type service = src:Atm.Addr.t -> bytes -> bytes
+
+(* Replies a source might still retransmit requests for.  Clients issue
+   calls sequentially per endpoint, so a small window suffices. *)
+let history_cap = 16
+
+let serve amsg ~id (f : service) =
+  let recent : (int, (int32 * bytes) list) Hashtbl.t = Hashtbl.create 16 in
+  Amsg.register amsg ~id (fun ~src body ->
+      if Bytes.length body >= header_bytes then begin
+        let req = Bytes.get_int32_le body 0 in
+        let who = Atm.Addr.to_int src in
+        let past = Option.value ~default:[] (Hashtbl.find_opt recent who) in
+        let reply =
+          match List.assoc_opt req past with
+          | Some r -> r
+          | None ->
+              let r =
+                f ~src
+                  (Bytes.sub body header_bytes
+                     (Bytes.length body - header_bytes))
+              in
+              let keep = (req, r) :: past in
+              let keep =
+                if List.length keep > history_cap then
+                  List.filteri (fun i _ -> i < history_cap) keep
+                else keep
+              in
+              Hashtbl.replace recent who keep;
+              r
+        in
+        let frame = Bytes.create (header_bytes + Bytes.length reply) in
+        Bytes.set_int32_le frame 0 req;
+        Bytes.blit reply 0 frame header_bytes (Bytes.length reply);
+        Amsg.send amsg ~dst:src ~handler:reply_id frame
+      end)
+
+let default_timeout = Sim.Time.us 400
+let default_attempts = 12
+
+let call ?(timeout = default_timeout) ?(attempts = default_attempts) ep ~dst
+    ~id body =
+  let req = Int32.of_int ep.next_req in
+  ep.next_req <- ep.next_req + 1;
+  let frame = Bytes.create (header_bytes + Bytes.length body) in
+  Bytes.set_int32_le frame 0 req;
+  Bytes.blit body 0 frame header_bytes (Bytes.length body);
+  let engine = Cluster.Node.engine ep.node in
+  let rec attempt k =
+    if k >= attempts then begin
+      Hashtbl.remove ep.pending req;
+      raise Rmem.Status.Timeout
+    end;
+    let iv = Sim.Ivar.create () in
+    Hashtbl.replace ep.pending req iv;
+    Amsg.send ep.amsg ~dst ~handler:id frame;
+    Sim.Proc.spawn ~after:timeout engine (fun () ->
+        ignore (Sim.Ivar.try_fill iv None));
+    match Sim.Ivar.read iv with
+    | Some reply ->
+        Hashtbl.remove ep.pending req;
+        reply
+    | None ->
+        ep.timeouts <- ep.timeouts + 1;
+        attempt (k + 1)
+  in
+  attempt 0

@@ -1,0 +1,47 @@
+(** Request/response RPC over active messages.
+
+    The RPC-structured data structures transfer control with every
+    operation: the client sends a request frame whose handler runs the
+    operation on the home node's CPU and sends the reply back.  This
+    module supplies the request-id plumbing both sides share: per-call
+    ids, timeout-driven retransmission on the client, and a per-source
+    duplicate cache on the server making retried calls at-most-once. *)
+
+type endpoint
+(** Client-side state for one node's active-message plane. *)
+
+val endpoint : Amsg.t -> endpoint
+(** The endpoint for a plane, created (and its reply handler registered)
+    on first use; subsequent calls return the same endpoint. *)
+
+val node : endpoint -> Cluster.Node.t
+
+val timeouts : endpoint -> int
+(** Attempts that expired without a reply (each triggers a retry). *)
+
+type service = src:Atm.Addr.t -> bytes -> bytes
+(** A server operation: request payload in, reply payload out.  Runs at
+    interrupt level in the arrival upcall — it must mutate state first
+    (the mutation is atomic: no yield points) and charge its own CPU
+    after, so concurrent remote-memory serves cannot interleave with a
+    half-applied operation. *)
+
+val serve : Amsg.t -> id:int -> service -> unit
+(** Install a service under an active-message handler id.  Duplicate
+    requests (same source and request id) are answered from a bounded
+    per-source cache without re-running the service. *)
+
+val default_timeout : Sim.Time.t
+val default_attempts : int
+
+val call :
+  ?timeout:Sim.Time.t ->
+  ?attempts:int ->
+  endpoint ->
+  dst:Atm.Addr.t ->
+  id:int ->
+  bytes ->
+  bytes
+(** Issue a request and block for the reply, retransmitting every
+    [timeout] up to [attempts] times; raises [Rmem.Status.Timeout] when
+    the budget is exhausted.  Must run in a simulated process. *)

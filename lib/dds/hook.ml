@@ -1,0 +1,24 @@
+(* Instrumentation events emitted around every client-facing operation.
+
+   The structures cannot depend on the analysis layer (the dependency
+   floor stops at the transfer planes), so they emit plain events and
+   the observer — in practice an adapter over [Analysis.Monitor]'s
+   logical-operation scopes — decides what to do with them.  [Begin]
+   opens the operation on the issuing node; [Commit] closes it with the
+   linearizable result: one logical read or write of the structure's
+   designated cell (a word in some exported segment). *)
+
+type op = Read of int32 | Write of int32 | Sync
+
+type event =
+  | Begin of { node : int }
+  | Commit of {
+      node : int;
+      home : int;
+      seg : int;
+      gen : int;
+      word : int;  (* byte offset of the designated word *)
+      op : op;
+    }
+
+type t = event -> unit

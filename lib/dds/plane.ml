@@ -1,0 +1,53 @@
+(* The client side of the data-transfer plane: one imported descriptor
+   plus a local scratch buffer, with every meta-instruction optionally
+   run under a §3.7 recovery policy.  The DX and hybrid structurings
+   build their fast paths from these. *)
+
+type t = {
+  rmem : Rmem.Remote_memory.t;
+  node : Cluster.Node.t;
+  desc : Rmem.Descriptor.t;
+  space : Cluster.Address_space.t;
+  buf : Rmem.Remote_memory.buffer;
+  policy : Rmem.Recovery.policy option;
+}
+
+let connect rmem ?policy ~remote ~segment_id ~generation ~size ~scratch () =
+  let node = Rmem.Remote_memory.node rmem in
+  let desc =
+    Rmem.Remote_memory.import rmem ~remote ~segment_id ~generation ~size
+      ~rights:Rmem.Rights.all ()
+  in
+  let space = Cluster.Node.new_address_space node in
+  let buf = Rmem.Remote_memory.buffer ~space ~base:0 ~len:scratch in
+  { rmem; node; desc; space; buf; policy }
+
+let read_bytes t ~soff ~len =
+  (match t.policy with
+  | Some policy ->
+      Rmem.Remote_memory.read_with t.rmem ~policy t.desc ~soff ~count:len
+        ~dst:t.buf ~doff:0 ()
+  | None ->
+      Rmem.Remote_memory.read_wait t.rmem t.desc ~soff ~count:len ~dst:t.buf
+        ~doff:0 ());
+  Cluster.Address_space.read t.space ~addr:0 ~len
+
+let read_word t ~soff = Bytes.get_int32_le (read_bytes t ~soff ~len:4) 0
+
+let cas t ~doff ~old_value ~new_value =
+  match t.policy with
+  | Some policy ->
+      Rmem.Remote_memory.cas_with t.rmem ~policy t.desc ~doff ~old_value
+        ~new_value ()
+  | None ->
+      Rmem.Remote_memory.cas_wait t.rmem t.desc ~doff ~old_value ~new_value ()
+
+let write t ~off data =
+  match t.policy with
+  | Some policy -> Rmem.Remote_memory.write_with t.rmem ~policy t.desc ~off data
+  | None -> Rmem.Remote_memory.write t.rmem t.desc ~off data
+
+let fence t =
+  match t.policy with
+  | Some policy -> Rmem.Remote_memory.fence_with t.rmem ~policy t.desc
+  | None -> Rmem.Remote_memory.fence t.rmem t.desc

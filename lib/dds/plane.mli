@@ -1,0 +1,43 @@
+(** The client side of a structure's data-transfer plane: an imported
+    descriptor for the home segment plus a private scratch buffer, with
+    every meta-instruction optionally run under a recovery policy
+    (§3.7).  The DX and hybrid structurings issue all their remote
+    operations through this. *)
+
+type t = {
+  rmem : Rmem.Remote_memory.t;
+  node : Cluster.Node.t;
+  desc : Rmem.Descriptor.t;
+  space : Cluster.Address_space.t;
+  buf : Rmem.Remote_memory.buffer;
+  policy : Rmem.Recovery.policy option;
+}
+
+val connect :
+  Rmem.Remote_memory.t ->
+  ?policy:Rmem.Recovery.policy ->
+  remote:Atm.Addr.t ->
+  segment_id:int ->
+  generation:Rmem.Generation.t ->
+  size:int ->
+  scratch:int ->
+  unit ->
+  t
+(** Import the home segment with full rights and allocate a [scratch]-
+    byte local buffer for READ replies and CAS results. *)
+
+val read_bytes : t -> soff:int -> len:int -> bytes
+(** Blocking remote READ into the scratch buffer; raises like
+    [Rmem.Remote_memory.read_wait] (or retries under the policy). *)
+
+val read_word : t -> soff:int -> int32
+
+val cas : t -> doff:int -> old_value:int32 -> new_value:int32 -> bool * int32
+(** Blocking remote CAS: (succeeded, witness). *)
+
+val write : t -> off:int -> bytes -> unit
+(** Remote WRITE: unacknowledged fire-and-forget without a policy,
+    write-then-verify with one. *)
+
+val fence : t -> unit
+(** Await deposit of all prior WRITEs on this descriptor. *)

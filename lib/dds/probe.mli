@@ -1,0 +1,46 @@
+(** The open-addressing probe walk shared by every linear-probing table
+    in the tree: the name-service registry ({!Names.Registry}), the
+    sharded clerk's remote probe chain ({!Names.Shard_clerk}) and the
+    distributed hash table ({!Hashtable}) all follow the same
+    discipline — walk [hash, hash+1, ...] modulo the table size, skip
+    (but remember) tombstones, stop at the first free slot.
+
+    The walk is storage-agnostic: the caller classifies each slot
+    (local bytes, a remote READ, whatever), and the walk provides only
+    the probe-sequence policy, so every table agrees on where a key can
+    legally live. *)
+
+val slot_index : slots:int -> hash:int -> int -> int
+(** [slot_index ~slots ~hash i] — the i-th probe location for a key
+    with the given hash. [slots] must be a power of two. *)
+
+type 'note step =
+  | Hit  (** the slot holds the probed key: stop *)
+  | Free  (** an empty slot: every chain ends here *)
+  | Tombstone of 'note option
+      (** a deleted slot: skipped, not chain-ending; the first slot is
+          remembered for reuse and the first [Some] note (e.g. a
+          decodable forwarding record) is carried out *)
+  | Other  (** a live slot holding another key: keep walking *)
+
+type 'note outcome =
+  | Found of { index : int; probes : int }
+      (** the key's slot, and the probe number that reached it *)
+  | Absent of {
+      free : int option;
+          (** the chain-ending empty slot, or [None] when the walk
+              exhausted the table *)
+      reusable : int option;  (** the first tombstone met, if any *)
+      note : 'note option;  (** the first note a tombstone carried *)
+      probes : int;
+    }
+
+val walk :
+  slots:int ->
+  hash:int ->
+  classify:(index:int -> probe:int -> 'note step) ->
+  'note outcome
+(** Walk the probe sequence, calling [classify] once per visited slot
+    in probe order, stopping at the first [Hit] or [Free] (or after
+    [slots] probes). Insertion policy on [Absent]: prefer [reusable]
+    over [free]; both [None] means the table is full for this key. *)

@@ -1,0 +1,70 @@
+(** Distributed MPMC ticket queue in all three structurings.
+
+    Head and tail words advanced by remote CAS, one 8-byte slot per
+    ticket ([flag word][value word]) deposited with a single atomic
+    WRITE.  Tickets never wrap, so [capacity] bounds the lifetime
+    enqueue count and every slot has exactly one writer.
+
+    - [Dx] claims tickets with remote CAS and deposits/polls slots with
+      remote WRITEs/READs.
+    - [Rpc] ships enqueue/dequeue to the home node over {!Call}.
+    - [Hybrid] runs the DX path, falling back to RPC after repeated CAS
+      losses. *)
+
+exception Full
+
+(** {1 Home node} *)
+
+type server
+
+val server :
+  rmem:Rmem.Remote_memory.t ->
+  amsg:Amsg.t ->
+  ?id:int ->
+  capacity:int ->
+  unit ->
+  server
+(** Export the queue segment and install the RPC service under handler
+    [id] (default a fixed well-known id; distinct instances sharing a
+    home node must pass distinct ids).  Must run in a simulated process
+    on the home node. *)
+
+val server_node : server -> Cluster.Node.t
+val server_segment : server -> Rmem.Segment.t
+val capacity : server -> int
+
+val server_key : server -> int * int * int
+(** (home address, segment id, generation) of the queue segment. *)
+
+(** {1 Clients} *)
+
+type t
+
+val client :
+  rmem:Rmem.Remote_memory.t ->
+  amsg:Amsg.t ->
+  kind:Kind.t ->
+  ?policy:Rmem.Recovery.policy ->
+  ?hook:Hook.t ->
+  server ->
+  t
+
+val kind : t -> Kind.t
+
+val enqueue : t -> int32 -> int
+(** Enqueue a value and return its ticket.  Raises {!Full} once the
+    lifetime ticket supply is exhausted. *)
+
+val try_dequeue : t -> int32 option
+(** Claim and return the head element, or [None] when the queue is
+    empty (including when the head ticket's deposit has not committed
+    yet — "empty" linearizes before the in-flight enqueue). *)
+
+val dequeue : t -> int32
+(** Blocking {!try_dequeue}: polls until an element arrives. *)
+
+val flush : t -> unit
+(** Fence the DX plane; a no-op for RPC handles. *)
+
+val cas_losses : t -> int
+val rpc_fallbacks : t -> int

@@ -1,0 +1,56 @@
+(** The quorum timestamp codec of the (N,N)-atomic register: a replica
+    cell is two little-endian words, a packed [(ts, wr)] tag and the
+    register value. The tag totally orders writes — timestamp first,
+    writer rank as the tie-break — exactly the [highest()] comparison
+    of the ABD read phase.
+
+    A replica mid-update carries the {!busy} sentinel in its tag word;
+    {!decode} refuses such a cell so readers retry instead of pairing a
+    new tag with an old value. *)
+
+type t = { ts : int; wr : int }
+(** A write tag: logical timestamp [ts >= 0] and writer rank
+    [0 <= wr < ranks]. *)
+
+val ranks : int
+(** Distinct writer ranks the packing supports (16). *)
+
+val zero : t
+(** The tag every replica starts with: [(0, 0)]. *)
+
+val compare : t -> t -> int
+(** Timestamp-major, rank-minor — the quorum's total order. *)
+
+val pack : t -> int32
+(** Injective into the non-negative int32s; order-preserving
+    ({!compare} agrees with [Int32.compare] of the packings). Raises
+    [Invalid_argument] outside the representable range. *)
+
+val unpack : int32 -> t
+(** Inverse of {!pack}. Raises [Invalid_argument] on {!busy} or any
+    negative word. *)
+
+val busy : int32
+(** The claim sentinel a writer CASes into the tag word while it
+    deposits the new cell; never a valid packing.  Equal to
+    [busy_for 0]. *)
+
+val busy_for : int -> int32
+(** Rank-specific claim sentinel [-(1 + wr)].  A writer that lost the
+    reply to its claiming CAS (loss, §3.7) re-reads the tag word: seeing
+    its {e own} sentinel proves the claim landed and the deposit may
+    proceed, where a shared sentinel would leave it waiting on itself
+    forever.  Raises [Invalid_argument] outside [0 <= wr < ranks]. *)
+
+val is_busy : int32 -> bool
+(** Whether a tag word is any writer's claim sentinel. *)
+
+val cell_bytes : int
+(** Replica cell size: tag word + value word (8). *)
+
+val encode : t -> int32 -> bytes
+(** [encode tag value] — the 8-byte replica cell. *)
+
+val decode : bytes -> (t * int32) option
+(** [None] when the tag word is {!busy} (or unparseable): the replica
+    is mid-update and the reader must retry. *)

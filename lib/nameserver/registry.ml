@@ -23,7 +23,8 @@ let create ~space ~base ~slots =
 let slots t = t.slots
 let live t = t.live
 
-let slot_index t name probe = (Record.fnv_hash name + probe) land (t.slots - 1)
+let slot_index t name probe =
+  Dds.Probe.slot_index ~slots:t.slots ~hash:(Record.fnv_hash name) probe
 
 let slot_offset (_ : t) index = index * Record.slot_bytes
 
@@ -32,32 +33,36 @@ let read_slot t index =
     ~addr:(t.base + slot_offset t index)
     ~len:Record.slot_bytes
 
-(* Insert: find the first invalid slot along the probe sequence (or a
-   valid slot already holding this name, which is overwritten — re-export
-   replaces).  A moved tombstone is reusable but does not end the chain,
-   so the scan must keep going in case the name lives further on; the
-   first tombstone seen is remembered and used only if the chain ends
-   without finding the name.  Write the body first, flag last. *)
-let insert t record =
-  let name = record.Record.name in
-  let rec probe i reuse =
-    if i >= t.slots then
-      match reuse with None -> Error `Full | Some index -> Ok index
-    else begin
-      let index = slot_index t name i in
+(* The shared probe walk ({!Dds.Probe}), classified over local slots:
+   an invalid slot is free (chain-ending), a moved tombstone is skipped
+   but reusable, and only a decodable record holding [name] is a hit. *)
+let walk t name =
+  Dds.Probe.walk ~slots:t.slots ~hash:(Record.fnv_hash name)
+    ~classify:(fun ~index ~probe:_ ->
       let slot = read_slot t index in
       let flag = Record.flag_of_slot slot in
-      if Int32.equal flag Record.flag_invalid then
-        Ok (match reuse with Some r -> r | None -> index)
-      else if Int32.equal flag Record.flag_moved then
-        probe (i + 1) (match reuse with None -> Some index | some -> some)
+      if Int32.equal flag Record.flag_invalid then Dds.Probe.Free
+      else if Int32.equal flag Record.flag_moved then Dds.Probe.Tombstone None
       else
         match Record.decode slot with
-        | Some existing when String.equal existing.Record.name name -> Ok index
-        | Some _ | None -> probe (i + 1) reuse
-    end
-  in
-  match probe 0 None with
+        | Some existing when String.equal existing.Record.name name ->
+            Dds.Probe.Hit
+        | Some _ | None -> Dds.Probe.Other)
+
+(* Insert: a valid slot already holding this name is overwritten
+   (re-export replaces); otherwise the first tombstone along the chain
+   is preferred over the chain-ending free slot.  Write the body first,
+   flag last. *)
+let insert t record =
+  let name = record.Record.name in
+  match
+    match walk t name with
+    | Dds.Probe.Found { index; _ } -> Ok index
+    | Dds.Probe.Absent { reusable = Some index; _ }
+    | Dds.Probe.Absent { reusable = None; free = Some index; _ } ->
+        Ok index
+    | Dds.Probe.Absent { reusable = None; free = None; _ } -> Error `Full
+  with
   | Error `Full -> Error `Full
   | Ok index ->
       let slot = Record.encode record in
@@ -78,22 +83,12 @@ let insert t record =
       Ok index
 
 let lookup t name =
-  let rec probe i =
-    if i >= t.slots then None
-    else begin
-      let index = slot_index t name i in
-      let slot = read_slot t index in
-      if Int32.equal (Record.flag_of_slot slot) Record.flag_moved then
-        probe (i + 1) (* a tombstone is skipped, not chain-ending *)
-      else
-        match Record.decode slot with
-        | None -> None (* an invalid slot ends the probe chain *)
-        | Some record ->
-            if String.equal record.Record.name name then Some (record, i)
-            else probe (i + 1)
-    end
-  in
-  probe 0
+  match walk t name with
+  | Dds.Probe.Found { index; probes } -> (
+      match Record.decode (read_slot t index) with
+      | Some record -> Some (record, probes)
+      | None -> None)
+  | Dds.Probe.Absent _ -> None
 
 let well_formed t =
   let valid = ref 0 in

@@ -210,47 +210,43 @@ type probe_outcome =
       (* the record migrated; the forwarding tombstone (when decodable)
          names the destination shard, so the caller can heal in place *)
 
-(* Walk the probe chain with slot READs.  An invalid slot ends the
-   chain; a moved tombstone is skipped but remembered — absence after a
+(* Walk the probe chain with slot READs — the shared {!Dds.Probe} walk
+   classified over remote slots.  An invalid slot ends the chain; a
+   moved tombstone is skipped but remembered — absence after a
    tombstone is inconclusive (the record migrated; the map may be
-   stale). *)
+   stale), and the first decodable forwarding record along the chain
+   names where. *)
 let probe_shard t e name =
   let desc = shard_desc t e in
-  let rec go i saw_moved =
-    if i >= e.Shardmap.slots then
-      if Option.is_some saw_moved then Inconclusive (Option.join saw_moved)
-      else Absent
-    else begin
-      let index = Shardmap.slot_index ~slots:e.Shardmap.slots name i in
-      rd t desc
-        ~soff:(index * Record.slot_bytes)
-        ~count:Record.slot_bytes ~doff:probe_base;
-      Metrics.Account.add t.stats ~category:"remote probes" 1.;
-      let slot =
-        Cluster.Address_space.read t.space ~addr:probe_base
-          ~len:Record.slot_bytes
-      in
-      let flag = Record.flag_of_slot slot in
-      if Int32.equal flag Record.flag_invalid then
-        if Option.is_some saw_moved then Inconclusive (Option.join saw_moved)
-        else Absent
-      else if Int32.equal flag Record.flag_moved then
-        let fwd =
-          match saw_moved with
-          | Some (Some _ as f) -> Some f
-          | _ -> Some (Record.decode_forward slot)
+  let found = ref None in
+  let outcome =
+    Dds.Probe.walk ~slots:e.Shardmap.slots ~hash:(Record.fnv_hash name)
+      ~classify:(fun ~index ~probe:_ ->
+        rd t desc
+          ~soff:(index * Record.slot_bytes)
+          ~count:Record.slot_bytes ~doff:probe_base;
+        Metrics.Account.add t.stats ~category:"remote probes" 1.;
+        let slot =
+          Cluster.Address_space.read t.space ~addr:probe_base
+            ~len:Record.slot_bytes
         in
-        go (i + 1) fwd
-      else
-        match Record.decode slot with
-        | Some r when String.equal r.Record.name name -> Found r
-        | Some _ -> go (i + 1) saw_moved
-        | None ->
-            if Option.is_some saw_moved then Inconclusive (Option.join saw_moved)
-            else Absent
-    end
+        let flag = Record.flag_of_slot slot in
+        if Int32.equal flag Record.flag_invalid then Dds.Probe.Free
+        else if Int32.equal flag Record.flag_moved then
+          Dds.Probe.Tombstone (Record.decode_forward slot)
+        else
+          match Record.decode slot with
+          | Some r when String.equal r.Record.name name ->
+              found := Some r;
+              Dds.Probe.Hit
+          | Some _ -> Dds.Probe.Other
+          | None -> Dds.Probe.Free)
   in
-  go 0 None
+  match outcome with
+  | Dds.Probe.Found _ -> (
+      match !found with Some r -> Found r | None -> Absent)
+  | Dds.Probe.Absent { reusable = None; _ } -> Absent
+  | Dds.Probe.Absent { reusable = Some _; note; _ } -> Inconclusive note
 
 (* Heal from a forwarding tombstone without touching the map host:
    carve the destination shard's bucket range out of the cached entries,

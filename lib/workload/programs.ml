@@ -305,6 +305,52 @@ let frame_overrun =
       ];
   }
 
+(* dds_register_no_writeback: the ABD register scenario with three
+   single-cell replicas.  The writer's store phase claims each cell by
+   CASing its tag word to the busy brand (each attempt re-reads the
+   cell, so lost claims are observed) and releases it with one atomic
+   8-byte deposit.  The reader only collects — THE BUG: no write-back
+   store phase is declared, which is a protocol omission the interval
+   and fence analyses cannot see (every declared access is in bounds,
+   in rights and fenced); only schedule exploration surfaces the
+   new/old inversion. *)
+let dds_rep k = Printf.sprintf "reg.rep.%d" k
+
+let dds_reg_manifest = List.init 3 (fun k -> seg ~exporter:k ~len:8 (dds_rep k))
+
+let dds_reg_collect = List.init 3 (fun k -> read ~seg:(dds_rep k) ~off:(c 0) ~len:(c 8))
+
+let dds_reg_store k =
+  [
+    retry ~attempts:8 ~backoff:true
+      [ read ~seg:(dds_rep k) ~off:(c 0) ~len:(c 8); cas (dds_rep k) ~off:(c 0) ];
+    write ~seg:(dds_rep k) ~off:(c 0) ~len:(c 8) ();
+    fence (dds_rep k);
+  ]
+
+let dds_reg_store_all = List.concat_map dds_reg_store [ 0; 1; 2 ]
+
+let dds_register_no_writeback =
+  {
+    name = "dds_register_no_writeback";
+    manifest = dds_reg_manifest;
+    nodes =
+      [
+        {
+          node = 3;
+          name = "writer";
+          body = [ for_ "w" ~lo:1 ~hi:2 (dds_reg_collect @ dds_reg_store_all) ];
+        };
+        {
+          node = 4;
+          name = "reader (no write-back)";
+          (* THE BUG: collect-and-adopt only; the adopted pair is never
+             written back to a majority. *)
+          body = [ for_ "r" ~lo:1 ~hi:2 dds_reg_collect ];
+        };
+      ];
+  }
+
 let scenarios =
   [
     kv_store;
@@ -317,6 +363,7 @@ let scenarios =
     cas_missing_release;
     cas_double_apply;
     frame_overrun;
+    dds_register_no_writeback;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -544,8 +591,138 @@ let shard_map_publish_unfenced =
 let shard_programs =
   [ sharded_lookup; shard_map_publish; shard_map_publish_unfenced ]
 
+(* ------------------------------------------------------------------ *)
+(* Distributed data-structure programs (Dds shapes): the DX (pure data
+   transfer) structuring of each structure, which is the one with
+   remote accesses to declare — the RPC structuring is precisely the
+   control-transfer alternative, two messages and a home-CPU procedure,
+   with nothing for the map-time checker to bound.  Each declared
+   deposit is write-then-fence: the operation may not report success
+   while its releasing WRITE is still in flight. *)
+
+(* dds_hashtable: linear probing over 64 8-byte slots ([key][value]).
+   The outer loop variable stands in for the key's hashed home slot;
+   the probe chain is bounded by the table's load-factor guarantee.
+   Insert claims the chain-ending key word by CAS (each attempt
+   re-reads the slot, so lost claims are observed) and deposits the
+   value word behind a fence. *)
+let dds_hashtable =
+  let slot_pair probe =
+    read ~seg:"dds.table" ~off:((v "slot" + probe) * c 8) ~len:(c 8)
+  in
+  let probe_chain = [ for_ "probe" ~lo:0 ~hi:2 [ slot_pair (v "probe") ] ] in
+  {
+    name = "dds_hashtable";
+    manifest = [ seg ~exporter:0 ~len:512 "dds.table" ];
+    nodes =
+      [
+        {
+          node = 1;
+          name = "writer (dx)";
+          body =
+            [
+              for_ "slot" ~lo:0 ~hi:60
+                (probe_chain
+                @ [
+                    retry ~attempts:8 ~backoff:true
+                      [
+                        slot_pair (c 2);
+                        cas "dds.table" ~off:((v "slot" + c 2) * c 8);
+                      ];
+                    write ~seg:"dds.table"
+                      ~off:(((v "slot" + c 2) * c 8) + c 4)
+                      ~len:(c 4) ();
+                    fence "dds.table";
+                  ]);
+            ];
+        };
+        {
+          node = 2;
+          name = "reader (dx)";
+          body = [ for_ "slot" ~lo:0 ~hi:60 probe_chain ];
+        };
+      ];
+  }
+
+(* dds_queue: [head][tail] words then 64 8-byte ticket slots.  The
+   ticket comes out of the counter word itself, so its declared range
+   caps the slot access; the brand-claim CAS pairs with a release CAS
+   and the deposit is one atomic 8-byte frame (no torn slot). *)
+let dds_queue =
+  let slot var = c 8 + (v var * c 8) in
+  let claim ~off ~var =
+    retry ~attempts:8 ~backoff:true
+      [
+        read_word ~seg:"dds.ring" ~off ~var ~lo:0 ~hi:63;
+        cas "dds.ring" ~off;
+      ]
+  in
+  {
+    name = "dds_queue";
+    manifest = [ seg ~exporter:0 ~len:520 "dds.ring" ];
+    nodes =
+      [
+        {
+          node = 1;
+          name = "producer (dx)";
+          body =
+            [
+              for_ "i" ~lo:1 ~hi:4
+                [
+                  claim ~off:(c 4) ~var:"ticket";
+                  cas "dds.ring" ~off:(c 4);
+                  (* release the brand to ticket+1 *)
+                  write ~seg:"dds.ring" ~off:(slot "ticket") ~len:(c 8) ();
+                  fence "dds.ring";
+                ];
+            ];
+        };
+        {
+          node = 2;
+          name = "consumer (dx)";
+          body =
+            [
+              for_ "i" ~lo:1 ~hi:4
+                [
+                  claim ~off:(c 0) ~var:"head";
+                  cas "dds.ring" ~off:(c 0);
+                  (* head < tail proves an enqueuer owns the ticket:
+                     poll the slot until its deposit lands. *)
+                  retry ~attempts:64 ~backoff:true
+                    [ read ~seg:"dds.ring" ~off:(slot "head") ~len:(c 8) ];
+                ];
+            ];
+        };
+      ];
+  }
+
+(* dds_register: the correct ABD register — same replica cells and
+   store phase as the seeded scenario, but the reader writes the
+   adopted pair back until a majority holds it. *)
+let dds_register =
+  {
+    name = "dds_register";
+    manifest = dds_reg_manifest;
+    nodes =
+      [
+        {
+          node = 3;
+          name = "writer";
+          body = [ for_ "w" ~lo:1 ~hi:2 (dds_reg_collect @ dds_reg_store_all) ];
+        };
+        {
+          node = 4;
+          name = "reader";
+          body = [ for_ "r" ~lo:1 ~hi:2 (dds_reg_collect @ dds_reg_store_all) ];
+        };
+      ];
+  }
+
+let dds_programs = [ dds_hashtable; dds_queue; dds_register ]
+
 let find list name = List.find_opt (fun (p : Program.t) -> p.name = name) list
 
 let scenario name = find scenarios name
 let campaign name = find campaigns name
 let shard name = find shard_programs name
+let dds name = find dds_programs name

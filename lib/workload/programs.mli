@@ -29,6 +29,18 @@ val shard_programs : Program.t list
     (the seeded bug: doorbell raised while the record copies are still
     unfenced at the destination, tripping [static-unfenced-publish]). *)
 
+val dds_programs : Program.t list
+(** Programs for the distributed data structures ({!Dds} shapes), each
+    declaring the DX structuring's remote-access protocol:
+    [dds_hashtable] (probe chain, CAS slot claim, fenced value
+    deposit), [dds_queue] (brand-claimed ticket counters, one atomic
+    slot deposit per ticket), and [dds_register] (the correct ABD
+    register — collect, claim, deposit, and the reader's write-back).
+    The seeded [dds_register_no_writeback] variant lives in
+    {!scenarios}: its reader declares no write-back phase, statically
+    clean by design and caught only by exploration. *)
+
 val scenario : string -> Program.t option
 val campaign : string -> Program.t option
 val shard : string -> Program.t option
+val dds : string -> Program.t option

@@ -86,4 +86,24 @@ for m in shardmap reconciler shard_clerk; do
     fail "sharding module lib/nameserver/$m.mli is missing"
 done
 
-echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact, static verifier surface complete, fabric + sharding surface complete, $(find bin -name '*.ml' | wc -l) CLIs all speak --json/--ci"
+# 9. The data-structure suite's surface is complete and its dependency
+# floor holds: lib/dds ships the probe scheme, the tag/kind/hook
+# vocabulary, the call + data-plane substrates and all three
+# structures, each behind an explicit interface, and may depend only on
+# the transfer substrates (sim atm cluster metrics rmem amsg) — a
+# structure that grew a dependency on the name service or the fault
+# plane would no longer be the minimal DX-vs-RPC comparison the
+# crossover gates measure.
+for m in probe tag kind hook call plane hashtable queue register; do
+  [ -f "lib/dds/$m.mli" ] || fail "data-structure module lib/dds/$m.mli is missing"
+done
+dds_deps=$(sed -n 's/.*(libraries \([^)]*\)).*/\1/p' lib/dds/dune)
+[ -n "$dds_deps" ] || fail "could not read the (libraries ...) stanza of lib/dds/dune"
+for dep in $dds_deps; do
+  case "$dep" in
+    sim | atm | cluster | metrics | rmem | amsg) ;;
+    *) fail "lib/dds depends on '$dep' — the suite may only use sim, atm, cluster, metrics, rmem, amsg" ;;
+  esac
+done
+
+echo "static gate: warn-error strict, $(find lib -name '*.ml' | wc -l) modules all covered by interfaces, obs dependency floor intact, static verifier surface complete, fabric + sharding surface complete, dds surface + dependency floor intact, $(find bin -name '*.ml' | wc -l) CLIs all speak --json/--ci"

@@ -25,4 +25,5 @@ let () =
       ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);
       ("shard", Test_shard.suite);
+      ("dds", Test_dds.suite);
     ]

@@ -1,0 +1,942 @@
+(* The distributed data-structure suite: probe/tag units, the RPC call
+   plane, and the three structures in all three structurings —
+   differentially against each other, under faults, and under the
+   linearizability checker. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i32 = Alcotest.(check int32)
+
+(* ---------------- rig: n nodes with rmem + amsg planes ------------- *)
+
+type rig = {
+  testbed : Cluster.Testbed.t;
+  nodes : Cluster.Node.t array;
+  rmems : Rmem.Remote_memory.t array;
+  amsgs : Amsg.t array;
+}
+
+let rig ?seed n =
+  let testbed = Cluster.Testbed.create ?seed ~nodes:n () in
+  let nodes = Array.init n (Cluster.Testbed.node testbed) in
+  {
+    testbed;
+    nodes;
+    rmems = Array.map Rmem.Remote_memory.attach nodes;
+    amsgs = Array.map Amsg.attach nodes;
+  }
+
+let run r body = Cluster.Testbed.run r.testbed body
+
+let policy () =
+  Rmem.Recovery.policy ~attempts:12 ~timeout:(Sim.Time.us 400) ()
+
+(* ---------------------------- Probe -------------------------------- *)
+
+(* Drive the walk over an in-memory table: int array where 0 is free,
+   -1 a tombstone, anything else a key. *)
+let walk_table table ~hash key =
+  Dds.Probe.walk ~slots:(Array.length table) ~hash
+    ~classify:(fun ~index ~probe:_ ->
+      match table.(index) with
+      | 0 -> Dds.Probe.Free
+      | -1 -> Dds.Probe.Tombstone (Some index)
+      | k when k = key -> Dds.Probe.Hit
+      | _ -> Dds.Probe.Other)
+
+let probe_hit_and_probes () =
+  (* hash 2, chain [2]=9 [3]=7: finding 7 takes one displacement. *)
+  let table = [| 0; 0; 9; 7; 0; 0; 0; 0 |] in
+  match walk_table table ~hash:2 7 with
+  | Dds.Probe.Found { index; probes } ->
+      check_int "index" 3 index;
+      check_int "probes" 1 probes
+  | Dds.Probe.Absent _ -> Alcotest.fail "expected Found"
+
+let probe_absent_free () =
+  let table = [| 0; 0; 9; 7; 0; 0; 0; 0 |] in
+  match walk_table table ~hash:2 5 with
+  | Dds.Probe.Absent { free = Some 4; reusable = None; probes = 2; _ } -> ()
+  | _ -> Alcotest.fail "expected Absent at the chain-ending free slot"
+
+let probe_tombstone_reuse_and_note () =
+  (* First tombstone along the chain is remembered even when a later
+     one appears; its note is carried out. *)
+  let table = [| 0; 0; -1; 7; -1; 0; 0; 0 |] in
+  match walk_table table ~hash:2 5 with
+  | Dds.Probe.Absent { free = Some 5; reusable = Some 2; note = Some 2; _ } ->
+      ()
+  | _ -> Alcotest.fail "expected first tombstone as the reusable slot"
+
+let probe_wraps_modulo () =
+  let table = [| 7; 0; 0; 0; 0; 0; 9; 9 |] in
+  match walk_table table ~hash:6 7 with
+  | Dds.Probe.Found { index = 0; probes = 2 } -> ()
+  | _ -> Alcotest.fail "expected wrap-around hit at slot 0"
+
+let probe_full_table () =
+  let table = Array.make 4 9 in
+  match walk_table table ~hash:1 5 with
+  | Dds.Probe.Absent { free = None; reusable = None; probes = 4; _ } -> ()
+  | _ -> Alcotest.fail "expected exhausted walk"
+
+(* ----------------------------- Tag --------------------------------- *)
+
+let tag_gen =
+  QCheck.map
+    (fun (ts, wr) -> { Dds.Tag.ts; wr })
+    QCheck.(pair (int_range 0 100_000) (int_range 0 (Dds.Tag.ranks - 1)))
+
+let tag_roundtrip =
+  QCheck.Test.make ~name:"tag pack/unpack roundtrip" ~count:300 tag_gen
+    (fun tag -> Dds.Tag.unpack (Dds.Tag.pack tag) = tag)
+
+let tag_order_preserved =
+  QCheck.Test.make ~name:"tag packing preserves quorum order" ~count:300
+    (QCheck.pair tag_gen tag_gen) (fun (a, b) ->
+      Stdlib.compare (Dds.Tag.compare a b) 0
+      = Stdlib.compare (Int32.compare (Dds.Tag.pack a) (Dds.Tag.pack b)) 0)
+
+let tag_cell_roundtrip =
+  QCheck.Test.make ~name:"tag cell encode/decode roundtrip" ~count:300
+    (QCheck.pair tag_gen QCheck.int32) (fun (tag, v) ->
+      Dds.Tag.decode (Dds.Tag.encode tag v) = Some (tag, v))
+
+let tag_busy_cells_refused () =
+  for wr = 0 to Dds.Tag.ranks - 1 do
+    let w = Dds.Tag.busy_for wr in
+    check_bool "is_busy" true (Dds.Tag.is_busy w);
+    let b = Bytes.create 8 in
+    Bytes.set_int32_le b 0 w;
+    Bytes.set_int32_le b 4 42l;
+    check_bool "decode refuses busy" true (Dds.Tag.decode b = None)
+  done;
+  check_i32 "generic busy is rank 0's" (Dds.Tag.busy_for 0) Dds.Tag.busy
+
+(* ----------------------------- Call -------------------------------- *)
+
+let call_round_trip () =
+  let r = rig 2 in
+  Dds.Call.serve r.amsgs.(0) ~id:0x50 (fun ~src:_ body ->
+      Bytes.map (fun c -> Char.chr (Char.code c + 1)) body);
+  run r (fun () ->
+      let ep = Dds.Call.endpoint r.amsgs.(1) in
+      let reply =
+        Dds.Call.call ep
+          ~dst:(Cluster.Node.addr r.nodes.(0))
+          ~id:0x50 (Bytes.of_string "abc")
+      in
+      Alcotest.(check string) "service applied" "bcd" (Bytes.to_string reply))
+
+let call_at_most_once_under_loss () =
+  let r = rig ~seed:5 2 in
+  let executions = ref 0 in
+  Dds.Call.serve r.amsgs.(0) ~id:0x51 (fun ~src:_ body ->
+      incr executions;
+      body);
+  let plan =
+    Faults.Plan.make ~link:(Faults.Plan.link_faults ~loss:0.25 ()) ()
+  in
+  let plane = Faults.Plane.create ~plan ~seed:7 r.testbed in
+  run r (fun () ->
+      let ep = Dds.Call.endpoint r.amsgs.(1) in
+      let dst = Cluster.Node.addr r.nodes.(0) in
+      for i = 1 to 20 do
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int32.of_int i);
+        let reply =
+          Dds.Call.call ep ~timeout:(Sim.Time.us 300) ~attempts:40 ~dst
+            ~id:0x51 b
+        in
+        check_i32 "echoed" (Int32.of_int i) (Bytes.get_int32_le reply 0)
+      done;
+      check_bool "losses actually forced retries" true
+        (Dds.Call.timeouts ep > 0);
+      check_int "each call executed exactly once" 20 !executions);
+  Faults.Plane.uninstall plane
+
+(* --------------------------- Hashtable ----------------------------- *)
+
+let htab_basic kind () =
+  let r = rig 3 in
+  run r (fun () ->
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots:16 ()
+      in
+      let t =
+        Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s
+      in
+      check_bool "absent before" true (Dds.Hashtable.lookup t 7l = None);
+      Dds.Hashtable.insert t ~key:7l ~value:70l;
+      Dds.Hashtable.insert t ~key:8l ~value:80l;
+      check_bool "lookup 7" true (Dds.Hashtable.lookup t 7l = Some 70l);
+      Dds.Hashtable.insert t ~key:7l ~value:71l;
+      check_bool "overwrite" true (Dds.Hashtable.lookup t 7l = Some 71l);
+      check_bool "delete present" true (Dds.Hashtable.delete t 7l);
+      check_bool "delete absent" false (Dds.Hashtable.delete t 7l);
+      check_bool "gone" true (Dds.Hashtable.lookup t 7l = None);
+      check_bool "8 unaffected" true (Dds.Hashtable.lookup t 8l = Some 80l);
+      Dds.Hashtable.flush t)
+
+let htab_reserved_keys () =
+  let r = rig 2 in
+  run r (fun () ->
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots:8 ()
+      in
+      let t =
+        Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind:Dds.Kind.Dx
+          s
+      in
+      Alcotest.check_raises "key 0" (Invalid_argument
+        "Dds.Hashtable: keys 0 and -1 are reserved") (fun () ->
+          ignore (Dds.Hashtable.lookup t 0l));
+      Alcotest.check_raises "value 0"
+        (Invalid_argument "Dds.Hashtable.insert: value 0 is reserved")
+        (fun () -> Dds.Hashtable.insert t ~key:3l ~value:0l))
+
+let htab_full kind () =
+  let r = rig 2 in
+  run r (fun () ->
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots:4 ()
+      in
+      let t =
+        Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s
+      in
+      for k = 1 to 4 do
+        Dds.Hashtable.insert t ~key:(Int32.of_int k) ~value:1l
+      done;
+      check_bool "full" true
+        (match Dds.Hashtable.insert t ~key:5l ~value:1l with
+        | () -> false
+        | exception Dds.Hashtable.Full -> true);
+      (* Deleting makes room again (tombstone reuse). *)
+      ignore (Dds.Hashtable.delete t 2l);
+      Dds.Hashtable.insert t ~key:5l ~value:5l;
+      check_bool "reused" true (Dds.Hashtable.lookup t 5l = Some 5l))
+
+let htab_tombstone_chain () =
+  (* Delete a key in the middle of a collision chain: keys behind it
+     must stay reachable for every structuring. *)
+  let r = rig 2 in
+  run r (fun () ->
+      let slots = 8 in
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots ()
+      in
+      (* Find three keys sharing a home slot. *)
+      let colliding = ref [] in
+      let k = ref 1l in
+      while List.length !colliding < 3 do
+        if
+          Dds.Hashtable.home_index ~slots !k
+          = Dds.Hashtable.home_index ~slots 1l
+        then colliding := !k :: !colliding;
+        k := Int32.add !k 1l
+      done;
+      match !colliding with
+      | [ a; b; c ] ->
+          let t =
+            Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1)
+              ~kind:Dds.Kind.Dx s
+          in
+          Dds.Hashtable.insert t ~key:a ~value:10l;
+          Dds.Hashtable.insert t ~key:b ~value:20l;
+          Dds.Hashtable.insert t ~key:c ~value:30l;
+          check_bool "middle deleted" true (Dds.Hashtable.delete t b);
+          check_bool "chain intact" true (Dds.Hashtable.lookup t c = Some 30l);
+          Dds.Hashtable.insert t ~key:b ~value:21l;
+          check_bool "reinserted over tombstone" true
+            (Dds.Hashtable.lookup t b = Some 21l)
+      | _ -> assert false)
+
+(* One scripted op sequence applied through a fresh instance per kind;
+   final state must agree with the reference model key by key. *)
+let htab_differential ?plan ?plan_seed ?policy:pol name () =
+  let r = rig ~seed:3 4 in
+  let plane =
+    Option.map (fun plan -> Faults.Plane.create ~plan ~seed:(Option.value ~default:11 plan_seed) r.testbed) plan
+  in
+  let prng = Sim.Prng.create 99 in
+  let script =
+    List.init 400 (fun _ ->
+        let key = Int32.of_int (1 + Sim.Prng.int prng 40) in
+        match Sim.Prng.int prng 10 with
+        | 0 | 1 -> `Delete key
+        | 2 | 3 | 4 -> `Lookup key
+        | _ -> `Insert (key, Int32.of_int (1 + Sim.Prng.int prng 1000)))
+  in
+  let model : (int32, int32) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | `Insert (k, v) -> Hashtbl.replace model k v
+      | `Delete k -> Hashtbl.remove model k
+      | `Lookup _ -> ())
+    script;
+  run r (fun () ->
+      List.iteri
+        (fun i kind ->
+          let s =
+            Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0)
+              ~id:(0x60 + i) ~slots:64 ()
+          in
+          let t =
+            Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind
+              ?policy:pol s
+          in
+          List.iter
+            (function
+              | `Insert (key, value) -> Dds.Hashtable.insert t ~key ~value
+              | `Delete key -> ignore (Dds.Hashtable.delete t key)
+              | `Lookup key -> ignore (Dds.Hashtable.lookup t key))
+            script;
+          Dds.Hashtable.flush t;
+          for k = 1 to 40 do
+            let key = Int32.of_int k in
+            let expect = Hashtbl.find_opt model key in
+            check_bool
+              (Printf.sprintf "%s: %s key %d agrees" name
+                 (Dds.Kind.to_string kind) k)
+              true
+              (Dds.Hashtable.lookup t key = expect)
+          done)
+        Dds.Kind.all);
+  Option.iter Faults.Plane.uninstall plane
+
+let htab_concurrent_disjoint () =
+  let r = rig 4 in
+  run r (fun () ->
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots:128 ()
+      in
+      let done_ = ref 0 in
+      for c = 1 to 3 do
+        Cluster.Node.spawn r.nodes.(c) (fun () ->
+            let t =
+              Dds.Hashtable.client ~rmem:r.rmems.(c) ~amsg:r.amsgs.(c)
+                ~kind:(List.nth Dds.Kind.all (c - 1))
+                s
+            in
+            for k = 0 to 19 do
+              let key = Int32.of_int ((c * 100) + k) in
+              Dds.Hashtable.insert t ~key ~value:(Int32.mul key 3l)
+            done;
+            Dds.Hashtable.flush t;
+            incr done_)
+      done;
+      let rec join () =
+        if !done_ < 3 then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ();
+      (* Every key visible from a fourth handle of each kind. *)
+      List.iter
+        (fun kind ->
+          let t =
+            Dds.Hashtable.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s
+          in
+          for c = 1 to 3 do
+            for k = 0 to 19 do
+              let key = Int32.of_int ((c * 100) + k) in
+              check_bool "visible" true
+                (Dds.Hashtable.lookup t key = Some (Int32.mul key 3l))
+            done
+          done)
+        Dds.Kind.all)
+
+(* ----------------------------- Queue ------------------------------- *)
+
+let queue_basic kind () =
+  let r = rig 3 in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:32 ()
+      in
+      let t = Dds.Queue.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s in
+      check_bool "empty" true (Dds.Queue.try_dequeue t = None);
+      let tickets = List.map (fun v -> Dds.Queue.enqueue t (Int32.of_int v)) [ 1; 2; 3 ] in
+      check_bool "tickets are sequential" true (tickets = [ 0; 1; 2 ]);
+      Dds.Queue.flush t;
+      check_bool "fifo" true
+        (List.map (fun _ -> Dds.Queue.dequeue t) [ (); (); () ]
+        = [ 1l; 2l; 3l ]);
+      check_bool "drained" true (Dds.Queue.try_dequeue t = None))
+
+let queue_full kind () =
+  let r = rig 2 in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:2 ()
+      in
+      let t = Dds.Queue.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s in
+      ignore (Dds.Queue.enqueue t 1l);
+      ignore (Dds.Queue.enqueue t 2l);
+      check_bool "full" true
+        (match Dds.Queue.enqueue t 3l with
+        | (_ : int) -> false
+        | exception Dds.Queue.Full -> true))
+
+let queue_mpmc () =
+  (* Three DX producers, two RPC consumers on one queue: every element
+     dequeued exactly once, per-producer order preserved. *)
+  let r = rig 6 in
+  let consumed = ref [] in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:128 ()
+      in
+      let per_producer = 20 in
+      let produced = ref 0 in
+      for p = 1 to 3 do
+        Cluster.Node.spawn r.nodes.(p) (fun () ->
+            let t =
+              Dds.Queue.client ~rmem:r.rmems.(p) ~amsg:r.amsgs.(p)
+                ~kind:Dds.Kind.Dx s
+            in
+            for i = 0 to per_producer - 1 do
+              ignore (Dds.Queue.enqueue t (Int32.of_int ((p * 1000) + i)))
+            done;
+            Dds.Queue.flush t;
+            incr produced)
+      done;
+      let total = 3 * per_producer in
+      for c = 4 to 5 do
+        Cluster.Node.spawn r.nodes.(c) (fun () ->
+            let t =
+              Dds.Queue.client ~rmem:r.rmems.(c) ~amsg:r.amsgs.(c)
+                ~kind:Dds.Kind.Rpc s
+            in
+            let rec drain () =
+              if List.length !consumed < total then begin
+                (match Dds.Queue.try_dequeue t with
+                | Some v -> consumed := v :: !consumed
+                | None -> Sim.Proc.wait (Sim.Time.us 50));
+                drain ()
+              end
+            in
+            drain ())
+      done;
+      let rec join () =
+        if List.length !consumed < total then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  let consumed = List.rev !consumed in
+  check_int "all consumed" 60 (List.length consumed);
+  check_bool "no duplicates" true
+    (List.sort_uniq compare consumed |> List.length = 60);
+  (* Per-producer FIFO: the subsequence from each producer ascends. *)
+  List.iter
+    (fun p ->
+      let mine =
+        List.filter (fun v -> Int32.to_int v / 1000 = p) consumed
+      in
+      check_bool "producer order" true (List.sort compare mine = mine))
+    [ 1; 2; 3 ]
+
+let queue_differential_under_jitter () =
+  let r = rig ~seed:3 3 in
+  let plan =
+    Faults.Plan.make
+      ~link:(Faults.Plan.link_faults ~jitter:0.4 ~jitter_max:(Sim.Time.us 80) ())
+      ()
+  in
+  let plane = Faults.Plane.create ~plan ~seed:17 r.testbed in
+  run r (fun () ->
+      List.iteri
+        (fun i kind ->
+          let s =
+            Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~id:(0x70 + i)
+              ~capacity:64 ()
+          in
+          let t =
+            Dds.Queue.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1) ~kind s
+          in
+          for i = 1 to 30 do
+            ignore (Dds.Queue.enqueue t (Int32.of_int i))
+          done;
+          Dds.Queue.flush t;
+          for i = 1 to 30 do
+            check_i32
+              (Printf.sprintf "%s pos %d" (Dds.Kind.to_string kind) i)
+              (Int32.of_int i) (Dds.Queue.dequeue t)
+          done)
+        Dds.Kind.all);
+  Faults.Plane.uninstall plane
+
+let queue_dx_producer_under_loss () =
+  (* Lossy links: DX producer under a recovery policy, RPC consumer
+     (whose claim is at-most-once by the call plane's dedup). *)
+  let r = rig ~seed:8 3 in
+  let plan =
+    Faults.Plan.make ~link:(Faults.Plan.link_faults ~loss:0.15 ()) ()
+  in
+  let plane = Faults.Plane.create ~plan ~seed:23 r.testbed in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:64 ()
+      in
+      let producer =
+        Dds.Queue.client ~rmem:r.rmems.(1) ~amsg:r.amsgs.(1)
+          ~kind:Dds.Kind.Dx ~policy:(policy ()) s
+      in
+      for i = 1 to 20 do
+        ignore (Dds.Queue.enqueue producer (Int32.of_int i))
+      done;
+      Dds.Queue.flush producer;
+      let consumer =
+        Dds.Queue.client ~rmem:r.rmems.(2) ~amsg:r.amsgs.(2)
+          ~kind:Dds.Kind.Rpc s
+      in
+      for i = 1 to 20 do
+        check_i32 "order preserved" (Int32.of_int i)
+          (Dds.Queue.dequeue consumer)
+      done);
+  Faults.Plane.uninstall plane
+
+let hybrid_contention_falls_back () =
+  (* Four hybrid clients hammering one tail word: the CAS storms must
+     push at least one operation onto the RPC slow path. *)
+  let r = rig ~seed:2 5 in
+  let fallbacks = ref 0 in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:512 ()
+      in
+      let done_ = ref 0 in
+      for c = 1 to 4 do
+        Cluster.Node.spawn r.nodes.(c) (fun () ->
+            let t =
+              Dds.Queue.client ~rmem:r.rmems.(c) ~amsg:r.amsgs.(c)
+                ~kind:Dds.Kind.Hybrid s
+            in
+            for i = 0 to 63 do
+              ignore (Dds.Queue.enqueue t (Int32.of_int ((c * 1000) + i)))
+            done;
+            fallbacks := !fallbacks + Dds.Queue.rpc_fallbacks t;
+            incr done_)
+      done;
+      let rec join () =
+        if !done_ < 4 then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  check_bool "contention reached the slow path" true (!fallbacks > 0)
+
+(* ---------------------------- Register ----------------------------- *)
+
+let reg_rig ?seed () =
+  let r = rig ?seed 6 in
+  (r, fun () ->
+    Array.init 3 (fun k ->
+        Dds.Register.replica ~rmem:r.rmems.(k) ~amsg:r.amsgs.(k) ()))
+
+let reg_basic kind () =
+  let r, mk = reg_rig () in
+  run r (fun () ->
+      let reps = mk () in
+      let t =
+        Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3) ~kind ~rank:1
+          reps
+      in
+      check_i32 "initial" 0l (Dds.Register.read t);
+      ignore (Dds.Register.write t 42l);
+      check_i32 "read back" 42l (Dds.Register.read t);
+      ignore (Dds.Register.write t 43l);
+      check_i32 "second write" 43l (Dds.Register.read t))
+
+let reg_two_writers_tags () =
+  let r, mk = reg_rig () in
+  run r (fun () ->
+      let reps = mk () in
+      let a =
+        Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+          ~kind:Dds.Kind.Dx ~rank:1 reps
+      in
+      let b =
+        Dds.Register.client ~rmem:r.rmems.(4) ~amsg:r.amsgs.(4)
+          ~kind:Dds.Kind.Rpc ~rank:2 reps
+      in
+      let ta = Dds.Register.write a 10l in
+      let tb = Dds.Register.write b 20l in
+      check_bool "second write has the higher tag" true
+        (Dds.Tag.compare tb ta > 0);
+      check_i32 "both handles converge" 20l (Dds.Register.read a))
+
+let reg_monotonic_reads () =
+  (* A writer streams ascending values while a DX reader reads
+     concurrently: the reader's sequence must never go backwards. *)
+  let r, mk = reg_rig ~seed:6 () in
+  let seen = ref [] in
+  run r (fun () ->
+      let reps = mk () in
+      let writer_done = ref false in
+      Cluster.Node.spawn r.nodes.(3) (fun () ->
+          let w =
+            Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+              ~kind:Dds.Kind.Dx ~rank:1 reps
+          in
+          for v = 1 to 15 do
+            ignore (Dds.Register.write w (Int32.of_int v))
+          done;
+          writer_done := true);
+      Cluster.Node.spawn r.nodes.(4) (fun () ->
+          let rd =
+            Dds.Register.client ~rmem:r.rmems.(4) ~amsg:r.amsgs.(4)
+              ~kind:Dds.Kind.Dx ~rank:2 reps
+          in
+          let rec loop () =
+            seen := Dds.Register.read rd :: !seen;
+            if not !writer_done then begin
+              Sim.Proc.wait (Sim.Time.us 20);
+              loop ()
+            end
+          in
+          loop ());
+      let rec join () =
+        if not !writer_done then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  let seq = List.rev !seen in
+  check_bool "read something" true (List.length seq > 2);
+  check_bool "monotone" true (List.sort compare seq = seq)
+
+let reg_read_repairs_stale_replica () =
+  let r, mk = reg_rig () in
+  run r (fun () ->
+      let reps = mk () in
+      (* Hand-craft divergence: replica 0 holds (ts 5, rank 1) = 50,
+         replicas 1 and 2 an older (ts 2, rank 1) = 20. *)
+      let put k ts v =
+        let space = Dds.Register.replica_space reps.(k) in
+        Cluster.Address_space.write_word space ~addr:4 v;
+        Cluster.Address_space.write_word space ~addr:0
+          (Dds.Tag.pack { Dds.Tag.ts; wr = 1 })
+      in
+      put 0 5 50l;
+      put 1 2 20l;
+      put 2 2 20l;
+      let t =
+        Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+          ~kind:Dds.Kind.Dx ~rank:2 reps
+      in
+      check_i32 "adopts highest" 50l (Dds.Register.read t);
+      (* The write-back phase must have repaired the stale majority. *)
+      Sim.Proc.wait (Sim.Time.ms 1);
+      Array.iter
+        (fun rep ->
+          let space = Dds.Register.replica_space rep in
+          check_i32 "repaired value" 50l
+            (Cluster.Address_space.read_word space ~addr:4))
+        reps)
+
+let reg_no_write_back_leaves_stale () =
+  let r, mk = reg_rig () in
+  run r (fun () ->
+      let reps = mk () in
+      let put k ts v =
+        let space = Dds.Register.replica_space reps.(k) in
+        Cluster.Address_space.write_word space ~addr:4 v;
+        Cluster.Address_space.write_word space ~addr:0
+          (Dds.Tag.pack { Dds.Tag.ts; wr = 1 })
+      in
+      put 0 5 50l;
+      put 1 2 20l;
+      put 2 2 20l;
+      let t =
+        Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+          ~kind:Dds.Kind.Dx ~rank:2 ~write_back:false reps
+      in
+      check_i32 "still adopts highest" 50l (Dds.Register.read t);
+      Sim.Proc.wait (Sim.Time.ms 1);
+      (* The broken variant leaves the stale majority in place: the
+         new/old-inversion raw material the model checker exploits. *)
+      check_i32 "replica 1 untouched" 20l
+        (Cluster.Address_space.read_word
+           (Dds.Register.replica_space reps.(1))
+           ~addr:4))
+
+let reg_dx_under_loss () =
+  let r, mk = reg_rig ~seed:4 () in
+  let plan =
+    Faults.Plan.make ~link:(Faults.Plan.link_faults ~loss:0.12 ()) ()
+  in
+  let plane = Faults.Plane.create ~plan ~seed:31 r.testbed in
+  run r (fun () ->
+      let reps = mk () in
+      let t =
+        Dds.Register.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+          ~kind:Dds.Kind.Dx ~rank:1 ~policy:(policy ()) reps
+      in
+      for v = 1 to 8 do
+        ignore (Dds.Register.write t (Int32.of_int v));
+        check_i32 "read-your-write" (Int32.of_int v) (Dds.Register.read t)
+      done);
+  Faults.Plane.uninstall plane
+
+let reg_differential () =
+  let r = rig ~seed:3 9 in
+  run r (fun () ->
+      let results =
+        List.map
+          (fun (kind, base, id) ->
+            let reps =
+              Array.init 3 (fun k ->
+                  Dds.Register.replica ~rmem:r.rmems.(base + k)
+                    ~amsg:r.amsgs.(base + k) ~id ())
+            in
+            let t =
+              Dds.Register.client ~rmem:r.rmems.(8) ~amsg:r.amsgs.(8) ~kind
+                ~rank:1 reps
+            in
+            List.map
+              (fun v ->
+                ignore (Dds.Register.write t v);
+                Dds.Register.read t)
+              [ 5l; 9l; 13l ])
+          [
+            (Dds.Kind.Dx, 0, 0x80);
+            (Dds.Kind.Rpc, 3, 0x81);
+            (Dds.Kind.Hybrid, 0, 0x82);
+          ]
+      in
+      match results with
+      | [ dx; rpc; hybrid ] ->
+          check_bool "dx = rpc" true (dx = rpc);
+          check_bool "dx = hybrid" true (dx = hybrid);
+          check_bool "values" true (dx = [ 5l; 9l; 13l ])
+      | _ -> assert false)
+
+(* ------------------- linearizability (logical) --------------------- *)
+
+let analysis_rig n =
+  let testbed = Cluster.Testbed.create ~nodes:n () in
+  let nodes = Array.init n (Cluster.Testbed.node testbed) in
+  let rmems = Array.map Rmem.Remote_memory.attach nodes in
+  let monitor = Analysis.Monitor.create (Cluster.Testbed.engine testbed) in
+  Array.iter (Analysis.Monitor.attach_rmem monitor) rmems;
+  let amsgs = Array.map Amsg.attach nodes in
+  ({ testbed; nodes; rmems; amsgs }, monitor)
+
+let assert_linearizable name monitor =
+  match Analysis.Linearize.check (Analysis.Monitor.history monitor) with
+  | Analysis.Linearize.Pass stats ->
+      check_bool (name ^ " checked real events") true (stats.events > 0)
+  | Analysis.Linearize.Fail _ as v ->
+      Alcotest.fail (name ^ ": " ^ Analysis.Linearize.describe v)
+
+let lin_hashtable () =
+  let r, monitor = analysis_rig 4 in
+  let hook = Analysis.Monitor.dds_hook monitor in
+  run r (fun () ->
+      let s =
+        Dds.Hashtable.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~slots:64 ()
+      in
+      let done_ = ref 0 in
+      for c = 1 to 3 do
+        Cluster.Node.spawn r.nodes.(c) (fun () ->
+            let t =
+              Dds.Hashtable.client ~rmem:r.rmems.(c) ~amsg:r.amsgs.(c)
+                ~kind:(List.nth Dds.Kind.all (c - 1))
+                ~hook s
+            in
+            (* Everyone hammers key 9 and a private key. *)
+            for i = 1 to 5 do
+              Dds.Hashtable.insert t ~key:9l
+                ~value:(Int32.of_int ((c * 10) + i));
+              ignore (Dds.Hashtable.lookup t 9l);
+              Dds.Hashtable.insert t ~key:(Int32.of_int (100 + c))
+                ~value:(Int32.of_int i)
+            done;
+            incr done_)
+      done;
+      let rec join () =
+        if !done_ < 3 then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  assert_linearizable "hashtable" monitor
+
+let lin_queue () =
+  let r, monitor = analysis_rig 4 in
+  let hook = Analysis.Monitor.dds_hook monitor in
+  run r (fun () ->
+      let s =
+        Dds.Queue.server ~rmem:r.rmems.(0) ~amsg:r.amsgs.(0) ~capacity:64 ()
+      in
+      let consumed = ref 0 in
+      for p = 1 to 2 do
+        Cluster.Node.spawn r.nodes.(p) (fun () ->
+            let t =
+              Dds.Queue.client ~rmem:r.rmems.(p) ~amsg:r.amsgs.(p)
+                ~kind:(if p = 1 then Dds.Kind.Dx else Dds.Kind.Rpc)
+                ~hook s
+            in
+            for i = 0 to 9 do
+              ignore (Dds.Queue.enqueue t (Int32.of_int ((p * 100) + i)))
+            done;
+            Dds.Queue.flush t)
+      done;
+      Cluster.Node.spawn r.nodes.(3) (fun () ->
+          let t =
+            Dds.Queue.client ~rmem:r.rmems.(3) ~amsg:r.amsgs.(3)
+              ~kind:Dds.Kind.Hybrid ~hook s
+          in
+          for _ = 1 to 20 do
+            ignore (Dds.Queue.dequeue t);
+            incr consumed
+          done);
+      let rec join () =
+        if !consumed < 20 then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  assert_linearizable "queue" monitor
+
+let lin_register () =
+  let r, monitor = analysis_rig 6 in
+  let hook = Analysis.Monitor.dds_hook monitor in
+  run r (fun () ->
+      let reps =
+        Array.init 3 (fun k ->
+            Dds.Register.replica ~rmem:r.rmems.(k) ~amsg:r.amsgs.(k) ())
+      in
+      let done_ = ref 0 in
+      List.iteri
+        (fun i (c, kind) ->
+          Cluster.Node.spawn r.nodes.(c) (fun () ->
+              let t =
+                Dds.Register.client ~rmem:r.rmems.(c) ~amsg:r.amsgs.(c) ~kind
+                  ~rank:(i + 1) ~hook reps
+              in
+              for v = 1 to 4 do
+                ignore (Dds.Register.write t (Int32.of_int ((c * 10) + v)));
+                ignore (Dds.Register.read t)
+              done;
+              incr done_))
+        [ (3, Dds.Kind.Dx); (4, Dds.Kind.Rpc); (5, Dds.Kind.Hybrid) ];
+      let rec join () =
+        if !done_ < 3 then begin
+          Sim.Proc.wait (Sim.Time.ms 1);
+          join ()
+        end
+      in
+      join ());
+  assert_linearizable "register" monitor
+
+(* ------------------------- seeded scenario ------------------------- *)
+
+let seeded_register_fifo_clean () =
+  (* The broken register (no write-back) must pass a default FIFO run —
+     only the model checker's exploration exposes it. *)
+  let monitor = Analysis.Scenarios.run "dds_register_no_writeback" in
+  check_int "no races under FIFO" 0
+    (List.length (Analysis.Race.find monitor));
+  check_int "no findings under FIFO" 0
+    (List.length (Analysis.Lint.check monitor))
+
+let suite =
+  [
+    Alcotest.test_case "probe: hit reports index and probes" `Quick
+      probe_hit_and_probes;
+    Alcotest.test_case "probe: absent stops at free slot" `Quick
+      probe_absent_free;
+    Alcotest.test_case "probe: first tombstone reused, note carried" `Quick
+      probe_tombstone_reuse_and_note;
+    Alcotest.test_case "probe: walk wraps modulo slots" `Quick
+      probe_wraps_modulo;
+    Alcotest.test_case "probe: full table exhausts" `Quick probe_full_table;
+    QCheck_alcotest.to_alcotest tag_roundtrip;
+    QCheck_alcotest.to_alcotest tag_order_preserved;
+    QCheck_alcotest.to_alcotest tag_cell_roundtrip;
+    Alcotest.test_case "tag: busy sentinels rejected by decode" `Quick
+      tag_busy_cells_refused;
+    Alcotest.test_case "call: round trip" `Quick call_round_trip;
+    Alcotest.test_case "call: at-most-once under loss" `Quick
+      call_at_most_once_under_loss;
+    Alcotest.test_case "hashtable: basic ops (dx)" `Quick
+      (htab_basic Dds.Kind.Dx);
+    Alcotest.test_case "hashtable: basic ops (rpc)" `Quick
+      (htab_basic Dds.Kind.Rpc);
+    Alcotest.test_case "hashtable: basic ops (hybrid)" `Quick
+      (htab_basic Dds.Kind.Hybrid);
+    Alcotest.test_case "hashtable: reserved keys refused" `Quick
+      htab_reserved_keys;
+    Alcotest.test_case "hashtable: full raises, tombstones reopen (dx)"
+      `Quick (htab_full Dds.Kind.Dx);
+    Alcotest.test_case "hashtable: full raises, tombstones reopen (rpc)"
+      `Quick (htab_full Dds.Kind.Rpc);
+    Alcotest.test_case "hashtable: tombstone keeps chains intact" `Quick
+      htab_tombstone_chain;
+    Alcotest.test_case "hashtable: differential, fault-free" `Quick
+      (htab_differential "fault-free");
+    Alcotest.test_case "hashtable: differential under jitter" `Quick
+      (htab_differential "jitter"
+         ~plan:
+           (Faults.Plan.make
+              ~link:
+                (Faults.Plan.link_faults ~jitter:0.4
+                   ~jitter_max:(Sim.Time.us 60) ())
+              ()));
+    Alcotest.test_case "hashtable: differential under loss" `Quick
+      (htab_differential "loss"
+         ~plan:(Faults.Plan.make ~link:(Faults.Plan.link_faults ~loss:0.1 ()) ())
+         ~plan_seed:13 ~policy:(policy ()));
+    Alcotest.test_case "hashtable: concurrent clients, one per kind" `Quick
+      htab_concurrent_disjoint;
+    Alcotest.test_case "queue: fifo per kind (dx)" `Quick
+      (queue_basic Dds.Kind.Dx);
+    Alcotest.test_case "queue: fifo per kind (rpc)" `Quick
+      (queue_basic Dds.Kind.Rpc);
+    Alcotest.test_case "queue: fifo per kind (hybrid)" `Quick
+      (queue_basic Dds.Kind.Hybrid);
+    Alcotest.test_case "queue: capacity exhausts (dx)" `Quick
+      (queue_full Dds.Kind.Dx);
+    Alcotest.test_case "queue: capacity exhausts (rpc)" `Quick
+      (queue_full Dds.Kind.Rpc);
+    Alcotest.test_case "queue: mpmc exactly-once, producer order" `Quick
+      queue_mpmc;
+    Alcotest.test_case "queue: differential under jitter" `Quick
+      queue_differential_under_jitter;
+    Alcotest.test_case "queue: dx producer under loss" `Quick
+      queue_dx_producer_under_loss;
+    Alcotest.test_case "hybrid: contention falls back to rpc" `Quick
+      hybrid_contention_falls_back;
+    Alcotest.test_case "register: basic (dx)" `Quick (reg_basic Dds.Kind.Dx);
+    Alcotest.test_case "register: basic (rpc)" `Quick (reg_basic Dds.Kind.Rpc);
+    Alcotest.test_case "register: basic (hybrid)" `Quick
+      (reg_basic Dds.Kind.Hybrid);
+    Alcotest.test_case "register: writers order by tag" `Quick
+      reg_two_writers_tags;
+    Alcotest.test_case "register: reads never regress" `Quick
+      reg_monotonic_reads;
+    Alcotest.test_case "register: read repairs stale replicas" `Quick
+      reg_read_repairs_stale_replica;
+    Alcotest.test_case "register: write_back:false leaves them stale" `Quick
+      reg_no_write_back_leaves_stale;
+    Alcotest.test_case "register: dx under loss with policy" `Quick
+      reg_dx_under_loss;
+    Alcotest.test_case "register: differential across kinds" `Quick
+      reg_differential;
+    Alcotest.test_case "linearizable: hashtable, mixed kinds" `Quick
+      lin_hashtable;
+    Alcotest.test_case "linearizable: queue, mixed kinds" `Quick lin_queue;
+    Alcotest.test_case "linearizable: register, mixed kinds" `Quick
+      lin_register;
+    Alcotest.test_case "seeded register bug is FIFO-clean" `Quick
+      seeded_register_fifo_clean;
+  ]
